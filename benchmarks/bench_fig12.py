@@ -1,0 +1,74 @@
+"""Figure 12 — monitoring overhead across six systems on two traces."""
+
+from repro.experiments.exp_fig12 import figure12, render_figure12
+
+
+def test_fig12_monitoring_overhead(benchmark, show):
+    cells = benchmark.pedantic(
+        lambda: figure12(n_packets=20_000, duration_s=0.5),
+        rounds=1, iterations=1,
+    )
+    show("Figure 12: monitoring messages / raw packets\n"
+         + render_figure12(cells))
+    ratios = {}
+    for cell in cells:
+        ratios.setdefault(cell.system, []).append(cell.ratio)
+    mean = {name: sum(v) / len(v) for name, v in ratios.items()}
+    # Newton and Sonata share the accurate-exportation bottom band...
+    assert mean["Newton"] == mean["Sonata"]
+    # ...at least an order of magnitude below every other system on this
+    # trace scale (the gap widens with trace rate: Newton's exports are
+    # rate-independent while the generic exporters scale with packets).
+    for other in ("FlowRadar", "SCREAM", "TurboFlow", "*Flow"):
+        assert mean[other] > 7 * mean["Newton"], other
+
+
+def test_fig12_rate_independence(benchmark, show):
+    """The mechanism behind the paper's two-order gap: Newton's exports
+    are (nearly) traffic-rate independent, while flow/packet exporters
+    scale with the trace.  Doubling the workload should roughly double
+    TurboFlow's messages and barely move Newton's."""
+    from repro.baselines.newton import NewtonSystem
+    from repro.baselines.turboflow import TurboFlow
+    from repro.core.compiler import QueryParams
+    from repro.experiments.common import evaluation_queries, workload
+
+    def run():
+        params = QueryParams(cm_depth=2, bf_hashes=2,
+                             reduce_registers=2048,
+                             distinct_registers=2048)
+        queries = list(evaluation_queries().values())
+        out = {}
+        for n in (10_000, 20_000):
+            trace = workload("caida", n, duration_s=0.5, seed=11)
+            out[n] = {
+                "Newton": NewtonSystem(
+                    queries, params=params, array_size=1 << 16
+                ).process_trace(trace).messages,
+                "TurboFlow": TurboFlow().process_trace(trace).messages,
+                "packets": len(trace),
+            }
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    small, big = result[10_000], result[20_000]
+    show(
+        "Figure 12 follow-up: export growth when the trace doubles\n"
+        f"  packets:   {small['packets']} -> {big['packets']}\n"
+        f"  Newton:    {small['Newton']} -> {big['Newton']} msgs "
+        f"({big['Newton'] / max(small['Newton'], 1):.2f}x)\n"
+        f"  TurboFlow: {small['TurboFlow']} -> {big['TurboFlow']} msgs "
+        f"({big['TurboFlow'] / small['TurboFlow']:.2f}x)\n"
+        "  Newton's exports track *anomalies*, not traffic volume — at the "
+        "paper's 100x trace rate this is the two-order gap."
+    )
+    newton_growth = big["Newton"] / max(small["Newton"], 1)
+    turbo_growth = big["TurboFlow"] / small["TurboFlow"]
+    packet_growth = big["packets"] / small["packets"]
+    # Flow exports track traffic volume; intent exports lag it (and their
+    # per-packet ratio falls), which is what compounds into the paper's
+    # two-order gap at backbone rates.
+    assert turbo_growth > 1.5
+    assert newton_growth < turbo_growth < packet_growth * 1.1
+    assert (big["Newton"] / big["packets"]
+            < 0.9 * small["Newton"] / small["packets"])

@@ -1,0 +1,22 @@
+"""Figure 13 — network-wide monitoring overhead of Q1 vs path length."""
+
+from repro.experiments.exp_fig13 import figure13, render_figure13
+
+
+def test_fig13_hop_count_scaling(benchmark, show):
+    series = benchmark.pedantic(
+        lambda: figure13(hop_counts=(1, 2, 3, 4), n_packets=12_000,
+                         duration_s=0.4),
+        rounds=1, iterations=1,
+    )
+    show("Figure 13: monitoring messages vs forwarding path length\n"
+         + render_figure13(series))
+    by_name = {s.system: s.messages for s in series}
+    newton = by_name["Newton"]
+    # Newton is hop-count agnostic (reports exactly once per query)...
+    assert len(set(newton.values())) == 1
+    # ...while every sole-switch system grows linearly with hops.
+    for system in ("Sonata", "TurboFlow", "*Flow", "FlowRadar"):
+        msgs = by_name[system]
+        assert msgs[4] == 4 * msgs[1], system
+    assert newton[4] * 50 < by_name["TurboFlow"][4]

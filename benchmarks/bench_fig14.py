@@ -1,0 +1,37 @@
+"""Figure 14 — Q1 accuracy and FPR vs register budget, Sonata vs Newton_k."""
+
+from repro.experiments.exp_fig14 import figure14, render_figure14
+
+STARVED = (256, 512)  # the memory-constrained end of the paper's sweep
+
+
+def test_fig14_accuracy_and_errors(benchmark, show):
+    points = benchmark.pedantic(
+        lambda: figure14(register_sizes=(256, 512, 1024, 2048, 4096),
+                         n_packets=12_000, duration_s=0.3, n_victims=5),
+        rounds=1, iterations=1,
+    )
+    show("Figure 14: accuracy / FPR vs registers per array "
+         "(averaged over 2 seeded workloads)\n"
+         + render_figure14(points))
+    by_key = {(p.system, p.registers): p for p in points}
+
+    def starved_accuracy(system):
+        return sum(by_key[(system, r)].accuracy for r in STARVED) / len(
+            STARVED
+        )
+
+    # Accuracy improves with register budget for every system.
+    for system in ("Sonata", "Newton_2", "Newton_3"):
+        assert by_key[(system, 4096)].accuracy >= by_key[
+            (system, 256)
+        ].accuracy
+    # Pooling registers across switches beats the sole switch in the
+    # memory-starved regime (the §6.3 claim): higher recall on average
+    # and strictly fewer false positives at the smallest arrays.
+    assert starved_accuracy("Newton_3") > starved_accuracy("Sonata")
+    assert starved_accuracy("Newton_2") > starved_accuracy("Sonata")
+    assert by_key[("Newton_3", 256)].fpr <= by_key[("Sonata", 256)].fpr
+    assert by_key[("Newton_2", 256)].fpr <= by_key[("Sonata", 256)].fpr
+    # With generous memory everyone converges to exact results.
+    assert by_key[("Sonata", 4096)].accuracy == 1.0

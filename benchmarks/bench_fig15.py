@@ -1,0 +1,29 @@
+"""Figure 15 — query compilation evaluation (+ Sonata comparison)."""
+
+from repro.experiments.exp_fig15 import (
+    figure15,
+    figure15_sonata,
+    render_figure15,
+)
+
+
+def run():
+    return figure15(), figure15_sonata()
+
+
+def test_fig15_compilation(benchmark, show):
+    rows, sonata = benchmark(run)
+    show("Figure 15: primitives / modules / stages per optimisation level\n"
+         + render_figure15(rows, sonata))
+    for row in rows:
+        # Optimisations never hurt, and Opt.3 compresses stages hardest.
+        assert row.levels["+Opt.3"][1] <= row.levels["+Opt.2"][1]
+        assert row.levels["+Opt.2"][0] <= row.levels["baseline"][0]
+    # Q6's parallel sub-queries multiplex stages below its primitive count
+    # (the paper's highlighted observation).
+    q6 = next(r for r in rows if r.query == "Q6")
+    assert q6.levels["+Opt.3"][1] < q6.dataplane_primitives
+    # Optimised Newton undercuts Sonata's estimated stages on Q1-Q5.
+    by_query = {r.query: r for r in rows}
+    for name, (_, stages) in sonata.items():
+        assert by_query[name].levels["+Opt.3"][1] < stages

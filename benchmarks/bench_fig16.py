@@ -1,0 +1,21 @@
+"""Figure 16 — resource multiplexing over concurrent Q4 queries."""
+
+from repro.experiments.exp_fig16 import figure16, render_figure16
+
+
+def test_fig16_concurrent_queries(benchmark, show):
+    points = benchmark.pedantic(
+        lambda: figure16(counts=(1, 10, 25, 50, 100)),
+        rounds=1, iterations=1,
+    )
+    show("Figure 16: concurrent Q4 queries (real installs for P-Newton)\n"
+         + render_figure16(points))
+    first, last = points[0], points[-1]
+    # Sonata and S-Newton grow linearly with the query count...
+    assert last.sonata_stages == 100 * first.sonata_stages
+    assert last.s_newton_modules == 100 * first.s_newton_modules
+    # ...while P-Newton multiplexes modules and stages (measured on a real
+    # switch install), with only table rules growing.
+    assert last.p_newton_modules == first.p_newton_modules
+    assert last.p_newton_stages == first.p_newton_stages == 10
+    assert last.p_newton_rules == 100 * first.p_newton_rules

@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper's evaluation and
+prints the rows/series the paper reports.  Absolute timings are secondary;
+the printed artefacts are the point (see EXPERIMENTS.md for the
+paper-vs-measured record).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capfd):
+    """Print experiment output past pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capfd.disabled():
+            print("\n" + text, flush=True)
+
+    return _show

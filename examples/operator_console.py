@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""An operator's session: plan, deploy, inspect, and read back queries.
+
+Ties together the pieces a production controller would expose on top of
+the paper's core mechanisms:
+
+* the **admission planner** (our answer to §7's open scheduling question)
+  decides which of a batch of intents fit the switch, degrading sketch
+  sizes gracefully when memory-bound;
+* admitted queries install as runtime rule transactions;
+* the **rule exporter** shows exactly what would go over P4Runtime;
+* the **register readout** turns a threshold-clipped report into the
+  exact window aggregate.
+
+Run:  python examples/operator_console.py
+"""
+
+from repro import (
+    QueryParams,
+    QueryThresholds,
+    build_deployment,
+    build_query,
+    caida_like,
+    ip_str,
+    linear,
+    merge_traces,
+    syn_flood,
+)
+from repro.core.admission import AdmissionPlanner
+from repro.core.export import render_entries
+from repro.core.compiler import compile_query
+from repro.traffic.generators import assign_hosts
+
+#: A deliberately memory-starved switch: not everything will fit as asked.
+ARRAY_SIZE = 2048
+REQUESTED = ("Q1", "Q3", "Q4", "Q5", "Q2")
+
+
+def main() -> None:
+    deployment = build_deployment(linear(1), array_size=ARRAY_SIZE)
+    switch = deployment.switch("s0")
+    thresholds = QueryThresholds(new_tcp_conns=40)
+    params = QueryParams(cm_depth=2, bf_hashes=2,
+                         reduce_registers=1024, distinct_registers=1024)
+
+    # -- 1. plan the batch before touching the switch ---------------------
+    planner = AdmissionPlanner(switch, min_registers=128)
+    requests = [(build_query(name, thresholds), params)
+                for name in REQUESTED]
+    plan = planner.plan(requests, degrade=True)
+    print(f"admission plan for {len(REQUESTED)} intents on a "
+          f"{ARRAY_SIZE}-register switch:")
+    for admission in plan.admissions:
+        if admission.admitted:
+            note = ""
+            if admission.degraded:
+                assert admission.params is not None
+                note = (f"  (degraded to "
+                        f"{admission.params.reduce_registers}-register "
+                        f"sketches)")
+            print(f"  {admission.qid}: admitted{note}")
+        else:
+            print(f"  {admission.qid}: rejected — "
+                  f"{admission.violations[0]}")
+
+    # -- 2. install exactly what the plan admitted ------------------------
+    for admission in plan.admissions:
+        if admission.admitted:
+            assert admission.params is not None
+            deployment.controller.install_query(
+                build_query(admission.qid, thresholds),
+                admission.params, path=["s0"],
+            )
+    print(f"\nswitch now holds {switch.rule_count} table entries")
+
+    # -- 3. what actually went on the wire (P4Runtime view) ---------------
+    compiled = compile_query(build_query("Q1", thresholds), params)
+    print("\nfirst rules of Q1 as the controller ships them:")
+    for line in render_entries(compiled).splitlines()[:4]:
+        print(" ", line)
+
+    # -- 4. traffic, detection, and exact readout -------------------------
+    trace = merge_traces([
+        caida_like(10_000, duration_s=0.3, seed=21),
+        syn_flood(n_packets=700, duration_s=0.3, seed=22),
+    ])
+    deployment.simulator.run(assign_hosts(trace, [("h_src0", "h_dst0")]))
+    detections = deployment.analyzer.detections("Q1")
+    epoch = max(e for e, keys in detections.items() if keys)
+    victim = detections[epoch][0][0]
+    clipped = deployment.analyzer.results("Q1")[epoch][(victim,)]
+    exact = deployment.controller.estimate_count("Q1", {"dip": victim})
+    print(f"\nwindow {epoch}: Q1 flagged {ip_str(victim)}")
+    print(f"  report count (clipped at the crossing): {clipped}")
+    print(f"  register readout (exact current total): {exact}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — reproduction of *Newton: Intent-Driven Network Traffic
+Monitoring* (Zhou et al., CoNEXT 2020).
+
+Public API re-exports the pieces a user composes:
+
+>>> from repro import Query, build_deployment, linear
+>>> q = Query("demo").filter(proto=6, tcp_flags=2).map("dip").reduce("dip").where(ge=10)
+>>> dep = build_deployment(linear(1))
+>>> dep.controller.install_query(q, path=["s0"])  # doctest: +ELLIPSIS
+InstallResult(...)
+
+See README.md for the architecture tour and DESIGN.md for the paper map.
+"""
+
+from repro.core.admission import AdmissionPlanner
+from repro.core.analyzer import Analyzer
+from repro.core.ast import CmpOp, FieldPredicate, KeyExpr
+from repro.core.export import entries_for, render_entries, to_json
+from repro.core.compiler import (
+    CompiledQuery,
+    Optimizations,
+    QueryParams,
+    compile_query,
+    slice_compiled,
+)
+from repro.core.controller import NewtonController
+from repro.core.groundtruth import GroundTruthEngine, evaluate_trace
+from repro.core.library import QueryThresholds, all_queries, build_query
+from repro.core.packet import Packet, Proto, TcpFlags, ip, ip_str
+from repro.core.placement import PlacementResult, place_slices
+from repro.core.query import CompositeQuery, Query
+from repro.dataplane.switch import Switch
+from repro.network.deployment import Deployment, build_deployment
+from repro.network.routing import Router
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology, fat_tree, isp_backbone, linear
+from repro.traffic.generators import (
+    assign_hosts,
+    caida_like,
+    mawi_like,
+    port_scan,
+    syn_flood,
+    udp_flood,
+)
+from repro.traffic.io import load_trace, save_trace
+from repro.traffic.traces import Trace, merge_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionPlanner",
+    "Analyzer",
+    "CmpOp",
+    "CompiledQuery",
+    "CompositeQuery",
+    "Deployment",
+    "FieldPredicate",
+    "GroundTruthEngine",
+    "KeyExpr",
+    "NetworkSimulator",
+    "NewtonController",
+    "Optimizations",
+    "Packet",
+    "PlacementResult",
+    "Proto",
+    "Query",
+    "QueryParams",
+    "QueryThresholds",
+    "Router",
+    "Switch",
+    "TcpFlags",
+    "Topology",
+    "Trace",
+    "all_queries",
+    "assign_hosts",
+    "build_deployment",
+    "build_query",
+    "caida_like",
+    "compile_query",
+    "entries_for",
+    "evaluate_trace",
+    "fat_tree",
+    "ip",
+    "ip_str",
+    "isp_backbone",
+    "linear",
+    "load_trace",
+    "mawi_like",
+    "merge_traces",
+    "place_slices",
+    "render_entries",
+    "save_trace",
+    "to_json",
+    "port_scan",
+    "slice_compiled",
+    "syn_flood",
+    "udp_flood",
+]

@@ -1,0 +1,1 @@
+"""Behavioural models of the systems Newton is evaluated against."""

@@ -1,0 +1,54 @@
+"""Common interface for monitoring-system baselines.
+
+Figure 12 compares systems by *monitoring overhead*: the ratio of
+monitoring messages exported off the data plane to raw packets forwarded.
+Each baseline implements :meth:`MonitoringSystem.process_trace` and counts
+its exports under its own discipline (flow records, grouped packet
+vectors, periodic structure dumps, or query reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.traffic.traces import Trace
+
+__all__ = ["MonitoringResult", "MonitoringSystem"]
+
+
+@dataclass
+class MonitoringResult:
+    """Export accounting for one trace run."""
+
+    system: str
+    packets: int
+    messages: int
+    #: Free-form per-system details (evictions, windows, flushes, ...).
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Monitoring messages per raw packet (Figure 12's metric)."""
+        if self.packets == 0:
+            return 0.0
+        return self.messages / self.packets
+
+
+class MonitoringSystem:
+    """A monitoring system under the Figure 12 overhead comparison."""
+
+    name = "abstract"
+
+    def process_trace(self, trace: Trace,
+                      window_s: float = 0.1) -> MonitoringResult:
+        raise NotImplementedError
+
+    def _result(self, trace: Trace, messages: int,
+                **details: float) -> MonitoringResult:
+        return MonitoringResult(
+            system=self.name,
+            packets=len(trace),
+            messages=messages,
+            details=dict(details),
+        )

@@ -1,0 +1,56 @@
+"""Newton itself, wrapped in the baseline interface.
+
+Used by the Figure 12 overhead comparison: deploy the evaluation queries
+on a single switch and count mirrored reports (plus any CPU deferrals) as
+monitoring messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.base import MonitoringResult, MonitoringSystem
+from repro.core.compiler import Optimizations, QueryParams
+from repro.core.query import QueryLike
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.traffic.generators import assign_hosts
+from repro.traffic.traces import Trace
+
+__all__ = ["NewtonSystem"]
+
+
+class NewtonSystem(MonitoringSystem):
+    """Single-switch Newton deployment counting accurate query reports."""
+
+    name = "Newton"
+
+    def __init__(self, queries: Sequence[QueryLike],
+                 params: Optional[QueryParams] = None,
+                 num_stages: int = 12, array_size: int = 4096):
+        self.queries = list(queries)
+        self.params = params or QueryParams()
+        self.num_stages = num_stages
+        self.array_size = array_size
+
+    def process_trace(self, trace: Trace,
+                      window_s: float = 0.1) -> MonitoringResult:
+        deployment = build_deployment(
+            linear(1),
+            num_stages=self.num_stages,
+            array_size=self.array_size,
+            window_ms=int(window_s * 1000),
+        )
+        for query in self.queries:
+            deployment.controller.install_query(
+                query, self.params, Optimizations.all(), path=["s0"]
+            )
+        routed = assign_hosts(trace, [("h_src0", "h_dst0")])
+        deployment.simulator.run(routed)
+        analyzer = deployment.analyzer
+        return self._result(
+            trace,
+            analyzer.message_count,
+            reports=len(analyzer.reports),
+            deferred=analyzer.deferred_packets,
+        )

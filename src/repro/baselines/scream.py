@@ -1,0 +1,46 @@
+"""SCREAM baseline (Moshref et al., CoNEXT 2015).
+
+SCREAM allocates sketch memory across measurement tasks and has switches
+report their sketch counters to a central controller every epoch; the
+controller estimates task accuracy and rebalances.  Like FlowRadar, its
+export volume is structure-sized per window (rows × width counters), not
+query-accurate — hence its placement among the heavyweight exporters in
+Figure 12.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.base import MonitoringResult, MonitoringSystem
+from repro.traffic.traces import Trace
+
+__all__ = ["Scream"]
+
+
+class Scream(MonitoringSystem):
+    """Periodic sketch-counter exporter."""
+
+    name = "SCREAM"
+
+    def __init__(self, rows: int = 3, width: int = 4096,
+                 counters_per_message: int = 8):
+        if rows <= 0 or width <= 0 or counters_per_message <= 0:
+            raise ValueError("sketch parameters must be positive")
+        self.rows = rows
+        self.width = width
+        self.counters_per_message = counters_per_message
+
+    @property
+    def messages_per_window(self) -> int:
+        return math.ceil(self.rows * self.width / self.counters_per_message)
+
+    def process_trace(self, trace: Trace,
+                      window_s: float = 0.1) -> MonitoringResult:
+        if len(trace) == 0:
+            return self._result(trace, 0, windows=0)
+        first = trace[0].ts
+        last = trace[len(trace) - 1].ts
+        windows = int(last / window_s) - int(first / window_s) + 1
+        messages = windows * self.messages_per_window
+        return self._result(trace, messages, windows=windows)

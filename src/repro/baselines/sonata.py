@@ -1,0 +1,150 @@
+"""Sonata baseline (Gupta et al., SIGCOMM 2018).
+
+Sonata compiles queries into P4 *programs*, so its data-plane exports are
+query-accurate like Newton's — the two share the bottom band of Figure 12.
+What distinguishes Sonata in the paper's evaluation:
+
+* **Static query operations** (Figure 10): changing the query set requires
+  reloading the P4 program.  The switch stops forwarding for the reload
+  plus the time to restore its forwarding rules, linear in the entry count.
+* **Sole-switch execution** (Figures 13/14): every switch runs the whole
+  query and reports independently, so network-wide overhead scales with
+  path length and sketch accuracy is capped by one switch's registers.
+* **Per-query pipelines** (Figures 15/16): each query compiles into its
+  own chain of logical tables; concurrent queries chain sequentially.
+
+The table/stage estimator follows the paper's method of estimating Sonata
+stage usage "according to [55]" (Jose et al., compiling packet programs):
+every primitive maps to match-action tables plus metadata shuffling, and
+the dependency chain serialises them one stage each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import MonitoringResult, MonitoringSystem
+from repro.baselines.newton import NewtonSystem
+from repro.core.ast import Distinct, Filter, Map, Reduce, ResultFilter
+from repro.core.compiler import QueryParams
+from repro.core.query import QueryLike, flatten
+from repro.dataplane.switch import (
+    DEFAULT_ENTRY_RESTORE_S,
+    DEFAULT_REBOOT_BASE_S,
+)
+from repro.traffic.traces import Trace
+
+__all__ = ["SonataCompilation", "sonata_compile", "SonataSystem",
+           "interruption_delay", "throughput_timeline",
+           "SWITCH_P4_DEFAULT_ENTRIES"]
+
+#: Forwarding entries a switch.p4 deployment typically restores after a
+#: reload; calibrated to the ~7.5 s outage of Figure 10(a).
+SWITCH_P4_DEFAULT_ENTRIES = 6250
+
+
+@dataclass(frozen=True)
+class SonataCompilation:
+    """Logical tables / estimated stages for one query on Sonata."""
+
+    qid: str
+    tables: int
+    stages: int
+
+
+def _primitive_tables(prim, params: QueryParams) -> int:
+    """Logical tables for one primitive under Sonata's compiler.
+
+    Each primitive spends one table on its match/transform and one on
+    metadata bookkeeping; stateful primitives add one (hash + register
+    action) table per sketch row.
+    """
+    if isinstance(prim, Filter):
+        return 2
+    if isinstance(prim, Map):
+        return 2
+    if isinstance(prim, Distinct):
+        return 2 * params.bf_hashes + 2
+    if isinstance(prim, Reduce):
+        return 2 * params.cm_depth + 2
+    if isinstance(prim, ResultFilter):
+        return 2
+    raise TypeError(f"unknown primitive {type(prim).__name__}")
+
+
+def sonata_compile(query: QueryLike,
+                   params: QueryParams = QueryParams()) -> SonataCompilation:
+    """Estimate Sonata's per-query table and stage usage."""
+    tables = 0
+    for sub in flatten(query):
+        for prim in sub.primitives:
+            tables += _primitive_tables(prim, params)
+    # Sequential dependencies serialise the chain: one table per stage.
+    return SonataCompilation(qid=query.qid, tables=tables, stages=tables)
+
+
+def interruption_delay(entries_to_restore: int,
+                       reboot_base_s: float = DEFAULT_REBOOT_BASE_S,
+                       entry_restore_s: float = DEFAULT_ENTRY_RESTORE_S) -> float:
+    """Forwarding outage of a Sonata query update (Figure 10(b))."""
+    if entries_to_restore < 0:
+        raise ValueError("entry count must be non-negative")
+    return reboot_base_s + entry_restore_s * entries_to_restore
+
+
+def throughput_timeline(
+    update_at_s: float,
+    entries_to_restore: int,
+    duration_s: float,
+    line_rate_gbps: float = 40.0,
+    step_s: float = 0.25,
+    reboot_base_s: float = DEFAULT_REBOOT_BASE_S,
+    entry_restore_s: float = DEFAULT_ENTRY_RESTORE_S,
+) -> List[tuple]:
+    """(time, throughput) series around a Sonata query update.
+
+    Reproduces Figure 10(a): throughput holds at line rate, collapses to
+    zero for the outage, then recovers.  Newton's timeline is the constant
+    line-rate series (no reboot ever happens).
+    """
+    outage = interruption_delay(entries_to_restore, reboot_base_s,
+                                entry_restore_s)
+    series = []
+    for t in np.arange(0.0, duration_s + 1e-9, step_s):
+        down = update_at_s <= t < update_at_s + outage
+        series.append((float(t), 0.0 if down else line_rate_gbps))
+    return series
+
+
+class SonataSystem(MonitoringSystem):
+    """Sonata's export behaviour for the Figure 12 comparison.
+
+    Sonata performs the same accurate on-data-plane exportation as Newton
+    (both only mirror packets satisfying the compiled query), so its
+    message count is obtained by executing the identical query set on a
+    single-switch pipeline.  The *operational* differences (reboots,
+    sole-switch scaling) are modelled by the functions above.
+    """
+
+    name = "Sonata"
+
+    def __init__(self, queries: Sequence[QueryLike],
+                 params: Optional[QueryParams] = None,
+                 num_stages: int = 12, array_size: int = 4096):
+        self._engine = NewtonSystem(
+            queries, params=params, num_stages=num_stages,
+            array_size=array_size,
+        )
+
+    def process_trace(self, trace: Trace,
+                      window_s: float = 0.1) -> MonitoringResult:
+        result = self._engine.process_trace(trace, window_s)
+        return MonitoringResult(
+            system=self.name,
+            packets=result.packets,
+            messages=result.messages,
+            details=result.details,
+        )

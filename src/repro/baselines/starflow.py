@@ -1,0 +1,64 @@
+"""*Flow baseline (Sonchack et al., ATC 2018).
+
+*Flow exports *grouped packet vectors* (GPVs): the switch buffers a small
+vector of per-packet features for each flow and ships it to a CPU analyzer
+whenever the vector fills or its cache slot is reclaimed.  Queries then run
+entirely in software, which is maximally flexible but makes export volume
+proportional to packet volume — the paper's motivating counter-example
+(8 CPU cores per 640 Gbps switch, §3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.base import MonitoringResult, MonitoringSystem
+from repro.core.packet import FiveTuple
+from repro.dataplane.hashing import HashFamily
+from repro.traffic.traces import Trace
+
+__all__ = ["StarFlow"]
+
+
+class StarFlow(MonitoringSystem):
+    """Grouped-packet-vector exporter."""
+
+    name = "*Flow"
+
+    def __init__(self, gpv_capacity: int = 8, cache_slots: int = 8192,
+                 seed: int = 9):
+        if gpv_capacity <= 0:
+            raise ValueError("GPV capacity must be positive")
+        if cache_slots <= 0:
+            raise ValueError("cache needs at least one slot")
+        self.gpv_capacity = gpv_capacity
+        self.cache_slots = cache_slots
+        self._hash = HashFamily(seed).unit(0, cache_slots)
+
+    def process_trace(self, trace: Trace,
+                      window_s: float = 0.1) -> MonitoringResult:
+        # slot -> (flow key, buffered feature count)
+        cache: Dict[int, Optional[Tuple[FiveTuple, int]]] = {}
+        messages = 0
+        full_exports = 0
+        evictions = 0
+        for packet in trace:
+            key = packet.five_tuple
+            slot = self._hash(repr(key).encode())
+            resident = cache.get(slot)
+            if resident is not None and resident[0] != key:
+                messages += 1  # evicted partial GPV
+                evictions += 1
+                resident = None
+            count = 0 if resident is None else resident[1]
+            count += 1
+            if count >= self.gpv_capacity:
+                messages += 1  # full GPV shipped to the analyzer
+                full_exports += 1
+                cache[slot] = None
+            else:
+                cache[slot] = (key, count)
+        residual = sum(1 for v in cache.values() if v is not None)
+        messages += residual
+        return self._result(trace, messages, full_exports=full_exports,
+                            evictions=evictions, residual=residual)

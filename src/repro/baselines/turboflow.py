@@ -1,0 +1,65 @@
+"""TurboFlow baseline (Sonchack et al., EuroSys 2018).
+
+TurboFlow generates *information-rich flow records* on commodity switches:
+a hash-indexed micro-flow table aggregates packets per five-tuple; a
+colliding new flow evicts the resident record to the CPU, and everything
+left over is flushed when the record times out (modelled at window ends).
+Export volume therefore tracks the number of flows (plus collision churn)
+— which grows with traffic volume, the scalability ceiling Newton targets
+(paper §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.base import MonitoringResult, MonitoringSystem
+from repro.core.packet import FiveTuple
+from repro.dataplane.hashing import HashFamily
+from repro.traffic.traces import Trace
+
+__all__ = ["TurboFlow"]
+
+
+class TurboFlow(MonitoringSystem):
+    """Micro-flow-table flow-record generator."""
+
+    name = "TurboFlow"
+
+    def __init__(self, table_slots: int = 4096, seed: int = 5):
+        if table_slots <= 0:
+            raise ValueError("micro-flow table needs at least one slot")
+        self.table_slots = table_slots
+        self._hash = HashFamily(seed).unit(0, table_slots)
+
+    def process_trace(self, trace: Trace,
+                      window_s: float = 0.1) -> MonitoringResult:
+        table: Dict[int, Optional[Tuple[FiveTuple, int, int]]] = {}
+        messages = 0
+        evictions = 0
+        flushes = 0
+        epoch = 0
+        for packet in trace:
+            pkt_epoch = int(packet.ts / window_s)
+            while epoch < pkt_epoch:
+                flushed = len(table)
+                messages += flushed
+                flushes += flushed
+                table.clear()
+                epoch += 1
+            key = packet.five_tuple
+            slot = self._hash(repr(key).encode())
+            resident = table.get(slot)
+            if resident is not None and resident[0] != key:
+                messages += 1  # evicted record exported to the CPU
+                evictions += 1
+                resident = None
+            if resident is None:
+                table[slot] = (key, 1, packet.len)
+            else:
+                table[slot] = (key, resident[1] + 1, resident[2] + packet.len)
+        flushed = len(table)
+        messages += flushed
+        flushes += flushed
+        return self._result(trace, messages,
+                            evictions=evictions, flushes=flushes)

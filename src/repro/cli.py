@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Everything the repository can do, reachable without writing Python::
+
+    newton-repro list-queries              # the Table 2 query library
+    newton-repro compile Q4                # rules/stages a query compiles to
+    newton-repro experiment fig7           # regenerate a paper artefact
+    newton-repro experiment all            # every table and figure
+    newton-repro demo                      # quickstart end-to-end run
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.compiler import Optimizations, QueryParams, compile_query
+from repro.core.library import QUERY_DESCRIPTIONS, build_query
+from repro.core.query import flatten
+from repro.experiments.common import evaluation_thresholds, format_table
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment registry: name -> (runner, description).  Runners return the
+#: rendered artefact string.
+def _run_table3() -> str:
+    from repro.experiments.exp_table3 import render_table3, table3
+
+    return render_table3(table3())
+
+
+def _run_fig7() -> str:
+    from repro.experiments.exp_fig7 import figure7, render_figure7
+
+    return render_figure7(figure7())
+
+
+def _run_fig10() -> str:
+    from repro.experiments.exp_fig10 import (
+        figure10a,
+        figure10b,
+        render_figure10,
+    )
+
+    return render_figure10(figure10a(), figure10b())
+
+
+def _run_fig11() -> str:
+    from repro.experiments.exp_fig11 import figure11, render_figure11
+
+    return render_figure11(figure11(repetitions=100))
+
+
+def _run_fig12() -> str:
+    from repro.experiments.exp_fig12 import figure12, render_figure12
+
+    return render_figure12(figure12(n_packets=20_000, duration_s=0.5))
+
+
+def _run_fig13() -> str:
+    from repro.experiments.exp_fig13 import figure13, render_figure13
+
+    return render_figure13(figure13())
+
+
+def _run_fig14() -> str:
+    from repro.experiments.exp_fig14 import figure14, render_figure14
+
+    return render_figure14(figure14())
+
+
+def _run_fig15() -> str:
+    from repro.experiments.exp_fig15 import (
+        figure15,
+        figure15_sonata,
+        render_figure15,
+    )
+
+    return render_figure15(figure15(), figure15_sonata())
+
+
+def _run_fig16() -> str:
+    from repro.experiments.exp_fig16 import figure16, render_figure16
+
+    return render_figure16(figure16())
+
+
+def _run_fig17() -> str:
+    from repro.experiments.exp_fig17 import (
+        figure17a,
+        figure17b,
+        render_figure17,
+    )
+
+    return render_figure17(figure17a(), figure17b())
+
+
+def _run_ablations() -> str:
+    from repro.experiments.ablations import (
+        ablate_admission,
+        ablate_layout,
+        ablate_placement,
+        ablate_sketch_shape,
+    )
+
+    layout = ablate_layout()
+    placement = ablate_placement()
+    shape = ablate_sketch_shape()
+    admission = ablate_admission()
+    lines = [
+        "Layout ablation:",
+        f"  compact fits {len(layout.compact_fit)}/9 queries in "
+        f"{layout.pipeline_stages} stages; naive fits "
+        f"{len(layout.naive_fit)}/9",
+        "",
+        "Placement ablation:",
+        f"  oracle {placement.oracle_entries} entries vs resilient "
+        f"{placement.resilient_entries} "
+        f"({placement.resilience_overhead:.2f}x)",
+        "",
+        "Sketch-shape ablation (fixed budget):",
+        format_table(
+            ["depth", "width", "recall", "FPR"],
+            [[p.depth, p.width, f"{p.recall:.3f}", f"{p.fpr:.4f}"]
+             for p in shape],
+        ),
+        "",
+        "Admission ablation:",
+        format_table(
+            ["array", "strict", "degraded"],
+            [[a.array_size, a.strict_admitted, a.degraded_admitted]
+             for a in admission],
+        ),
+    ]
+    return "\n".join(lines)
+
+
+EXPERIMENTS = {
+    "table3": (_run_table3, "Table 3: data-plane resource usage"),
+    "fig7": (_run_fig7, "Figure 7: compilation reduction ratios"),
+    "fig10": (_run_fig10, "Figure 10: Sonata update interruption"),
+    "fig11": (_run_fig11, "Figure 11: query operation delay"),
+    "fig12": (_run_fig12, "Figure 12: monitoring overhead comparison"),
+    "fig13": (_run_fig13, "Figure 13: overhead vs path length"),
+    "fig14": (_run_fig14, "Figure 14: accuracy vs register budget"),
+    "fig15": (_run_fig15, "Figure 15: compilation evaluation"),
+    "fig16": (_run_fig16, "Figure 16: concurrent-query multiplexing"),
+    "fig17": (_run_fig17, "Figure 17: network-wide placement"),
+    "ablations": (_run_ablations, "design-choice ablations (beyond paper)"),
+}
+
+
+def cmd_list_queries(_args) -> int:
+    thresholds = evaluation_thresholds()
+    rows = []
+    params = QueryParams()
+    for name in sorted(QUERY_DESCRIPTIONS):
+        query = build_query(name, thresholds)
+        modules = stages = 0
+        for sub in flatten(query):
+            compiled = compile_query(sub, params, Optimizations.all())
+            modules += compiled.num_modules
+            stages = max(stages, compiled.num_stages)
+        rows.append([name, QUERY_DESCRIPTIONS[name],
+                     sum(s.num_primitives for s in flatten(query)),
+                     modules, stages])
+    print(format_table(
+        ["Query", "Intent", "prims", "modules", "stages (max sub)"], rows
+    ))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    query = build_query(args.query, evaluation_thresholds())
+    params = QueryParams(cm_depth=args.cm_depth, bf_hashes=args.bf_hashes)
+    opts = Optimizations.upto(args.opt_level)
+    if args.json:
+        from repro.core.export import to_json
+
+        for sub in flatten(query):
+            print(to_json(compile_query(sub, params, opts)))
+        return 0
+    for sub in flatten(query):
+        compiled = compile_query(sub, params, opts)
+        print(f"\n{sub.describe()}")
+        print(f"  modules={compiled.num_modules} "
+              f"stages={compiled.num_stages} "
+              f"rules={compiled.rule_count} "
+              f"registers={compiled.register_demand}")
+        if args.rules:
+            rows = [
+                [spec.step, spec.module_type.symbol, spec.set_id,
+                 spec.stage, f"p{spec.primitive_index}/s{spec.suite_index}",
+                 type(spec.config).__name__]
+                for spec in compiled.specs
+            ]
+            print(format_table(
+                ["step", "mod", "set", "stage", "origin", "config"], rows
+            ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        runner, description = EXPERIMENTS[name]
+        print(f"\n=== {name}: {description} ===")
+        print(runner())
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    """Inline quickstart: intent -> rules -> traffic -> detections."""
+    from repro import build_deployment, caida_like, ip_str, linear, syn_flood
+    from repro.traffic.generators import assign_hosts
+    from repro.traffic.traces import merge_traces
+
+    query = build_query("Q1", evaluation_thresholds())
+    deployment = build_deployment(linear(1), array_size=1 << 13)
+    result = deployment.controller.install_query(
+        query, QueryParams(cm_depth=2, reduce_registers=2048), path=["s0"]
+    )
+    print(f"installed Q1 ({result.rules_installed} rules) in "
+          f"{result.delay_s * 1e3:.1f} ms")
+    trace = merge_traces([
+        caida_like(10_000, duration_s=0.3, seed=5),
+        syn_flood(n_packets=500, duration_s=0.3, seed=6),
+    ])
+    deployment.simulator.run(assign_hosts(trace, [("h_src0", "h_dst0")]))
+    for epoch, keys in deployment.analyzer.detections("Q1").items():
+        for key in keys:
+            print(f"window {epoch}: new-connection spike at "
+                  f"{ip_str(key[0])}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="newton-repro",
+        description=(
+            "Reproduction of 'Newton: Intent-Driven Network Traffic "
+            "Monitoring' (CoNEXT 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-queries",
+                   help="the Table 2 query library with footprints"
+                   ).set_defaults(func=cmd_list_queries)
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile a library query and show its rules"
+    )
+    compile_parser.add_argument("query", choices=sorted(QUERY_DESCRIPTIONS))
+    compile_parser.add_argument("--rules", action="store_true",
+                                help="list every placed module rule")
+    compile_parser.add_argument("--json", action="store_true",
+                                help="emit P4Runtime-style entries as JSON")
+    compile_parser.add_argument("--opt-level", type=int, default=3,
+                                choices=(0, 1, 2, 3),
+                                help="cumulative Opt.1-3 level (default 3)")
+    compile_parser.add_argument("--cm-depth", type=int, default=2)
+    compile_parser.add_argument("--bf-hashes", type=int, default=3)
+    compile_parser.set_defaults(func=cmd_compile)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment_parser.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"],
+    )
+    experiment_parser.set_defaults(func=cmd_experiment)
+
+    sub.add_parser("demo", help="end-to-end quickstart run"
+                   ).set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

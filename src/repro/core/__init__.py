@@ -1,0 +1,1 @@
+"""Newton's core: query API, compiler, controller, placement, analyzer."""

@@ -1,0 +1,296 @@
+"""Query primitive IR.
+
+Newton adopts the four stream-processing primitives Sonata showed cover a
+wide range of monitoring intents (paper §2.1): ``filter``, ``map``,
+``distinct``, ``reduce``.  This module defines their intermediate
+representation: what the fluent API in :mod:`repro.core.query` builds and
+what the compiler in :mod:`repro.core.compiler` lowers to module rules.
+
+Each primitive also knows how to evaluate itself exactly in software,
+which powers both the ground-truth engine (accuracy experiments) and the
+analyzer's CPU fallback for deferred query slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.core.fields import GLOBAL_FIELDS
+
+__all__ = [
+    "CmpOp",
+    "FieldPredicate",
+    "KeyExpr",
+    "Primitive",
+    "Filter",
+    "ResultFilter",
+    "Map",
+    "Distinct",
+    "Reduce",
+    "ReduceFunc",
+    "INIT_FOLDABLE_FIELDS",
+]
+
+#: Fields ``newton_init`` can ternary-match (five-tuple + TCP flags, §4.1).
+INIT_FOLDABLE_FIELDS = frozenset(
+    {"sip", "dip", "proto", "sport", "dport", "tcp_flags"}
+)
+
+
+class CmpOp(Enum):
+    """Comparison operators available to filter predicates."""
+
+    EQ = "=="
+    NE = "!="
+    GT = ">"
+    GE = ">="
+    LT = "<"
+    LE = "<="
+    MASK_EQ = "&=="  # (value & mask) == (target & mask): flag-bit matching
+
+
+@dataclass(frozen=True)
+class FieldPredicate:
+    """One comparison in a filter: ``field <op> value`` (optionally masked)."""
+
+    field: str
+    op: CmpOp
+    value: int
+    mask: Optional[int] = None  # only meaningful for MASK_EQ
+
+    def __post_init__(self) -> None:
+        GLOBAL_FIELDS.get(self.field)  # validate the field exists
+        if self.op is CmpOp.MASK_EQ and self.mask is None:
+            raise ValueError("MASK_EQ predicate requires a mask")
+
+    def evaluate(self, fields: Dict[str, int]) -> bool:
+        actual = fields.get(self.field, 0)
+        if self.op is CmpOp.EQ:
+            return actual == self.value
+        if self.op is CmpOp.NE:
+            return actual != self.value
+        if self.op is CmpOp.GT:
+            return actual > self.value
+        if self.op is CmpOp.GE:
+            return actual >= self.value
+        if self.op is CmpOp.LT:
+            return actual < self.value
+        if self.op is CmpOp.LE:
+            return actual <= self.value
+        if self.op is CmpOp.MASK_EQ:
+            assert self.mask is not None
+            return (actual & self.mask) == (self.value & self.mask)
+        raise ValueError(f"unsupported operator {self.op}")
+
+    @property
+    def init_foldable(self) -> bool:
+        """Whether ``newton_init`` can express this predicate (Opt.1).
+
+        TCAM entries express equality under a mask; ranges and negations
+        stay on the module path.
+        """
+        if self.field not in INIT_FOLDABLE_FIELDS:
+            return False
+        return self.op in (CmpOp.EQ, CmpOp.MASK_EQ)
+
+    def to_init_match(self) -> Tuple[int, int]:
+        """(value, mask) pair for a ``newton_init`` ternary entry."""
+        if not self.init_foldable:
+            raise ValueError(f"predicate {self} is not newton_init-foldable")
+        width_mask = GLOBAL_FIELDS.get(self.field).max_value
+        mask = self.mask if self.op is CmpOp.MASK_EQ else width_mask
+        assert mask is not None
+        return (self.value & mask, mask)
+
+    def describe(self) -> str:
+        if self.op is CmpOp.MASK_EQ:
+            return f"{self.field} & {self.mask:#x} == {self.value:#x}"
+        return f"{self.field} {self.op.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class KeyExpr:
+    """One operation-key component: a field under a bit-mask.
+
+    ``mask=None`` selects the full field; prefix masks implement e.g.
+    ``dip/24`` aggregation directly in the K module.
+    """
+
+    field: str
+    mask: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        fld = GLOBAL_FIELDS.get(self.field)
+        if self.mask is not None and (self.mask < 0 or self.mask > fld.max_value):
+            raise ValueError(f"mask {self.mask:#x} out of range for {self.field}")
+
+    @property
+    def effective_mask(self) -> int:
+        if self.mask is None:
+            return GLOBAL_FIELDS.get(self.field).max_value
+        return self.mask
+
+    def extract(self, fields: Dict[str, int]) -> int:
+        return fields.get(self.field, 0) & self.effective_mask
+
+    def describe(self) -> str:
+        if self.mask is None:
+            return self.field
+        return f"{self.field}&{self.mask:#x}"
+
+
+class Primitive:
+    """Base class for query primitives."""
+
+    #: Key expressions defining the primitive's operation keys (may be ()).
+    keys: Tuple[KeyExpr, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    def key_masks(self) -> Dict[str, int]:
+        """Field -> mask map fed to the K module."""
+        masks: Dict[str, int] = {}
+        for expr in self.keys:
+            masks[expr.field] = masks.get(expr.field, 0) | expr.effective_mask
+        return masks
+
+    def extract_key(self, fields: Dict[str, int]) -> Tuple[int, ...]:
+        """Exact software key extraction (ground truth / CPU fallback)."""
+        return tuple(expr.extract(fields) for expr in self.keys)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Filter(Primitive):
+    """Keep only packets satisfying every predicate (AND semantics)."""
+
+    predicates: Tuple[FieldPredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ValueError("filter needs at least one predicate")
+
+    @property
+    def keys(self) -> Tuple[KeyExpr, ...]:  # type: ignore[override]
+        # The filter's K selects exactly the predicated fields.
+        return tuple(
+            KeyExpr(p.field, p.mask if p.op is CmpOp.MASK_EQ else None)
+            for p in self.predicates
+        )
+
+    def evaluate(self, fields: Dict[str, int]) -> bool:
+        return all(p.evaluate(fields) for p in self.predicates)
+
+    @property
+    def init_foldable(self) -> bool:
+        """Opt.1 applies when every predicate folds and fields are distinct."""
+        if not all(p.init_foldable for p in self.predicates):
+            return False
+        names = [p.field for p in self.predicates]
+        return len(names) == len(set(names))
+
+    @property
+    def equality_only(self) -> bool:
+        return all(p.op in (CmpOp.EQ, CmpOp.MASK_EQ) for p in self.predicates)
+
+    def describe(self) -> str:
+        return "filter(" + " and ".join(p.describe() for p in self.predicates) + ")"
+
+
+@dataclass(frozen=True)
+class ResultFilter(Primitive):
+    """Threshold test on the running result of a preceding reduce/distinct.
+
+    The Sonata idiom ``.filter(count >= Th)``: compiled to a result-process
+    rule matching the global result, reporting on the first crossing within
+    the window.
+    """
+
+    op: CmpOp
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (CmpOp.GE, CmpOp.GT, CmpOp.EQ):
+            raise ValueError(
+                f"result filters support >=, > and == thresholds, got {self.op}"
+            )
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+
+    @property
+    def crossing_value(self) -> int:
+        """The exact count at which the condition first becomes true."""
+        if self.op is CmpOp.GT:
+            return self.threshold + 1
+        return self.threshold
+
+    def evaluate_count(self, count: int) -> bool:
+        if self.op is CmpOp.GE:
+            return count >= self.threshold
+        if self.op is CmpOp.GT:
+            return count > self.threshold
+        return count == self.threshold
+
+    def describe(self) -> str:
+        return f"filter(count {self.op.value} {self.threshold})"
+
+
+@dataclass(frozen=True)
+class Map(Primitive):
+    """Project the stream onto new operation keys."""
+
+    keys: Tuple[KeyExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("map needs at least one key expression")
+
+    def describe(self) -> str:
+        return "map(" + ", ".join(k.describe() for k in self.keys) + ")"
+
+
+@dataclass(frozen=True)
+class Distinct(Primitive):
+    """Pass only the first packet of each key per window (Bloom filter)."""
+
+    keys: Tuple[KeyExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("distinct needs at least one key expression")
+
+    def describe(self) -> str:
+        return "distinct(" + ", ".join(k.describe() for k in self.keys) + ")"
+
+
+class ReduceFunc(Enum):
+    """Aggregation functions supported on the data plane."""
+
+    COUNT = "count"    # +1 per packet
+    SUM_LEN = "sum"    # +pkt.len per packet
+
+
+@dataclass(frozen=True)
+class Reduce(Primitive):
+    """Aggregate per key within the window (Count-Min sketch)."""
+
+    keys: Tuple[KeyExpr, ...]
+    func: ReduceFunc = ReduceFunc.COUNT
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("reduce needs at least one key expression")
+
+    @property
+    def operand_field(self) -> Optional[str]:
+        return "len" if self.func is ReduceFunc.SUM_LEN else None
+
+    def describe(self) -> str:
+        keys = ", ".join(k.describe() for k in self.keys)
+        return f"reduce(keys=({keys}), f={self.func.value})"

@@ -1,0 +1,784 @@
+"""Query compiler: primitives → module rules (paper §4.1, §4.3).
+
+Compilation runs in three phases:
+
+1. **Lowering** — each primitive becomes one or more *module suites*
+   (K/H/S/R configurations).  Stateful primitives expand into one suite per
+   sketch row: Count-Min rows for ``reduce``, Bloom-filter hash functions
+   for ``distinct`` (Figure 3's "several module suites").
+2. **Algorithm 1** — the paper's module-composition optimisations:
+
+   * *Opt.1* folds a leading five-tuple/TCP-flag filter into the query's
+     ``newton_init`` dispatch entry;
+   * *Opt.2* removes unused modules (e.g. ``map`` keeps only K) and
+     redundant K modules whose selection equals the live one;
+   * *Opt.3* alternates the two metadata sets between contiguous
+     primitives so their modules can pack *vertically* into shared stages.
+
+3. **Stage scheduling** — a greedy list scheduler places modules into
+   stages under container-level dependency constraints (the machine-checked
+   version of Figure 4): a true dependency forces a strictly later stage, an
+   anti-dependency forbids an earlier one, and each stage offers one slot
+   per module type (the compact layout).
+
+Without Opt.3 the schedule degenerates to one module per stage — exactly
+the naive composition used as the baseline in Table 3 and Figure 15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.ast import (
+    CmpOp,
+    Distinct,
+    FieldPredicate,
+    Filter,
+    Map,
+    Primitive,
+    Reduce,
+    ResultFilter,
+)
+from repro.core.query import Query
+from repro.core.rules import (
+    ALL_STATE_RESULTS,
+    HashMode,
+    HConfig,
+    KConfig,
+    MatchSource,
+    ModuleRuleSpec,
+    NewtonInitEntry,
+    QuerySlice,
+    RAction,
+    RConfig,
+    RMatchEntry,
+    SConfig,
+    OperandSource,
+)
+from repro.dataplane.alu import ResultOp, StatefulOp
+from repro.dataplane.hashing import HashFamily
+from repro.dataplane.module_types import ModuleType
+
+__all__ = [
+    "QueryParams",
+    "Optimizations",
+    "CompiledQuery",
+    "compile_query",
+    "slice_compiled",
+    "CompilationError",
+]
+
+#: R-match range for "hash equals this constant" filter entries.
+_FILTER_HASH_RANGE = 1 << 32
+
+#: Largest per-packet increment of a byte-sum reduce (the link MTU).
+_MTU = 1500
+
+
+class CompilationError(ValueError):
+    """Raised when a query cannot be lowered to the data plane."""
+
+
+@dataclass(frozen=True)
+class QueryParams:
+    """Per-query sketch and sizing parameters.
+
+    Defaults mirror the paper's Table 3 amortisation (``reduce`` spans two
+    suites, ``distinct`` three); the CQE experiments override row counts
+    and register sizes.
+    """
+
+    cm_depth: int = 2
+    bf_hashes: int = 3
+    reduce_registers: int = 4096
+    distinct_registers: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.cm_depth < 1 or self.bf_hashes < 1:
+            raise ValueError("sketch row counts must be >= 1")
+        if self.reduce_registers < 1 or self.distinct_registers < 1:
+            raise ValueError("register slice sizes must be >= 1")
+
+
+@dataclass(frozen=True)
+class Optimizations:
+    """Which of Algorithm 1's optimisations to apply."""
+
+    opt1_fold_front_filter: bool = True
+    opt2_remove_modules: bool = True
+    opt3_vertical_composition: bool = True
+
+    @staticmethod
+    def none() -> "Optimizations":
+        return Optimizations(False, False, False)
+
+    @staticmethod
+    def all() -> "Optimizations":
+        return Optimizations(True, True, True)
+
+    @staticmethod
+    def upto(level: int) -> "Optimizations":
+        """Cumulative levels used by Figure 15: 0=baseline … 3=+Opt.3."""
+        return Optimizations(level >= 1, level >= 2, level >= 3)
+
+
+# --------------------------------------------------------------------------- #
+# Lowered representation                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _Mod:
+    """One lowered module before placement."""
+
+    mtype: ModuleType
+    config: object
+    primitive_index: int
+    suite_index: int
+    essential: bool = True
+    set_id: int = 0
+    stage: int = -1
+
+
+@dataclass
+class _Suite:
+    modules: List[_Mod]
+    #: K masks of this suite (None for R-only suites).
+    key_masks: Optional[Tuple[Tuple[str, int], ...]]
+
+
+@dataclass
+class _LoweredPrimitive:
+    primitive: Primitive
+    index: int
+    suites: List[_Suite]
+    #: Opt.1 absorbed this primitive into newton_init.
+    absorbed: bool = False
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """Result of compiling one query for the data plane."""
+
+    qid: str
+    specs: Tuple[ModuleRuleSpec, ...]
+    init_entries: Tuple[NewtonInitEntry, ...]
+    num_stages: int
+    num_primitives: int
+    params: QueryParams
+    optimizations: Optimizations
+    absorbed_front_filter: bool = False
+
+    @property
+    def num_modules(self) -> int:
+        return len(self.specs)
+
+    @property
+    def rule_count(self) -> int:
+        """Total table entries (module rules + newton_init entries)."""
+        return len(self.specs) + len(self.init_entries)
+
+    @property
+    def register_demand(self) -> int:
+        """Registers leased across all state-bank rules."""
+        total = 0
+        for spec in self.specs:
+            if spec.module_type is ModuleType.STATE_BANK:
+                config = spec.config
+                if isinstance(config, SConfig) and not config.passthrough:
+                    total += config.slice_size
+        return total
+
+
+# --------------------------------------------------------------------------- #
+# Phase 1: lowering                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def _continue_if(value_ranges: Sequence[Tuple[int, int]]) -> RConfig:
+    """R config: continue when the state result falls in any range."""
+    entries = tuple(
+        RMatchEntry(lo=lo, hi=hi, action=RAction()) for lo, hi in value_ranges
+    )
+    return RConfig(
+        source=MatchSource.STATE, entries=entries, default=RAction(stop=True)
+    )
+
+
+def _lower_filter(prim: Filter, index: int, seed_alloc, params: QueryParams,
+                  hash_family: HashFamily) -> List[_Suite]:
+    """A packet filter: equality group via the hash trick, ranges direct."""
+    suites: List[_Suite] = []
+    eq_preds = [p for p in prim.predicates if p.op in (CmpOp.EQ, CmpOp.MASK_EQ)]
+    range_preds = [p for p in prim.predicates if p not in eq_preds]
+
+    if eq_preds:
+        masks: Dict[str, int] = {}
+        values: Dict[str, int] = {}
+        for pred in eq_preds:
+            value, mask = (
+                pred.to_init_match()
+                if pred.init_foldable
+                else (pred.value, pred.mask or _field_mask(pred.field))
+            )
+            masks[pred.field] = masks.get(pred.field, 0) | mask
+            values[pred.field] = values.get(pred.field, 0) | (value & mask)
+        kconf = KConfig(masks=tuple(sorted(masks.items())))
+        if len(eq_preds) == 1 and eq_preds[0].op is CmpOp.EQ:
+            # Single equality: direct mode, match the field value (Figure 3).
+            pred = eq_preds[0]
+            hconf = HConfig(mode=HashMode.DIRECT, direct_field=pred.field)
+            rconf = _continue_if([(pred.value, pred.value)])
+        else:
+            # Multi-field / masked equality: hash the masked keys and match
+            # the hash of the constant selection computed by the controller.
+            seed = seed_alloc()
+            hconf = HConfig(
+                mode=HashMode.HASH, seed_index=seed, range_size=_FILTER_HASH_RANGE
+            )
+            from repro.core.fields import GLOBAL_FIELDS
+
+            expected_key = GLOBAL_FIELDS.pack(values, masks)
+            expected = hash_family.unit(seed, _FILTER_HASH_RANGE)(expected_key)
+            rconf = _continue_if([(expected, expected)])
+        suites.append(
+            _Suite(
+                modules=[
+                    _Mod(ModuleType.KEY_SELECTION, kconf, index, len(suites)),
+                    _Mod(ModuleType.HASH_CALCULATION, hconf, index, len(suites)),
+                    _Mod(ModuleType.STATE_BANK, SConfig(passthrough=True),
+                         index, len(suites)),
+                    _Mod(ModuleType.RESULT_PROCESS, rconf, index, len(suites)),
+                ],
+                key_masks=tuple(sorted(masks.items())),
+            )
+        )
+
+    for pred in range_preds:
+        kconf = KConfig.select(pred.field)
+        hconf = HConfig(mode=HashMode.DIRECT, direct_field=pred.field)
+        max_value = _field_mask(pred.field)
+        ranges = _ranges_for(pred, max_value)
+        suites.append(
+            _Suite(
+                modules=[
+                    _Mod(ModuleType.KEY_SELECTION, kconf, index, len(suites)),
+                    _Mod(ModuleType.HASH_CALCULATION, hconf, index, len(suites)),
+                    _Mod(ModuleType.STATE_BANK, SConfig(passthrough=True),
+                         index, len(suites)),
+                    _Mod(ModuleType.RESULT_PROCESS, _continue_if(ranges),
+                         index, len(suites)),
+                ],
+                key_masks=((pred.field, max_value),),
+            )
+        )
+    if not suites:
+        raise CompilationError(f"filter {prim.describe()} lowered to nothing")
+    return suites
+
+
+def _field_mask(name: str) -> int:
+    from repro.core.fields import GLOBAL_FIELDS
+
+    return GLOBAL_FIELDS.get(name).max_value
+
+
+def _ranges_for(pred: FieldPredicate, max_value: int) -> List[Tuple[int, int]]:
+    """Value ranges over which a range predicate holds."""
+    if pred.op is CmpOp.GT:
+        return [(pred.value + 1, max_value)]
+    if pred.op is CmpOp.GE:
+        return [(pred.value, max_value)]
+    if pred.op is CmpOp.LT:
+        return [(0, pred.value - 1)] if pred.value > 0 else []
+    if pred.op is CmpOp.LE:
+        return [(0, pred.value)]
+    if pred.op is CmpOp.NE:
+        out = []
+        if pred.value > 0:
+            out.append((0, pred.value - 1))
+        if pred.value < max_value:
+            out.append((pred.value + 1, max_value))
+        return out
+    raise CompilationError(f"unsupported range predicate {pred.describe()}")
+
+
+def _lower_map(prim: Map, index: int) -> List[_Suite]:
+    """map: only K is essential; H/S/R are the padding Opt.2 removes."""
+    kconf = KConfig(masks=tuple(sorted(prim.key_masks().items())))
+    return [
+        _Suite(
+            modules=[
+                _Mod(ModuleType.KEY_SELECTION, kconf, index, 0),
+                _Mod(ModuleType.HASH_CALCULATION, HConfig(), index, 0,
+                     essential=False),
+                _Mod(ModuleType.STATE_BANK, SConfig(passthrough=True), index, 0,
+                     essential=False),
+                _Mod(ModuleType.RESULT_PROCESS, RConfig(), index, 0,
+                     essential=False),
+            ],
+            key_masks=tuple(sorted(prim.key_masks().items())),
+        )
+    ]
+
+
+def _lower_sketch(prim, index: int, rows: int, registers: int,
+                  seed_alloc, stateful: SConfig, first_fold: ResultOp,
+                  rest_fold: ResultOp) -> List[_Suite]:
+    """Shared shape of reduce/distinct: one suite per sketch row + folds."""
+    key_masks = tuple(sorted(prim.key_masks().items()))
+    kconf = KConfig(masks=key_masks)
+    suites: List[_Suite] = []
+    for row in range(rows):
+        fold = first_fold if row == 0 else rest_fold
+        rconf = RConfig(
+            source=MatchSource.STATE,
+            entries=(),
+            default=RAction(result_op=fold),
+        )
+        suites.append(
+            _Suite(
+                modules=[
+                    _Mod(ModuleType.KEY_SELECTION, kconf, index, row),
+                    _Mod(
+                        ModuleType.HASH_CALCULATION,
+                        HConfig(seed_index=seed_alloc(), range_size=registers),
+                        index, row,
+                    ),
+                    _Mod(ModuleType.STATE_BANK,
+                         replace(stateful, slice_size=registers), index, row),
+                    _Mod(ModuleType.RESULT_PROCESS, rconf, index, row),
+                ],
+                key_masks=key_masks,
+            )
+        )
+    return suites
+
+
+def _lower_distinct(prim: Distinct, index: int, params: QueryParams,
+                    seed_alloc) -> List[_Suite]:
+    """distinct: Bloom filter; pass only first-seen keys per window."""
+    base = SConfig(op=StatefulOp.OR, operand_source=OperandSource.CONST,
+                   operand_const=1, output_old=True)
+    if params.bf_hashes == 1:
+        suites = _lower_sketch(
+            prim, index, 1, params.distinct_registers, seed_alloc,
+            base, ResultOp.NOP, ResultOp.NOP,
+        )
+        # Single row: the old bit alone decides membership.
+        suites[0].modules[-1].config = _continue_if([(0, 0)])
+        return suites
+    suites = _lower_sketch(
+        prim, index, params.bf_hashes, params.distinct_registers, seed_alloc,
+        base, ResultOp.PASS, ResultOp.MIN,
+    )
+    # Finalizer R: key is new iff min over the old bits is 0.
+    finalizer = RConfig(
+        source=MatchSource.GLOBAL,
+        entries=(RMatchEntry(0, 0, RAction()),),
+        default=RAction(stop=True),
+    )
+    suites.append(
+        _Suite(
+            modules=[_Mod(ModuleType.RESULT_PROCESS, finalizer, index,
+                          params.bf_hashes)],
+            key_masks=None,
+        )
+    )
+    return suites
+
+
+def _lower_reduce(prim: Reduce, index: int, params: QueryParams,
+                  seed_alloc) -> List[_Suite]:
+    """reduce: Count-Min sketch; the global result carries min-over-rows."""
+    if prim.operand_field is not None:
+        stateful = SConfig(op=StatefulOp.ADD,
+                           operand_source=OperandSource.FIELD,
+                           operand_field=prim.operand_field)
+    else:
+        stateful = SConfig(op=StatefulOp.ADD,
+                           operand_source=OperandSource.CONST, operand_const=1)
+    return _lower_sketch(
+        prim, index, params.cm_depth, params.reduce_registers, seed_alloc,
+        stateful, ResultOp.PASS, ResultOp.MIN,
+    )
+
+
+def _lower_result_filter(prim: ResultFilter, index: int) -> List[_Suite]:
+    """Threshold on the global result with exact-crossing reporting.
+
+    The report fires exactly when the running count *reaches* the
+    threshold, so each offending key is exported once per window — the
+    accurate, low-overhead exportation behind Figure 12.
+    """
+    crossing = prim.crossing_value
+    entries: List[RMatchEntry] = [
+        RMatchEntry(crossing, crossing, RAction(report=True))
+    ]
+    if prim.op in (CmpOp.GE, CmpOp.GT) and crossing < ALL_STATE_RESULTS[1]:
+        # Post-crossing packets still satisfy the predicate: keep them
+        # flowing (without re-reporting) for any downstream primitive.
+        entries.append(
+            RMatchEntry(crossing + 1, ALL_STATE_RESULTS[1], RAction())
+        )
+    rconf = RConfig(
+        source=MatchSource.GLOBAL,
+        entries=tuple(entries),
+        default=RAction(stop=True),
+    )
+    return [
+        _Suite(
+            modules=[
+                _Mod(ModuleType.KEY_SELECTION,
+                     KConfig(masks=()), index, 0, essential=False),
+                _Mod(ModuleType.HASH_CALCULATION, HConfig(), index, 0,
+                     essential=False),
+                _Mod(ModuleType.STATE_BANK, SConfig(passthrough=True), index, 0,
+                     essential=False),
+                _Mod(ModuleType.RESULT_PROCESS, rconf, index, 0),
+            ],
+            key_masks=None,
+        )
+    ]
+
+
+def _lower_sum_result_filter(prim: ResultFilter, index: int,
+                             key_masks: Tuple[Tuple[str, int], ...],
+                             registers: int, seed_alloc) -> List[_Suite]:
+    """Threshold on a byte-sum reduce.
+
+    A byte counter advances by up to the MTU per packet, so it can jump
+    straight over any single crossing value — exact-crossing matching
+    would never fire.  Instead the gate suite passes packets whose running
+    sum satisfies the predicate, and a *flag suite* (a test-and-set Bloom
+    bit over the same keys) reports only the first such packet per key per
+    window.  Both pieces are plain K/H/S/R rules.
+    """
+    crossing = prim.crossing_value
+    if prim.op is CmpOp.EQ:
+        gate_ranges = [(crossing, min(crossing + _MTU - 1,
+                                      ALL_STATE_RESULTS[1]))]
+    else:
+        gate_ranges = [(crossing, ALL_STATE_RESULTS[1])]
+    gate = RConfig(
+        source=MatchSource.GLOBAL,
+        entries=tuple(
+            RMatchEntry(lo, hi, RAction()) for lo, hi in gate_ranges
+        ),
+        default=RAction(stop=True),
+    )
+    flag_r = RConfig(
+        source=MatchSource.STATE,
+        entries=(RMatchEntry(0, 0, RAction(report=True)),),
+        default=RAction(),  # already reported this window: pass silently
+    )
+    flag_s = SConfig(op=StatefulOp.OR, operand_source=OperandSource.CONST,
+                     operand_const=1, output_old=True, slice_size=registers)
+    return [
+        _Suite(
+            modules=[_Mod(ModuleType.RESULT_PROCESS, gate, index, 0)],
+            key_masks=None,
+        ),
+        _Suite(
+            modules=[
+                _Mod(ModuleType.KEY_SELECTION, KConfig(masks=key_masks),
+                     index, 1),
+                _Mod(ModuleType.HASH_CALCULATION,
+                     HConfig(seed_index=seed_alloc(), range_size=registers),
+                     index, 1),
+                _Mod(ModuleType.STATE_BANK, flag_s, index, 1),
+                _Mod(ModuleType.RESULT_PROCESS, flag_r, index, 1),
+            ],
+            key_masks=key_masks,
+        ),
+    ]
+
+
+def _lower(query: Query, params: QueryParams, opts: Optimizations,
+           hash_family: HashFamily) -> Tuple[List[_LoweredPrimitive], Dict]:
+    """Lower all primitives; apply Opt.1 to the leading filter."""
+    query.validate()
+    seed_counter = [0]
+
+    def seed_alloc() -> int:
+        seed_counter[0] += 1
+        return seed_counter[0]
+
+    lowered: List[_LoweredPrimitive] = []
+    init_match: Dict[str, Tuple[int, int]] = {}
+    for index, prim in enumerate(query.primitives):
+        if (
+            opts.opt1_fold_front_filter
+            and index == 0
+            and isinstance(prim, Filter)
+            and any(p.init_foldable for p in prim.predicates)
+        ):
+            foldable = [p for p in prim.predicates if p.init_foldable]
+            residue = [p for p in prim.predicates if not p.init_foldable]
+            if len({p.field for p in foldable}) == len(foldable):
+                for pred in foldable:
+                    init_match[pred.field] = pred.to_init_match()
+                suites = (
+                    _lower_filter(Filter(tuple(residue)), index, seed_alloc,
+                                  params, hash_family)
+                    if residue else []
+                )
+                lowered.append(
+                    _LoweredPrimitive(primitive=prim, index=index,
+                                      suites=suites, absorbed=not residue)
+                )
+                continue
+        if isinstance(prim, Filter):
+            suites = _lower_filter(prim, index, seed_alloc, params, hash_family)
+        elif isinstance(prim, Map):
+            suites = _lower_map(prim, index)
+        elif isinstance(prim, Distinct):
+            suites = _lower_distinct(prim, index, params, seed_alloc)
+        elif isinstance(prim, Reduce):
+            suites = _lower_reduce(prim, index, params, seed_alloc)
+        elif isinstance(prim, ResultFilter):
+            last_reduce = next(
+                (p for p in reversed(query.primitives[:index])
+                 if isinstance(p, Reduce)), None
+            )
+            if last_reduce is not None and last_reduce.operand_field is not None:
+                suites = _lower_sum_result_filter(
+                    prim, index,
+                    key_masks=tuple(sorted(last_reduce.key_masks().items())),
+                    registers=params.reduce_registers,
+                    seed_alloc=seed_alloc,
+                )
+            else:
+                suites = _lower_result_filter(prim, index)
+        else:
+            raise CompilationError(
+                f"primitive {type(prim).__name__} is beyond the data plane; "
+                f"run it on the software analyzer"
+            )
+        lowered.append(_LoweredPrimitive(primitive=prim, index=index,
+                                         suites=suites))
+    return lowered, init_match
+
+
+# --------------------------------------------------------------------------- #
+# Phase 2: Opt.2 + Opt.3 (module removal and set assignment)                  #
+# --------------------------------------------------------------------------- #
+
+
+def _apply_opt2_and_sets(lowered: List[_LoweredPrimitive],
+                         opts: Optimizations) -> List[_Mod]:
+    """Algorithm 1 lines 1–24: prune modules, assign metadata sets.
+
+    Returns the surviving modules in logical order with ``set_id`` fixed.
+    """
+    theta: Dict[int, Optional[Tuple]] = {0: None, 1: None}
+    prev_set = 1  # first key-bearing primitive lands in set 0
+    surviving: List[_Mod] = []
+
+    for lp in lowered:
+        if lp.absorbed:
+            continue
+        key_masks = next(
+            (s.key_masks for s in lp.suites if s.key_masks is not None), None
+        )
+        if key_masks is None:
+            # R-only primitive (threshold / finalizer): reads the global
+            # result, so any set works; stay with the current one.
+            set_id = prev_set
+        elif not opts.opt3_vertical_composition:
+            set_id = 0
+        elif opts.opt2_remove_modules and theta[0] == key_masks:
+            set_id = 0  # reuse set 0's live selection, K becomes redundant
+        elif opts.opt2_remove_modules and theta[1] == key_masks:
+            set_id = 1
+        else:
+            set_id = 1 - prev_set  # alternate sets (vertical composition)
+
+        for suite in lp.suites:
+            for mod in suite.modules:
+                mod.set_id = set_id
+                if opts.opt2_remove_modules:
+                    if not mod.essential:
+                        continue  # unused module (Opt.2, first kind)
+                    if mod.mtype is ModuleType.KEY_SELECTION:
+                        if suite.key_masks == theta[set_id]:
+                            continue  # redundant K (Opt.2, second kind)
+                        theta[set_id] = suite.key_masks
+                elif (mod.mtype is ModuleType.KEY_SELECTION
+                        and suite.key_masks is not None):
+                    theta[set_id] = suite.key_masks
+                surviving.append(mod)
+        prev_set = set_id
+    return surviving
+
+
+# --------------------------------------------------------------------------- #
+# Phase 3: stage scheduling                                                   #
+# --------------------------------------------------------------------------- #
+
+_KEYS, _HASH, _STATE, _GLOBAL = "keys", "hash", "state", "global"
+
+
+def _containers(mod: _Mod) -> Tuple[FrozenSet, FrozenSet]:
+    """(reads, writes) in terms of PHV containers, for dependency checks."""
+    sid = mod.set_id
+    if mod.mtype is ModuleType.KEY_SELECTION:
+        return frozenset(), frozenset({(_KEYS, sid)})
+    if mod.mtype is ModuleType.HASH_CALCULATION:
+        config: HConfig = mod.config  # type: ignore[assignment]
+        reads = frozenset() if config.mode == HashMode.DIRECT else frozenset(
+            {(_KEYS, sid)}
+        )
+        return reads, frozenset({(_HASH, sid)})
+    if mod.mtype is ModuleType.STATE_BANK:
+        return frozenset({(_HASH, sid)}), frozenset({(_STATE, sid)})
+    # R reads its set's state result and the global result, writes global.
+    return (
+        frozenset({(_STATE, sid), (_GLOBAL,)}),
+        frozenset({(_GLOBAL,)}),
+    )
+
+
+def _schedule(mods: List[_Mod], compact: bool) -> int:
+    """Assign stages; return the stage count.
+
+    ``compact=False`` reproduces the naive composition: one module per
+    stage in logical order.
+    """
+    if not compact:
+        for stage, mod in enumerate(mods):
+            mod.stage = stage
+        return len(mods)
+
+    deps = [_containers(mod) for mod in mods]
+    unassigned = set(range(len(mods)))
+    stage = 0
+    while unassigned:
+        used_types: set = set()
+        placed_now: List[int] = []
+        for i in range(len(mods)):
+            if i not in unassigned:
+                continue
+            mod = mods[i]
+            if mod.mtype in used_types:
+                continue
+            reads_i, writes_i = deps[i]
+            ok = True
+            for j in range(i):
+                reads_j, writes_j = deps[j]
+                true_dep = writes_j & reads_i
+                anti_dep = reads_j & writes_i
+                out_dep = writes_j & writes_i
+                if not (true_dep or anti_dep or out_dep):
+                    continue
+                if j in unassigned:
+                    ok = False  # ordering not yet realisable
+                    break
+                sj = mods[j].stage
+                if (true_dep or out_dep) and not sj < stage:
+                    ok = False
+                    break
+                if anti_dep and not sj <= stage:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            # Also respect modules placed in this very stage.
+            for j in placed_now:
+                if j >= i:
+                    continue
+                reads_j, writes_j = deps[j]
+                if (writes_j & reads_i) or (writes_j & writes_i):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mod.stage = stage
+            used_types.add(mod.mtype)
+            placed_now.append(i)
+            unassigned.discard(i)
+        stage += 1
+        if stage > 4 * len(mods) + 4:  # pragma: no cover - safety net
+            raise CompilationError("scheduler failed to converge")
+    return max((m.stage for m in mods), default=-1) + 1
+
+
+# --------------------------------------------------------------------------- #
+# Entry points                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def compile_query(
+    query: Query,
+    params: QueryParams = QueryParams(),
+    opts: Optimizations = Optimizations.all(),
+    hash_family: Optional[HashFamily] = None,
+) -> CompiledQuery:
+    """Compile one query into placed module rules + its dispatch entry."""
+    family = hash_family or HashFamily()
+    lowered, init_match = _lower(query, params, opts, family)
+    mods = _apply_opt2_and_sets(lowered, opts)
+    if not mods:
+        raise CompilationError(
+            f"query {query.qid!r} compiled to zero modules; a dispatch-only "
+            f"query expresses no intent"
+        )
+    num_stages = _schedule(mods, compact=opts.opt3_vertical_composition)
+    specs = tuple(
+        ModuleRuleSpec(
+            qid=query.qid,
+            step=step,
+            module_type=mod.mtype,
+            set_id=mod.set_id,
+            stage=mod.stage,
+            config=mod.config,
+            suite_index=mod.suite_index,
+            primitive_index=mod.primitive_index,
+        )
+        for step, mod in enumerate(mods)
+    )
+    init_entry = NewtonInitEntry.build(query.qid, init_match, priority=0)
+    return CompiledQuery(
+        qid=query.qid,
+        specs=specs,
+        init_entries=(init_entry,),
+        num_stages=num_stages,
+        num_primitives=query.num_primitives,
+        params=params,
+        optimizations=opts,
+        absorbed_front_filter=any(lp.absorbed for lp in lowered),
+    )
+
+
+def slice_compiled(compiled: CompiledQuery,
+                   stages_per_switch: int) -> List[QuerySlice]:
+    """Partition a compiled query into per-switch slices (CQE, §5.1).
+
+    A query needing ``T`` stages on ``N``-stage switches yields
+    ``M = ceil(T/N)`` slices; slice ``d`` owns global stages
+    ``[d*N, (d+1)*N)``.  Only slice 0 carries the dispatch entries.
+    """
+    if stages_per_switch <= 0:
+        raise ValueError("stages_per_switch must be positive")
+    total = max(1, math.ceil(compiled.num_stages / stages_per_switch))
+    slices = []
+    for d in range(total):
+        base = d * stages_per_switch
+        specs = tuple(
+            s for s in compiled.specs
+            if base <= s.stage < base + stages_per_switch
+        )
+        slices.append(
+            QuerySlice(
+                qid=compiled.qid,
+                slice_index=d,
+                total_slices=total,
+                stage_base=base,
+                num_stages=stages_per_switch,
+                specs=specs,
+                init_entries=compiled.init_entries if d == 0 else (),
+            )
+        )
+    return slices

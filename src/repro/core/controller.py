@@ -1,0 +1,334 @@
+"""Newton controller (paper Figure 1).
+
+The centralized control plane: compiles queries to module rules, places
+and installs them (runtime table operations — no reboot, no forwarding
+interruption), and keeps the analyzer's query registry in sync.
+
+Two deployment modes:
+
+* **path mode** — the caller names an ordered list of switches (a testbed
+  chain or a single device); slice *d* lands on the *d*-th switch.
+* **network mode** — the caller provides a topology and the monitored
+  traffic's edge switches; Algorithm 2 places each slice redundantly along
+  every possible path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.analyzer import Analyzer, first_incomplete_primitive
+from repro.core.compiler import (
+    CompiledQuery,
+    Optimizations,
+    QueryParams,
+    compile_query,
+    slice_compiled,
+)
+from repro.core.placement import PlacementResult, place_slices
+from repro.core.query import QueryLike, flatten
+from repro.core.rules import QuerySlice
+from repro.dataplane.switch import Switch
+from repro.runtime.channel import ControlChannel
+
+__all__ = ["NewtonController", "InstallResult", "InstalledQuery"]
+
+
+@dataclass
+class InstallResult:
+    """Outcome of one query operation."""
+
+    qid: str
+    delay_s: float
+    rules_installed: int
+    #: sub-qid -> number of slices the query was partitioned into.
+    slices_per_sub: Dict[str, int] = field(default_factory=dict)
+    #: sub-qid -> per-switch slice assignment (network mode only).
+    placements: Dict[str, PlacementResult] = field(default_factory=dict)
+
+
+@dataclass
+class InstalledQuery:
+    """Controller-side record of a deployed query."""
+
+    query: QueryLike
+    compiled: Dict[str, CompiledQuery]
+    slices: Dict[str, List[QuerySlice]]
+    #: switch id -> installed (sub_qid, slice_index) pairs.
+    by_switch: Dict[object, List[Tuple[str, int]]]
+
+
+class NewtonController:
+    """Compiles, places, installs, and operates monitoring queries."""
+
+    def __init__(
+        self,
+        switches: Dict[object, Switch],
+        channel: Optional[ControlChannel] = None,
+        analyzer: Optional[Analyzer] = None,
+    ):
+        if not switches:
+            raise ValueError("controller needs at least one switch")
+        self.switches = dict(switches)
+        self.channel = channel or ControlChannel()
+        self.analyzer = analyzer
+        self.installed: Dict[str, InstalledQuery] = {}
+        self._sub_owner: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Query operations                                                    #
+    # ------------------------------------------------------------------ #
+
+    def install_query(
+        self,
+        query: QueryLike,
+        params: QueryParams = QueryParams(),
+        opts: Optimizations = Optimizations.all(),
+        *,
+        path: Optional[Sequence[object]] = None,
+        topology=None,
+        edge_switches: Optional[Iterable[object]] = None,
+        stages_per_switch: Optional[int] = None,
+        placement_method: str = "auto",
+    ) -> InstallResult:
+        """Compile and deploy a query at runtime.
+
+        Exactly one of ``path`` or (``topology`` + ``edge_switches``) must
+        be given.  ``stages_per_switch`` defaults to the first target
+        switch's pipeline depth.
+        """
+        if query.qid in self.installed:
+            raise ValueError(f"query {query.qid!r} is already installed")
+        if (path is None) == (topology is None):
+            raise ValueError("give either a path or a topology to deploy on")
+
+        subqueries = flatten(query)
+        targets = list(path) if path is not None else list(self.switches)
+        for sid in targets:
+            if sid not in self.switches:
+                raise KeyError(f"unknown switch {sid!r}")
+        if stages_per_switch is None:
+            stages_per_switch = self.switches[targets[0]].pipeline.layout.num_stages
+
+        family = self.switches[targets[0]].pipeline.hash_family
+        compiled: Dict[str, CompiledQuery] = {}
+        slices: Dict[str, List[QuerySlice]] = {}
+        for sub in subqueries:
+            comp = compile_query(sub, params, opts, hash_family=family)
+            compiled[sub.qid] = comp
+            slices[sub.qid] = slice_compiled(comp, stages_per_switch)
+
+        by_switch: Dict[object, List[Tuple[str, int]]] = {}
+        placements: Dict[str, PlacementResult] = {}
+        if path is not None:
+            for sub in subqueries:
+                for query_slice in slices[sub.qid]:
+                    if query_slice.slice_index >= len(path):
+                        break  # remainder deferred to the analyzer (§5.2)
+                    sid = path[query_slice.slice_index]
+                    by_switch.setdefault(sid, []).append(
+                        (sub.qid, query_slice.slice_index)
+                    )
+        else:
+            assert topology is not None
+            edges = list(edge_switches or topology.edge_switches)
+            neighbor_map = {
+                s: list(topology.neighbors(s)) for s in topology.switches()
+            }
+            # Partial deployment (§7): legacy switches forward but cannot
+            # host slices; placement traverses them without advancing the
+            # slice depth, mirroring the cursor's behaviour on the wire.
+            transit = [
+                sid for sid in topology.switches()
+                if not getattr(self.switches[sid], "newton_enabled", True)
+            ]
+            for sub in subqueries:
+                result = place_slices(
+                    neighbor_map,
+                    edges,
+                    num_slices=len(slices[sub.qid]),
+                    method=placement_method,
+                    transit=transit,
+                )
+                placements[sub.qid] = result
+                for sid, indices in result.assignments.items():
+                    for index in indices:
+                        by_switch.setdefault(sid, []).append((sub.qid, index))
+
+        # Install per switch, rolling back on failure so a rejected query
+        # leaves the network untouched.
+        installed_on: List[Tuple[object, str]] = []
+        per_switch_delay: Dict[object, float] = {}
+        rules_installed = 0
+        try:
+            for sid, entries in by_switch.items():
+                switch = self.switches[sid]
+                rules_this_switch = 0
+                for sub_qid, index in entries:
+                    rules_this_switch += switch.install_slice(
+                        slices[sub_qid][index]
+                    )
+                    installed_on.append((sid, sub_qid))
+                rules_installed += rules_this_switch
+                per_switch_delay[sid] = self.channel.install_delay(
+                    rules_this_switch
+                )
+        except Exception:
+            for sid, sub_qid in installed_on:
+                self.switches[sid].remove_query(sub_qid)
+            raise
+
+        record = InstalledQuery(
+            query=query, compiled=compiled, slices=slices, by_switch=by_switch
+        )
+        self.installed[query.qid] = record
+        for sub in subqueries:
+            self._sub_owner[sub.qid] = query.qid
+        if self.analyzer is not None:
+            self.analyzer.register(query, compiled)
+
+        # Switch sessions run in parallel: the operation completes when the
+        # slowest switch acknowledges (Figure 11 measures this).
+        delay = max(per_switch_delay.values(), default=0.0)
+        return InstallResult(
+            qid=query.qid,
+            delay_s=delay,
+            rules_installed=rules_installed,
+            slices_per_sub={q: len(s) for q, s in slices.items()},
+            placements=placements,
+        )
+
+    def remove_query(self, qid: str) -> InstallResult:
+        """Remove a query's rules everywhere; again purely runtime."""
+        record = self.installed.pop(qid, None)
+        if record is None:
+            raise KeyError(f"query {qid!r} is not installed")
+        per_switch_delay: Dict[object, float] = {}
+        rules_removed = 0
+        for sid, entries in record.by_switch.items():
+            switch = self.switches[sid]
+            removed = 0
+            for sub_qid in {q for q, _ in entries}:
+                removed += switch.remove_query(sub_qid)
+            rules_removed += removed
+            per_switch_delay[sid] = self.channel.remove_delay(removed)
+        for sub in flatten(record.query):
+            self._sub_owner.pop(sub.qid, None)
+        if self.analyzer is not None:
+            self.analyzer.unregister(qid)
+        return InstallResult(
+            qid=qid,
+            delay_s=max(per_switch_delay.values(), default=0.0),
+            rules_installed=rules_removed,
+        )
+
+    def update_query(self, query: QueryLike,
+                     params: QueryParams = QueryParams(),
+                     opts: Optimizations = Optimizations.all(),
+                     **kwargs) -> InstallResult:
+        """Replace an installed query with a new definition.
+
+        Modelled as remove + install; both are rule transactions, so the
+        switch keeps forwarding throughout (unlike Sonata's reboot).
+        """
+        removal = self.remove_query(query.qid)
+        install = self.install_query(query, params, opts, **kwargs)
+        return InstallResult(
+            qid=query.qid,
+            delay_s=removal.delay_s + install.delay_s,
+            rules_installed=install.rules_installed,
+            slices_per_sub=install.slices_per_sub,
+            placements=install.placements,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Runtime support                                                     #
+    # ------------------------------------------------------------------ #
+
+    def advance_window(self) -> None:
+        """Roll the 100 ms window on every switch and the analyzer."""
+        for switch in self.switches.values():
+            switch.advance_window()
+
+    def cpu_start_for(self, sub_qid: str, executed_slices: int) -> int:
+        """First primitive the analyzer must run for a deferred packet."""
+        owner = self._sub_owner.get(sub_qid)
+        if owner is None:
+            raise KeyError(f"sub-query {sub_qid!r} is not installed")
+        record = self.installed[owner]
+        compiled = record.compiled[sub_qid]
+        slices = record.slices[sub_qid]
+        stage_limit = (
+            slices[0].num_stages * executed_slices if slices else 0
+        )
+        return first_incomplete_primitive(compiled, stage_limit)
+
+    def total_slices(self, sub_qid: str) -> int:
+        owner = self._sub_owner.get(sub_qid)
+        if owner is None:
+            raise KeyError(f"sub-query {sub_qid!r} is not installed")
+        return len(self.installed[owner].slices[sub_qid])
+
+    def rule_count(self) -> int:
+        """Table entries currently installed across all switches."""
+        return sum(s.rule_count for s in self.switches.values())
+
+    # ------------------------------------------------------------------ #
+    # Register readout                                                    #
+    # ------------------------------------------------------------------ #
+
+    def estimate_count(self, sub_qid: str, key: Dict[str, int]) -> Optional[int]:
+        """Exact-style estimate of a key's current window aggregate.
+
+        Reads the final reduce's Count-Min rows over the control channel
+        and returns the min-over-rows estimate for ``key`` (field-value
+        map, e.g. ``{"dip": ip("10.0.0.1")}``).  Under redundant placement
+        a row's registers are spread across the switches hosting its
+        slice; their cells sum to the row's network-wide count.
+
+        Returns ``None`` when the query has no reduce on the data plane.
+        This is the register readout that lets the analyzer replace a
+        crossing report's clipped count with the true aggregate.
+        """
+        from repro.core.readout import probe_index, reduce_probe_rows
+        from repro.dataplane.module_types import ModuleType
+        from repro.dataplane.modules import StateBankModule
+
+        owner = self._sub_owner.get(sub_qid)
+        if owner is None:
+            raise KeyError(f"sub-query {sub_qid!r} is not installed")
+        record = self.installed[owner]
+        compiled = record.compiled[sub_qid]
+        slices = record.slices[sub_qid]
+        if not slices:
+            return None
+        stages_per_switch = slices[0].num_stages
+        rows = reduce_probe_rows(compiled)
+        if not rows:
+            return None
+
+        estimate: Optional[int] = None
+        for row in rows:
+            slice_index = row.stage // stages_per_switch
+            local_stage = row.stage - slice_index * stages_per_switch
+            total = 0
+            found = False
+            for sid, entries in record.by_switch.items():
+                if (sub_qid, slice_index) not in entries:
+                    continue
+                switch = self.switches[sid]
+                module = switch.pipeline.layout.module_at(
+                    local_stage, ModuleType.STATE_BANK
+                )
+                if not isinstance(module, StateBankModule):
+                    continue
+                family = switch.pipeline.hash_family
+                index = probe_index(row, key, family)
+                cells = module.array.read_slice(row.state_key)
+                total += int(cells[index % len(cells)])
+                found = True
+            if not found:
+                continue  # row deferred beyond the installed path
+            estimate = total if estimate is None else min(estimate, total)
+        return estimate

@@ -1,0 +1,155 @@
+"""Rule export: the controller's wire format.
+
+On hardware, the Newton controller pushes the compiler's output to
+switches as P4Runtime table entries.  This module renders a compiled
+query into that shape — JSON-serialisable entry dicts for the
+``newton_init`` TCAM and every module rule table — plus a human-readable
+dump for operators (``newton-repro compile --rules`` shows the compact
+form; this is the full one).
+
+The export is deliberately lossless: :func:`entries_for` output contains
+everything a P4Runtime shim needs to install the query on a real target,
+and the round-trip test pins that no rule field is dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.core.compiler import CompiledQuery
+from repro.core.rules import (
+    HConfig,
+    KConfig,
+    ModuleRuleSpec,
+    NewtonInitEntry,
+    RConfig,
+    SConfig,
+)
+from repro.dataplane.module_types import ModuleType
+
+__all__ = ["entries_for", "render_entries", "to_json"]
+
+_TABLE_NAMES = {
+    ModuleType.KEY_SELECTION: "newton_key_select",
+    ModuleType.HASH_CALCULATION: "newton_hash_calc",
+    ModuleType.STATE_BANK: "newton_state_bank",
+    ModuleType.RESULT_PROCESS: "newton_result_proc",
+}
+
+
+def _init_entry(entry: NewtonInitEntry) -> Dict:
+    return {
+        "table": "newton_init",
+        "match": {
+            name: {"value": value, "mask": mask}
+            for name, value, mask in entry.match
+        },
+        "priority": entry.priority,
+        "action": {"name": "set_query", "params": {"qid": entry.qid}},
+    }
+
+
+def _action_of(spec: ModuleRuleSpec) -> Dict:
+    config = spec.config
+    if isinstance(config, KConfig):
+        return {
+            "name": "select_keys",
+            "params": {
+                "set": spec.set_id,
+                "masks": {name: mask for name, mask in config.masks},
+            },
+        }
+    if isinstance(config, HConfig):
+        params: Dict = {"set": spec.set_id, "mode": config.mode}
+        if config.direct_field:
+            params["field"] = config.direct_field
+        else:
+            params["seed_index"] = config.seed_index
+            params["range"] = config.range_size
+        return {"name": "compute_hash", "params": params}
+    if isinstance(config, SConfig):
+        params = {
+            "set": spec.set_id,
+            "op": config.op.value,
+            "passthrough": config.passthrough,
+        }
+        if not config.passthrough:
+            params["operand"] = (
+                config.operand_field
+                if config.operand_field is not None
+                else config.operand_const
+            )
+            params["slice_size"] = config.slice_size
+            params["output"] = "old" if config.output_old else "new"
+        return {"name": "state_update", "params": params}
+    if isinstance(config, RConfig):
+        return {
+            "name": "process_result",
+            "params": {
+                "set": spec.set_id,
+                "source": config.source,
+                "entries": [
+                    {
+                        "range": [entry.lo, entry.hi],
+                        "fold": entry.action.result_op.value,
+                        "report": entry.action.report,
+                        "stop": entry.action.stop,
+                    }
+                    for entry in config.entries
+                ],
+                "default": {
+                    "fold": config.default.result_op.value,
+                    "report": config.default.report,
+                    "stop": config.default.stop,
+                },
+            },
+        }
+    raise TypeError(f"unknown module config {type(config).__name__}")
+
+
+def entries_for(compiled: CompiledQuery) -> List[Dict]:
+    """P4Runtime-style entries for one compiled query (dispatch first)."""
+    entries = [_init_entry(entry) for entry in compiled.init_entries]
+    for spec in compiled.specs:
+        entries.append({
+            "table": f"{_TABLE_NAMES[spec.module_type]}_s{spec.stage}",
+            "match": {"qid": spec.qid, "step": spec.step},
+            "action": _action_of(spec),
+            "annotations": {
+                "stage": spec.stage,
+                "primitive": spec.primitive_index,
+                "suite": spec.suite_index,
+            },
+        })
+    return entries
+
+
+def to_json(compiled: CompiledQuery, indent: int = 2) -> str:
+    """The full installable rule set as a JSON document."""
+    return json.dumps(
+        {
+            "qid": compiled.qid,
+            "stages": compiled.num_stages,
+            "entries": entries_for(compiled),
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def render_entries(compiled: CompiledQuery) -> str:
+    """Operator-readable rule dump, one line per entry."""
+    lines = []
+    for entry in entries_for(compiled):
+        match = ", ".join(
+            f"{k}={v}" if not isinstance(v, dict)
+            else f"{k}={v['value']:#x}/{v['mask']:#x}"
+            for k, v in entry["match"].items()
+        )
+        action = entry["action"]
+        lines.append(
+            f"{entry['table']}: [{match}] -> {action['name']}"
+            f"({json.dumps(action['params'], sort_keys=True)})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Global header-field registry.
+
+Newton's key-selection module (K) operates over a fixed *global fields set*
+loaded into the PHV at parse time (paper §4.1).  Every query primitive
+selects its operation keys from this set with bit-mask actions, so the
+registry is the single source of truth for field names, bit widths, and
+packing order throughout the reproduction.
+
+Fields are packed most-significant-first in registry order when building
+operation-key byte strings, mirroring how a hardware K module would lay
+selected fields out on the PHV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "Field",
+    "FieldRegistry",
+    "GLOBAL_FIELDS",
+    "full_mask",
+    "prefix_mask",
+]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One header field in the global fields set.
+
+    Attributes:
+        name: canonical field name used by the query API (``pkt.<name>``).
+        width: field width in bits.
+        description: human-readable meaning, used in reports and docs.
+    """
+
+    name: str
+    width: int
+    description: str = ""
+
+    @property
+    def max_value(self) -> int:
+        """Largest value representable in this field."""
+        return (1 << self.width) - 1
+
+    @property
+    def byte_width(self) -> int:
+        """Width rounded up to whole bytes (PHV container granularity)."""
+        return (self.width + 7) // 8
+
+    def validate(self, value: int) -> int:
+        """Return ``value`` if it fits this field, else raise ``ValueError``."""
+        if not isinstance(value, int):
+            raise TypeError(f"field {self.name} expects int, got {type(value).__name__}")
+        if value < 0 or value > self.max_value:
+            raise ValueError(
+                f"value {value} out of range for {self.width}-bit field {self.name}"
+            )
+        return value
+
+
+def full_mask(width: int) -> int:
+    """All-ones mask for a field of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def prefix_mask(width: int, prefix_len: int) -> int:
+    """Most-significant ``prefix_len`` bits set, as used for IP prefixes.
+
+    ``prefix_mask(32, 24)`` is the classic /24 mask.  A prefix length of 0
+    conceals the field entirely (the K module's way of dropping a field).
+    """
+    if prefix_len < 0 or prefix_len > width:
+        raise ValueError(f"prefix length {prefix_len} out of range for width {width}")
+    ones = (1 << prefix_len) - 1
+    return ones << (width - prefix_len)
+
+
+class FieldRegistry:
+    """Ordered collection of :class:`Field` objects.
+
+    The registry defines the packing order of operation keys and provides
+    lookup/validation helpers used by the compiler and the data-plane
+    modules.
+    """
+
+    def __init__(self, fields: Iterable[Field]):
+        self._fields: List[Field] = list(fields)
+        self._by_name: Dict[str, Field] = {}
+        for field in self._fields:
+            if field.name in self._by_name:
+                raise ValueError(f"duplicate field name: {field.name}")
+            self._by_name[field.name] = field
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def get(self, name: str) -> Field:
+        """Look up a field by name, raising ``KeyError`` with context."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(sorted(self._by_name))
+            raise KeyError(f"unknown field {name!r}; known fields: {known}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Field names in packing order."""
+        return tuple(field.name for field in self._fields)
+
+    @property
+    def total_bits(self) -> int:
+        """Total PHV bits occupied by the global fields set."""
+        return sum(field.width for field in self._fields)
+
+    def pack(self, values: Dict[str, int], masks: Dict[str, int]) -> bytes:
+        """Pack masked field values into an operation-key byte string.
+
+        Only fields present in ``masks`` are emitted; each is ANDed with its
+        mask and serialised big-endian at its byte width.  Fields are packed
+        in registry order regardless of dict ordering so that equal
+        selections always produce equal keys.
+        """
+        chunks = []
+        for field in self._fields:
+            mask = masks.get(field.name)
+            if mask is None or mask == 0:
+                continue
+            value = values.get(field.name, 0) & mask & field.max_value
+            chunks.append(value.to_bytes(field.byte_width, "big"))
+        return b"".join(chunks)
+
+    def selected_values(
+        self, values: Dict[str, int], masks: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Readable counterpart of :meth:`pack`: masked values by name."""
+        out = {}
+        for field in self._fields:
+            mask = masks.get(field.name)
+            if mask is None or mask == 0:
+                continue
+            out[field.name] = values.get(field.name, 0) & mask & field.max_value
+        return out
+
+
+#: The global fields set shared by all Newton queries.  Matches the fields
+#: used by the Sonata query repository: five-tuple, TCP flags, packet length,
+#: TTL, and the DNS answer count needed by Q9.
+GLOBAL_FIELDS = FieldRegistry(
+    [
+        Field("sip", 32, "IPv4 source address"),
+        Field("dip", 32, "IPv4 destination address"),
+        Field("proto", 8, "IP protocol number"),
+        Field("sport", 16, "L4 source port"),
+        Field("dport", 16, "L4 destination port"),
+        Field("tcp_flags", 8, "TCP control flags (0 for non-TCP)"),
+        Field("len", 16, "IP packet length in bytes"),
+        Field("ttl", 8, "IP time-to-live"),
+        Field("dns_ancount", 16, "DNS answer count (0 for non-DNS)"),
+    ]
+)

@@ -1,0 +1,194 @@
+"""Exact reference evaluation of queries in software.
+
+Serves three purposes:
+
+* ground truth for the accuracy/FPR experiments (Figure 14) — the sketches
+  on the data plane approximate what this engine computes exactly;
+* the software analyzer's CPU fallback when a query's remaining slices are
+  deferred off the data plane (paper §5.2);
+* a semantic oracle for the test suite (data-plane reports must agree with
+  it on collision-free workloads).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.ast import (
+    Distinct,
+    Filter,
+    Map,
+    Primitive,
+    Reduce,
+    ReduceFunc,
+    ResultFilter,
+)
+from repro.core.packet import Packet
+from repro.core.query import CompositeQuery, Query, QueryLike
+
+__all__ = ["WindowTruth", "QueryStreamState", "GroundTruthEngine",
+           "evaluate_trace"]
+
+Key = Tuple[int, ...]
+
+
+@dataclass
+class WindowTruth:
+    """Exact result of one query over one window."""
+
+    epoch: int
+    #: Final per-key aggregate at window end (keys of the last reduce).
+    counts: Dict[Key, int] = field(default_factory=dict)
+    #: Keys satisfying the query's final threshold.
+    keys: Set[Key] = field(default_factory=set)
+
+
+class QueryStreamState:
+    """Streaming exact evaluator for one single-chain query.
+
+    Feed packets with :meth:`process`; read a window's results with
+    :meth:`finish_window` (which also resets the stateful primitives, like
+    the 100 ms register rollover).
+
+    ``start_at`` supports the analyzer's deferred execution: only the
+    primitives from that index on are applied, the earlier ones having
+    already run on the data plane.
+    """
+
+    def __init__(self, query: Query, start_at: int = 0):
+        if start_at < 0 or start_at > len(query.primitives):
+            raise ValueError(f"start_at {start_at} out of range")
+        self.query = query
+        self.primitives: List[Primitive] = list(query.primitives)[start_at:]
+        self._seen: Dict[int, Set[Key]] = defaultdict(set)
+        self._counts: Dict[int, Dict[Key, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._final_reduce_index: Optional[int] = None
+        for idx, prim in enumerate(self.primitives):
+            if isinstance(prim, Reduce):
+                self._final_reduce_index = idx
+
+    def process(self, packet: Packet) -> None:
+        """Run one packet through the (remaining) primitive chain."""
+        fields = packet.field_values()
+        running_count: Optional[int] = None
+        for idx, prim in enumerate(self.primitives):
+            if isinstance(prim, Filter):
+                if not prim.evaluate(fields):
+                    return
+            elif isinstance(prim, Map):
+                continue  # projection is implicit: keys are per-primitive
+            elif isinstance(prim, Distinct):
+                key = prim.extract_key(fields)
+                if key in self._seen[idx]:
+                    return
+                self._seen[idx].add(key)
+            elif isinstance(prim, Reduce):
+                key = prim.extract_key(fields)
+                increment = (
+                    fields.get("len", 0)
+                    if prim.func is ReduceFunc.SUM_LEN
+                    else 1
+                )
+                self._counts[idx][key] += increment
+                running_count = self._counts[idx][key]
+            elif isinstance(prim, ResultFilter):
+                if running_count is None or not prim.evaluate_count(
+                    running_count
+                ):
+                    return
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown primitive {type(prim).__name__}")
+
+    def finish_window(self, epoch: int) -> WindowTruth:
+        """Close the window: evaluate thresholds, then reset state."""
+        truth = WindowTruth(epoch=epoch)
+        if self._final_reduce_index is not None:
+            counts = dict(self._counts[self._final_reduce_index])
+            truth.counts = counts
+            threshold = self._trailing_threshold()
+            if threshold is None:
+                truth.keys = set(counts)
+            else:
+                truth.keys = {
+                    key for key, count in counts.items()
+                    if threshold.evaluate_count(count)
+                }
+        self._seen.clear()
+        self._counts.clear()
+        return truth
+
+    def _trailing_threshold(self) -> Optional[ResultFilter]:
+        assert self._final_reduce_index is not None
+        for prim in self.primitives[self._final_reduce_index + 1:]:
+            if isinstance(prim, ResultFilter):
+                return prim
+        return None
+
+
+class GroundTruthEngine:
+    """Exact evaluation of one query (or composite) over a packet trace."""
+
+    def __init__(self, query: QueryLike, window_ms: int = 100):
+        self.query = query
+        self.window_s = window_ms / 1000.0
+        if isinstance(query, CompositeQuery):
+            self._states = {
+                sub.qid: QueryStreamState(sub) for sub in query.subqueries
+            }
+        else:
+            self._states = {query.qid: QueryStreamState(query)}
+
+    def evaluate(self, packets: Iterable[Packet]) -> Dict[int, Dict[str, WindowTruth]]:
+        """Per-epoch, per-(sub)query exact window truths.
+
+        Packets must be time-ordered; epoch ``e`` covers
+        ``[e*window, (e+1)*window)`` seconds.
+        """
+        out: Dict[int, Dict[str, WindowTruth]] = {}
+        epoch = 0
+        saw_any = False
+        for packet in packets:
+            pkt_epoch = int(packet.ts / self.window_s)
+            if pkt_epoch < epoch:
+                raise ValueError("packets must be sorted by timestamp")
+            while epoch < pkt_epoch:
+                out[epoch] = self._close(epoch)
+                epoch += 1
+            for state in self._states.values():
+                state.process(packet)
+            saw_any = True
+        if saw_any:
+            out[epoch] = self._close(epoch)
+        return out
+
+    def _close(self, epoch: int) -> Dict[str, WindowTruth]:
+        return {
+            qid: state.finish_window(epoch)
+            for qid, state in self._states.items()
+        }
+
+    def join(self, window: Dict[str, WindowTruth]) -> List:
+        """Apply a composite query's CPU join to one window's truths.
+
+        Joins consume the sub-queries' *result streams*, which are already
+        thresholded by their final filters — the same inputs the analyzer
+        sees from the data plane (minus count clipping).
+        """
+        if not isinstance(self.query, CompositeQuery):
+            raise TypeError("join() applies to composite queries only")
+        return self.query.join(
+            {
+                qid: {key: truth.counts.get(key, 1) for key in truth.keys}
+                for qid, truth in window.items()
+            }
+        )
+
+
+def evaluate_trace(query: QueryLike, packets: Iterable[Packet],
+                   window_ms: int = 100) -> Dict[int, Dict[str, WindowTruth]]:
+    """Convenience wrapper: exact per-window evaluation of a trace."""
+    return GroundTruthEngine(query, window_ms=window_ms).evaluate(packets)

@@ -1,0 +1,157 @@
+"""Packet model.
+
+Packets are the unit of work for the data-plane simulator.  They carry the
+global header fields (see :mod:`repro.core.fields`), a timestamp used for
+epoch windowing, and convenience accessors for flow keys.
+
+IP addresses are plain 32-bit integers; :func:`ip` and :func:`ip_str`
+convert to and from dotted-quad notation for readable examples and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from enum import IntEnum
+from typing import Dict, Tuple
+
+from repro.core.fields import GLOBAL_FIELDS
+
+__all__ = [
+    "TcpFlags",
+    "Proto",
+    "Packet",
+    "FiveTuple",
+    "ip",
+    "ip_str",
+]
+
+
+class TcpFlags(IntEnum):
+    """TCP control-flag bits, as matched by ``newton_init`` and filters."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    SYNACK = 0x12  # SYN | ACK, used by Q6's SYN-flood sub-queries
+
+
+class Proto(IntEnum):
+    """IP protocol numbers used by the query library."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+def ip(dotted: str) -> int:
+    """Parse a dotted-quad IPv4 address into its 32-bit integer form."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if octet < 0 or octet > 255:
+            raise ValueError(f"malformed IPv4 address: {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_str(value: int) -> str:
+    """Render a 32-bit integer IPv4 address as a dotted quad."""
+    if value < 0 or value > 0xFFFFFFFF:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+FiveTuple = Tuple[int, int, int, int, int]
+
+
+@dataclass
+class Packet:
+    """A monitored packet.
+
+    All header fields default to zero so tests can construct minimal
+    packets; ``ts`` is seconds since trace start (float) and drives the
+    100 ms query windows.
+    """
+
+    sip: int = 0
+    dip: int = 0
+    proto: int = 0
+    sport: int = 0
+    dport: int = 0
+    tcp_flags: int = 0
+    len: int = 64
+    ttl: int = 64
+    dns_ancount: int = 0
+    ts: float = 0.0
+    #: Ingress host / edge identifier used by the network simulator to pick
+    #: a forwarding path; ``None`` for single-switch experiments.
+    src_host: object = dc_field(default=None, repr=False)
+    dst_host: object = dc_field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in GLOBAL_FIELDS.names:
+            GLOBAL_FIELDS.get(name).validate(getattr(self, name))
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        """(sip, dip, proto, sport, dport) — the classic flow key."""
+        return (self.sip, self.dip, self.proto, self.sport, self.dport)
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.proto == Proto.TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.proto == Proto.UDP
+
+    def has_flags(self, flags: int) -> bool:
+        """True when every bit of ``flags`` is set on this packet."""
+        return (self.tcp_flags & flags) == flags
+
+    def field_values(self) -> Dict[str, int]:
+        """Global-field snapshot consumed by the K module and newton_init."""
+        return {name: getattr(self, name) for name in GLOBAL_FIELDS.names}
+
+    def reply(self, **overrides) -> "Packet":
+        """Build the reverse-direction packet (swapped endpoints).
+
+        Used by trace generators to synthesise responses (SYN-ACKs, DNS
+        answers) without repeating the five-tuple bookkeeping.
+        """
+        fields = dict(
+            sip=self.dip,
+            dip=self.sip,
+            proto=self.proto,
+            sport=self.dport,
+            dport=self.sport,
+            tcp_flags=0,
+            len=self.len,
+            ttl=self.ttl,
+            dns_ancount=0,
+            ts=self.ts,
+            src_host=self.dst_host,
+            dst_host=self.src_host,
+        )
+        fields.update(overrides)
+        return Packet(**fields)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for logs and examples."""
+        proto = {6: "TCP", 17: "UDP", 1: "ICMP"}.get(self.proto, str(self.proto))
+        flags = ""
+        if self.proto == Proto.TCP and self.tcp_flags:
+            names = [f.name for f in (TcpFlags.SYN, TcpFlags.ACK, TcpFlags.FIN,
+                                      TcpFlags.RST, TcpFlags.PSH, TcpFlags.URG)
+                     if self.tcp_flags & f]
+            flags = f" [{'|'.join(names)}]"
+        return (
+            f"{ip_str(self.sip)}:{self.sport} -> {ip_str(self.dip)}:{self.dport} "
+            f"{proto}{flags} len={self.len} ts={self.ts:.3f}"
+        )

@@ -1,0 +1,198 @@
+"""Resilient module rule placement (paper §5.2, Algorithm 2).
+
+The controller must deploy query slices on the forwarding paths of the
+monitored traffic, but paths change under failures and routing updates.
+Newton side-steps path computation entirely: place slice ``c_d`` on every
+switch reachable at depth ``d`` along *any possible path* from the
+monitored traffic's first-hop (edge) switches.  Redundant placements
+multiplex the same table rules, so the overhead stays bounded — the claim
+Figure 17 quantifies.
+
+Two interchangeable engines:
+
+* ``dfs`` — Algorithm 2 verbatim: depth-first enumeration of simple paths
+  up to the slice count.  Exact, but exponential in the branching factor.
+* ``layered`` — non-backtracking walk relaxation: a breadth-first sweep
+  over ``(switch, previous-hop)`` states, ``O(E × M)``.  It may assign a
+  strict superset of the DFS placement (walks that revisit a switch via a
+  short cycle), which only ever *adds* redundancy, never loses coverage.
+  This is what makes the thousand-switch sweep of Figure 17(b) tractable.
+
+``auto`` picks DFS for small instances and the layered engine for large
+ones.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["PlacementResult", "place_slices", "PlacementError"]
+
+SwitchId = Hashable
+
+
+class PlacementError(ValueError):
+    """Raised on malformed placement inputs."""
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Slice indices assigned to each switch."""
+
+    assignments: Dict[SwitchId, Tuple[int, ...]]
+    num_slices: int
+    method: str
+
+    def slices_at(self, switch: SwitchId) -> Tuple[int, ...]:
+        return self.assignments.get(switch, ())
+
+    @property
+    def switches_used(self) -> int:
+        return len(self.assignments)
+
+    def placements(self) -> int:
+        """Total (switch, slice) pairs — i.e. slice installations."""
+        return sum(len(v) for v in self.assignments.values())
+
+    def total_entries(self, rules_per_slice: Sequence[int]) -> int:
+        """Total table entries across the network for this placement."""
+        if len(rules_per_slice) != self.num_slices:
+            raise PlacementError(
+                f"expected {self.num_slices} per-slice rule counts, "
+                f"got {len(rules_per_slice)}"
+            )
+        return sum(
+            rules_per_slice[d]
+            for slices in self.assignments.values()
+            for d in slices
+        )
+
+    def average_entries(self, rules_per_slice: Sequence[int],
+                        num_switches: int) -> float:
+        """Average entries per switch over the whole topology."""
+        if num_switches <= 0:
+            raise PlacementError("topology has no switches")
+        return self.total_entries(rules_per_slice) / num_switches
+
+    def covers_path(self, path: Sequence[SwitchId]) -> bool:
+        """Whether slices 0..M-1 appear in order along ``path``.
+
+        This is the resilience property Algorithm 2 guarantees for every
+        possible forwarding path starting at a monitored edge switch.
+        """
+        cursor = 0
+        for switch in path:
+            if cursor < self.num_slices and cursor in self.slices_at(switch):
+                cursor += 1
+        return cursor == self.num_slices
+
+
+def place_slices(
+    neighbors: Dict[SwitchId, Iterable[SwitchId]],
+    edge_switches: Iterable[SwitchId],
+    num_slices: int,
+    method: str = "auto",
+    dfs_limit_nodes: int = 256,
+    transit: Iterable[SwitchId] = (),
+) -> PlacementResult:
+    """Run Algorithm 2 over an adjacency map.
+
+    Args:
+        neighbors: adjacency of the switch graph.
+        edge_switches: first-hop switches of the monitored traffic (S_e).
+        num_slices: M, the query's slice count from Algorithm 1's output.
+        method: ``dfs`` (exact), ``layered`` (scalable), or ``auto``.
+        dfs_limit_nodes: auto threshold above which the layered engine runs.
+        transit: switches that forward traffic but do not run Newton
+            (partial deployment, paper §7).  Paths traverse them without
+            hosting a slice or advancing the slice depth — matching the
+            data plane, where the SP header rides through legacy hops as
+            opaque bytes and the cursor only moves at Newton switches.
+    """
+    roots = list(edge_switches)
+    transit_set = set(transit)
+    if num_slices <= 0:
+        raise PlacementError("num_slices must be positive")
+    if not roots:
+        raise PlacementError("no edge switches to place from")
+    for root in roots:
+        if root not in neighbors:
+            raise PlacementError(f"edge switch {root!r} not in topology")
+        if root in transit_set:
+            raise PlacementError(
+                f"edge switch {root!r} is transit-only; monitored traffic "
+                f"must enter at a Newton-enabled switch"
+            )
+    if method == "auto":
+        method = "dfs" if len(neighbors) <= dfs_limit_nodes else "layered"
+    if method == "dfs":
+        raw = _place_dfs(neighbors, roots, num_slices, transit_set)
+    elif method == "layered":
+        raw = _place_layered(neighbors, roots, num_slices, transit_set)
+    else:
+        raise PlacementError(f"unknown placement method {method!r}")
+    return PlacementResult(
+        assignments={s: tuple(sorted(d)) for s, d in raw.items()},
+        num_slices=num_slices,
+        method=method,
+    )
+
+
+def _place_dfs(neighbors: Dict[SwitchId, Iterable[SwitchId]],
+               roots: List[SwitchId],
+               num_slices: int,
+               transit: Set[SwitchId]) -> Dict[SwitchId, Set[int]]:
+    """Algorithm 2: simple-path DFS from every monitored edge switch."""
+    placement: Dict[SwitchId, Set[int]] = defaultdict(set)
+
+    def topo_dfs(switch: SwitchId, depth: int, on_path: Set[SwitchId]) -> None:
+        if switch in transit:
+            next_depth = depth  # legacy hop: traverse, assign nothing
+        else:
+            placement[switch].add(depth - 1)
+            if depth == num_slices:
+                return
+            next_depth = depth + 1
+        on_path.add(switch)
+        for neighbor in neighbors[switch]:
+            if neighbor not in on_path:
+                topo_dfs(neighbor, next_depth, on_path)
+        on_path.discard(switch)
+
+    for root in roots:
+        topo_dfs(root, 1, set())
+    return placement
+
+
+def _place_layered(neighbors: Dict[SwitchId, Iterable[SwitchId]],
+                   roots: List[SwitchId],
+                   num_slices: int,
+                   transit: Set[SwitchId]) -> Dict[SwitchId, Set[int]]:
+    """Non-backtracking walk relaxation of Algorithm 2 (O(E·M))."""
+    placement: Dict[SwitchId, Set[int]] = defaultdict(set)
+    # State: (switch, previous hop, Newton depth about to apply here).
+    frontier: Set[Tuple[SwitchId, SwitchId, int]] = {
+        (r, None, 1) for r in roots
+    }
+    seen: Set[Tuple[SwitchId, SwitchId, int]] = set(frontier)
+    while frontier:
+        next_frontier: Set[Tuple[SwitchId, SwitchId, int]] = set()
+        for switch, previous, depth in frontier:
+            if switch in transit:
+                next_depth = depth
+            else:
+                placement[switch].add(depth - 1)
+                if depth == num_slices:
+                    continue
+                next_depth = depth + 1
+            for neighbor in neighbors[switch]:
+                if neighbor == previous:
+                    continue
+                state = (neighbor, switch, next_depth)
+                if state not in seen:
+                    seen.add(state)
+                    next_frontier.add(state)
+        frontier = next_frontier
+    return placement

@@ -1,0 +1,213 @@
+"""Sonata-style query API (paper §3: "a widely-used high-level query API").
+
+Operators express intents as chained stream primitives::
+
+    q = (
+        Query("q1", "newly opened TCP connections")
+        .filter(proto=Proto.TCP, tcp_flags=TcpFlags.SYN)
+        .map("dip")
+        .reduce("dip", func="count")
+        .where(ge=40)
+    )
+
+:class:`CompositeQuery` models the multi-sub-query intents (Q6–Q9) whose
+final join runs on the software analyzer — the same split Sonata and
+Newton both make (§4.1, Expressibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.ast import (
+    CmpOp,
+    Distinct,
+    FieldPredicate,
+    Filter,
+    KeyExpr,
+    Map,
+    Primitive,
+    Reduce,
+    ReduceFunc,
+    ResultFilter,
+)
+
+__all__ = ["Query", "CompositeQuery", "QueryLike", "flatten",
+           "DEFAULT_WINDOW_MS"]
+
+#: Stateful-primitive window span used throughout the paper's evaluation.
+DEFAULT_WINDOW_MS = 100
+
+KeyLike = Union[str, Tuple[str, int], KeyExpr]
+
+
+def _as_key(key: KeyLike) -> KeyExpr:
+    if isinstance(key, KeyExpr):
+        return key
+    if isinstance(key, str):
+        return KeyExpr(key)
+    if isinstance(key, tuple) and len(key) == 2:
+        return KeyExpr(key[0], key[1])
+    raise TypeError(f"cannot interpret {key!r} as a key expression")
+
+
+_CMP_KWARGS = {
+    "eq": CmpOp.EQ,
+    "ne": CmpOp.NE,
+    "gt": CmpOp.GT,
+    "ge": CmpOp.GE,
+    "lt": CmpOp.LT,
+    "le": CmpOp.LE,
+}
+
+
+class Query:
+    """A single-pipeline monitoring query: an ordered chain of primitives."""
+
+    def __init__(self, qid: str, description: str = "",
+                 window_ms: int = DEFAULT_WINDOW_MS):
+        if not qid:
+            raise ValueError("query id must be non-empty")
+        if window_ms <= 0:
+            raise ValueError("window must be positive")
+        self.qid = qid
+        self.description = description
+        self.window_ms = window_ms
+        self.primitives: List[Primitive] = []
+
+    # -- chaining API ---------------------------------------------------- #
+
+    def filter(self, *predicates: FieldPredicate, **equalities: int) -> "Query":
+        """Add a filter.
+
+        Keyword form expresses equality on packet fields
+        (``filter(dport=22)``); pass :class:`FieldPredicate` objects for
+        ranges or masked flag matches.
+        """
+        preds = list(predicates)
+        preds.extend(
+            FieldPredicate(name, CmpOp.EQ, int(value))
+            for name, value in sorted(equalities.items())
+        )
+        self.primitives.append(Filter(predicates=tuple(preds)))
+        return self
+
+    def map(self, *keys: KeyLike) -> "Query":
+        self.primitives.append(Map(keys=tuple(_as_key(k) for k in keys)))
+        return self
+
+    def distinct(self, *keys: KeyLike) -> "Query":
+        self.primitives.append(Distinct(keys=tuple(_as_key(k) for k in keys)))
+        return self
+
+    def reduce(self, *keys: KeyLike, func: str = "count") -> "Query":
+        self.primitives.append(
+            Reduce(keys=tuple(_as_key(k) for k in keys), func=ReduceFunc(func))
+        )
+        return self
+
+    def where(self, **kwargs: int) -> "Query":
+        """Threshold the running count: ``.where(ge=40)`` / ``.where(gt=99)``."""
+        if len(kwargs) != 1:
+            raise ValueError("where() takes exactly one of eq/gt/ge")
+        name, value = next(iter(kwargs.items()))
+        op = _CMP_KWARGS.get(name)
+        if op is None or op not in (CmpOp.EQ, CmpOp.GT, CmpOp.GE):
+            raise ValueError(f"unsupported threshold operator {name!r}")
+        self.primitives.append(ResultFilter(op=op, threshold=int(value)))
+        return self
+
+    # -- introspection ---------------------------------------------------- #
+
+    @property
+    def num_primitives(self) -> int:
+        return len(self.primitives)
+
+    @property
+    def final_threshold(self) -> Optional[ResultFilter]:
+        for prim in reversed(self.primitives):
+            if isinstance(prim, ResultFilter):
+                return prim
+        return None
+
+    def validate(self) -> None:
+        """Reject chains the data plane cannot express."""
+        if not self.primitives:
+            raise ValueError(f"query {self.qid!r} has no primitives")
+        saw_stateful = False
+        for index, prim in enumerate(self.primitives):
+            if isinstance(prim, ResultFilter) and not saw_stateful:
+                raise ValueError(
+                    f"query {self.qid!r}: result filter at position {index} "
+                    f"has no preceding reduce/distinct"
+                )
+            if isinstance(prim, (Reduce, Distinct)):
+                saw_stateful = True
+
+    def describe(self) -> str:
+        chain = " -> ".join(p.describe() for p in self.primitives)
+        return f"{self.qid}: {chain}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Query {self.qid} primitives={self.num_primitives}>"
+
+
+@dataclass
+class CompositeQuery:
+    """An intent with several data-plane sub-queries joined on CPU.
+
+    ``join`` receives ``{sub_qid: {key_tuple: count}}`` for one window and
+    returns the intent's final results; it runs on the software analyzer,
+    like Sonata's beyond-data-plane primitives (§4.1).
+    """
+
+    qid: str
+    description: str
+    subqueries: Tuple[Query, ...]
+    join: Callable[[Dict[str, Dict[Tuple[int, ...], int]]], List]
+    #: Number of CPU-side primitives (join + post-filters), counted for the
+    #: Figure 15 primitive totals.
+    cpu_primitives: int = 2
+    window_ms: int = DEFAULT_WINDOW_MS
+    #: Whether the sub-queries monitor overlapping traffic.  Overlapping
+    #: sub-queries must chain in the pipeline (a packet executes all of
+    #: them), so their stage usage adds; disjoint sub-queries multiplex the
+    #: same stages (paper §4.1, Concurrency).
+    overlapping_subs: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.subqueries:
+            raise ValueError("composite query needs at least one sub-query")
+        seen = set()
+        for sub in self.subqueries:
+            if sub.qid in seen:
+                raise ValueError(f"duplicate sub-query id {sub.qid!r}")
+            seen.add(sub.qid)
+
+    @property
+    def num_primitives(self) -> int:
+        """Total primitives: data-plane parts + CPU join logic."""
+        return sum(q.num_primitives for q in self.subqueries) + self.cpu_primitives
+
+    @property
+    def dataplane_primitives(self) -> int:
+        return sum(q.num_primitives for q in self.subqueries)
+
+    def validate(self) -> None:
+        for sub in self.subqueries:
+            sub.validate()
+
+    def describe(self) -> str:
+        subs = "; ".join(q.describe() for q in self.subqueries)
+        return f"{self.qid} (composite): {subs}"
+
+
+QueryLike = Union[Query, CompositeQuery]
+
+
+def flatten(query: QueryLike) -> Sequence[Query]:
+    """The data-plane sub-queries of any query object."""
+    if isinstance(query, CompositeQuery):
+        return query.subqueries
+    return (query,)

@@ -1,0 +1,104 @@
+"""Control-plane register readout.
+
+Newton's mirrored reports fire at the first threshold crossing, so the
+counts they carry are clipped at the threshold.  When the analyzer needs
+*exact* window aggregates (e.g. to sharpen a composite join's arithmetic),
+the controller can read the query's Count-Min rows directly over the
+control channel — the standard per-window counter readout every
+programmable-switch controller performs.
+
+:func:`reduce_probe_rows` recovers, from a compiled query, everything
+needed to probe the final ``reduce``'s sketch for a given key: the live
+key-selection masks at each row's hash, the hash configuration, and the
+state-bank rule that owns the registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compiler import CompiledQuery
+from repro.core.fields import GLOBAL_FIELDS
+from repro.core.rules import HConfig, KConfig, SConfig
+from repro.dataplane.alu import StatefulOp
+from repro.dataplane.hashing import HashFamily
+from repro.dataplane.module_types import ModuleType
+
+__all__ = ["ProbeRow", "reduce_probe_rows", "probe_index"]
+
+
+@dataclass(frozen=True)
+class ProbeRow:
+    """One sketch row of a query's final reduce, ready to probe."""
+
+    #: Live K masks when this row hashes (field -> mask).
+    masks: Tuple[Tuple[str, int], ...]
+    hash_config: HConfig
+    #: (qid, step) rule key owning the register slice.
+    state_key: Tuple[str, int]
+    #: Global stage of the state bank (for slice/switch resolution).
+    stage: int
+
+    def key_bytes(self, fields: Dict[str, int]) -> bytes:
+        return GLOBAL_FIELDS.pack(fields, dict(self.masks))
+
+
+def reduce_probe_rows(compiled: CompiledQuery) -> List[ProbeRow]:
+    """Probe rows of the *final* reduce primitive of a compiled query.
+
+    Walks the rule sequence in logical order, tracking each metadata set's
+    live key selection (K modules may have been deduplicated away by
+    Opt.2, so a row's masks can come from an earlier primitive).
+    """
+    live_masks: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+    pending_hash: Dict[int, HConfig] = {}
+    rows: List[ProbeRow] = []
+    final_primitive: Optional[int] = None
+
+    # The final reduce = the ADD state banks with the largest primitive
+    # index (a byte-sum dedup flag suite uses OR, so it never matches).
+    for spec in compiled.specs:
+        config = spec.config
+        if (spec.module_type is ModuleType.STATE_BANK
+                and isinstance(config, SConfig)
+                and not config.passthrough
+                and config.op is StatefulOp.ADD):
+            if final_primitive is None or spec.primitive_index > final_primitive:
+                final_primitive = spec.primitive_index
+
+    if final_primitive is None:
+        return []
+
+    for spec in compiled.specs:
+        config = spec.config
+        if spec.module_type is ModuleType.KEY_SELECTION:
+            assert isinstance(config, KConfig)
+            live_masks[spec.set_id] = config.masks
+        elif spec.module_type is ModuleType.HASH_CALCULATION:
+            assert isinstance(config, HConfig)
+            pending_hash[spec.set_id] = config
+        elif (spec.module_type is ModuleType.STATE_BANK
+                and isinstance(config, SConfig)
+                and not config.passthrough
+                and config.op is StatefulOp.ADD
+                and spec.primitive_index == final_primitive):
+            rows.append(
+                ProbeRow(
+                    masks=live_masks.get(spec.set_id, ()),
+                    hash_config=pending_hash[spec.set_id],
+                    state_key=spec.key,
+                    stage=spec.stage,
+                )
+            )
+    return rows
+
+
+def probe_index(row: ProbeRow, fields: Dict[str, int],
+                family: HashFamily) -> int:
+    """Register index this key occupies in the row."""
+    config = row.hash_config
+    if config.direct_field is not None:
+        return fields.get(config.direct_field, 0) % config.range_size
+    unit = family.unit(config.seed_index, config.range_size)
+    return unit(row.key_bytes(fields))

@@ -1,0 +1,1 @@
+"""PISA data-plane substrate: stages, tables, registers, Newton modules."""

@@ -1,0 +1,79 @@
+"""ALU operation vocabulary.
+
+The state bank (S) exposes four stateful ALUs executed transactionally on a
+register (paper Figure 2): read, add, bitwise-or, and max.  ``|`` suffices
+for Bloom filters, ``+`` for Count-Min sketches.  The result-process module
+(R) additionally executes small stateless ALUs over results, e.g. ``min``
+to merge Count-Min rows into the global result.
+
+Register values saturate at the register width instead of wrapping, which
+matches Tofino SALU saturating-add behaviour and keeps sketch counters
+monotone within a window.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["StatefulOp", "ResultOp", "apply_stateful", "apply_result", "REGISTER_MAX"]
+
+#: 32-bit registers, the common Tofino configuration.
+REGISTER_MAX = (1 << 32) - 1
+
+
+class StatefulOp(Enum):
+    """Stateful ALU executed by S on the indexed register."""
+
+    READ = "read"  # return register, leave unchanged
+    ADD = "add"    # register += operand; return new value
+    OR = "or"      # register |= operand; return new value
+    MAX = "max"    # register = max(register, operand); return new value
+
+
+class ResultOp(Enum):
+    """Stateless ALU executed by R over (state result, global result)."""
+
+    PASS = "pass"      # global_result := state_result
+    ADD = "add"        # global_result += state_result
+    SUB = "sub"        # global_result -= state_result (floored at 0)
+    MIN = "min"        # global_result := min(global_result, state_result)
+    MAX = "max"        # global_result := max(global_result, state_result)
+    NOP = "nop"        # leave global_result untouched
+
+
+def apply_stateful(op: StatefulOp, register_value: int, operand: int) -> int:
+    """Return the post-operation register value (also the ALU output)."""
+    if op is StatefulOp.READ:
+        return register_value
+    if op is StatefulOp.ADD:
+        return min(register_value + operand, REGISTER_MAX)
+    if op is StatefulOp.OR:
+        return (register_value | operand) & REGISTER_MAX
+    if op is StatefulOp.MAX:
+        return min(max(register_value, operand), REGISTER_MAX)
+    raise ValueError(f"unsupported stateful ALU: {op}")
+
+
+def apply_result(op: ResultOp, global_result, state_result):
+    """Fold ``state_result`` into ``global_result`` per the R-module ALU.
+
+    ``None`` global results (no prior R executed) behave as the identity of
+    the operation, so e.g. the first ``MIN`` simply loads the state result.
+    """
+    if op is ResultOp.NOP:
+        return global_result
+    if state_result is None:
+        return global_result
+    if op is ResultOp.PASS:
+        return state_result
+    if global_result is None:
+        return state_result
+    if op is ResultOp.ADD:
+        return min(global_result + state_result, REGISTER_MAX)
+    if op is ResultOp.SUB:
+        return max(global_result - state_result, 0)
+    if op is ResultOp.MIN:
+        return min(global_result, state_result)
+    if op is ResultOp.MAX:
+        return max(global_result, state_result)
+    raise ValueError(f"unsupported result ALU: {op}")

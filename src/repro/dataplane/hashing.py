@@ -1,0 +1,74 @@
+"""Hash units for the H (hash calculation) module.
+
+Programmable switches expose a small family of seeded CRC-style hash units
+per stage.  We model them with a deterministic, seed-parameterised 64-bit
+mix (blake2b-based for quality and portability) reduced into a configurable
+output range.  The same family backs the Bloom-filter and Count-Min sketch
+reference implementations so data-plane and software results agree bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["HashUnit", "HashFamily", "hash_bytes"]
+
+
+def hash_bytes(data: bytes, seed: int) -> int:
+    """Seeded 64-bit hash of ``data``.
+
+    Deterministic across processes and Python versions (unlike ``hash``),
+    which keeps every experiment reproducible.
+    """
+    digest = hashlib.blake2b(
+        data, digest_size=8, key=seed.to_bytes(8, "big", signed=False)
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class HashUnit:
+    """One configured hash engine: a seed plus an output range.
+
+    ``range_size`` mirrors the H module's "adjustable range of the hash
+    result" (paper §4.1), which is what lets the state bank slice one
+    register array among queries.
+    """
+
+    seed: int
+    range_size: int
+
+    def __post_init__(self) -> None:
+        if self.range_size <= 0:
+            raise ValueError(f"hash range must be positive, got {self.range_size}")
+
+    def __call__(self, key: bytes) -> int:
+        return hash_bytes(key, self.seed) % self.range_size
+
+
+class HashFamily:
+    """A family of pairwise-independent-ish hash units sharing a base seed.
+
+    Sketches ask for ``unit(i)`` for row *i*; two families with the same
+    base seed produce identical units, which is how a query sliced across
+    switches (CQE) keeps consistent indexing on every hop.
+    """
+
+    def __init__(self, base_seed: int = 0x5EED):
+        self.base_seed = base_seed
+
+    def unit(self, index: int, range_size: int) -> HashUnit:
+        """The ``index``-th unit of the family with the given output range."""
+        if index < 0:
+            raise ValueError(f"hash family index must be >= 0, got {index}")
+        # Golden-ratio stride decorrelates consecutive indices.
+        seed = (self.base_seed + index * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        return HashUnit(seed=seed, range_size=range_size)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashFamily) and other.base_seed == self.base_seed
+
+    def __hash__(self) -> int:
+        return hash(("HashFamily", self.base_seed))

@@ -1,0 +1,105 @@
+"""Packet header vector (PHV) context for Newton module execution.
+
+The compact module layout (paper §4.2) eliminates write-read dependencies
+by giving the pipeline *two independent metadata sets* plus one shared
+*global result* field.  A metadata set holds the operation keys written by
+K, the hash result written by H, and the state result written by S; R reads
+a state result and may update the global result.
+
+:class:`PhvContext` is the mutable per-packet (and, under CQE, per-query)
+execution state threaded through the modules.  The result snapshot protocol
+serialises exactly this state between switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["MetadataSet", "PhvContext", "NUM_METADATA_SETS"]
+
+#: The compact layout provisions exactly two metadata sets (paper Figure 5).
+NUM_METADATA_SETS = 2
+
+
+@dataclass
+class MetadataSet:
+    """Operation keys + hash result + state result for one module chain."""
+
+    #: Packed operation keys as produced by :meth:`FieldRegistry.pack`.
+    oper_keys: bytes = b""
+    #: Readable masked field values behind ``oper_keys`` (for reports).
+    oper_fields: Dict[str, int] = field(default_factory=dict)
+    #: Output of the H module (register index or direct field value).
+    hash_result: Optional[int] = None
+    #: Output of the S module (stateful ALU result, or forwarded hash).
+    state_result: Optional[int] = None
+
+    def clear(self) -> None:
+        self.oper_keys = b""
+        self.oper_fields = {}
+        self.hash_result = None
+        self.state_result = None
+
+    def copy(self) -> "MetadataSet":
+        return MetadataSet(
+            oper_keys=self.oper_keys,
+            oper_fields=dict(self.oper_fields),
+            hash_result=self.hash_result,
+            state_result=self.state_result,
+        )
+
+
+@dataclass
+class PhvContext:
+    """Per-packet execution state for one query program.
+
+    ``stopped`` is set by an R module whose ternary match decides the query
+    should not continue for this packet (e.g. a failed filter); subsequent
+    modules of the query become no-ops, exactly like a gateway disabling
+    later tables in hardware.
+    """
+
+    sets: list = None  # type: ignore[assignment]
+    global_result: Optional[int] = None
+    stopped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sets is None:
+            self.sets = [MetadataSet() for _ in range(NUM_METADATA_SETS)]
+        if len(self.sets) != NUM_METADATA_SETS:
+            raise ValueError(
+                f"PhvContext requires {NUM_METADATA_SETS} metadata sets, "
+                f"got {len(self.sets)}"
+            )
+
+    def set(self, set_id: int) -> MetadataSet:
+        """Metadata set by id (0 or 1).
+
+        The paper draws these as the "blue" and "red" module chains; we use
+        integer ids throughout the compiler and the schedule.
+        """
+        if set_id < 0 or set_id >= NUM_METADATA_SETS:
+            raise IndexError(f"metadata set id out of range: {set_id}")
+        return self.sets[set_id]
+
+    def copy(self) -> "PhvContext":
+        return PhvContext(
+            sets=[s.copy() for s in self.sets],
+            global_result=self.global_result,
+            stopped=self.stopped,
+        )
+
+    def report_payload(self) -> Dict[str, object]:
+        """The metadata snapshot uploaded by an R ``report`` action.
+
+        Matches the paper's description of §4.3: operation keys, hash
+        results, state results, and the global result travel to the
+        software analyzer via mirroring.
+        """
+        payload: Dict[str, object] = {"global_result": self.global_result}
+        for set_id, mset in enumerate(self.sets):
+            payload[f"set{set_id}_fields"] = dict(mset.oper_fields)
+            payload[f"set{set_id}_hash"] = mset.hash_result
+            payload[f"set{set_id}_state"] = mset.state_result
+        return payload

@@ -1,0 +1,269 @@
+"""Newton switch pipeline.
+
+Wires together ``newton_init`` (ternary traffic dispatch), the module
+layout, and the installed query slices.  The pipeline executes packets the
+way the paper's Figure 6 walkthrough describes: dispatch, then the query's
+modules in logical order across the stages, then — under cross-switch
+execution — snapshot the results for the next hop (``newton_fin``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.packet import Packet
+from repro.core.rules import ModuleRuleSpec, QuerySlice, Report
+from repro.dataplane.hashing import HashFamily
+from repro.dataplane.layout import LayoutKind, ModuleLayout
+from repro.dataplane.modules import (
+    DEFAULT_REGISTER_ARRAY_SIZE,
+    ExecutionEnv,
+    StateBankModule,
+)
+from repro.dataplane.phv import PhvContext
+from repro.dataplane.tables import (
+    DEFAULT_TABLE_CAPACITY,
+    TernaryRule,
+    TernaryTable,
+)
+from repro.network.snapshot import SnapshotEntry, SnapshotHeader
+
+__all__ = ["NewtonPipeline", "PipelineResult", "TOFINO_DEFAULT_STAGES"]
+
+TOFINO_DEFAULT_STAGES = 12
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of pushing one packet through the pipeline."""
+
+    reports: List[Report] = field(default_factory=list)
+    initiated: List[str] = field(default_factory=list)
+    continued: List[str] = field(default_factory=list)
+    completed: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _Installed:
+    """Book-keeping for one installed slice."""
+
+    query_slice: QuerySlice
+    placed: Tuple[Tuple[int, ModuleRuleSpec], ...]  # (local stage, spec)
+    init_rules: Tuple[TernaryRule, ...]
+
+
+class NewtonPipeline:
+    """One switch's Newton component: dispatch + modules + slices."""
+
+    def __init__(
+        self,
+        switch_id: object = "sw",
+        num_stages: int = TOFINO_DEFAULT_STAGES,
+        layout_kind: str = LayoutKind.COMPACT,
+        table_capacity: int = DEFAULT_TABLE_CAPACITY,
+        array_size: int = DEFAULT_REGISTER_ARRAY_SIZE,
+        hash_family: Optional[HashFamily] = None,
+        report_sink: Optional[Callable[[Report], None]] = None,
+    ):
+        self.switch_id = switch_id
+        self.layout = ModuleLayout(
+            num_stages=num_stages,
+            kind=layout_kind,
+            table_capacity=table_capacity,
+            array_size=array_size,
+        )
+        self.newton_init: TernaryTable[str] = TernaryTable(
+            name=f"newton_init@{switch_id}", capacity=table_capacity
+        )
+        #: All switches of a deployment share the hash family so CQE slices
+        #: index registers consistently across hops.
+        self.hash_family = hash_family or HashFamily()
+        self.report_sink = report_sink
+        self.epoch = 0
+        self._slices: Dict[Tuple[str, int], _Installed] = {}
+
+    # ------------------------------------------------------------------ #
+    # Rule management                                                    #
+    # ------------------------------------------------------------------ #
+
+    def install_slice(self, query_slice: QuerySlice) -> int:
+        """Install a query slice; returns the number of table entries added.
+
+        Installation is transactional: a failure (e.g. a full table or an
+        exhausted register array) rolls back everything already inserted,
+        leaving the pipeline untouched — Newton must never wedge a running
+        switch halfway through a query operation.
+        """
+        key = (query_slice.qid, query_slice.slice_index)
+        if key in self._slices:
+            raise ValueError(
+                f"slice {query_slice.slice_index} of query "
+                f"{query_slice.qid!r} already installed"
+            )
+        placed: List[Tuple[int, ModuleRuleSpec]] = []
+        init_rules: List[TernaryRule] = []
+        installed_specs: List[ModuleRuleSpec] = []
+        try:
+            for spec in sorted(query_slice.specs, key=lambda s: s.step):
+                local_stage = spec.stage - query_slice.stage_base
+                module = self.layout.module_at(local_stage, spec.module_type)
+                if module is None:
+                    raise ValueError(
+                        f"layout has no {spec.module_type.symbol} module in "
+                        f"stage {local_stage}"
+                    )
+                module.install(spec)
+                installed_specs.append(spec)
+                placed.append((local_stage, spec))
+            for entry in query_slice.init_entries:
+                rule = TernaryRule(
+                    match=entry.match, priority=entry.priority, action=entry.qid
+                )
+                self.newton_init.insert(rule)
+                init_rules.append(rule)
+        except Exception:
+            for spec in installed_specs:
+                local_stage = spec.stage - query_slice.stage_base
+                module = self.layout.module_at(local_stage, spec.module_type)
+                assert module is not None
+                module.remove(spec.key)
+            for rule in init_rules:
+                self.newton_init.remove(rule)
+            raise
+        self._slices[key] = _Installed(
+            query_slice=query_slice,
+            placed=tuple(placed),
+            init_rules=tuple(init_rules),
+        )
+        return len(placed) + len(init_rules)
+
+    def remove_query(self, qid: str) -> int:
+        """Remove every slice of ``qid``; returns table entries removed."""
+        removed = 0
+        for key in [k for k in self._slices if k[0] == qid]:
+            installed = self._slices.pop(key)
+            for local_stage, spec in installed.placed:
+                module = self.layout.module_at(local_stage, spec.module_type)
+                assert module is not None
+                module.remove(spec.key)
+                removed += 1
+            for rule in installed.init_rules:
+                self.newton_init.remove(rule)
+                removed += 1
+        return removed
+
+    def hosts_slice(self, qid: str, slice_index: int) -> bool:
+        return (qid, slice_index) in self._slices
+
+    def installed_qids(self) -> Tuple[str, ...]:
+        return tuple(sorted({qid for qid, _ in self._slices}))
+
+    @property
+    def rule_count(self) -> int:
+        """Total table entries currently installed (modules + dispatch)."""
+        return (
+            sum(len(inst.placed) for inst in self._slices.values())
+            + len(self.newton_init)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Packet processing                                                  #
+    # ------------------------------------------------------------------ #
+
+    def process(
+        self,
+        packet: Packet,
+        snapshot: Optional[SnapshotHeader] = None,
+        ingress_edge: bool = True,
+    ) -> PipelineResult:
+        """Push one packet through the Newton component.
+
+        ``snapshot`` is the packet's SP header under cross-switch query
+        execution; it is mutated in place (cursor advances, completed
+        queries are stripped) exactly like ``newton_fin`` would on wire.
+
+        ``ingress_edge`` is true when this switch is the packet's first
+        hop.  On hardware, ``newton_init`` matches the ingress port so a
+        query only initiates where monitored traffic *enters* the network;
+        downstream switches merely continue in-flight queries.
+        """
+        result = PipelineResult()
+        fields = packet.field_values()
+        env = ExecutionEnv(
+            fields=fields,
+            ts=packet.ts,
+            epoch=self.epoch,
+            switch_id=self.switch_id,
+            hash_family=self.hash_family,
+            report_sink=self.report_sink,
+        )
+
+        # Continue in-flight queries first (parser decodes SP, §5.1).
+        if snapshot is not None:
+            for qid, entry in snapshot.items():
+                installed = self._slices.get((qid, entry.cursor))
+                if installed is None:
+                    continue
+                self._run_slice(installed, entry.ctx, env)
+                entry.cursor += 1
+                result.continued.append(qid)
+                if entry.complete or entry.ctx.stopped:
+                    snapshot.pop(qid)
+                    result.completed.append(qid)
+
+        # Dispatch fresh queries via newton_init (first hop only).
+        if not ingress_edge:
+            result.reports = env.reports
+            return result
+        seen: set = set()
+        for rule in self.newton_init.lookup_all(fields):
+            qid = rule.action
+            if qid in seen:
+                continue
+            seen.add(qid)
+            if snapshot is not None and qid in snapshot:
+                continue  # already in flight, do not re-initiate
+            if qid in result.continued:
+                continue
+            installed = self._slices.get((qid, 0))
+            if installed is None:
+                continue
+            ctx = PhvContext()
+            self._run_slice(installed, ctx, env)
+            result.initiated.append(qid)
+            total = installed.query_slice.total_slices
+            if total > 1 and not ctx.stopped:
+                if snapshot is None:
+                    raise RuntimeError(
+                        f"query {qid!r} spans {total} switches but no SP "
+                        f"header is available (single-switch processing)"
+                    )
+                snapshot.put(
+                    qid, SnapshotEntry(cursor=1, total_slices=total, ctx=ctx)
+                )
+            else:
+                result.completed.append(qid)
+
+        result.reports = env.reports
+        return result
+
+    def _run_slice(self, installed: _Installed, ctx: PhvContext,
+                   env: ExecutionEnv) -> None:
+        for local_stage, spec in installed.placed:
+            if ctx.stopped:
+                break
+            module = self.layout.module_at(local_stage, spec.module_type)
+            assert module is not None
+            module.execute(spec, ctx, env)
+
+    # ------------------------------------------------------------------ #
+    # Windows                                                            #
+    # ------------------------------------------------------------------ #
+
+    def advance_window(self) -> None:
+        """Roll the 100 ms window: reset registers, bump the epoch."""
+        self.epoch += 1
+        for bank in self.layout.state_banks():
+            assert isinstance(bank, StateBankModule)
+            bank.reset_window()

@@ -1,0 +1,151 @@
+"""Register arrays for the state bank (S) module.
+
+Each S module instance owns one register array.  The "adjustable range of
+the hash result" (paper §4.1) means multiple queries can carve
+non-overlapping slices out of one array; :class:`RegisterArray` manages
+those allocations, executes stateful ALUs, and supports the per-window
+resets required by ``reduce``/``distinct`` (values evaluated and reset
+every 100 ms, paper §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dataplane.alu import REGISTER_MAX, StatefulOp, apply_stateful
+
+__all__ = ["Allocation", "RegisterArray", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a register array cannot satisfy an allocation request."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A contiguous slice of a register array leased to one query step."""
+
+    owner: Tuple
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class RegisterArray:
+    """Fixed-size array of 32-bit registers with slice allocations.
+
+    Allocations use a simple first-fit policy over the free gaps; data-plane
+    register allocation on real switches is similarly static per rule
+    installation, so first-fit is faithful enough while keeping fragmentation
+    observable (which CQE exploits: an array too fragmented for one query
+    can still serve smaller slices — paper §5.1).
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError(f"register array size must be positive, got {size}")
+        self.size = size
+        self._cells = np.zeros(size, dtype=np.int64)
+        self._allocations: Dict[Tuple, Allocation] = {}
+
+    # ------------------------------------------------------------------ #
+    # Allocation management                                              #
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, owner: Tuple, size: int) -> Allocation:
+        """Lease ``size`` contiguous registers to ``owner`` (first fit)."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if owner in self._allocations:
+            raise AllocationError(f"owner {owner!r} already holds an allocation")
+        offset = self._find_gap(size)
+        if offset is None:
+            raise AllocationError(
+                f"register array exhausted: need {size}, "
+                f"free {self.free_registers()} (fragmented)"
+            )
+        alloc = Allocation(owner=owner, offset=offset, size=size)
+        self._allocations[owner] = alloc
+        return alloc
+
+    def release(self, owner: Tuple) -> None:
+        """Return ``owner``'s slice to the free pool and zero it."""
+        alloc = self._allocations.pop(owner, None)
+        if alloc is None:
+            raise AllocationError(f"owner {owner!r} holds no allocation")
+        self._cells[alloc.offset:alloc.end] = 0
+
+    def allocation(self, owner: Tuple) -> Optional[Allocation]:
+        return self._allocations.get(owner)
+
+    def allocations(self) -> Tuple[Allocation, ...]:
+        return tuple(self._allocations.values())
+
+    def free_registers(self) -> int:
+        used = sum(a.size for a in self._allocations.values())
+        return self.size - used
+
+    def _find_gap(self, size: int) -> Optional[int]:
+        taken = sorted(
+            (a.offset, a.end) for a in self._allocations.values()
+        )
+        cursor = 0
+        for start, end in taken:
+            if start - cursor >= size:
+                return cursor
+            cursor = max(cursor, end)
+        if self.size - cursor >= size:
+            return cursor
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Stateful execution                                                 #
+    # ------------------------------------------------------------------ #
+
+    def execute(self, owner: Tuple, index: int, op: StatefulOp,
+                operand: int) -> Tuple[int, int]:
+        """Run a stateful ALU on register ``index`` within ``owner``'s slice.
+
+        ``index`` is the hash result and is interpreted relative to the
+        slice (``offset + index % size``) so queries never see each other's
+        registers regardless of their hash ranges.
+
+        Returns ``(old_value, new_value)`` — Tofino SALUs can emit either,
+        and Bloom-filter test-and-set needs the old value.
+        """
+        alloc = self._allocations.get(owner)
+        if alloc is None:
+            raise AllocationError(f"owner {owner!r} holds no allocation")
+        cell = alloc.offset + (index % alloc.size)
+        old_value = int(self._cells[cell])
+        new_value = apply_stateful(op, old_value, operand)
+        if op is not StatefulOp.READ:
+            self._cells[cell] = min(new_value, REGISTER_MAX)
+        return old_value, new_value
+
+    def read_slice(self, owner: Tuple) -> np.ndarray:
+        """Copy of ``owner``'s registers (control-plane style readout)."""
+        alloc = self._allocations.get(owner)
+        if alloc is None:
+            raise AllocationError(f"owner {owner!r} holds no allocation")
+        return self._cells[alloc.offset:alloc.end].copy()
+
+    def reset_slice(self, owner: Tuple) -> None:
+        """Zero ``owner``'s registers (window rollover)."""
+        alloc = self._allocations.get(owner)
+        if alloc is None:
+            raise AllocationError(f"owner {owner!r} holds no allocation")
+        self._cells[alloc.offset:alloc.end] = 0
+
+    def reset_all(self) -> None:
+        self._cells[:] = 0
+
+    def occupancy(self) -> float:
+        """Fraction of registers currently leased (for resource reports)."""
+        return 1.0 - self.free_registers() / self.size

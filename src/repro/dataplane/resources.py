@@ -1,0 +1,145 @@
+"""Data-plane resource accounting.
+
+Programmable pipelines slice seven resource categories evenly across
+physical stages (paper §2.1): match crossbar bytes, SRAM and TCAM blocks,
+VLIW action slots, hash bits, stateful ALUs, and gateways (if/else
+predication).  Table 3 of the paper reports Newton's usage of each category
+normalised by the total usage of ``switch.p4``.
+
+The paper's percentages are mutually consistent with small *integer* unit
+costs per module — e.g. every VLIW figure in Table 3 is a multiple of
+1/284 — so this module stores those integer costs and the recovered
+``switch.p4`` usage vector.  Dividing one by the other regenerates Table 3
+to rounding error (see ``benchmarks/bench_table3.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+from typing import Dict, Iterable
+
+from repro.dataplane.module_types import ModuleType
+
+__all__ = [
+    "ResourceVector",
+    "RESOURCE_CATEGORIES",
+    "MODULE_COSTS",
+    "STAGE_CAPACITY",
+    "SWITCH_P4_USAGE",
+    "TOFINO_STAGES",
+]
+
+#: Stages per Tofino pipeline (paper §4.3 cites 12).
+TOFINO_STAGES = 12
+
+RESOURCE_CATEGORIES = (
+    "crossbar",
+    "sram",
+    "tcam",
+    "vliw",
+    "hash_bits",
+    "salu",
+    "gateway",
+)
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Usage or capacity across the seven resource categories."""
+
+    crossbar: float = 0.0
+    sram: float = 0.0
+    tcam: float = 0.0
+    vliw: float = 0.0
+    hash_bits: float = 0.0
+    salu: float = 0.0
+    gateway: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name)
+               for f in dc_fields(self)}
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{f.name: getattr(self, f.name) - getattr(other, f.name)
+               for f in dc_fields(self)}
+        )
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(
+            **{f.name: getattr(self, f.name) * scalar for f in dc_fields(self)}
+        )
+
+    __rmul__ = __mul__
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True when every category is within ``capacity``."""
+        return all(
+            getattr(self, name) <= getattr(capacity, name)
+            for name in RESOURCE_CATEGORIES
+        )
+
+    def normalized_by(self, basis: "ResourceVector") -> Dict[str, float]:
+        """Per-category percentage of ``basis`` (Table 3's presentation)."""
+        out = {}
+        for name in RESOURCE_CATEGORIES:
+            base = getattr(basis, name)
+            out[name] = 100.0 * getattr(self, name) / base if base else 0.0
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in RESOURCE_CATEGORIES}
+
+    @staticmethod
+    def total(vectors: Iterable["ResourceVector"]) -> "ResourceVector":
+        acc = ResourceVector()
+        for vec in vectors:
+            acc = acc + vec
+        return acc
+
+
+#: Per-instance cost of each module (one table + 256 rules + its registers
+#: in the S case), in absolute hardware units.  These integers reproduce
+#: Table 3's per-module percentages under ``SWITCH_P4_USAGE`` normalisation.
+MODULE_COSTS: Dict[ModuleType, ResourceVector] = {
+    ModuleType.KEY_SELECTION: ResourceVector(
+        crossbar=4, sram=8, tcam=0, vliw=10, hash_bits=9, salu=0, gateway=4
+    ),
+    ModuleType.HASH_CALCULATION: ResourceVector(
+        crossbar=44, sram=4, tcam=0, vliw=2, hash_bits=13, salu=0, gateway=0
+    ),
+    ModuleType.STATE_BANK: ResourceVector(
+        crossbar=20, sram=40, tcam=4, vliw=6, hash_bits=18, salu=2, gateway=0
+    ),
+    ModuleType.RESULT_PROCESS: ResourceVector(
+        crossbar=10, sram=4, tcam=8, vliw=30, hash_bits=0, salu=0, gateway=0
+    ),
+}
+
+#: Total resource usage of the reference ``switch.p4`` build, recovered from
+#: Table 3 (every published percentage equals cost / this vector).
+SWITCH_P4_USAGE = ResourceVector(
+    crossbar=1641,
+    sram=1136,
+    tcam=186,
+    vliw=284,
+    hash_bits=818,
+    salu=36,
+    gateway=280,
+)
+
+#: Capacity of one physical stage.  Sized so a full compact-layout stage
+#: (one module of each type) fits with headroom for co-resident forwarding
+#: tables, while a fifth module of any type never fits a full stage — the
+#: constraint that makes the compact layout "compact".
+STAGE_CAPACITY = ResourceVector(
+    crossbar=160,
+    sram=96,
+    tcam=44,
+    vliw=64,
+    hash_bits=104,
+    salu=3,
+    gateway=16,
+)

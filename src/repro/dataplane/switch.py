@@ -1,0 +1,141 @@
+"""Switch model: a Newton pipeline plus operational state.
+
+The switch adds what the paper's Figure 10/11 experiments need on top of
+the pipeline: rule operations are timestamped transactions over a control
+channel, and *non-runtime* reconfiguration (reloading a P4 program, as
+Sonata must do to change queries) takes the switch down for
+``reboot_base + per_entry_restore × entries`` seconds, during which it
+forwards nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.packet import Packet
+from repro.core.rules import QuerySlice
+from repro.dataplane.layout import LayoutKind
+from repro.dataplane.modules import DEFAULT_REGISTER_ARRAY_SIZE
+from repro.dataplane.pipeline import (
+    NewtonPipeline,
+    PipelineResult,
+    TOFINO_DEFAULT_STAGES,
+)
+from repro.dataplane.tables import DEFAULT_TABLE_CAPACITY
+from repro.network.snapshot import SnapshotHeader
+
+__all__ = ["Switch", "RebootRecord", "DEFAULT_REBOOT_BASE_S", "DEFAULT_ENTRY_RESTORE_S"]
+
+#: Fixed cost of reloading a P4 program into the ASIC (observed ~seconds on
+#: Tofino; calibrated so switch.p4-scale restores reproduce the paper's
+#: ~7.5 s outage in Figure 10(a)).
+DEFAULT_REBOOT_BASE_S = 5.0
+
+#: Per-table-entry restore cost after a reboot; linear term of Figure 10(b)
+#: (~30 s total at 60K entries).
+DEFAULT_ENTRY_RESTORE_S = 0.0004
+
+
+@dataclass
+class RebootRecord:
+    """One non-runtime reconfiguration event and its outage window."""
+
+    start: float
+    duration: float
+    entries_restored: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Switch:
+    """A programmable switch running the Newton component."""
+
+    def __init__(
+        self,
+        switch_id: object,
+        num_stages: int = TOFINO_DEFAULT_STAGES,
+        layout_kind: str = LayoutKind.COMPACT,
+        table_capacity: int = DEFAULT_TABLE_CAPACITY,
+        array_size: int = DEFAULT_REGISTER_ARRAY_SIZE,
+        hash_family=None,
+        report_sink=None,
+        reboot_base_s: float = DEFAULT_REBOOT_BASE_S,
+        entry_restore_s: float = DEFAULT_ENTRY_RESTORE_S,
+        newton_enabled: bool = True,
+    ):
+        self.switch_id = switch_id
+        #: Partial deployment (paper §7): a legacy switch forwards traffic
+        #: and carries the SP header as opaque bytes, but hosts no Newton
+        #: component.
+        self.newton_enabled = newton_enabled
+        self.pipeline = NewtonPipeline(
+            switch_id=switch_id,
+            num_stages=num_stages,
+            layout_kind=layout_kind,
+            table_capacity=table_capacity,
+            array_size=array_size,
+            hash_family=hash_family,
+            report_sink=report_sink,
+        )
+        self.reboot_base_s = reboot_base_s
+        self.entry_restore_s = entry_restore_s
+        self.reboots: List[RebootRecord] = []
+        self.dropped_packets = 0
+
+    # -- runtime-reconfigurable path (Newton) --------------------------- #
+
+    def install_slice(self, query_slice: QuerySlice) -> int:
+        """Install a slice without any forwarding interruption."""
+        if not self.newton_enabled:
+            raise RuntimeError(
+                f"switch {self.switch_id!r} does not run Newton "
+                f"(partial deployment)"
+            )
+        return self.pipeline.install_slice(query_slice)
+
+    def remove_query(self, qid: str) -> int:
+        return self.pipeline.remove_query(qid)
+
+    # -- non-runtime path (what Sonata must do) ------------------------- #
+
+    def reboot(self, at: float, entries_to_restore: int) -> RebootRecord:
+        """Reload the P4 program; the switch is down while rules restore."""
+        duration = self.reboot_base_s + self.entry_restore_s * entries_to_restore
+        record = RebootRecord(
+            start=at, duration=duration, entries_restored=entries_to_restore
+        )
+        self.reboots.append(record)
+        return record
+
+    def is_forwarding(self, at: float) -> bool:
+        """False while any reboot's outage window covers ``at``."""
+        return not any(r.start <= at < r.end for r in self.reboots)
+
+    # -- data path ------------------------------------------------------ #
+
+    def process(
+        self,
+        packet: Packet,
+        snapshot: Optional[SnapshotHeader] = None,
+        ingress_edge: bool = True,
+    ) -> Optional[PipelineResult]:
+        """Forward one packet; ``None`` means it was dropped (switch down)."""
+        if not self.is_forwarding(packet.ts):
+            self.dropped_packets += 1
+            return None
+        if not self.newton_enabled:
+            return PipelineResult()  # plain forwarding; SP rides as payload
+        return self.pipeline.process(packet, snapshot, ingress_edge)
+
+    def advance_window(self) -> None:
+        self.pipeline.advance_window()
+
+    @property
+    def rule_count(self) -> int:
+        return self.pipeline.rule_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.switch_id!r} rules={self.rule_count}>"

@@ -1,0 +1,175 @@
+"""Match-action tables.
+
+Two table flavours cover everything Newton needs:
+
+* **Exact-match** tables configure the reconfigurable modules: each rule is
+  keyed on the (query id, step) tag carried in packet metadata and its
+  "action data" is the module configuration for that step.
+* **Ternary** tables implement ``newton_init``: value/mask matching over
+  the five-tuple and TCP flags with priorities, dispatching packets to the
+  query programs that monitor them.
+
+Both enforce a rule-capacity limit (256 rules per module table in the
+paper's evaluation, §6.2), which is what bounds query concurrency in
+Figure 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "TableFullError",
+    "ExactMatchTable",
+    "TernaryRule",
+    "TernaryTable",
+    "DEFAULT_TABLE_CAPACITY",
+]
+
+#: Rules per module table in the paper's evaluation setup (§6.2).
+DEFAULT_TABLE_CAPACITY = 256
+
+ActionT = TypeVar("ActionT")
+
+
+class TableFullError(RuntimeError):
+    """Raised when inserting into a table at capacity."""
+
+
+class ExactMatchTable(Generic[ActionT]):
+    """Exact-match table with bounded capacity.
+
+    Insertion and removal are the runtime-reconfigurable operations the
+    whole paper rests on; they are modelled as atomic (per-rule) updates so
+    the controller's transaction log can time them.
+    """
+
+    def __init__(self, name: str, capacity: int = DEFAULT_TABLE_CAPACITY):
+        self.name = name
+        self.capacity = capacity
+        self._rules: Dict[Hashable, ActionT] = {}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._rules
+
+    def insert(self, key: Hashable, action: ActionT) -> None:
+        if key not in self._rules and len(self._rules) >= self.capacity:
+            raise TableFullError(
+                f"table {self.name} full ({self.capacity} rules)"
+            )
+        self._rules[key] = action
+
+    def remove(self, key: Hashable) -> ActionT:
+        try:
+            return self._rules.pop(key)
+        except KeyError:
+            raise KeyError(f"table {self.name}: no rule for key {key!r}") from None
+
+    def lookup(self, key: Hashable) -> Optional[ActionT]:
+        return self._rules.get(key)
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        return tuple(self._rules.keys())
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._rules)
+
+
+@dataclass(frozen=True)
+class TernaryRule(Generic[ActionT]):
+    """A ternary rule: per-field (value, mask) constraints + priority.
+
+    A packet matches when ``pkt[field] & mask == value & mask`` for every
+    constrained field.  Higher ``priority`` wins; insertion order breaks
+    ties deterministically.
+    """
+
+    match: Tuple[Tuple[str, int, int], ...]  # (field, value, mask)
+    priority: int
+    action: ActionT = None  # type: ignore[assignment]
+
+    def matches(self, fields: Dict[str, int]) -> bool:
+        for name, value, mask in self.match:
+            if (fields.get(name, 0) & mask) != (value & mask):
+                return False
+        return True
+
+    @staticmethod
+    def build(match: Dict[str, Tuple[int, int]], priority: int,
+              action: ActionT = None) -> "TernaryRule[ActionT]":
+        """Convenience constructor from a {field: (value, mask)} dict."""
+        packed = tuple(sorted((k, v, m) for k, (v, m) in match.items()))
+        return TernaryRule(match=packed, priority=priority, action=action)
+
+
+class TernaryTable(Generic[ActionT]):
+    """Priority-ordered ternary table (TCAM model).
+
+    ``lookup`` returns the single highest-priority match (standard TCAM
+    semantics).  ``lookup_all`` returns every matching rule, which is how
+    ``newton_init`` dispatches one packet to *several* concurrent queries
+    that monitor overlapping traffic (paper §4.1, Concurrency).
+    """
+
+    def __init__(self, name: str, capacity: int = DEFAULT_TABLE_CAPACITY):
+        self.name = name
+        self.capacity = capacity
+        self._rules: List[TernaryRule[ActionT]] = []
+        self._insert_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def insert(self, rule: TernaryRule[ActionT]) -> None:
+        if len(self._rules) >= self.capacity:
+            raise TableFullError(f"table {self.name} full ({self.capacity} rules)")
+        self._insert_seq += 1
+        # Stash insertion order on the side for deterministic tie-breaks.
+        self._rules.append(rule)
+        self._rules.sort(
+            key=lambda r: (-r.priority, self._order(r))
+        )
+
+    def _order(self, rule: TernaryRule[ActionT]) -> int:
+        # Stable secondary ordering: position in the list is already the
+        # insertion order for equal priorities because sort() is stable.
+        return 0
+
+    def remove(self, rule: TernaryRule[ActionT]) -> None:
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            raise KeyError(f"table {self.name}: rule not present") from None
+
+    def remove_if(self, predicate) -> int:
+        """Remove every rule satisfying ``predicate``; return the count."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if not predicate(r)]
+        return before - len(self._rules)
+
+    def lookup(self, fields: Dict[str, int]) -> Optional[TernaryRule[ActionT]]:
+        for rule in self._rules:
+            if rule.matches(fields):
+                return rule
+        return None
+
+    def lookup_all(self, fields: Dict[str, int]) -> List[TernaryRule[ActionT]]:
+        return [rule for rule in self._rules if rule.matches(fields)]
+
+    def rules(self) -> Tuple[TernaryRule[ActionT], ...]:
+        return tuple(self._rules)
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._rules)

@@ -1,0 +1,1 @@
+"""One harness per paper table/figure; used by benchmarks/ and examples."""

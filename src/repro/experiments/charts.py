@@ -1,0 +1,121 @@
+"""Terminal charts.
+
+The paper's figures are plots; the benchmark harness prints tables plus
+these ASCII renderings so the *shape* claims (flat vs linear, rising vs
+falling) are visible at a glance in ``bench_output.txt`` without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Union
+
+__all__ = ["bar_chart", "series_chart"]
+
+Number = Union[int, float]
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        if value and (abs(value) < 0.01 or abs(value) >= 10_000):
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(int(value))
+
+
+def bar_chart(values: Mapping[str, Number], width: int = 44,
+              log: bool = False) -> str:
+    """Horizontal bars, one per labelled value.
+
+    ``log=True`` scales bars by log10 — right for Figure 12's
+    orders-of-magnitude comparisons.
+    """
+    if not values:
+        return "(no data)"
+    labels = list(values)
+    numbers = [float(values[label]) for label in labels]
+    if log:
+        floor = min(n for n in numbers if n > 0) / 10 if any(
+            n > 0 for n in numbers
+        ) else 1.0
+        scaled = [
+            math.log10(max(n, floor) / floor) if n > 0 else 0.0
+            for n in numbers
+        ]
+    else:
+        scaled = [max(n, 0.0) for n in numbers]
+    top = max(scaled) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, number, magnitude in zip(labels, numbers, scaled):
+        bar = "#" * max(1 if number > 0 else 0,
+                        round(width * magnitude / top))
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{_format_value(number)}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(x_values: Sequence[Number],
+                 series: Mapping[str, Sequence[Number]],
+                 height: int = 10, width: int = 56,
+                 log: bool = False) -> str:
+    """Multiple named series over shared x values, plotted with letters.
+
+    Each series gets the first letter of its name (disambiguated a/b/c…
+    on collision); overlapping points show ``*``.
+    """
+    if not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+    all_values = [float(v) for ys in series.values() for v in ys]
+    if log:
+        floor = min(v for v in all_values if v > 0) if any(
+            v > 0 for v in all_values
+        ) else 1.0
+        transform = lambda v: math.log10(max(float(v), floor / 10))
+    else:
+        transform = float
+    lo = min(transform(v) for v in all_values)
+    hi = max(transform(v) for v in all_values)
+    span = (hi - lo) or 1.0
+
+    # Assign one distinct marker per series.
+    markers: Dict[str, str] = {}
+    used = set()
+    for name in series:
+        first = next((c.upper() for c in name if c.isalpha()), "A")
+        for candidate in (first, *"ABCDEFGHIJKLMNOPQRSTUVWXYZ"):
+            if candidate not in used:
+                markers[name] = candidate
+                used.add(candidate)
+                break
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for name, ys in series.items():
+        marker = markers[name]
+        for i, value in enumerate(ys):
+            col = round(i * (width - 1) / max(n - 1, 1))
+            row = height - 1 - round(
+                (transform(value) - lo) / span * (height - 1)
+            )
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "*"
+
+    axis = "+" + "-" * width
+    lines = ["".join(row) for row in grid]
+    lines = [f"|{line}" for line in lines]
+    lines.append(axis)
+    xs = "  ".join(_format_value(x) for x in x_values)
+    lines.append(f" x: {xs}")
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(f" legend: {legend}" + ("  (log y)" if log else ""))
+    return "\n".join(lines)

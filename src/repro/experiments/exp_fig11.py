@@ -1,0 +1,78 @@
+"""Figure 11 — delay of Newton query operations.
+
+Install and remove each of Q1–Q9 one hundred times against a testbed
+switch and time the rule transactions.  The paper reports every operation
+under 20 ms, with Q1 installs as low as ~5 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.compiler import QueryParams
+from repro.experiments.common import evaluation_queries, format_table
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.runtime.channel import ControlChannel
+
+__all__ = ["OperationDelays", "figure11", "render_figure11"]
+
+
+@dataclass
+class OperationDelays:
+    query: str
+    install_ms: List[float]
+    remove_ms: List[float]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "install_mean": float(np.mean(self.install_ms)),
+            "install_p99": float(np.percentile(self.install_ms, 99)),
+            "remove_mean": float(np.mean(self.remove_ms)),
+            "remove_p99": float(np.percentile(self.remove_ms, 99)),
+        }
+
+
+def figure11(repetitions: int = 100, seed: int = 17,
+             params: QueryParams = QueryParams(
+                 reduce_registers=1024, distinct_registers=1024
+             )) -> List[OperationDelays]:
+    """Time install/remove for all nine queries, ``repetitions`` times."""
+    deployment = build_deployment(
+        linear(1), array_size=1 << 14, channel=ControlChannel(seed=seed)
+    )
+    controller = deployment.controller
+    rows = []
+    for name, query in sorted(evaluation_queries().items()):
+        installs, removes = [], []
+        for _ in range(repetitions):
+            result = controller.install_query(query, params, path=["s0"])
+            installs.append(result.delay_s * 1e3)
+            removes.append(controller.remove_query(name).delay_s * 1e3)
+        rows.append(OperationDelays(query=name, install_ms=installs,
+                                    remove_ms=removes))
+    return rows
+
+
+def render_figure11(rows: List[OperationDelays]) -> str:
+    headers = ["Query", "install mean (ms)", "install p99", "remove mean",
+               "remove p99"]
+    body = []
+    for row in rows:
+        s = row.summary()
+        body.append([
+            row.query,
+            f"{s['install_mean']:.2f}",
+            f"{s['install_p99']:.2f}",
+            f"{s['remove_mean']:.2f}",
+            f"{s['remove_p99']:.2f}",
+        ])
+    worst = max(max(r.summary()["install_p99"], r.summary()["remove_p99"])
+                for r in rows)
+    return (
+        format_table(headers, body)
+        + f"\nworst-case operation: {worst:.2f} ms (paper: <20 ms)"
+    )

@@ -1,0 +1,104 @@
+"""Figure 12 — monitoring overhead comparison.
+
+Runs the six systems over CAIDA-like and MAWI-like workloads (background
+mix plus every injected attack) and reports the ratio of monitoring
+messages to raw packets.  The paper's result: Sonata and Newton, which
+export query-accurate data only, sit about two orders of magnitude below
+the generic exporters (*Flow, TurboFlow) and well below the periodic
+structure dumpers (FlowRadar, SCREAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.base import MonitoringResult, MonitoringSystem
+from repro.baselines.flowradar import FlowRadar
+from repro.baselines.newton import NewtonSystem
+from repro.baselines.scream import Scream
+from repro.baselines.sonata import SonataSystem
+from repro.baselines.starflow import StarFlow
+from repro.baselines.turboflow import TurboFlow
+from repro.core.compiler import QueryParams
+from repro.experiments.common import (
+    evaluation_queries,
+    format_table,
+    workload,
+)
+from repro.traffic.traces import Trace
+
+__all__ = ["OverheadCell", "figure12", "render_figure12"]
+
+
+@dataclass(frozen=True)
+class OverheadCell:
+    system: str
+    trace: str
+    result: MonitoringResult
+
+    @property
+    def ratio(self) -> float:
+        return self.result.overhead_ratio
+
+
+def _systems(params: QueryParams) -> List[MonitoringSystem]:
+    queries = list(evaluation_queries().values())
+    return [
+        NewtonSystem(queries, params=params, array_size=1 << 16),
+        SonataSystem(queries, params=params, array_size=1 << 16),
+        FlowRadar(),
+        Scream(),
+        TurboFlow(),
+        StarFlow(),
+    ]
+
+
+def figure12(
+    n_packets: int = 20_000,
+    duration_s: float = 0.5,
+    window_s: float = 0.1,
+    traces: Optional[Dict[str, Trace]] = None,
+) -> List[OverheadCell]:
+    """Overhead ratios for every (system, trace) pair."""
+    params = QueryParams(cm_depth=2, bf_hashes=2,
+                         reduce_registers=2048, distinct_registers=2048)
+    if traces is None:
+        traces = {
+            "CAIDA": workload("caida", n_packets, duration_s, seed=11),
+            "MAWI": workload("mawi", n_packets, duration_s, seed=13),
+        }
+    cells = []
+    for trace_name, trace in traces.items():
+        for system in _systems(params):
+            result = system.process_trace(trace, window_s=window_s)
+            cells.append(
+                OverheadCell(system=system.name, trace=trace_name,
+                             result=result)
+            )
+    return cells
+
+
+def render_figure12(cells: List[OverheadCell]) -> str:
+    from repro.experiments.charts import bar_chart
+
+    traces = sorted({c.trace for c in cells})
+    systems = []
+    for cell in cells:
+        if cell.system not in systems:
+            systems.append(cell.system)
+    by_key = {(c.system, c.trace): c for c in cells}
+    body = []
+    for system in systems:
+        row = [system]
+        for trace in traces:
+            cell = by_key[(system, trace)]
+            row.append(f"{cell.ratio:.2e} ({cell.result.messages} msgs)")
+        body.append(row)
+    chart = bar_chart(
+        {s: by_key[(s, traces[0])].ratio for s in systems}, log=True
+    )
+    return (
+        format_table(["System"] + traces, body)
+        + f"\n\noverhead ratio, {traces[0]} (log scale):\n{chart}"
+    )

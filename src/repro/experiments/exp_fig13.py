@@ -1,0 +1,108 @@
+"""Figure 13 — network-wide monitoring overhead for Q1 vs. path length.
+
+Every existing system treats switches as independent monitors: each hop
+runs the full query and exports its own copy of the results, so messages
+grow linearly with the forwarding path length.  Newton's cross-switch
+query execution makes the switches of the path one consolidated pipeline
+that reports exactly once, so its overhead is hop-count agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.flowradar import FlowRadar
+from repro.baselines.starflow import StarFlow
+from repro.baselines.turboflow import TurboFlow
+from repro.core.compiler import QueryParams, compile_query
+from repro.core.library import QueryThresholds, build_query
+from repro.experiments.common import format_table
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.traffic.generators import assign_hosts, caida_like, syn_flood
+from repro.traffic.traces import Trace, merge_traces
+
+__all__ = ["figure13", "Fig13Series", "render_figure13"]
+
+
+@dataclass(frozen=True)
+class Fig13Series:
+    system: str
+    #: hop count -> monitoring messages
+    messages: Dict[int, int]
+
+
+def _q1_trace(n_packets: int, duration_s: float, seed: int) -> Trace:
+    return merge_traces([
+        caida_like(n_packets, duration_s, seed=seed),
+        syn_flood(n_packets=max(200, n_packets // 12),
+                  duration_s=duration_s, seed=seed + 1),
+    ])
+
+
+def _newton_messages(trace: Trace, hops: int, threshold: int,
+                     window_s: float) -> int:
+    """Run Q1 with CQE across a ``hops``-switch chain; count messages."""
+    query = build_query("Q1", QueryThresholds(new_tcp_conns=threshold))
+    # Probe the compiled footprint, then size per-switch stages so the
+    # query spreads over exactly the chain (pure CQE, no deferral).
+    probe = compile_query(query, QueryParams(cm_depth=2))
+    stages_per_switch = -(-probe.num_stages // hops)  # ceil division
+    deployment = build_deployment(
+        linear(hops),
+        num_stages=max(stages_per_switch, 1),
+        array_size=4096,
+        window_ms=int(window_s * 1000),
+    )
+    params = QueryParams(cm_depth=2, reduce_registers=2048,
+                         distinct_registers=2048)
+    deployment.controller.install_query(
+        query, params,
+        path=[f"s{i}" for i in range(hops)],
+        stages_per_switch=stages_per_switch,
+    )
+    routed = assign_hosts(trace, [("h_src0", "h_dst0")])
+    deployment.simulator.run(routed)
+    return deployment.analyzer.message_count
+
+
+def figure13(hop_counts=(1, 2, 3, 4), n_packets: int = 12_000,
+             duration_s: float = 0.4, window_s: float = 0.1,
+             threshold: int = 30, seed: int = 11) -> List[Fig13Series]:
+    trace = _q1_trace(n_packets, duration_s, seed)
+
+    newton = {
+        hops: _newton_messages(trace, hops, threshold, window_s)
+        for hops in hop_counts
+    }
+
+    series = [Fig13Series("Newton", newton)]
+    # Sole-switch systems: every hop monitors and exports independently.
+    sonata_single = newton[1]  # Sonata's per-switch export equals Newton's
+    series.append(
+        Fig13Series("Sonata", {h: sonata_single * h for h in hop_counts})
+    )
+    for system in (TurboFlow(), StarFlow(), FlowRadar()):
+        single = system.process_trace(trace, window_s=window_s).messages
+        series.append(
+            Fig13Series(system.name, {h: single * h for h in hop_counts})
+        )
+    return series
+
+
+def render_figure13(series: List[Fig13Series]) -> str:
+    from repro.experiments.charts import series_chart
+
+    hops = sorted(next(iter(series)).messages)
+    headers = ["System"] + [f"{h} hop(s)" for h in hops]
+    body = [
+        [s.system] + [s.messages[h] for h in hops]
+        for s in series
+    ]
+    chart = series_chart(
+        hops,
+        {s.system: [s.messages[h] for h in hops] for s in series},
+        log=True,
+    )
+    return format_table(headers, body) + "\n\n" + chart

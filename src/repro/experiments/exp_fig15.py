@@ -1,0 +1,88 @@
+"""Figure 15 — evaluation of query compilation.
+
+(a/b) For each query: the number of modules and stages under the naive
+baseline and after each cumulative optimisation (Opt.1, Opt.2, Opt.3),
+alongside the primitive count.
+
+(c) Query-level comparison with Sonata's estimated logical tables and
+stages for Q1–Q5 (the single-chain queries the paper compares directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.sonata import sonata_compile
+from repro.core.compiler import Optimizations, QueryParams
+from repro.core.query import flatten
+from repro.experiments.common import (
+    evaluation_queries,
+    format_table,
+    query_footprint,
+)
+
+__all__ = ["Fig15Row", "figure15", "figure15_sonata", "render_figure15"]
+
+OPT_LEVELS = ("baseline", "+Opt.1", "+Opt.2", "+Opt.3")
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    query: str
+    dataplane_primitives: int
+    #: level name -> (modules, stages)
+    levels: Dict[str, Tuple[int, int]]
+
+
+def figure15(params: QueryParams = QueryParams()) -> List[Fig15Row]:
+    rows = []
+    for name, query in sorted(evaluation_queries().items()):
+        levels = {}
+        for level, label in enumerate(OPT_LEVELS):
+            opts = Optimizations.upto(level)
+            levels[label] = query_footprint(query, params, opts)
+        prims = sum(sub.num_primitives for sub in flatten(query))
+        rows.append(
+            Fig15Row(query=name, dataplane_primitives=prims, levels=levels)
+        )
+    return rows
+
+
+def figure15_sonata(params: QueryParams = QueryParams(),
+                    names=("Q1", "Q2", "Q3", "Q4", "Q5")) -> Dict[str, Tuple[int, int]]:
+    """Sonata's estimated (tables, stages) for the compared queries."""
+    queries = evaluation_queries()
+    out = {}
+    for name in names:
+        comp = sonata_compile(queries[name], params)
+        out[name] = (comp.tables, comp.stages)
+    return out
+
+
+def render_figure15(rows: List[Fig15Row],
+                    sonata: Dict[str, Tuple[int, int]]) -> str:
+    headers = ["Query", "prims"]
+    for label in OPT_LEVELS:
+        headers += [f"{label} M", f"{label} S"]
+    body = []
+    for row in rows:
+        line = [row.query, row.dataplane_primitives]
+        for label in OPT_LEVELS:
+            m, s = row.levels[label]
+            line += [m, s]
+        body.append(line)
+    table = format_table(headers, body)
+    sonata_table = format_table(
+        ["Query", "Sonata tables", "Sonata stages", "Newton stages (opt)"],
+        [
+            [name, t, s,
+             next(r for r in rows if r.query == name).levels["+Opt.3"][1]]
+            for name, (t, s) in sorted(sonata.items())
+        ],
+    )
+    worst = max(r.levels["+Opt.3"][1] for r in rows)
+    return (
+        f"{table}\n\nSonata comparison (Q1-Q5):\n{sonata_table}\n"
+        f"max optimised stages across Q1-Q9: {worst} (paper: <=10)"
+    )

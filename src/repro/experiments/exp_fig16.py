@@ -1,0 +1,128 @@
+"""Figure 16 — resource multiplexing over concurrent Q4 queries.
+
+Three regimes as the number of concurrent Q4-shaped queries grows:
+
+* **Sonata** chains per-query pipelines: tables and stages grow linearly.
+* **S-Newton** — the queries monitor the *same* traffic, so a packet must
+  execute them all: module rules and stages both grow linearly.
+* **P-Newton** — the queries monitor *different* traffic (disjoint victim
+  subnets), so ``newton_init`` dispatches each packet to exactly one
+  program and all queries share the same module instances and stages.
+  Only table rules grow.
+
+The P-Newton point is validated by actually installing the query variants
+on a simulated switch and counting used module instances and stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.sonata import sonata_compile
+from repro.core.ast import CmpOp, FieldPredicate
+from repro.core.compiler import Optimizations, QueryParams
+from repro.core.library import QueryThresholds, build_query
+from repro.core.packet import Proto, ip
+from repro.core.query import Query
+from repro.experiments.common import format_table, query_footprint
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+
+__all__ = ["Fig16Point", "figure16", "render_figure16", "q4_variant"]
+
+
+@dataclass(frozen=True)
+class Fig16Point:
+    queries: int
+    sonata_tables: int
+    sonata_stages: int
+    s_newton_modules: int
+    s_newton_stages: int
+    p_newton_modules: int
+    p_newton_stages: int
+    p_newton_rules: Optional[int] = None  # measured on a real install
+
+
+def q4_variant(index: int, thresholds: QueryThresholds) -> Query:
+    """A Q4 clone scoped to its own /24 victim subnet (different traffic)."""
+    subnet = ip("10.3.0.0") + (index << 8)
+    return (
+        Query(f"Q4v{index}")
+        .filter(
+            FieldPredicate("proto", CmpOp.EQ, int(Proto.TCP)),
+            FieldPredicate("dip", CmpOp.MASK_EQ, subnet, mask=0xFFFFFF00),
+        )
+        .map("sip", "dport")
+        .distinct("sip", "dport")
+        .map("sip")
+        .reduce("sip")
+        .where(ge=thresholds.port_scan)
+    )
+
+
+def figure16(counts=(1, 10, 25, 50, 100),
+             params: Optional[QueryParams] = None,
+             validate_install: bool = True) -> List[Fig16Point]:
+    params = params or QueryParams(
+        cm_depth=2, bf_hashes=3, reduce_registers=16, distinct_registers=16
+    )
+    thresholds = QueryThresholds()
+    q4 = build_query("Q4", thresholds)
+    modules, stages = query_footprint(q4, params, Optimizations.all())
+    sonata = sonata_compile(q4, params)
+
+    measured_rules = {}
+    measured_modules = measured_stages = None
+    if validate_install:
+        deployment = build_deployment(
+            linear(1), num_stages=12, table_capacity=256, array_size=4096
+        )
+        installed = 0
+        for n in sorted(counts):
+            while installed < n:
+                deployment.controller.install_query(
+                    q4_variant(installed, thresholds), params, path=["s0"]
+                )
+                installed += 1
+            measured_rules[n] = deployment.switch("s0").rule_count
+        pipeline = deployment.switch("s0").pipeline
+        used = [m for m in pipeline.layout.modules() if m.rule_count > 0]
+        measured_modules = len(used)
+        measured_stages = max(m.stage for m in used) + 1 if used else 0
+
+    points = []
+    for n in counts:
+        points.append(
+            Fig16Point(
+                queries=n,
+                sonata_tables=n * sonata.tables,
+                sonata_stages=n * sonata.stages,
+                s_newton_modules=n * modules,
+                s_newton_stages=n * stages,
+                p_newton_modules=(
+                    measured_modules if measured_modules is not None
+                    else modules
+                ),
+                p_newton_stages=(
+                    measured_stages if measured_stages is not None
+                    else stages
+                ),
+                p_newton_rules=measured_rules.get(n),
+            )
+        )
+    return points
+
+
+def render_figure16(points: List[Fig16Point]) -> str:
+    headers = ["queries", "Sonata tables", "Sonata stages",
+               "S-Newton modules", "S-Newton stages",
+               "P-Newton modules", "P-Newton stages", "P-Newton rules"]
+    body = [
+        [p.queries, p.sonata_tables, p.sonata_stages,
+         p.s_newton_modules, p.s_newton_stages,
+         p.p_newton_modules, p.p_newton_stages,
+         p.p_newton_rules if p.p_newton_rules is not None else "-"]
+        for p in points
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,130 @@
+"""Figure 17 — network-wide query placement of Q4.
+
+(a) Deploy Q4 (10 stages / 19 module rules after compilation) on an 8-ary
+    fat-tree and on the ISP backbone while varying the per-switch stage
+    budget over {10, 5, 4, 3, 2} — i.e. requiring 1–5 switches per query —
+    and count the total and per-switch-average table entries Algorithm 2
+    installs.
+
+(b) Fix the stage budget and grow the fat-tree from tens to thousands of
+    switches: total entries grow linearly with the topology while the
+    per-switch average stabilises, the paper's scalability claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.compiler import (
+    CompiledQuery,
+    Optimizations,
+    QueryParams,
+    compile_query,
+    slice_compiled,
+)
+from repro.core.library import QueryThresholds, build_query
+from repro.core.placement import PlacementResult, place_slices
+from repro.experiments.common import format_table
+from repro.network.topology import (
+    CALIFORNIA_SITES,
+    Topology,
+    fat_tree,
+    isp_backbone,
+)
+
+__all__ = ["Fig17Point", "figure17a", "figure17b", "render_figure17",
+           "compile_q4"]
+
+
+@dataclass(frozen=True)
+class Fig17Point:
+    topology: str
+    num_switches: int
+    stages_per_switch: int
+    required_switches: int
+    total_entries: int
+    average_entries: float
+    method: str
+
+
+def compile_q4(params: Optional[QueryParams] = None) -> CompiledQuery:
+    params = params or QueryParams()
+    query = build_query("Q4", QueryThresholds())
+    # Q4 is a single-chain query; compile its one sub-query.
+    return compile_query(query, params, Optimizations.all())
+
+
+def _place(compiled: CompiledQuery, topology: Topology,
+           edges: Sequence, stages_per_switch: int,
+           method: str = "auto") -> Fig17Point:
+    slices = slice_compiled(compiled, stages_per_switch)
+    result: PlacementResult = place_slices(
+        topology.neighbor_map(), list(edges), num_slices=len(slices),
+        method=method,
+    )
+    rules = [s.rule_count for s in slices]
+    total = result.total_entries(rules)
+    return Fig17Point(
+        topology=topology.name,
+        num_switches=topology.num_switches,
+        stages_per_switch=stages_per_switch,
+        required_switches=len(slices),
+        total_entries=total,
+        average_entries=result.average_entries(rules,
+                                               topology.num_switches),
+        method=result.method,
+    )
+
+
+def figure17a(stage_budgets=(10, 5, 4, 3, 2),
+              params: Optional[QueryParams] = None) -> List[Fig17Point]:
+    """Entries vs required-switch count on fat-tree-8 and the ISP."""
+    compiled = compile_q4(params)
+    ft = fat_tree(8)
+    isp = isp_backbone()
+    points = []
+    for stages in stage_budgets:
+        points.append(
+            _place(compiled, ft, ft.edge_switches, stages)
+        )
+        points.append(
+            _place(compiled, isp, CALIFORNIA_SITES, stages)
+        )
+    return points
+
+
+def figure17b(arities=(4, 8, 16, 24, 32), stages_per_switch: int = 4,
+              params: Optional[QueryParams] = None) -> List[Fig17Point]:
+    """Entries vs fat-tree scale at a fixed per-switch stage budget."""
+    compiled = compile_q4(params)
+    points = []
+    for k in arities:
+        topo = fat_tree(k)
+        method = "dfs" if topo.num_switches <= 100 else "layered"
+        points.append(
+            _place(compiled, topo, topo.edge_switches, stages_per_switch,
+                   method=method)
+        )
+    return points
+
+
+def render_figure17(points_a: List[Fig17Point],
+                    points_b: List[Fig17Point]) -> str:
+    headers = ["Topology", "switches", "stages/sw", "required sw",
+               "total entries", "avg entries", "method"]
+
+    def rows(points):
+        return [
+            [p.topology, p.num_switches, p.stages_per_switch,
+             p.required_switches, p.total_entries,
+             f"{p.average_entries:.2f}", p.method]
+            for p in points
+        ]
+
+    return (
+        "Figure 17(a): entries vs required switches\n"
+        + format_table(headers, rows(points_a))
+        + "\n\nFigure 17(b): entries vs fat-tree scale\n"
+        + format_table(headers, rows(points_b))
+    )

@@ -1,0 +1,112 @@
+"""Table 3 — hardware resources consumed by Newton.
+
+Reproduces the three sections of the paper's Table 3, each normalised by
+the total resource usage of ``switch.p4``:
+
+* **per-stage** — the naive layout (one module/stage, averaged over the
+  four module types) vs. the compact layout (all four co-resident);
+* **per-module** — each of K/H/S/R in isolation;
+* **per-primitive** — the four example primitives, amortised over the 256
+  rules a module table accommodates (each of the 256 concurrent queries
+  pays 1/256th of the modules it touches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.ast import CmpOp, FieldPredicate
+from repro.core.compiler import Optimizations, QueryParams, compile_query
+from repro.core.query import Query
+from repro.dataplane.module_types import MODULE_ORDER, ModuleType
+from repro.dataplane.resources import (
+    MODULE_COSTS,
+    RESOURCE_CATEGORIES,
+    SWITCH_P4_USAGE,
+    ResourceVector,
+)
+from repro.dataplane.tables import DEFAULT_TABLE_CAPACITY
+from repro.experiments.common import format_table
+
+__all__ = ["table3", "Table3Row", "render_table3"]
+
+_MODULE_LABELS = {
+    ModuleType.KEY_SELECTION: "Field Selection",
+    ModuleType.HASH_CALCULATION: "Hash Calculation",
+    ModuleType.STATE_BANK: "State Bank",
+    ModuleType.RESULT_PROCESS: "Result Process",
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    category: str
+    metric: str
+    values: Dict[str, float]  # resource category -> % of switch.p4
+
+
+def _row(category: str, metric: str, usage: ResourceVector) -> Table3Row:
+    return Table3Row(
+        category=category,
+        metric=metric,
+        values=usage.normalized_by(SWITCH_P4_USAGE),
+    )
+
+
+def _example_primitives() -> Dict[str, Query]:
+    """The four example primitives of Table 3, as minimal queries."""
+    return {
+        "filter(pkt.tcp.flags==2)": Query("t3f").filter(
+            FieldPredicate("tcp_flags", CmpOp.EQ, 2)
+        ),
+        "map(pkt=>(pkt.dip))": Query("t3m").map("dip"),
+        "reduce(keys=(pkt.dip),f=sum)": Query("t3r").reduce("dip"),
+        "distinct(keys=(pkt.dip,pkt.sip))": Query("t3d").distinct(
+            "dip", "sip"
+        ),
+    }
+
+
+def table3(params: QueryParams = QueryParams(),
+           rules_per_module: int = DEFAULT_TABLE_CAPACITY) -> List[Table3Row]:
+    """Compute every row of Table 3."""
+    rows: List[Table3Row] = []
+
+    # Per-stage: naive hosts one module per stage, so the expected usage of
+    # a stage is the mean over module types; compact hosts all four.
+    compact = ResourceVector.total(MODULE_COSTS[t] for t in MODULE_ORDER)
+    baseline = compact * (1.0 / len(MODULE_ORDER))
+    rows.append(_row("Per-stage", "Baseline", baseline))
+    rows.append(_row("Per-stage", "Compact Module Layout", compact))
+
+    # Per-module.
+    for mtype in MODULE_ORDER:
+        rows.append(_row("Per-module", _MODULE_LABELS[mtype],
+                         MODULE_COSTS[mtype]))
+
+    # Per-primitive: compile each example primitive (Opt.1 disabled so the
+    # filter stays on the module path) and amortise the touched modules
+    # over the table's rule capacity.
+    opts = Optimizations(opt1_fold_front_filter=False,
+                         opt2_remove_modules=True,
+                         opt3_vertical_composition=True)
+    for label, query in _example_primitives().items():
+        compiled = compile_query(query, params, opts)
+        usage = ResourceVector.total(
+            MODULE_COSTS[spec.module_type] for spec in compiled.specs
+        )
+        rows.append(
+            _row("Per-primitive", label, usage * (1.0 / rules_per_module))
+        )
+    return rows
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    headers = ["Category", "Metric"] + [c for c in RESOURCE_CATEGORIES]
+    body = [
+        [r.category, r.metric]
+        + [f"{r.values[c]:.4f}%" for c in RESOURCE_CATEGORIES]
+        for r in rows
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,77 @@
+"""Detection-quality metrics.
+
+One definition of accuracy/FPR shared by the Figure 14 harness, the
+ablations, and the examples, always computed against the exact
+ground-truth engine:
+
+* **recall** ("accuracy" in the paper's wording) — detected true
+  positives over all true positives, averaged across windows;
+* **FPR** — spurious detections over the window's negative candidates
+  (keys that appeared but did not truly cross the threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Set, Tuple
+
+from repro.core.groundtruth import WindowTruth
+
+__all__ = ["DetectionQuality", "score_detections"]
+
+Key = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Aggregated detection quality over a trace's windows."""
+
+    recall: float
+    fpr: float
+    precision: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (
+            self.precision + self.recall
+        )
+
+
+def score_detections(
+    truth_by_epoch: Mapping[int, WindowTruth],
+    reported_by_epoch: Mapping[int, Set[Key]],
+) -> DetectionQuality:
+    """Score per-window reported key sets against exact window truths."""
+    recalls = []
+    fprs = []
+    tp = fp = fn = 0
+    for epoch, truth in truth_by_epoch.items():
+        positives = truth.keys
+        candidates = set(truth.counts)
+        found = set(reported_by_epoch.get(epoch, set()))
+        window_tp = len(found & positives)
+        window_fp = len(found - positives)
+        tp += window_tp
+        fp += window_fp
+        fn += len(positives - found)
+        if positives:
+            recalls.append(window_tp / len(positives))
+        negatives = candidates - positives
+        if negatives:
+            fprs.append(window_fp / len(negatives))
+    recall = sum(recalls) / len(recalls) if recalls else 1.0
+    fpr = sum(fprs) / len(fprs) if fprs else 0.0
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    return DetectionQuality(
+        recall=recall,
+        fpr=fpr,
+        precision=precision,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )

@@ -1,0 +1,1 @@
+"""Network substrate: topologies, routing, snapshot protocol, simulator."""

@@ -1,0 +1,99 @@
+"""One-call construction of a full Newton deployment.
+
+Gathers the pieces every experiment needs — switches on a topology, a
+shared hash family, the analyzer wired as report sink, a controller, and a
+simulator — so examples and benchmarks stay focused on the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.analyzer import Analyzer
+from repro.core.controller import NewtonController
+from repro.dataplane.hashing import HashFamily
+from repro.dataplane.layout import LayoutKind
+from repro.dataplane.switch import Switch
+from repro.network.routing import Router
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology
+from repro.runtime.channel import ControlChannel
+
+__all__ = ["Deployment", "build_deployment"]
+
+
+@dataclass
+class Deployment:
+    """A ready-to-run Newton installation over a topology."""
+
+    topology: Topology
+    switches: Dict[Hashable, Switch]
+    router: Router
+    analyzer: Analyzer
+    controller: NewtonController
+    simulator: NetworkSimulator
+
+    def switch(self, switch_id: Hashable) -> Switch:
+        return self.switches[switch_id]
+
+
+def build_deployment(
+    topology: Topology,
+    num_stages: int = 12,
+    table_capacity: int = 256,
+    array_size: int = 4096,
+    window_ms: int = 100,
+    hash_seed: int = 0x5EED,
+    channel: Optional[ControlChannel] = None,
+    ecmp: bool = True,
+    newton_switches=None,
+) -> Deployment:
+    """Instantiate Newton switches on every topology node and wire them up.
+
+    All switches share one :class:`HashFamily` so cross-switch query slices
+    index their registers consistently (a CQE prerequisite).
+
+    ``newton_switches`` restricts the Newton component to a subset of the
+    topology (partial deployment, paper §7); the rest become legacy
+    forwarders.  ``None`` (the default) enables Newton everywhere.
+    """
+    family = HashFamily(hash_seed)
+    analyzer = Analyzer(window_ms=window_ms)
+    enabled = (
+        set(topology.switches()) if newton_switches is None
+        else set(newton_switches)
+    )
+    switches = {
+        sid: Switch(
+            sid,
+            num_stages=num_stages,
+            layout_kind=LayoutKind.COMPACT,
+            table_capacity=table_capacity,
+            array_size=array_size,
+            hash_family=family,
+            report_sink=analyzer.on_report,
+            newton_enabled=sid in enabled,
+        )
+        for sid in topology.switches()
+    }
+    router = Router(topology, ecmp=ecmp)
+    controller = NewtonController(
+        switches, channel=channel or ControlChannel(), analyzer=analyzer
+    )
+    simulator = NetworkSimulator(
+        topology,
+        switches,
+        router=router,
+        controller=controller,
+        analyzer=analyzer,
+        window_ms=window_ms,
+    )
+    return Deployment(
+        topology=topology,
+        switches=switches,
+        router=router,
+        analyzer=analyzer,
+        controller=controller,
+        simulator=simulator,
+    )

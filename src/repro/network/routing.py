@@ -1,0 +1,111 @@
+"""Routing with failures.
+
+Shortest-path routing over the live topology with deterministic ECMP
+tie-breaking by flow hash.  Link failures (and restorations) invalidate
+the path cache, so traffic reroutes exactly like the Figure 9 scenario —
+the event Newton's resilient placement is designed to survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.core.packet import Packet
+from repro.dataplane.hashing import hash_bytes
+
+__all__ = ["Router", "RoutingError"]
+
+SwitchId = Hashable
+
+
+class RoutingError(RuntimeError):
+    """Raised when no path exists between two hosts."""
+
+
+class Router:
+    """Shortest-path + ECMP routing over a :class:`Topology`."""
+
+    def __init__(self, topology, ecmp: bool = True, seed: int = 0):
+        self.topology = topology
+        self.ecmp = ecmp
+        self.seed = seed
+        self._failed: Set[Tuple[SwitchId, SwitchId]] = set()
+        self._paths_cache: Dict[Tuple[SwitchId, SwitchId],
+                                List[List[SwitchId]]] = {}
+
+    # -- failure management ---------------------------------------------- #
+
+    def fail_link(self, a: SwitchId, b: SwitchId) -> None:
+        if not self.topology.graph.has_edge(a, b):
+            raise RoutingError(f"no link between {a!r} and {b!r}")
+        self._failed.add(self._canon(a, b))
+        self._paths_cache.clear()
+
+    def restore_link(self, a: SwitchId, b: SwitchId) -> None:
+        self._failed.discard(self._canon(a, b))
+        self._paths_cache.clear()
+
+    @property
+    def failed_links(self) -> Set[Tuple[SwitchId, SwitchId]]:
+        return set(self._failed)
+
+    @staticmethod
+    def _canon(a: SwitchId, b: SwitchId) -> Tuple[SwitchId, SwitchId]:
+        return (a, b) if str(a) <= str(b) else (b, a)
+
+    def _live_graph(self) -> nx.Graph:
+        if not self._failed:
+            return self.topology.graph
+        graph = self.topology.graph.copy()
+        graph.remove_edges_from(self._failed)
+        return graph
+
+    # -- path selection ---------------------------------------------------- #
+
+    def switch_paths(self, src_switch: SwitchId,
+                     dst_switch: SwitchId) -> List[List[SwitchId]]:
+        """All equal-cost shortest switch paths (cached until a failure)."""
+        key = (src_switch, dst_switch)
+        cached = self._paths_cache.get(key)
+        if cached is not None:
+            return cached
+        graph = self._live_graph()
+        if src_switch == dst_switch:
+            paths = [[src_switch]]
+        else:
+            try:
+                paths = [
+                    list(p) for p in nx.all_shortest_paths(
+                        graph, src_switch, dst_switch
+                    )
+                ]
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                raise RoutingError(
+                    f"no path from {src_switch!r} to {dst_switch!r} "
+                    f"({len(self._failed)} failed links)"
+                ) from None
+            paths.sort(key=lambda p: [str(s) for s in p])
+        self._paths_cache[key] = paths
+        return paths
+
+    def path_for(self, packet: Packet) -> List[SwitchId]:
+        """Forwarding path for one packet (ECMP picks by five-tuple hash)."""
+        if packet.src_host is None or packet.dst_host is None:
+            raise RoutingError(
+                "packet carries no src/dst host; set Packet.src_host/dst_host"
+            )
+        src = self.topology.attachment(packet.src_host)
+        dst = self.topology.attachment(packet.dst_host)
+        paths = self.switch_paths(src, dst)
+        if len(paths) == 1 or not self.ecmp:
+            return paths[0]
+        flow = ",".join(str(v) for v in packet.five_tuple).encode()
+        return paths[hash_bytes(flow, self.seed) % len(paths)]
+
+    def hop_count(self, src_host, dst_host) -> int:
+        """Switch hops between two hosts along the selected route."""
+        src = self.topology.attachment(src_host)
+        dst = self.topology.attachment(dst_host)
+        return len(self.switch_paths(src, dst)[0])

@@ -1,0 +1,147 @@
+"""Packet-level network simulator.
+
+Walks each packet of a trace hop by hop through the Newton pipelines along
+its forwarding path, carrying the result snapshot header between switches
+(cross-switch query execution, §5.1).  At the egress switch the SP header
+is stripped: completed queries have already reported; incomplete ones are
+deferred to the software analyzer (§5.2).
+
+The simulator also owns window synchronisation: when a packet's timestamp
+crosses a 100 ms boundary, every switch's registers reset and the analyzer
+closes its CPU-side window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.core.analyzer import Analyzer
+from repro.core.controller import NewtonController
+from repro.core.packet import Packet
+from repro.dataplane.switch import Switch
+from repro.network.routing import Router
+from repro.network.snapshot import SnapshotHeader
+from repro.network.topology import Topology
+
+__all__ = ["NetworkSimulator", "SimulationStats"]
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate outcome of one trace run."""
+
+    packets: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    #: Mirrored monitoring messages, per reporting switch.
+    reports_by_switch: Dict[Hashable, int] = field(default_factory=dict)
+    #: Packets whose query remainder went to the analyzer (§5.2).
+    deferred: int = 0
+    #: Total SP header bytes carried across links.
+    sp_bytes: int = 0
+    #: Total payload bytes forwarded (for overhead ratios).
+    payload_bytes: int = 0
+    epochs: int = 0
+
+    @property
+    def total_reports(self) -> int:
+        return sum(self.reports_by_switch.values())
+
+    @property
+    def monitoring_messages(self) -> int:
+        return self.total_reports + self.deferred
+
+    @property
+    def sp_overhead_ratio(self) -> float:
+        """SP bandwidth overhead relative to forwarded traffic."""
+        if self.payload_bytes == 0:
+            return 0.0
+        return self.sp_bytes / self.payload_bytes
+
+
+class NetworkSimulator:
+    """Drives traces through a Newton deployment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        switches: Dict[Hashable, Switch],
+        router: Optional[Router] = None,
+        controller: Optional[NewtonController] = None,
+        analyzer: Optional[Analyzer] = None,
+        window_ms: int = 100,
+    ):
+        missing = [s for s in topology.switches() if s not in switches]
+        if missing:
+            raise ValueError(f"no Switch object for topology nodes: {missing}")
+        self.topology = topology
+        self.switches = switches
+        self.router = router or Router(topology)
+        self.controller = controller
+        self.analyzer = analyzer
+        self.window_s = window_ms / 1000.0
+        self._epoch = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, packets: Iterable[Packet]) -> SimulationStats:
+        """Forward a time-ordered packet stream; returns aggregate stats."""
+        stats = SimulationStats()
+        for packet in packets:
+            self._sync_windows(packet.ts, stats)
+            stats.packets += 1
+            path = self.router.path_for(packet)
+            self._forward(packet, path, stats)
+        self._close_window(stats)
+        stats.epochs = self._epoch + 1
+        return stats
+
+    def _forward(self, packet: Packet, path, stats: SimulationStats) -> None:
+        snapshot = SnapshotHeader()
+        for hop, sid in enumerate(path):
+            switch = self.switches[sid]
+            result = switch.process(packet, snapshot, ingress_edge=hop == 0)
+            if result is None:
+                stats.dropped += 1
+                return
+            if result.reports:
+                stats.reports_by_switch[sid] = (
+                    stats.reports_by_switch.get(sid, 0) + len(result.reports)
+                )
+            if hop + 1 < len(path):
+                # The SP header rides the next link (bandwidth accounting).
+                stats.sp_bytes += snapshot.wire_bytes
+                stats.payload_bytes += packet.len
+        stats.delivered += 1
+        # Egress (newton_fin): strip the header; defer unfinished queries.
+        for qid, entry in snapshot.items():
+            snapshot.pop(qid)
+            if entry.ctx.stopped or entry.complete:
+                continue
+            stats.deferred += 1
+            if self.analyzer is not None and self.controller is not None:
+                start = self.controller.cpu_start_for(qid, entry.cursor)
+                self.analyzer.defer(qid, packet, start)
+
+    # ------------------------------------------------------------------ #
+    # Window synchronisation                                              #
+    # ------------------------------------------------------------------ #
+
+    def _sync_windows(self, ts: float, stats: SimulationStats) -> None:
+        pkt_epoch = int(ts / self.window_s)
+        if pkt_epoch < self._epoch:
+            raise ValueError("trace packets must be sorted by timestamp")
+        while self._epoch < pkt_epoch:
+            self._roll(stats)
+
+    def _close_window(self, stats: SimulationStats) -> None:
+        if self.analyzer is not None:
+            self.analyzer.advance_window(self._epoch)
+
+    def _roll(self, stats: SimulationStats) -> None:
+        if self.analyzer is not None:
+            self.analyzer.advance_window(self._epoch)
+        for switch in self.switches.values():
+            switch.advance_window()
+        self._epoch += 1

@@ -1,0 +1,157 @@
+"""Result snapshot (SP) protocol (paper §5.1, Figure 8).
+
+Cross-switch query execution piggybacks a *snapshot of module execution
+results* on monitored packets: the per-set state results, the global
+result, and a cursor identifying the next query slice to execute.  The
+paper reserves **12 bytes** for the header (<1% bandwidth overhead at
+1500-byte packets).
+
+The wire format implemented here fits one in-flight query in 10 bytes
+(2 bytes of headroom inside the reserved 12):
+
+====== ======= ====================================================
+offset  size    contents
+====== ======= ====================================================
+0       1       cursor (4 bits) | stopped (1) | presence bits (3)
+1       3       set-0 state result, 24-bit saturating
+4       3       set-1 state result, 24-bit saturating
+7       3       global result, 24-bit saturating
+====== ======= ====================================================
+
+Operation keys and hash results are *not* carried: they are pure functions
+of the packet's header fields, so the next switch's own K/H modules
+recompute them (that is why the header can stay 12 bytes).  The in-memory
+simulator therefore hands the full :class:`~repro.dataplane.phv.PhvContext`
+to the next hop while the codec below is used to enforce and test the wire
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dataplane.phv import PhvContext
+
+__all__ = [
+    "SP_HEADER_BYTES",
+    "SNAPSHOT_VALUE_MAX",
+    "SnapshotEntry",
+    "SnapshotHeader",
+    "encode_entry",
+    "decode_entry",
+]
+
+#: Bytes reserved per in-flight query (paper §5.1).
+SP_HEADER_BYTES = 12
+
+#: 24-bit saturating wire encoding for result values.
+SNAPSHOT_VALUE_MAX = (1 << 24) - 1
+
+_MAX_CURSOR = 0xF
+
+
+@dataclass
+class SnapshotEntry:
+    """In-flight execution state of one query on one packet."""
+
+    cursor: int
+    total_slices: int
+    ctx: PhvContext = field(default_factory=PhvContext)
+
+    @property
+    def complete(self) -> bool:
+        return self.cursor >= self.total_slices
+
+    def copy(self) -> "SnapshotEntry":
+        return SnapshotEntry(
+            cursor=self.cursor,
+            total_slices=self.total_slices,
+            ctx=self.ctx.copy(),
+        )
+
+
+class SnapshotHeader:
+    """The SP header attached to a packet while queries are in flight."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SnapshotEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, qid: str) -> bool:
+        return qid in self._entries
+
+    def get(self, qid: str) -> Optional[SnapshotEntry]:
+        return self._entries.get(qid)
+
+    def put(self, qid: str, entry: SnapshotEntry) -> None:
+        self._entries[qid] = entry
+
+    def pop(self, qid: str) -> Optional[SnapshotEntry]:
+        return self._entries.pop(qid, None)
+
+    def qids(self):
+        return tuple(self._entries.keys())
+
+    def items(self):
+        return tuple(self._entries.items())
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bandwidth cost of carrying this header on a packet."""
+        return SP_HEADER_BYTES * len(self._entries)
+
+    def copy(self) -> "SnapshotHeader":
+        clone = SnapshotHeader()
+        for qid, entry in self._entries.items():
+            clone.put(qid, entry.copy())
+        return clone
+
+
+def _saturate(value: Optional[int]) -> int:
+    if value is None:
+        return 0
+    return min(max(int(value), 0), SNAPSHOT_VALUE_MAX)
+
+
+def encode_entry(entry: SnapshotEntry) -> bytes:
+    """Serialise the wire-visible part of a snapshot entry (≤12 bytes)."""
+    if entry.cursor > _MAX_CURSOR:
+        raise ValueError(
+            f"cursor {entry.cursor} exceeds the 4-bit wire field; queries "
+            f"cannot span more than {_MAX_CURSOR + 1} switches"
+        )
+    ctx = entry.ctx
+    state0 = ctx.set(0).state_result
+    state1 = ctx.set(1).state_result
+    head = (entry.cursor & 0xF) << 4
+    head |= 0x8 if ctx.stopped else 0
+    head |= 0x4 if state0 is not None else 0
+    head |= 0x2 if state1 is not None else 0
+    head |= 0x1 if ctx.global_result is not None else 0
+    body = (
+        _saturate(state0).to_bytes(3, "big")
+        + _saturate(state1).to_bytes(3, "big")
+        + _saturate(ctx.global_result).to_bytes(3, "big")
+    )
+    wire = bytes([head]) + body
+    assert len(wire) <= SP_HEADER_BYTES
+    return wire
+
+
+def decode_entry(wire: bytes, total_slices: int) -> SnapshotEntry:
+    """Inverse of :func:`encode_entry` (keys/hashes are recomputed by K/H)."""
+    if len(wire) != 10:
+        raise ValueError(f"snapshot entry must be 10 bytes, got {len(wire)}")
+    head = wire[0]
+    ctx = PhvContext()
+    ctx.stopped = bool(head & 0x8)
+    if head & 0x4:
+        ctx.set(0).state_result = int.from_bytes(wire[1:4], "big")
+    if head & 0x2:
+        ctx.set(1).state_result = int.from_bytes(wire[4:7], "big")
+    if head & 0x1:
+        ctx.global_result = int.from_bytes(wire[7:10], "big")
+    return SnapshotEntry(cursor=head >> 4, total_slices=total_slices, ctx=ctx)

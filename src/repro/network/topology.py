@@ -1,0 +1,185 @@
+"""Topologies for network-wide experiments.
+
+Three families, matching the paper's evaluation:
+
+* ``linear`` — the 3-switch, 2-server testbed of Figure 8 (generalised to
+  any chain length for the hop-count sweeps of Figure 13).
+* ``fat_tree`` — the k-ary fat-tree used by Figure 17 (``5k²/4`` switches).
+* ``isp_backbone`` — an approximation of the top-tier North-America ISP
+  backbone the paper cites (AT&T's published OC-768 IP/MPLS map): 25 cities
+  and the long-haul links between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+__all__ = ["Topology", "fat_tree", "isp_backbone", "linear",
+           "CALIFORNIA_SITES"]
+
+SwitchId = Hashable
+HostId = Hashable
+
+
+class Topology:
+    """A switch graph plus host attachment points."""
+
+    def __init__(self, graph: nx.Graph, hosts: Dict[HostId, SwitchId],
+                 name: str = "topology"):
+        for host, switch in hosts.items():
+            if switch not in graph:
+                raise ValueError(
+                    f"host {host!r} attaches to unknown switch {switch!r}"
+                )
+        self.graph = graph
+        self.hosts = dict(hosts)
+        self.name = name
+
+    # -- structure ------------------------------------------------------ #
+
+    def switches(self) -> List[SwitchId]:
+        return list(self.graph.nodes)
+
+    @property
+    def num_switches(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    def neighbors(self, switch: SwitchId) -> List[SwitchId]:
+        return list(self.graph.neighbors(switch))
+
+    def neighbor_map(self) -> Dict[SwitchId, List[SwitchId]]:
+        return {s: self.neighbors(s) for s in self.switches()}
+
+    @property
+    def edge_switches(self) -> List[SwitchId]:
+        """Switches with at least one attached host (first-hop candidates)."""
+        return sorted({s for s in self.hosts.values()}, key=str)
+
+    def attachment(self, host: HostId) -> SwitchId:
+        try:
+            return self.hosts[host]
+        except KeyError:
+            raise KeyError(f"unknown host {host!r}") from None
+
+    def hosts_at(self, switch: SwitchId) -> List[HostId]:
+        return sorted(
+            (h for h, s in self.hosts.items() if s == switch), key=str
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology {self.name} switches={self.num_switches} "
+            f"links={self.num_links} hosts={len(self.hosts)}>"
+        )
+
+
+def linear(num_switches: int, hosts_per_end: int = 1) -> Topology:
+    """A chain of switches with hosts on both end switches (Figure 8)."""
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    graph = nx.Graph()
+    names = [f"s{i}" for i in range(num_switches)]
+    graph.add_nodes_from(names)
+    for a, b in zip(names, names[1:]):
+        graph.add_edge(a, b)
+    hosts: Dict[HostId, SwitchId] = {}
+    for i in range(hosts_per_end):
+        hosts[f"h_src{i}"] = names[0]
+        hosts[f"h_dst{i}"] = names[-1]
+    return Topology(graph, hosts, name=f"linear-{num_switches}")
+
+
+def fat_tree(k: int, hosts_per_edge: int = 1) -> Topology:
+    """Standard k-ary fat-tree: (k/2)² cores, k pods of k/2 agg + k/2 edge."""
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity must be an even integer >= 2")
+    half = k // 2
+    graph = nx.Graph()
+    cores = [f"c{i}" for i in range(half * half)]
+    graph.add_nodes_from(cores)
+    hosts: Dict[HostId, SwitchId] = {}
+    for pod in range(k):
+        aggs = [f"p{pod}a{j}" for j in range(half)]
+        edges = [f"p{pod}e{j}" for j in range(half)]
+        graph.add_nodes_from(aggs)
+        graph.add_nodes_from(edges)
+        for edge in edges:
+            for agg in aggs:
+                graph.add_edge(edge, agg)
+        for j, agg in enumerate(aggs):
+            for i in range(half):
+                graph.add_edge(agg, cores[j * half + i])
+        for j, edge in enumerate(edges):
+            for h in range(hosts_per_edge):
+                hosts[f"hp{pod}e{j}n{h}"] = edge
+    return Topology(graph, hosts, name=f"fat-tree-{k}")
+
+
+#: Approximation of AT&T's published OC-768 IP/MPLS backbone map: 25 cities
+#: and their long-haul links.  Exact link inventory is proprietary; this
+#: reconstruction keeps the published shape (a sparse continental mesh with
+#: a dense eastern seaboard and a California ingress on the west coast).
+_ISP_LINKS: Tuple[Tuple[str, str], ...] = (
+    ("Seattle", "San Francisco"),
+    ("Seattle", "Salt Lake City"),
+    ("Seattle", "Chicago"),
+    ("San Francisco", "Sacramento"),
+    ("San Francisco", "San Jose"),
+    ("San Jose", "Los Angeles"),
+    ("Sacramento", "Salt Lake City"),
+    ("Los Angeles", "San Diego"),
+    ("Los Angeles", "Phoenix"),
+    ("Los Angeles", "Dallas"),
+    ("San Diego", "Phoenix"),
+    ("Phoenix", "Denver"),
+    ("Phoenix", "Dallas"),
+    ("Salt Lake City", "Denver"),
+    ("Denver", "Kansas City"),
+    ("Dallas", "Houston"),
+    ("Dallas", "Kansas City"),
+    ("Dallas", "Atlanta"),
+    ("Houston", "San Antonio"),
+    ("Houston", "New Orleans"),
+    ("San Antonio", "Dallas"),
+    ("Kansas City", "Chicago"),
+    ("Kansas City", "St Louis"),
+    ("St Louis", "Chicago"),
+    ("St Louis", "Nashville"),
+    ("Chicago", "Detroit"),
+    ("Chicago", "Cleveland"),
+    ("Chicago", "New York"),
+    ("Detroit", "Cleveland"),
+    ("Cleveland", "New York"),
+    ("Cleveland", "Philadelphia"),
+    ("Nashville", "Atlanta"),
+    ("New Orleans", "Atlanta"),
+    ("Atlanta", "Orlando"),
+    ("Atlanta", "Washington"),
+    ("Orlando", "Miami"),
+    ("Miami", "Washington"),
+    ("Washington", "Philadelphia"),
+    ("Philadelphia", "New York"),
+    ("New York", "Cambridge"),
+    ("Cambridge", "Chicago"),
+)
+
+#: The Figure 17 experiment monitors "traffic emitted from California".
+CALIFORNIA_SITES = ("San Francisco", "San Jose", "Sacramento",
+                    "Los Angeles", "San Diego")
+
+
+def isp_backbone(hosts_per_city: int = 1) -> Topology:
+    """The AT&T-like North-America backbone (25 cities)."""
+    graph = nx.Graph()
+    graph.add_edges_from(_ISP_LINKS)
+    hosts: Dict[HostId, SwitchId] = {}
+    for city in sorted(graph.nodes):
+        for i in range(hosts_per_city):
+            hosts[f"h_{city.replace(' ', '_')}_{i}"] = city
+    return Topology(graph, hosts, name="isp-backbone")

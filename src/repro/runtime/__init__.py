@@ -1,0 +1,1 @@
+"""Simulated time and control-channel models."""

@@ -1,0 +1,75 @@
+"""Control-channel timing model.
+
+Newton's query operations are table-rule transactions issued by the
+controller over the switch's gRPC/driver channel.  The model charges a
+per-transaction setup cost plus a per-rule cost with small jitter,
+calibrated so the nine evaluation queries install in the 5–20 ms band the
+paper reports (Figure 11) — e.g. Q1's ~9 rules land near 5 ms.
+
+The same channel also times Sonata's post-reboot rule restores, whose
+per-entry cost is the linear term of Figure 10(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["ControlChannel", "RuleTransaction"]
+
+
+@dataclass(frozen=True)
+class RuleTransaction:
+    """One timed batch of rule operations."""
+
+    operation: str       # "install" | "remove"
+    rules: int
+    delay_s: float
+
+
+class ControlChannel:
+    """Timed rule-operation channel to one or more switches."""
+
+    def __init__(
+        self,
+        per_rule_s: float = 0.0005,
+        batch_overhead_s: float = 0.0015,
+        jitter_s: float = 0.0002,
+        seed: int = 7,
+    ):
+        if per_rule_s < 0 or batch_overhead_s < 0 or jitter_s < 0:
+            raise ValueError("channel timing parameters must be non-negative")
+        self.per_rule_s = per_rule_s
+        self.batch_overhead_s = batch_overhead_s
+        self.jitter_s = jitter_s
+        self._rng = np.random.default_rng(seed)
+        self.log: List[RuleTransaction] = []
+
+    def _jitter(self) -> float:
+        if self.jitter_s == 0:
+            return 0.0
+        return float(abs(self._rng.normal(0.0, self.jitter_s)))
+
+    def transact(self, operation: str, rules: int) -> float:
+        """Time one batch of ``rules`` operations; returns the delay."""
+        if rules < 0:
+            raise ValueError("rule count must be non-negative")
+        delay = self.batch_overhead_s + self.per_rule_s * rules + self._jitter()
+        self.log.append(
+            RuleTransaction(operation=operation, rules=rules, delay_s=delay)
+        )
+        return delay
+
+    def install_delay(self, rules: int) -> float:
+        return self.transact("install", rules)
+
+    def remove_delay(self, rules: int) -> float:
+        return self.transact("remove", rules)
+
+    def total_delay(self, operation: Optional[str] = None) -> float:
+        return sum(
+            t.delay_s for t in self.log
+            if operation is None or t.operation == operation
+        )

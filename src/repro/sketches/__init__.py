@@ -1,0 +1,1 @@
+"""Reference sketch implementations (Bloom filter, Count-Min)."""

@@ -1,0 +1,80 @@
+"""Reference Bloom filter (partitioned).
+
+The software twin of what ``distinct`` compiles to on the data plane: S
+modules running ``OR`` with old-value output over hash-indexed register
+slices.  Each hash function owns its own bit row — the *partitioned* Bloom
+filter variant — because each data-plane suite owns a separate register
+array.  Built on the same :class:`~repro.dataplane.hashing.HashFamily`, a
+software filter with the data plane's seeds and sizes gives bit-identical
+answers to the distinct primitive — the property the sketch tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.dataplane.hashing import HashFamily
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Partitioned Bloom filter: one ``bits``-wide row per hash function."""
+
+    def __init__(self, bits: int, num_hashes: int,
+                 family: HashFamily = HashFamily(), seed_base: int = 0):
+        if bits <= 0:
+            raise ValueError("bit array size must be positive")
+        if num_hashes <= 0:
+            raise ValueError("need at least one hash function")
+        self.bits = bits
+        self.num_hashes = num_hashes
+        self._units = [
+            family.unit(seed_base + i, bits) for i in range(num_hashes)
+        ]
+        self._rows = np.zeros((num_hashes, bits), dtype=bool)
+        self.inserted = 0
+
+    def add(self, key: bytes) -> bool:
+        """Insert; returns True when the key was (probably) already present.
+
+        Test-and-set semantics — the exact data-plane behaviour of the
+        ``OR``/old-value state bank rows.
+        """
+        present = True
+        for row, unit in enumerate(self._units):
+            index = unit(key)
+            if not self._rows[row, index]:
+                present = False
+                self._rows[row, index] = True
+        if not present:
+            self.inserted += 1
+        return present
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._rows[row, unit(key)]
+            for row, unit in enumerate(self._units)
+        )
+
+    def add_all(self, keys: Iterable[bytes]) -> int:
+        """Insert many keys; returns how many were new."""
+        return sum(0 if self.add(k) else 1 for k in keys)
+
+    def clear(self) -> None:
+        self._rows[:] = False
+        self.inserted = 0
+
+    @property
+    def fill_ratio(self) -> float:
+        return float(self._rows.mean())
+
+    def false_positive_rate(self) -> float:
+        """Analytic FPR estimate for the partitioned variant."""
+        if self.inserted == 0:
+            return 0.0
+        per_row_fill = 1.0 - math.exp(-self.inserted / self.bits)
+        return per_row_fill ** self.num_hashes

@@ -1,0 +1,78 @@
+"""Reference Count-Min sketch.
+
+The software twin of what ``reduce`` compiles to: per-row ``ADD`` state
+banks whose minimum is folded through the global result.  Sharing the
+:class:`~repro.dataplane.hashing.HashFamily` with the data plane makes the
+two implementations agree exactly for equal seeds and widths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.dataplane.hashing import HashFamily
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Count-Min sketch with seeded rows and saturating 32-bit counters."""
+
+    def __init__(self, width: int, depth: int,
+                 family: HashFamily = HashFamily(), seed_base: int = 0):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._units = [family.unit(seed_base + i, width) for i in range(depth)]
+        self._rows = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    def add(self, key: bytes, amount: int = 1) -> int:
+        """Add ``amount`` to the key; returns the updated estimate."""
+        if amount < 0:
+            raise ValueError("amounts must be non-negative")
+        estimate = None
+        for row, unit in enumerate(self._units):
+            index = unit(key)
+            self._rows[row, index] += amount
+            value = int(self._rows[row, index])
+            estimate = value if estimate is None else min(estimate, value)
+        self.total += amount
+        assert estimate is not None
+        return estimate
+
+    def estimate(self, key: bytes) -> int:
+        """Point estimate: min over rows (never under-estimates)."""
+        return int(
+            min(self._rows[row, unit(key)]
+                for row, unit in enumerate(self._units))
+        )
+
+    def add_all(self, keys: Iterable[bytes]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def heavy_keys(self, candidates: Iterable[bytes],
+                   threshold: int) -> Dict[bytes, int]:
+        """Candidates whose estimate meets the threshold."""
+        out = {}
+        for key in candidates:
+            est = self.estimate(key)
+            if est >= threshold:
+                out[key] = est
+        return out
+
+    def clear(self) -> None:
+        self._rows[:] = 0
+        self.total = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.depth, self.width)
+
+    def error_bound(self, confidence_rows: int = None) -> float:
+        """Classic CM additive error bound: e/width × total inserted."""
+        return float(np.e / self.width * self.total)

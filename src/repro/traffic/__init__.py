@@ -1,0 +1,1 @@
+"""Workload substrate: flows, synthetic traces, attack generators."""

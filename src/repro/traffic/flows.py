@@ -1,0 +1,71 @@
+"""Flow-level helpers.
+
+Baselines like TurboFlow and *Flow operate on flows (five-tuples) rather
+than queries; these utilities aggregate packet streams into flow views and
+are also used by trace statistics and tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.packet import FiveTuple, Packet
+
+__all__ = ["FlowStats", "flow_key", "group_by_flow", "flow_table"]
+
+
+def flow_key(packet: Packet) -> FiveTuple:
+    """The canonical five-tuple flow key of a packet."""
+    return packet.five_tuple
+
+
+@dataclass
+class FlowStats:
+    """Aggregate statistics of one flow."""
+
+    key: FiveTuple
+    packets: int = 0
+    bytes: int = 0
+    first_ts: float = float("inf")
+    last_ts: float = 0.0
+    syn_count: int = 0
+    fin_count: int = 0
+
+    def update(self, packet: Packet) -> None:
+        self.packets += 1
+        self.bytes += packet.len
+        self.first_ts = min(self.first_ts, packet.ts)
+        self.last_ts = max(self.last_ts, packet.ts)
+        if packet.tcp_flags & 0x02:
+            self.syn_count += 1
+        if packet.tcp_flags & 0x01:
+            self.fin_count += 1
+
+    @property
+    def duration(self) -> float:
+        if self.packets == 0:
+            return 0.0
+        return max(0.0, self.last_ts - self.first_ts)
+
+
+def group_by_flow(packets: Iterable[Packet]) -> Dict[FiveTuple, List[Packet]]:
+    """Packets grouped by five-tuple, preserving arrival order."""
+    groups: Dict[FiveTuple, List[Packet]] = defaultdict(list)
+    for packet in packets:
+        groups[flow_key(packet)].append(packet)
+    return dict(groups)
+
+
+def flow_table(packets: Iterable[Packet]) -> Dict[FiveTuple, FlowStats]:
+    """Per-flow aggregate statistics for a packet stream."""
+    table: Dict[FiveTuple, FlowStats] = {}
+    for packet in packets:
+        key = flow_key(packet)
+        stats = table.get(key)
+        if stats is None:
+            stats = FlowStats(key=key)
+            table[key] = stats
+        stats.update(packet)
+    return table

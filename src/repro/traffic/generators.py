@@ -1,0 +1,368 @@
+"""Synthetic workload generators.
+
+The paper evaluates with CAIDA and MAWI packet traces, which are gated
+behind data-use agreements.  These generators synthesise the trace
+*properties* the evaluation depends on — heavy-tailed (Zipf) flow sizes,
+realistic protocol/port mixes, and injectable anomalies matching each of
+the nine queries — with explicit seeds so every experiment is
+reproducible.
+
+Address plan: benign clients live in 10.1.0.0/16, servers in 10.2.0.0/16,
+attackers in 172.16.0.0/16, scan victims in 10.3.0.0/16.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.packet import Packet, Proto, TcpFlags, ip
+from repro.traffic.traces import Trace
+
+__all__ = [
+    "caida_like",
+    "mawi_like",
+    "background_traffic",
+    "syn_flood",
+    "port_scan",
+    "udp_flood",
+    "ssh_brute_force",
+    "slowloris",
+    "superspreader",
+    "dns_orphan_responses",
+    "assign_hosts",
+]
+
+_CLIENT_BASE = ip("10.1.0.0")
+_SERVER_BASE = ip("10.2.0.0")
+_VICTIM_BASE = ip("10.3.0.0")
+_ATTACKER_BASE = ip("172.16.0.0")
+
+#: Common service ports weighted roughly like backbone traffic.
+_SERVICE_PORTS = np.array([80, 443, 22, 25, 53, 123, 8080, 3306, 6881, 179])
+_SERVICE_WEIGHTS = np.array([0.30, 0.34, 0.02, 0.03, 0.08, 0.02, 0.08,
+                             0.03, 0.06, 0.04])
+
+
+def _spread(rng: np.random.Generator, n: int, duration_s: float,
+            start_s: float) -> np.ndarray:
+    """Sorted uniform arrival times over [start, start+duration)."""
+    times = rng.uniform(start_s, start_s + duration_s, size=n)
+    times.sort()
+    return times
+
+
+def background_traffic(
+    n_packets: int,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    n_clients: int = 2000,
+    n_servers: int = 200,
+    zipf_a: float = 1.25,
+    udp_fraction: float = 0.15,
+    dns_fraction: float = 0.05,
+    start_s: float = 0.0,
+    name: str = "background",
+) -> Trace:
+    """Heavy-tailed benign mix: Zipf flow sizes over client/server pairs."""
+    if n_packets <= 0:
+        raise ValueError("n_packets must be positive")
+    rng = np.random.default_rng(seed)
+
+    # Pareto(zipf_a) flow sizes over a fixed flow population, normalised
+    # to the packet budget.  Capping single flows at ~8% of the trace keeps
+    # the tail heavy (a few elephants) without letting one flow *be* the
+    # trace.
+    n_flows = max(8, n_packets // 12)
+    cap = max(16, n_packets // 12)
+    raw = np.minimum(rng.pareto(zipf_a, size=n_flows) + 1.0, cap)
+    scaled = np.maximum(1, np.floor(raw * n_packets / raw.sum())).astype(int)
+    deficit = n_packets - int(scaled.sum())
+    if deficit > 0:
+        # Hand leftover packets to the largest flows.
+        order = np.argsort(-scaled)
+        for i in range(deficit):
+            scaled[order[i % len(order)]] += 1
+    elif deficit < 0:
+        order = np.argsort(-scaled)
+        for i in range(-deficit):
+            idx = order[i % len(order)]
+            if scaled[idx] > 1:
+                scaled[idx] -= 1
+    sizes: List[int] = [int(s) for s in scaled]
+    clients = _CLIENT_BASE + rng.integers(0, n_clients, size=n_flows)
+    servers = _SERVER_BASE + rng.integers(0, n_servers, size=n_flows)
+    sports = rng.integers(1024, 65535, size=n_flows)
+    dports = rng.choice(_SERVICE_PORTS, size=n_flows,
+                        p=_SERVICE_WEIGHTS / _SERVICE_WEIGHTS.sum())
+    is_udp = rng.random(n_flows) < udp_fraction
+    is_dns = rng.random(n_flows) < dns_fraction
+
+    packets: List[Packet] = []
+    for f in range(n_flows):
+        count = sizes[f]
+        times = _spread(rng, count, duration_s, start_s)
+        if is_dns[f]:
+            proto, dport = int(Proto.UDP), 53
+        elif is_udp[f]:
+            proto, dport = int(Proto.UDP), int(dports[f])
+        else:
+            proto, dport = int(Proto.TCP), int(dports[f])
+        sip, dip, sport = int(clients[f]), int(servers[f]), int(sports[f])
+        lengths = rng.choice((64, 120, 576, 1500), size=count,
+                             p=(0.35, 0.15, 0.15, 0.35))
+        for i in range(count):
+            flags = 0
+            if proto == Proto.TCP:
+                if i == 0:
+                    flags = int(TcpFlags.SYN)
+                elif i == count - 1 and count > 2:
+                    flags = int(TcpFlags.FIN) | int(TcpFlags.ACK)
+                else:
+                    flags = int(TcpFlags.ACK)
+            packets.append(
+                Packet(
+                    sip=sip, dip=dip, proto=proto, sport=sport, dport=dport,
+                    tcp_flags=flags,
+                    len=int(lengths[i]) if i else 64,
+                    ts=float(times[i]),
+                    dns_ancount=0,
+                )
+            )
+        # TCP handshakes answer with a SYN-ACK; DNS queries get answers.
+        if proto == Proto.TCP and count >= 2:
+            packets.append(
+                Packet(sip=dip, dip=sip, proto=proto, sport=dport,
+                       dport=sport, tcp_flags=int(TcpFlags.SYNACK), len=64,
+                       ts=float(times[0]) + 1e-4)
+            )
+        if dport == 53 and proto == Proto.UDP:
+            packets.append(
+                Packet(sip=dip, dip=sip, proto=proto, sport=53, dport=sport,
+                       len=220, ts=float(times[0]) + 5e-4,
+                       dns_ancount=int(rng.integers(1, 4)))
+            )
+    return Trace(packets, name=name)
+
+
+def caida_like(n_packets: int = 50_000, duration_s: float = 1.0,
+               seed: int = 11, start_s: float = 0.0) -> Trace:
+    """Backbone-style mix: TCP-heavy, strong heavy hitters."""
+    return background_traffic(
+        n_packets=n_packets, duration_s=duration_s, seed=seed,
+        n_clients=4000, n_servers=400, zipf_a=1.2, udp_fraction=0.12,
+        dns_fraction=0.04, start_s=start_s, name="caida-like",
+    )
+
+
+def mawi_like(n_packets: int = 50_000, duration_s: float = 1.0,
+              seed: int = 13, start_s: float = 0.0) -> Trace:
+    """Trans-Pacific-style mix: more UDP and DNS, flatter flow sizes."""
+    return background_traffic(
+        n_packets=n_packets, duration_s=duration_s, seed=seed,
+        n_clients=2500, n_servers=250, zipf_a=1.45, udp_fraction=0.35,
+        dns_fraction=0.12, start_s=start_s, name="mawi-like",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Attack generators (one per detection query)                                 #
+# --------------------------------------------------------------------------- #
+
+
+def syn_flood(victim_index: int = 1, n_sources: int = 120,
+              n_packets: int = 3000, duration_s: float = 1.0,
+              seed: int = 21, start_s: float = 0.0) -> Trace:
+    """Q1/Q6: many half-open SYNs towards one victim, few ACKs back."""
+    rng = np.random.default_rng(seed)
+    victim = _VICTIM_BASE + victim_index
+    times = _spread(rng, n_packets, duration_s, start_s)
+    sources = _ATTACKER_BASE + rng.integers(0, n_sources, size=n_packets)
+    packets = [
+        Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.TCP),
+               sport=int(rng.integers(1024, 65535)), dport=80,
+               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
+        for i in range(n_packets)
+    ]
+    return Trace(packets, name="syn-flood")
+
+
+def port_scan(scanner_index: int = 1, victim_index: int = 7,
+              n_ports: int = 400, duration_s: float = 1.0,
+              seed: int = 23, start_s: float = 0.0) -> Trace:
+    """Q4: one source probing many destination ports."""
+    rng = np.random.default_rng(seed)
+    scanner = _ATTACKER_BASE + 0x1000 + scanner_index
+    victim = _VICTIM_BASE + victim_index
+    times = _spread(rng, n_ports, duration_s, start_s)
+    ports = rng.permutation(np.arange(1, 1 + max(n_ports, 1)))[:n_ports]
+    packets = [
+        Packet(sip=scanner, dip=victim, proto=int(Proto.TCP),
+               sport=int(rng.integers(1024, 65535)), dport=int(ports[i]),
+               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
+        for i in range(n_ports)
+    ]
+    return Trace(packets, name="port-scan")
+
+
+def udp_flood(victim_index: int = 3, n_sources: int = 300,
+              n_packets: int = 3000, duration_s: float = 1.0,
+              seed: int = 29, start_s: float = 0.0) -> Trace:
+    """Q5: UDP DDoS — many sources hammering one destination."""
+    rng = np.random.default_rng(seed)
+    victim = _VICTIM_BASE + victim_index
+    times = _spread(rng, n_packets, duration_s, start_s)
+    sources = _ATTACKER_BASE + 0x2000 + rng.integers(0, n_sources,
+                                                     size=n_packets)
+    packets = [
+        Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.UDP),
+               sport=int(rng.integers(1024, 65535)), dport=53,
+               len=512, ts=float(times[i]))
+        for i in range(n_packets)
+    ]
+    return Trace(packets, name="udp-flood")
+
+
+def ssh_brute_force(victim_index: int = 5, n_attempts: int = 300,
+                    n_sources: int = 60, duration_s: float = 1.0,
+                    seed: int = 31, start_s: float = 0.0) -> Trace:
+    """Q2: repeated fixed-size SSH login attempts against one server."""
+    rng = np.random.default_rng(seed)
+    victim = _VICTIM_BASE + victim_index
+    times = _spread(rng, n_attempts, duration_s, start_s)
+    sources = _ATTACKER_BASE + 0x3000 + rng.integers(0, n_sources,
+                                                     size=n_attempts)
+    packets = [
+        Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.TCP),
+               sport=int(rng.integers(1024, 65535)), dport=22,
+               tcp_flags=int(TcpFlags.PSH) | int(TcpFlags.ACK),
+               len=112,  # the fixed-size login attempt signature
+               ts=float(times[i]))
+        for i in range(n_attempts)
+    ]
+    return Trace(packets, name="ssh-brute")
+
+
+def slowloris(victim_index: int = 9, n_connections: int = 150,
+              packets_per_connection: int = 5, duration_s: float = 1.0,
+              seed: int = 37, start_s: float = 0.0) -> Trace:
+    """Q8: many tiny keep-alive connections against one web server.
+
+    Each held-open connection drips a few ~70-byte keep-alive segments, so
+    the victim accumulates many connections and noticeable total bytes but
+    a pathologically small bytes-per-connection ratio.
+    """
+    rng = np.random.default_rng(seed)
+    victim = _VICTIM_BASE + victim_index
+    attacker = _ATTACKER_BASE + 0x4000
+    total = n_connections * packets_per_connection
+    times = _spread(rng, total, duration_s, start_s)
+    packets = []
+    for i in range(total):
+        conn = i % n_connections
+        sport = 10_000 + conn  # one ephemeral port per held-open connection
+        first = i < n_connections
+        packets.append(
+            Packet(sip=attacker, dip=victim, proto=int(Proto.TCP),
+                   sport=sport, dport=80,
+                   tcp_flags=int(TcpFlags.SYN if first else TcpFlags.ACK),
+                   len=64 if first else 70,
+                   ts=float(times[i]))
+        )
+    return Trace(packets, name="slowloris")
+
+
+def superspreader(source_index: int = 2, n_destinations: int = 500,
+                  duration_s: float = 1.0, seed: int = 41,
+                  start_s: float = 0.0) -> Trace:
+    """Q3: one source contacting very many distinct destinations."""
+    rng = np.random.default_rng(seed)
+    source = _ATTACKER_BASE + 0x5000 + source_index
+    times = _spread(rng, n_destinations, duration_s, start_s)
+    dests = _VICTIM_BASE + 0x100 + rng.permutation(n_destinations)
+    packets = [
+        Packet(sip=source, dip=int(dests[i]), proto=int(Proto.TCP),
+               sport=int(rng.integers(1024, 65535)), dport=80,
+               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
+        for i in range(n_destinations)
+    ]
+    return Trace(packets, name="superspreader")
+
+
+def dns_orphan_responses(n_victims: int = 4, answers_per_victim: int = 12,
+                         duration_s: float = 1.0, seed: int = 43,
+                         start_s: float = 0.0) -> Trace:
+    """Q9: hosts receiving DNS answers but never opening TCP connections.
+
+    The classic reflection/C2 beacon pattern: resolvers answer queries the
+    victim (or spoofer) sent, and no TCP follow-up ever appears.
+    """
+    rng = np.random.default_rng(seed)
+    n_resolvers = max(4, answers_per_victim)
+    total = n_victims * answers_per_victim
+    times = _spread(rng, total, duration_s, start_s)
+    packets = []
+    for i in range(total):
+        victim = _VICTIM_BASE + 0x800 + (i % n_victims)
+        resolver = _SERVER_BASE + 0x90 + (i // n_victims) % n_resolvers
+        packets.append(
+            Packet(sip=int(resolver), dip=victim, proto=int(Proto.UDP),
+                   sport=53, dport=int(rng.integers(1024, 65535)),
+                   len=300, dns_ancount=int(rng.integers(1, 6)),
+                   ts=float(times[i]))
+        )
+    return Trace(packets, name="dns-orphans")
+
+
+def syn_scan_noise(n_packets: int = 5000, n_destinations: int = 4000,
+                   n_sources: int = 2000, duration_s: float = 1.0,
+                   seed: int = 47, start_s: float = 0.0) -> Trace:
+    """Wide-spectrum SYN background (scanning / churn noise).
+
+    Touches thousands of distinct destinations per window, which is what
+    loads Q1's Count-Min rows and makes register size matter — the
+    pressure the Figure 14 accuracy sweep needs.
+    """
+    rng = np.random.default_rng(seed)
+    times = _spread(rng, n_packets, duration_s, start_s)
+    sips = _CLIENT_BASE + 0x8000 + rng.integers(0, n_sources, size=n_packets)
+    dips = _SERVER_BASE + 0x8000 + rng.integers(0, n_destinations,
+                                                size=n_packets)
+    packets = [
+        Packet(sip=int(sips[i]), dip=int(dips[i]), proto=int(Proto.TCP),
+               sport=int(rng.integers(1024, 65535)), dport=80,
+               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
+        for i in range(n_packets)
+    ]
+    return Trace(packets, name="syn-noise")
+
+
+def assign_hosts(trace: Trace, host_pairs: Sequence[Tuple[object, object]],
+                 seed: int = 0) -> Trace:
+    """Pin each flow of a trace to a (src_host, dst_host) pair.
+
+    Flows (not packets) are assigned round-robin after a seeded shuffle so
+    a flow's packets always follow one forwarding path, as they would in a
+    real network.
+    """
+    if not host_pairs:
+        raise ValueError("need at least one host pair")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(host_pairs))
+    flow_assignment = {}
+    stamped = []
+    for packet in trace:
+        key = packet.five_tuple
+        if key not in flow_assignment:
+            pair = host_pairs[order[len(flow_assignment) % len(host_pairs)]]
+            flow_assignment[key] = pair
+        src_host, dst_host = flow_assignment[key]
+        stamped.append(
+            Packet(sip=packet.sip, dip=packet.dip, proto=packet.proto,
+                   sport=packet.sport, dport=packet.dport,
+                   tcp_flags=packet.tcp_flags, len=packet.len,
+                   ttl=packet.ttl, dns_ancount=packet.dns_ancount,
+                   ts=packet.ts, src_host=src_host, dst_host=dst_host)
+        )
+    return Trace(stamped, name=f"{trace.name}@net", assume_sorted=True)

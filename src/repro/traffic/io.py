@@ -1,0 +1,92 @@
+"""Trace serialization.
+
+Workloads are cheap to regenerate (everything is seeded), but saving a
+trace pins the *exact* packet stream for cross-run comparisons, sharing a
+failing case, or feeding an external tool.  The format is a compressed
+NumPy archive: one int64/float64 column per packet field, plus interned
+host labels for the network-simulation attachment points.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.traffic.traces import Trace
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+_INT_FIELDS = ("sip", "dip", "proto", "sport", "dport", "tcp_flags",
+               "len", "ttl", "dns_ancount")
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace to ``path`` (.npz); returns the resolved path."""
+    path = Path(path)
+    columns = {
+        name: np.array([getattr(p, name) for p in trace], dtype=np.int64)
+        for name in _INT_FIELDS
+    }
+    columns["ts"] = np.array([p.ts for p in trace], dtype=np.float64)
+
+    # Host labels are arbitrary hashables in memory; persist them as an
+    # interned string table (None -> index -1).
+    labels: List[str] = []
+    index = {}
+
+    def intern(value) -> int:
+        if value is None:
+            return -1
+        key = str(value)
+        if key not in index:
+            index[key] = len(labels)
+            labels.append(key)
+        return index[key]
+
+    columns["src_host"] = np.array(
+        [intern(p.src_host) for p in trace], dtype=np.int64
+    )
+    columns["dst_host"] = np.array(
+        [intern(p.dst_host) for p in trace], dtype=np.int64
+    )
+    meta = json.dumps({
+        "version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "hosts": labels,
+    })
+    np.savez_compressed(path, meta=np.array(meta), **columns)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {meta.get('version')!r}"
+            )
+        hosts = meta["hosts"]
+        columns = {name: data[name] for name in _INT_FIELDS}
+        ts = data["ts"]
+        src = data["src_host"]
+        dst = data["dst_host"]
+        n = len(ts)
+        packets = [
+            Packet(
+                ts=float(ts[i]),
+                src_host=hosts[src[i]] if src[i] >= 0 else None,
+                dst_host=hosts[dst[i]] if dst[i] >= 0 else None,
+                **{name: int(columns[name][i]) for name in _INT_FIELDS},
+            )
+            for i in range(n)
+        ]
+    return Trace(packets, name=meta["name"], assume_sorted=True)

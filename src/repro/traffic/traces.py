@@ -1,0 +1,129 @@
+"""Trace containers.
+
+A :class:`Trace` is a time-ordered packet list with merge, slicing, and
+statistics helpers.  Generators (CAIDA-like, MAWI-like, attacks) produce
+traces; experiments merge background and attack traces into workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.packet import Packet
+from repro.traffic.flows import flow_table
+
+__all__ = ["Trace", "TraceStats", "merge_traces"]
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace."""
+
+    packets: int
+    flows: int
+    bytes: int
+    duration_s: float
+    tcp_fraction: float
+    udp_fraction: float
+
+    @property
+    def packet_rate(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.packets / self.duration_s
+
+
+class Trace:
+    """A time-ordered packet stream with provenance."""
+
+    def __init__(self, packets: Sequence[Packet], name: str = "trace",
+                 assume_sorted: bool = False):
+        pkts = list(packets)
+        if not assume_sorted:
+            pkts.sort(key=lambda p: p.ts)
+        else:
+            for a, b in zip(pkts, pkts[1:]):
+                if b.ts < a.ts:
+                    raise ValueError(f"trace {name!r} is not time-ordered")
+        self.packets: List[Packet] = pkts
+        self.name = name
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __getitem__(self, index):
+        return self.packets[index]
+
+    @property
+    def duration_s(self) -> float:
+        if not self.packets:
+            return 0.0
+        return self.packets[-1].ts - self.packets[0].ts
+
+    def stats(self) -> TraceStats:
+        total = len(self.packets)
+        tcp = sum(1 for p in self.packets if p.proto == 6)
+        udp = sum(1 for p in self.packets if p.proto == 17)
+        return TraceStats(
+            packets=total,
+            flows=len(flow_table(self.packets)),
+            bytes=sum(p.len for p in self.packets),
+            duration_s=self.duration_s,
+            tcp_fraction=tcp / total if total else 0.0,
+            udp_fraction=udp / total if total else 0.0,
+        )
+
+    def window(self, epoch: int, window_s: float) -> List[Packet]:
+        """Packets of one time window."""
+        lo, hi = epoch * window_s, (epoch + 1) * window_s
+        return [p for p in self.packets if lo <= p.ts < hi]
+
+    def epochs(self, window_s: float) -> Dict[int, List[Packet]]:
+        """All packets bucketed by window index."""
+        out: Dict[int, List[Packet]] = {}
+        for packet in self.packets:
+            out.setdefault(int(packet.ts / window_s), []).append(packet)
+        return out
+
+    def with_hosts(self, src_host, dst_host) -> "Trace":
+        """Copy of the trace with every packet pinned to one host pair.
+
+        Useful for testbed-style experiments where all monitored traffic
+        flows between two servers (Figure 8).
+        """
+        stamped = [
+            Packet(
+                sip=p.sip, dip=p.dip, proto=p.proto, sport=p.sport,
+                dport=p.dport, tcp_flags=p.tcp_flags, len=p.len, ttl=p.ttl,
+                dns_ancount=p.dns_ancount, ts=p.ts,
+                src_host=src_host, dst_host=dst_host,
+            )
+            for p in self.packets
+        ]
+        return Trace(stamped, name=f"{self.name}@hosts", assume_sorted=True)
+
+    def limited(self, max_packets: int) -> "Trace":
+        """Truncated prefix of the trace."""
+        return Trace(
+            self.packets[:max_packets],
+            name=f"{self.name}[:{max_packets}]",
+            assume_sorted=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.name} packets={len(self)}>"
+
+
+def merge_traces(traces: Iterable[Trace], name: Optional[str] = None) -> Trace:
+    """Merge several time-ordered traces into one (stable by timestamp)."""
+    trace_list = list(traces)
+    merged = list(
+        heapq.merge(*(t.packets for t in trace_list), key=lambda p: p.ts)
+    )
+    label = name or "+".join(t.name for t in trace_list)
+    return Trace(merged, name=label, assume_sorted=True)

@@ -1,0 +1,130 @@
+"""Baseline export-discipline tests."""
+
+import pytest
+
+from repro.baselines.flowradar import FlowRadar
+from repro.baselines.newton import NewtonSystem
+from repro.baselines.scream import Scream
+from repro.baselines.starflow import StarFlow
+from repro.baselines.turboflow import TurboFlow
+from repro.core.compiler import QueryParams
+from repro.core.packet import Packet
+from repro.core.query import Query
+from repro.traffic.generators import caida_like
+from repro.traffic.traces import Trace
+
+
+def small_trace(n=2000, seed=3):
+    return caida_like(n, duration_s=0.3, seed=seed)
+
+
+class TestTurboFlow:
+    def test_messages_track_flows_not_packets(self):
+        trace = small_trace()
+        result = TurboFlow(table_slots=1 << 14).process_trace(trace)
+        flows = trace.stats().flows
+        # Every flow exports at least once per window it appears in, plus
+        # collision churn — far fewer messages than packets.
+        assert flows <= result.messages < len(trace)
+
+    def test_small_table_evicts_more(self):
+        trace = small_trace()
+        small = TurboFlow(table_slots=64).process_trace(trace)
+        large = TurboFlow(table_slots=1 << 14).process_trace(trace)
+        assert small.messages > large.messages
+        assert small.details["evictions"] > large.details["evictions"]
+
+    def test_empty_trace(self):
+        result = TurboFlow().process_trace(Trace([]))
+        assert result.messages == 0 and result.overhead_ratio == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TurboFlow(table_slots=0)
+
+
+class TestStarFlow:
+    def test_messages_scale_with_packets(self):
+        a = StarFlow(gpv_capacity=8).process_trace(small_trace(1500))
+        b = StarFlow(gpv_capacity=8).process_trace(small_trace(4500))
+        assert b.messages > 2 * a.messages
+
+    def test_bigger_gpv_fewer_messages(self):
+        trace = small_trace()
+        small = StarFlow(gpv_capacity=2).process_trace(trace)
+        large = StarFlow(gpv_capacity=32).process_trace(trace)
+        assert small.messages > large.messages
+
+    def test_all_packets_eventually_exported(self):
+        # One steady flow: ceil(n / gpv) exports.
+        packets = [Packet(sip=1, dip=2, proto=6, ts=i * 0.001)
+                   for i in range(100)]
+        result = StarFlow(gpv_capacity=10).process_trace(Trace(packets))
+        assert result.messages == 10
+
+
+class TestFlowRadar:
+    def test_constant_per_window(self):
+        system = FlowRadar(cells=1024, cells_per_message=8)
+        sparse = system.process_trace(small_trace(1000))
+        dense = system.process_trace(small_trace(6000))
+        assert sparse.details["windows"] == dense.details["windows"]
+        assert sparse.messages == dense.messages
+
+    def test_messages_per_window(self):
+        system = FlowRadar(cells=1024, cells_per_message=8)
+        assert system.messages_per_window == 128
+
+    def test_empty_trace(self):
+        assert FlowRadar().process_trace(Trace([])).messages == 0
+
+
+class TestScream:
+    def test_export_is_structure_sized(self):
+        system = Scream(rows=3, width=1024, counters_per_message=8)
+        result = system.process_trace(small_trace())
+        windows = result.details["windows"]
+        assert result.messages == windows * system.messages_per_window
+
+
+class TestNewtonSystem:
+    def _query(self):
+        return (
+            Query("b.q1")
+            .filter(proto=6, tcp_flags=2)
+            .map("dip")
+            .reduce("dip")
+            .where(ge=5)
+        )
+
+    def test_reports_only_matching_intent(self):
+        from repro.traffic.generators import syn_flood
+        from repro.traffic.traces import merge_traces
+
+        trace = merge_traces([
+            small_trace(1500),
+            syn_flood(n_packets=300, duration_s=0.3),
+        ])
+        params = QueryParams(cm_depth=2, reduce_registers=2048)
+        result = NewtonSystem([self._query()], params=params).process_trace(
+            trace
+        )
+        assert 0 < result.messages < 50
+        assert result.overhead_ratio < 0.03
+
+    def test_orders_of_magnitude_below_generic_exporters(self):
+        from repro.traffic.generators import syn_flood
+        from repro.traffic.traces import merge_traces
+
+        trace = merge_traces([
+            small_trace(2500),
+            syn_flood(n_packets=200, duration_s=0.3),
+        ])
+        params = QueryParams(cm_depth=2, reduce_registers=2048)
+        newton = NewtonSystem([self._query()], params=params).process_trace(
+            trace
+        )
+        star = StarFlow().process_trace(trace)
+        turbo = TurboFlow().process_trace(trace)
+        assert newton.overhead_ratio * 10 < star.overhead_ratio
+        assert newton.overhead_ratio * 10 < turbo.overhead_ratio

@@ -1,0 +1,108 @@
+"""Sonata baseline tests: reboots, timelines, table estimates."""
+
+import pytest
+
+from repro.baselines.sonata import (
+    SWITCH_P4_DEFAULT_ENTRIES,
+    SonataSystem,
+    interruption_delay,
+    sonata_compile,
+    throughput_timeline,
+)
+from repro.core.compiler import QueryParams
+from repro.core.library import QueryThresholds, build_query
+
+
+class TestInterruption:
+    def test_switch_p4_scale_outage(self):
+        """Figure 10(a): ~7.5 s outage at switch.p4 defaults."""
+        delay = interruption_delay(SWITCH_P4_DEFAULT_ENTRIES)
+        assert delay == pytest.approx(7.5, abs=0.2)
+
+    def test_linear_growth(self):
+        """Figure 10(b): linear, ~half a minute at 60K entries."""
+        d10 = interruption_delay(10_000)
+        d60 = interruption_delay(60_000)
+        assert d60 > d10
+        slope1 = (interruption_delay(20_000) - d10) / 10_000
+        slope2 = (d60 - interruption_delay(50_000)) / 10_000
+        assert slope1 == pytest.approx(slope2)
+        assert 25 <= d60 <= 35
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            interruption_delay(-1)
+
+
+class TestTimeline:
+    def test_outage_window_zero_throughput(self):
+        series = throughput_timeline(
+            update_at_s=5.0, entries_to_restore=SWITCH_P4_DEFAULT_ENTRIES,
+            duration_s=20.0, line_rate_gbps=40.0, step_s=0.5,
+        )
+        during = [tp for t, tp in series if 5.0 <= t < 12.0]
+        before = [tp for t, tp in series if t < 5.0]
+        after = [tp for t, tp in series if t > 13.0]
+        assert all(tp == 0.0 for tp in during)
+        assert all(tp == 40.0 for tp in before)
+        assert all(tp == 40.0 for tp in after)
+
+    def test_outage_duration_matches_delay(self):
+        series = throughput_timeline(2.0, 10_000, 20.0, step_s=0.1)
+        down = [t for t, tp in series if tp == 0.0]
+        assert max(down) - min(down) == pytest.approx(
+            interruption_delay(10_000), abs=0.2
+        )
+
+
+class TestCompilationEstimate:
+    def test_tables_grow_with_primitives(self):
+        params = QueryParams()
+        q1 = sonata_compile(build_query("Q1"), params)
+        q4 = sonata_compile(build_query("Q4"), params)
+        assert q4.tables > q1.tables
+
+    def test_stages_equal_tables(self):
+        comp = sonata_compile(build_query("Q3"), QueryParams())
+        assert comp.stages == comp.tables
+
+    def test_composites_sum_subqueries(self):
+        params = QueryParams()
+        q6 = sonata_compile(build_query("Q6"), params)
+        subs = build_query("Q6").subqueries
+        assert q6.tables == sum(
+            sonata_compile(sub, params).tables for sub in subs
+        )
+
+    def test_newton_opt_beats_sonata_stages(self):
+        """The §6.4 claim: optimised Newton uses fewer stages than Sonata."""
+        from repro.core.compiler import Optimizations
+        from repro.experiments.common import query_footprint
+
+        params = QueryParams()
+        for name in ("Q1", "Q2", "Q3", "Q4", "Q5"):
+            query = build_query(name)
+            sonata = sonata_compile(query, params)
+            _, newton_stages = query_footprint(query, params,
+                                               Optimizations.all())
+            assert newton_stages < sonata.stages, name
+
+
+class TestSonataSystem:
+    def test_export_matches_newton(self):
+        """Sonata and Newton share accurate exportation (Figure 12)."""
+        from repro.baselines.newton import NewtonSystem
+        from repro.traffic.generators import caida_like, syn_flood
+        from repro.traffic.traces import merge_traces
+
+        trace = merge_traces([
+            caida_like(1500, duration_s=0.2, seed=4),
+            syn_flood(n_packets=150, duration_s=0.2),
+        ])
+        th = QueryThresholds(new_tcp_conns=25)
+        queries = [build_query("Q1", th)]
+        params = QueryParams(cm_depth=2, reduce_registers=2048)
+        newton = NewtonSystem(queries, params=params).process_trace(trace)
+        sonata = SonataSystem(queries, params=params).process_trace(trace)
+        assert sonata.messages == newton.messages
+        assert sonata.system == "Sonata"

@@ -1,0 +1,47 @@
+"""Shared fixtures for the Newton reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import QueryParams
+from repro.core.packet import Packet, Proto, TcpFlags
+from repro.core.query import Query
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+
+
+@pytest.fixture
+def q1_like() -> Query:
+    """A small Q1-style query with a low threshold for fast tests."""
+    return (
+        Query("t.q1", "new TCP connections (test)")
+        .filter(proto=Proto.TCP, tcp_flags=TcpFlags.SYN)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=5)
+    )
+
+
+@pytest.fixture
+def small_params() -> QueryParams:
+    """Sketch parameters sized for unit-test register arrays."""
+    return QueryParams(cm_depth=2, bf_hashes=2,
+                       reduce_registers=256, distinct_registers=256)
+
+
+@pytest.fixture
+def single_switch_deployment():
+    """One switch, one host pair, analyzer wired as report sink."""
+    return build_deployment(linear(1), num_stages=12, array_size=4096)
+
+
+def syn_packet(sip: int, dip: int, ts: float = 0.0, sport: int = 1234,
+               dport: int = 80) -> Packet:
+    return Packet(sip=sip, dip=dip, proto=int(Proto.TCP), sport=sport,
+                  dport=dport, tcp_flags=int(TcpFlags.SYN), ts=ts)
+
+
+@pytest.fixture
+def make_syn():
+    return syn_packet

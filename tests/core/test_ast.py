@@ -1,0 +1,137 @@
+"""Primitive IR tests."""
+
+import pytest
+
+from repro.core.ast import (
+    CmpOp,
+    Distinct,
+    FieldPredicate,
+    Filter,
+    KeyExpr,
+    Map,
+    Reduce,
+    ReduceFunc,
+    ResultFilter,
+)
+
+
+class TestFieldPredicate:
+    @pytest.mark.parametrize("op,value,actual,expected", [
+        (CmpOp.EQ, 5, 5, True), (CmpOp.EQ, 5, 6, False),
+        (CmpOp.NE, 5, 6, True), (CmpOp.GT, 5, 6, True),
+        (CmpOp.GT, 5, 5, False), (CmpOp.GE, 5, 5, True),
+        (CmpOp.LT, 5, 4, True), (CmpOp.LE, 5, 5, True),
+    ])
+    def test_comparisons(self, op, value, actual, expected):
+        pred = FieldPredicate("dport", op, value)
+        assert pred.evaluate({"dport": actual}) is expected
+
+    def test_mask_eq(self):
+        pred = FieldPredicate("tcp_flags", CmpOp.MASK_EQ, 0x02, mask=0x02)
+        assert pred.evaluate({"tcp_flags": 0x12})
+        assert not pred.evaluate({"tcp_flags": 0x10})
+
+    def test_mask_eq_requires_mask(self):
+        with pytest.raises(ValueError):
+            FieldPredicate("tcp_flags", CmpOp.MASK_EQ, 2)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            FieldPredicate("bogus", CmpOp.EQ, 1)
+
+    def test_init_foldable(self):
+        assert FieldPredicate("dport", CmpOp.EQ, 22).init_foldable
+        assert FieldPredicate("tcp_flags", CmpOp.MASK_EQ, 2,
+                              mask=2).init_foldable
+        assert not FieldPredicate("dport", CmpOp.GT, 22).init_foldable
+        assert not FieldPredicate("len", CmpOp.EQ, 64).init_foldable
+
+    def test_to_init_match(self):
+        value, mask = FieldPredicate("dport", CmpOp.EQ, 22).to_init_match()
+        assert (value, mask) == (22, 0xFFFF)
+
+    def test_to_init_match_rejects_ranges(self):
+        with pytest.raises(ValueError):
+            FieldPredicate("dport", CmpOp.GT, 22).to_init_match()
+
+
+class TestKeyExpr:
+    def test_full_field_default(self):
+        assert KeyExpr("dip").effective_mask == 0xFFFFFFFF
+
+    def test_masked_extract(self):
+        expr = KeyExpr("dip", 0xFFFFFF00)
+        assert expr.extract({"dip": 0x0A0000FF}) == 0x0A000000
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            KeyExpr("proto", 0x1FF)
+
+    def test_describe(self):
+        assert KeyExpr("dip").describe() == "dip"
+        assert "&" in KeyExpr("dip", 0xFF).describe()
+
+
+class TestPrimitives:
+    def test_filter_requires_predicates(self):
+        with pytest.raises(ValueError):
+            Filter(predicates=())
+
+    def test_filter_and_semantics(self):
+        f = Filter((FieldPredicate("proto", CmpOp.EQ, 6),
+                    FieldPredicate("dport", CmpOp.EQ, 22)))
+        assert f.evaluate({"proto": 6, "dport": 22})
+        assert not f.evaluate({"proto": 6, "dport": 23})
+
+    def test_filter_foldability(self):
+        assert Filter((FieldPredicate("proto", CmpOp.EQ, 6),)).init_foldable
+        mixed = Filter((FieldPredicate("proto", CmpOp.EQ, 6),
+                        FieldPredicate("len", CmpOp.GT, 100)))
+        assert not mixed.init_foldable
+
+    def test_filter_duplicate_fields_not_foldable(self):
+        f = Filter((FieldPredicate("dport", CmpOp.EQ, 22),
+                    FieldPredicate("dport", CmpOp.EQ, 80)))
+        assert not f.init_foldable
+
+    def test_map_key_masks(self):
+        m = Map(keys=(KeyExpr("dip"), KeyExpr("sport")))
+        masks = m.key_masks()
+        assert masks == {"dip": 0xFFFFFFFF, "sport": 0xFFFF}
+
+    def test_map_needs_keys(self):
+        with pytest.raises(ValueError):
+            Map(keys=())
+
+    def test_extract_key_order(self):
+        m = Map(keys=(KeyExpr("dport"), KeyExpr("sip")))
+        assert m.extract_key({"dport": 80, "sip": 9}) == (80, 9)
+
+    def test_reduce_operand_field(self):
+        assert Reduce(keys=(KeyExpr("dip"),)).operand_field is None
+        assert Reduce(keys=(KeyExpr("dip"),),
+                      func=ReduceFunc.SUM_LEN).operand_field == "len"
+
+    def test_distinct_describe(self):
+        assert "distinct" in Distinct(keys=(KeyExpr("dip"),)).describe()
+
+
+class TestResultFilter:
+    def test_crossing_value(self):
+        assert ResultFilter(CmpOp.GE, 10).crossing_value == 10
+        assert ResultFilter(CmpOp.GT, 10).crossing_value == 11
+        assert ResultFilter(CmpOp.EQ, 10).crossing_value == 10
+
+    def test_evaluate_count(self):
+        ge = ResultFilter(CmpOp.GE, 10)
+        assert ge.evaluate_count(10) and not ge.evaluate_count(9)
+        gt = ResultFilter(CmpOp.GT, 10)
+        assert gt.evaluate_count(11) and not gt.evaluate_count(10)
+
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ResultFilter(CmpOp.LT, 10)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ResultFilter(CmpOp.GE, -1)

@@ -1,0 +1,61 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_registered(self):
+        expected = {"table3", "ablations"} | {f"fig{i}" for i in
+                                              (7, 10, 11, 12, 13, 14, 15,
+                                               16, 17)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "Q42"])
+
+
+class TestCommands:
+    def test_list_queries(self, capsys):
+        assert main(["list-queries"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 10):
+            assert f"Q{i}" in out
+        assert "Monitor super spreaders" in out
+
+    def test_compile_summary(self, capsys):
+        assert main(["compile", "Q1"]) == 0
+        out = capsys.readouterr().out
+        assert "modules=8" in out and "stages=6" in out
+
+    def test_compile_with_rules(self, capsys):
+        assert main(["compile", "Q1", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "KConfig" in out and "RConfig" in out
+
+    def test_compile_opt_levels_differ(self, capsys):
+        main(["compile", "Q1", "--opt-level", "0"])
+        naive = capsys.readouterr().out
+        main(["compile", "Q1", "--opt-level", "3"])
+        optimized = capsys.readouterr().out
+        assert "modules=20" in naive
+        assert "modules=8" in optimized
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage" in out and "Compact Module Layout" in out
+
+    def test_experiment_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "42.4%" in capsys.readouterr().out

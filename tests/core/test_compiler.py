@@ -1,0 +1,248 @@
+"""Compiler tests: lowering, Algorithm 1 optimisations, scheduling, slicing."""
+
+import pytest
+
+from repro.core.ast import CmpOp, FieldPredicate
+from repro.core.compiler import (
+    CompilationError,
+    Optimizations,
+    QueryParams,
+    compile_query,
+    slice_compiled,
+)
+from repro.core.packet import Proto, TcpFlags
+from repro.core.query import Query
+from repro.core.rules import HConfig, KConfig, RConfig, SConfig
+from repro.dataplane.module_types import ModuleType
+
+
+def q1(threshold=40):
+    return (
+        Query("c.q1")
+        .filter(proto=Proto.TCP, tcp_flags=TcpFlags.SYN)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=threshold)
+    )
+
+
+PARAMS = QueryParams(cm_depth=2, bf_hashes=3,
+                     reduce_registers=128, distinct_registers=128)
+
+
+class TestOpt1:
+    def test_front_filter_folds_into_init(self):
+        compiled = compile_query(q1(), PARAMS)
+        assert compiled.absorbed_front_filter
+        match = compiled.init_entries[0].match_map()
+        assert match["proto"] == (6, 0xFF)
+        assert match["tcp_flags"] == (2, 0xFF)
+
+    def test_disabled_keeps_filter_on_modules(self):
+        compiled = compile_query(q1(), PARAMS, Optimizations.upto(0))
+        assert not compiled.absorbed_front_filter
+        assert compiled.init_entries[0].match == ()
+
+    def test_partial_fold(self):
+        query = (
+            Query("c.partial")
+            .filter(
+                FieldPredicate("proto", CmpOp.EQ, 17),
+                FieldPredicate("dns_ancount", CmpOp.GT, 0),
+            )
+            .map("dip")
+            .reduce("dip")
+            .where(ge=2)
+        )
+        compiled = compile_query(query, PARAMS)
+        assert not compiled.absorbed_front_filter  # residue remains
+        assert "proto" in compiled.init_entries[0].match_map()
+        # The residue predicate still occupies module rules.
+        r_modules = [s for s in compiled.specs
+                     if s.primitive_index == 0]
+        assert r_modules
+
+    def test_non_front_filter_never_folds(self):
+        query = (
+            Query("c.mid")
+            .map("dip")
+            .reduce("dip")
+            .where(ge=2)
+        )
+        query.filter(proto=6)  # appended after the reduce
+        compiled = compile_query(query, PARAMS)
+        assert not compiled.absorbed_front_filter
+
+
+class TestOpt2:
+    def test_map_compiles_to_k_only(self):
+        compiled = compile_query(Query("c.map").map("dip"), PARAMS)
+        assert [s.module_type for s in compiled.specs] == [
+            ModuleType.KEY_SELECTION
+        ]
+
+    def test_redundant_k_removed_between_primitives(self):
+        compiled = compile_query(q1(), PARAMS)
+        k_modules = [s for s in compiled.specs
+                     if s.module_type is ModuleType.KEY_SELECTION]
+        # map(dip) and both reduce rows share one K.
+        assert len(k_modules) == 1
+
+    def test_sketch_rows_share_k(self):
+        compiled = compile_query(
+            Query("c.red").reduce("dip"),
+            QueryParams(cm_depth=4, reduce_registers=64),
+        )
+        counts = {}
+        for spec in compiled.specs:
+            counts[spec.module_type] = counts.get(spec.module_type, 0) + 1
+        assert counts[ModuleType.KEY_SELECTION] == 1
+        assert counts[ModuleType.HASH_CALCULATION] == 4
+        assert counts[ModuleType.STATE_BANK] == 4
+
+    def test_without_opt2_padding_modules_remain(self):
+        compiled = compile_query(Query("c.map").map("dip"), PARAMS,
+                                 Optimizations.upto(1))
+        assert len(compiled.specs) == 4  # full K/H/S/R suite
+
+
+class TestOpt3:
+    def test_vertical_composition_reduces_stages(self):
+        flat = compile_query(q1(), PARAMS, Optimizations.upto(2))
+        packed = compile_query(q1(), PARAMS, Optimizations.upto(3))
+        assert packed.num_stages < flat.num_stages
+        assert packed.num_modules == flat.num_modules
+
+    def test_sets_alternate_on_key_change(self):
+        query = (
+            Query("c.two")
+            .map("sip", "dip")
+            .distinct("sip", "dip")
+            .map("sip")
+            .reduce("sip")
+            .where(ge=2)
+        )
+        compiled = compile_query(query, PARAMS)
+        sets = {s.set_id for s in compiled.specs}
+        assert sets == {0, 1}
+
+    def test_intra_set_order_preserved(self):
+        """Within one metadata set, K < H < S stage ordering must hold for
+        each suite (write-read dependencies, Figure 4)."""
+        compiled = compile_query(q1(), PARAMS)
+        by_suite = {}
+        for spec in compiled.specs:
+            by_suite.setdefault(
+                (spec.primitive_index, spec.suite_index), {}
+            )[spec.module_type] = spec.stage
+        for stages in by_suite.values():
+            h = stages.get(ModuleType.HASH_CALCULATION)
+            s = stages.get(ModuleType.STATE_BANK)
+            r = stages.get(ModuleType.RESULT_PROCESS)
+            if h is not None and s is not None:
+                assert h < s
+            if s is not None and r is not None:
+                assert s < r
+
+    def test_r_chain_strictly_ordered(self):
+        compiled = compile_query(q1(), PARAMS)
+        r_stages = [s.stage for s in compiled.specs
+                    if s.module_type is ModuleType.RESULT_PROCESS]
+        assert r_stages == sorted(r_stages)
+        assert len(set(r_stages)) == len(r_stages)
+
+    def test_one_slot_per_type_per_stage(self):
+        compiled = compile_query(q1(), PARAMS)
+        seen = set()
+        for spec in compiled.specs:
+            key = (spec.stage, spec.module_type)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestConfigs:
+    def test_reduce_slice_matches_hash_range(self):
+        compiled = compile_query(Query("c.red").reduce("dip"), PARAMS)
+        h_configs = [s.config for s in compiled.specs
+                     if s.module_type is ModuleType.HASH_CALCULATION]
+        s_configs = [s.config for s in compiled.specs
+                     if s.module_type is ModuleType.STATE_BANK]
+        for h, s in zip(h_configs, s_configs):
+            assert isinstance(h, HConfig) and isinstance(s, SConfig)
+            assert h.range_size == s.slice_size == PARAMS.reduce_registers
+
+    def test_hash_seeds_unique_per_row(self):
+        compiled = compile_query(
+            Query("c.red").reduce("dip"),
+            QueryParams(cm_depth=3, reduce_registers=64),
+        )
+        seeds = [s.config.seed_index for s in compiled.specs
+                 if s.module_type is ModuleType.HASH_CALCULATION]
+        assert len(seeds) == len(set(seeds)) == 3
+
+    def test_distinct_uses_test_and_set(self):
+        compiled = compile_query(
+            Query("c.dis").distinct("dip"),
+            QueryParams(bf_hashes=2, distinct_registers=64),
+        )
+        s_configs = [s.config for s in compiled.specs
+                     if s.module_type is ModuleType.STATE_BANK]
+        assert all(c.output_old for c in s_configs)
+
+    def test_register_demand(self):
+        compiled = compile_query(Query("c.red").reduce("dip"),
+                                 QueryParams(cm_depth=2, reduce_registers=64))
+        assert compiled.register_demand == 128
+
+    def test_rule_count_includes_init(self):
+        compiled = compile_query(q1(), PARAMS)
+        assert compiled.rule_count == compiled.num_modules + 1
+
+
+class TestErrors:
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            compile_query(Query("c.empty"), PARAMS)
+
+    def test_fold_only_query_rejected(self):
+        query = Query("c.init").filter(proto=6)
+        with pytest.raises(CompilationError):
+            compile_query(query, PARAMS)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            QueryParams(cm_depth=0)
+        with pytest.raises(ValueError):
+            QueryParams(reduce_registers=0)
+
+
+class TestSlicing:
+    def test_single_slice_when_fits(self):
+        compiled = compile_query(q1(), PARAMS)
+        slices = slice_compiled(compiled, 12)
+        assert len(slices) == 1
+        assert slices[0].total_slices == 1
+        assert slices[0].init_entries
+
+    def test_multi_slice_partition(self):
+        compiled = compile_query(q1(), PARAMS)
+        stages_per = 2
+        slices = slice_compiled(compiled, stages_per)
+        assert len(slices) == -(-compiled.num_stages // stages_per)
+        # Every spec lands in exactly one slice.
+        total = sum(len(s.specs) for s in slices)
+        assert total == compiled.num_modules
+        # Only slice 0 dispatches.
+        assert slices[0].init_entries
+        assert all(not s.init_entries for s in slices[1:])
+
+    def test_slice_stage_bounds(self):
+        compiled = compile_query(q1(), PARAMS)
+        for s in slice_compiled(compiled, 3):
+            for spec in s.specs:
+                assert s.stage_base <= spec.stage < s.stage_base + 3
+
+    def test_invalid_stage_budget(self):
+        compiled = compile_query(q1(), PARAMS)
+        with pytest.raises(ValueError):
+            slice_compiled(compiled, 0)

@@ -1,0 +1,101 @@
+"""Rule export tests: the serialised form must be lossless."""
+
+import json
+
+import pytest
+
+from repro.core.compiler import QueryParams, compile_query
+from repro.core.export import entries_for, render_entries, to_json
+from repro.core.library import QueryThresholds, build_query
+from repro.core.packet import Proto, TcpFlags
+from repro.core.query import Query, flatten
+
+PARAMS = QueryParams(cm_depth=2, bf_hashes=2,
+                     reduce_registers=256, distinct_registers=256)
+
+
+def q1():
+    return (
+        Query("x.q1")
+        .filter(proto=Proto.TCP, tcp_flags=TcpFlags.SYN)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=10)
+    )
+
+
+class TestEntries:
+    def test_entry_count_matches_rule_count(self):
+        compiled = compile_query(q1(), PARAMS)
+        entries = entries_for(compiled)
+        assert len(entries) == compiled.rule_count
+
+    def test_dispatch_entry_first(self):
+        compiled = compile_query(q1(), PARAMS)
+        first = entries_for(compiled)[0]
+        assert first["table"] == "newton_init"
+        assert first["match"]["proto"] == {"value": 6, "mask": 0xFF}
+        assert first["action"]["params"]["qid"] == "x.q1"
+
+    def test_tables_carry_stage_suffix(self):
+        compiled = compile_query(q1(), PARAMS)
+        tables = {e["table"] for e in entries_for(compiled)[1:]}
+        assert any(t.startswith("newton_state_bank_s") for t in tables)
+        assert all("_s" in t for t in tables)
+
+    def test_every_module_type_exports(self):
+        compiled = compile_query(
+            Query("x.d").distinct("dip", "sip").map("dip").reduce("dip")
+            .where(ge=2),
+            PARAMS,
+        )
+        actions = {e["action"]["name"] for e in entries_for(compiled)[1:]}
+        assert actions == {"select_keys", "compute_hash", "state_update",
+                           "process_result"}
+
+    def test_result_entries_capture_semantics(self):
+        compiled = compile_query(q1(), PARAMS)
+        r_entries = [e for e in entries_for(compiled)
+                     if e["action"]["name"] == "process_result"]
+        final = r_entries[-1]["action"]["params"]
+        assert final["source"] == "global"
+        assert any(e["report"] for e in final["entries"])
+        assert final["default"]["stop"]
+
+    def test_state_update_register_sizing(self):
+        compiled = compile_query(q1(), PARAMS)
+        s_entries = [e for e in entries_for(compiled)
+                     if e["action"]["name"] == "state_update"
+                     and not e["action"]["params"]["passthrough"]]
+        assert all(e["action"]["params"]["slice_size"] == 256
+                   for e in s_entries)
+
+
+class TestJson:
+    def test_round_trips_through_json(self):
+        compiled = compile_query(q1(), PARAMS)
+        doc = json.loads(to_json(compiled))
+        assert doc["qid"] == "x.q1"
+        assert doc["stages"] == compiled.num_stages
+        assert len(doc["entries"]) == compiled.rule_count
+
+    def test_all_library_queries_export(self):
+        for name in [f"Q{i}" for i in range(1, 10)]:
+            query = build_query(name, QueryThresholds())
+            for sub in flatten(query):
+                compiled = compile_query(sub, PARAMS)
+                doc = json.loads(to_json(compiled))
+                assert len(doc["entries"]) == compiled.rule_count
+
+    def test_deterministic(self):
+        compiled = compile_query(q1(), PARAMS)
+        assert to_json(compiled) == to_json(compiled)
+
+
+class TestRender:
+    def test_readable_dump(self):
+        compiled = compile_query(q1(), PARAMS)
+        text = render_entries(compiled)
+        assert "newton_init" in text
+        assert "state_update" in text
+        assert text.count("\n") + 1 == compiled.rule_count

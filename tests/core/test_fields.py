@@ -1,0 +1,93 @@
+"""Field registry tests."""
+
+import pytest
+
+from repro.core.fields import (
+    Field,
+    FieldRegistry,
+    GLOBAL_FIELDS,
+    full_mask,
+    prefix_mask,
+)
+
+
+class TestMasks:
+    def test_full_mask(self):
+        assert full_mask(8) == 0xFF
+        assert full_mask(32) == 0xFFFFFFFF
+
+    def test_prefix_mask(self):
+        assert prefix_mask(32, 24) == 0xFFFFFF00
+        assert prefix_mask(32, 0) == 0
+        assert prefix_mask(32, 32) == 0xFFFFFFFF
+
+    def test_prefix_mask_bounds(self):
+        with pytest.raises(ValueError):
+            prefix_mask(32, 33)
+        with pytest.raises(ValueError):
+            prefix_mask(32, -1)
+
+
+class TestField:
+    def test_max_value(self):
+        assert Field("x", 16).max_value == 0xFFFF
+
+    def test_byte_width_rounds_up(self):
+        assert Field("x", 8).byte_width == 1
+        assert Field("x", 9).byte_width == 2
+
+    def test_validate(self):
+        field = Field("x", 8)
+        assert field.validate(255) == 255
+        with pytest.raises(ValueError):
+            field.validate(256)
+        with pytest.raises(TypeError):
+            field.validate("nope")
+
+
+class TestRegistry:
+    def test_global_fields_present(self):
+        for name in ("sip", "dip", "proto", "sport", "dport", "tcp_flags",
+                     "len", "ttl", "dns_ancount"):
+            assert name in GLOBAL_FIELDS
+
+    def test_unknown_field_message(self):
+        with pytest.raises(KeyError, match="known fields"):
+            GLOBAL_FIELDS.get("nonexistent")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FieldRegistry([Field("a", 8), Field("a", 8)])
+
+    def test_total_bits(self):
+        registry = FieldRegistry([Field("a", 8), Field("b", 16)])
+        assert registry.total_bits == 24
+
+    def test_pack_respects_registry_order(self):
+        values = {"sip": 1, "dip": 2}
+        masks = {"dip": full_mask(32), "sip": full_mask(32)}
+        packed = GLOBAL_FIELDS.pack(values, masks)
+        # sip comes first in registry order regardless of dict order.
+        assert packed == (1).to_bytes(4, "big") + (2).to_bytes(4, "big")
+
+    def test_pack_applies_masks(self):
+        packed = GLOBAL_FIELDS.pack({"dip": 0x0A0000FF},
+                                    {"dip": 0xFFFFFF00})
+        assert packed == (0x0A000000).to_bytes(4, "big")
+
+    def test_pack_skips_zero_masks(self):
+        packed = GLOBAL_FIELDS.pack({"dip": 5}, {"dip": 0})
+        assert packed == b""
+
+    def test_equal_selection_equal_keys(self):
+        a = GLOBAL_FIELDS.pack({"sip": 1, "dport": 80},
+                               {"sip": full_mask(32), "dport": full_mask(16)})
+        b = GLOBAL_FIELDS.pack({"dport": 80, "sip": 1},
+                               {"dport": full_mask(16), "sip": full_mask(32)})
+        assert a == b
+
+    def test_selected_values(self):
+        out = GLOBAL_FIELDS.selected_values(
+            {"dip": 0x0A0000FF}, {"dip": 0xFFFFFF00}
+        )
+        assert out == {"dip": 0x0A000000}

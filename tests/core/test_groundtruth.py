@@ -1,0 +1,116 @@
+"""Ground-truth engine tests."""
+
+import pytest
+
+from repro.core.groundtruth import GroundTruthEngine, QueryStreamState, evaluate_trace
+from repro.core.library import QueryThresholds, build_query
+from repro.core.packet import Packet, Proto, TcpFlags
+from repro.core.query import Query
+
+
+def syn(sip, dip, ts=0.0):
+    return Packet(sip=sip, dip=dip, proto=6, tcp_flags=2, ts=ts)
+
+
+def q(threshold=3):
+    return (
+        Query("g.q")
+        .filter(proto=Proto.TCP, tcp_flags=TcpFlags.SYN)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=threshold)
+    )
+
+
+class TestStreamState:
+    def test_counts_per_key(self):
+        state = QueryStreamState(q())
+        for i in range(4):
+            state.process(syn(i, dip=7))
+        state.process(syn(9, dip=8))
+        truth = state.finish_window(0)
+        assert truth.counts == {(7,): 4, (8,): 1}
+        assert truth.keys == {(7,)}
+
+    def test_filter_drops(self):
+        state = QueryStreamState(q())
+        state.process(Packet(proto=17, dip=7))
+        assert state.finish_window(0).counts == {}
+
+    def test_distinct_dedup(self):
+        query = Query("g.d").distinct("sip", "dip").map("dip").reduce("dip")
+        state = QueryStreamState(query)
+        for _ in range(5):
+            state.process(Packet(sip=1, dip=2))
+        state.process(Packet(sip=3, dip=2))
+        truth = state.finish_window(0)
+        assert truth.counts == {(2,): 2}
+
+    def test_window_reset(self):
+        state = QueryStreamState(q(threshold=2))
+        state.process(syn(1, 7))
+        state.finish_window(0)
+        state.process(syn(2, 7))
+        assert state.finish_window(1).counts == {(7,): 1}
+
+    def test_sum_len(self):
+        query = Query("g.s").reduce("dip", func="sum")
+        state = QueryStreamState(query)
+        state.process(Packet(dip=7, len=100))
+        state.process(Packet(dip=7, len=200))
+        assert state.finish_window(0).counts == {(7,): 300}
+
+    def test_start_at_skips_prefix(self):
+        state = QueryStreamState(q(), start_at=1)  # skip the filter
+        state.process(Packet(proto=17, dip=7))  # UDP passes now
+        assert state.finish_window(0).counts == {(7,): 1}
+
+    def test_mid_stream_threshold(self):
+        query = (
+            Query("g.m").reduce("dip").where(ge=2).map("sip").reduce("sip")
+        )
+        state = QueryStreamState(query)
+        # dip 5 reaches 2 on the second packet; only then do sips count.
+        state.process(Packet(sip=1, dip=5))
+        state.process(Packet(sip=1, dip=5))
+        state.process(Packet(sip=1, dip=5))
+        truth = state.finish_window(0)
+        assert truth.counts == {(1,): 2}
+
+    def test_invalid_start_at(self):
+        with pytest.raises(ValueError):
+            QueryStreamState(q(), start_at=99)
+
+
+class TestEngine:
+    def test_epoch_bucketing(self):
+        packets = [syn(1, 7, ts=0.01), syn(2, 7, ts=0.15), syn(3, 7, ts=0.31)]
+        out = evaluate_trace(q(threshold=1), packets, window_ms=100)
+        assert set(out) == {0, 1, 2, 3}
+        assert out[0]["g.q"].counts == {(7,): 1}
+        assert out[2]["g.q"].counts == {}  # empty window still closed
+        assert out[3]["g.q"].counts == {(7,): 1}
+
+    def test_unsorted_packets_rejected(self):
+        engine = GroundTruthEngine(q())
+        with pytest.raises(ValueError):
+            engine.evaluate([syn(1, 7, ts=0.5), syn(2, 7, ts=0.1)])
+
+    def test_composite_evaluation_and_join(self):
+        th = QueryThresholds(syn_flood=5, syn_flood_sub=1)
+        q6 = build_query("Q6", th)
+        engine = GroundTruthEngine(q6)
+        packets = [syn(i, 50, ts=0.001 * i) for i in range(10)]
+        out = engine.evaluate(packets)
+        window = out[0]
+        assert window["Q6.syn"].counts == {(50,): 10}
+        victims = engine.join(window)
+        assert victims == [50]
+
+    def test_join_on_single_query_rejected(self):
+        engine = GroundTruthEngine(q())
+        with pytest.raises(TypeError):
+            engine.join({})
+
+    def test_empty_trace(self):
+        assert evaluate_trace(q(), []) == {}

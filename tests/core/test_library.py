@@ -1,0 +1,126 @@
+"""Query library (Table 2) tests."""
+
+import pytest
+
+from repro.core.library import (
+    QUERY_NAMES,
+    QueryThresholds,
+    all_queries,
+    build_query,
+)
+from repro.core.query import CompositeQuery, Query, flatten
+
+
+class TestLibraryStructure:
+    def test_all_nine_present(self):
+        queries = all_queries()
+        assert set(queries) == {f"Q{i}" for i in range(1, 10)}
+
+    def test_all_validate(self):
+        for query in all_queries().values():
+            query.validate()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_query("Q42")
+
+    def test_single_chain_queries(self):
+        for name in ("Q1", "Q2", "Q3", "Q4", "Q5"):
+            assert isinstance(build_query(name), Query)
+
+    def test_composites(self):
+        for name in ("Q6", "Q7", "Q8", "Q9"):
+            assert isinstance(build_query(name), CompositeQuery)
+
+    def test_dataplane_primitive_counts_match_paper_shape(self):
+        """Q6 has the most primitives (12); Q8 has 10 (paper §6.4)."""
+        q6 = build_query("Q6")
+        q8 = build_query("Q8")
+        assert q6.dataplane_primitives == 12
+        assert q8.dataplane_primitives == 10
+
+    def test_thresholds_propagate(self):
+        th = QueryThresholds(new_tcp_conns=77)
+        q1 = build_query("Q1", th)
+        assert q1.final_threshold.threshold == 77
+
+    def test_sub_query_ids_namespaced(self):
+        for name in ("Q6", "Q7", "Q8", "Q9"):
+            for sub in flatten(build_query(name)):
+                assert sub.qid.startswith(name + ".")
+
+
+class TestJoins:
+    def test_q6_join_flags_asymmetric_hosts(self):
+        th = QueryThresholds(syn_flood=5, syn_flood_sub=10)
+        q6 = build_query("Q6", th)
+        victims = q6.join({
+            "Q6.syn": {(1,): 10, (2,): 10},
+            "Q6.synack": {(1,): 10},
+            "Q6.ack": {(2,): 10},  # host 2 completes handshakes
+        })
+        assert victims == [1]
+
+    def test_q7_join_requires_both_sides(self):
+        q7 = build_query("Q7")
+        hosts = q7.join({
+            "Q7.syn": {(1,): 10, (2,): 10},
+            "Q7.fin": {(1,): 10},
+        })
+        assert hosts == [1]
+
+    def test_q8_join_ratio(self):
+        th = QueryThresholds(slowloris_ratio=100)
+        q8 = build_query("Q8", th)
+        victims = q8.join({
+            "Q8.conns": {(1,): 50, (2,): 50},
+            "Q8.bytes": {(1,): 1000, (2,): 500000},
+        })
+        assert victims == [1]
+
+    def test_q8_join_ignores_missing_bytes(self):
+        q8 = build_query("Q8")
+        assert q8.join({"Q8.conns": {(1,): 50}, "Q8.bytes": {}}) == []
+
+    def test_q9_join_excludes_connected_hosts(self):
+        th = QueryThresholds(dns_tcp=2, dns_sub=2)
+        q9 = build_query("Q9", th)
+        orphans = q9.join({
+            "Q9.dns": {(1,): 5, (2,): 5},
+            "Q9.tcp": {(2,): 3},
+        })
+        assert orphans == [1]
+
+    def test_q9_join_respects_answer_threshold(self):
+        th = QueryThresholds(dns_tcp=4)
+        q9 = build_query("Q9", th)
+        assert q9.join({"Q9.dns": {(1,): 3}, "Q9.tcp": {}}) == []
+
+
+class TestThresholdValidation:
+    """Clipped-count join consistency (QueryThresholds.validate)."""
+
+    def test_defaults_valid(self):
+        QueryThresholds().validate()
+
+    def test_q6_score_must_be_reachable(self):
+        with pytest.raises(ValueError, match="syn_flood"):
+            QueryThresholds(syn_flood=10, syn_flood_sub=10).validate()
+
+    def test_q9_answer_threshold_must_be_exported(self):
+        with pytest.raises(ValueError, match="dns_tcp"):
+            QueryThresholds(dns_tcp=5, dns_sub=2).validate()
+
+    def test_q8_ratio_must_pass_on_clipped_counts(self):
+        with pytest.raises(ValueError, match="ratio"):
+            QueryThresholds(slowloris_bytes=10_000, slowloris_conns=10,
+                            slowloris_ratio=100).validate()
+
+    def test_non_positive_thresholds_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            QueryThresholds(port_scan=0).validate()
+
+    def test_build_query_does_not_force_validation(self):
+        # Ground-truth / readout-backed flows legitimately use threshold
+        # combinations the clipped-report pipeline cannot satisfy.
+        build_query("Q6", QueryThresholds(syn_flood=99)).validate()

@@ -1,0 +1,104 @@
+"""Metrics and terminal-chart tests."""
+
+import pytest
+
+from repro.core.groundtruth import WindowTruth
+from repro.experiments.charts import bar_chart, series_chart
+from repro.experiments.metrics import score_detections
+
+
+def truth(epoch, counts, keys):
+    return WindowTruth(epoch=epoch, counts=counts, keys=set(keys))
+
+
+class TestScoreDetections:
+    def test_perfect_detection(self):
+        truths = {0: truth(0, {(1,): 10, (2,): 3}, [(1,)])}
+        quality = score_detections(truths, {0: {(1,)}})
+        assert quality.recall == 1.0
+        assert quality.fpr == 0.0
+        assert quality.precision == 1.0
+        assert quality.f1 == 1.0
+
+    def test_miss_counts_against_recall(self):
+        truths = {0: truth(0, {(1,): 10, (2,): 12, (3,): 1},
+                           [(1,), (2,)])}
+        quality = score_detections(truths, {0: {(1,)}})
+        assert quality.recall == 0.5
+        assert quality.false_negatives == 1
+
+    def test_false_positive_rate_over_negatives(self):
+        truths = {0: truth(0, {(1,): 10, (2,): 1, (3,): 1}, [(1,)])}
+        quality = score_detections(truths, {0: {(1,), (2,)}})
+        assert quality.fpr == pytest.approx(0.5)  # 1 of 2 negatives
+        assert quality.false_positives == 1
+        assert quality.precision == pytest.approx(0.5)
+
+    def test_windows_averaged(self):
+        truths = {
+            0: truth(0, {(1,): 10}, [(1,)]),
+            1: truth(1, {(2,): 10}, [(2,)]),
+        }
+        quality = score_detections(truths, {0: {(1,)}, 1: set()})
+        assert quality.recall == pytest.approx(0.5)
+
+    def test_empty_truth_is_vacuously_perfect(self):
+        quality = score_detections({}, {})
+        assert quality.recall == 1.0 and quality.fpr == 0.0
+
+    def test_f1_zero_when_nothing_found(self):
+        truths = {0: truth(0, {(1,): 10}, [(1,)])}
+        quality = score_detections(truths, {})
+        assert quality.f1 == 0.0
+
+
+class TestBarChart:
+    def test_scales_to_largest(self):
+        chart = bar_chart({"a": 10, "b": 5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_log_scale_compresses_orders(self):
+        chart = bar_chart({"small": 1, "big": 1000}, width=30, log=True)
+        small, big = (line.count("#") for line in chart.splitlines())
+        assert 0 < small < big
+        assert big / max(small, 1) < 1000  # compressed, not linear
+
+    def test_zero_value_gets_no_bar(self):
+        chart = bar_chart({"z": 0, "a": 5})
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_values_printed(self):
+        assert "1.50e-05" in bar_chart({"x": 1.5e-5})
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+
+class TestSeriesChart:
+    def test_legend_and_axis(self):
+        chart = series_chart([1, 2, 3], {"Newton": [4, 4, 4],
+                                         "Sonata": [4, 8, 12]})
+        assert "N=Newton" in chart
+        assert "S=Sonata" in chart
+        assert "x: 1  2  3" in chart
+
+    def test_flat_series_stays_on_one_row(self):
+        chart = series_chart([1, 2, 3, 4], {"Flat": [5, 5, 5, 5],
+                                            "Up": [1, 5, 9, 13]})
+        rows_with_f = [line for line in chart.splitlines()
+                       if "F" in line and line.startswith("|")]
+        assert len(rows_with_f) == 1
+
+    def test_collision_marked(self):
+        chart = series_chart([1, 2], {"Aa": [1, 2], "Bb": [1, 3]})
+        assert "*" in chart  # both series share the first point
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart([1, 2], {"x": [1]})
+
+    def test_log_scale_noted(self):
+        assert "(log y)" in series_chart([1, 2], {"x": [1, 1000]},
+                                         log=True)

@@ -1,0 +1,72 @@
+"""Packet model tests."""
+
+import pytest
+
+from repro.core.packet import Packet, Proto, TcpFlags, ip, ip_str
+
+
+class TestIpConversion:
+    def test_round_trip(self):
+        for addr in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+            assert ip_str(ip(addr)) == addr
+
+    def test_known_value(self):
+        assert ip("10.0.0.1") == 0x0A000001
+
+    def test_malformed_rejected(self):
+        for bad in ("10.0.0", "1.2.3.4.5", "300.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            ip_str(1 << 33)
+
+
+class TestPacket:
+    def test_defaults_valid(self):
+        packet = Packet()
+        assert packet.five_tuple == (0, 0, 0, 0, 0)
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            Packet(sport=70000)
+
+    def test_five_tuple(self):
+        packet = Packet(sip=1, dip=2, proto=6, sport=3, dport=4)
+        assert packet.five_tuple == (1, 2, 6, 3, 4)
+
+    def test_protocol_helpers(self):
+        assert Packet(proto=int(Proto.TCP)).is_tcp
+        assert Packet(proto=int(Proto.UDP)).is_udp
+        assert not Packet(proto=1).is_tcp
+
+    def test_has_flags(self):
+        packet = Packet(tcp_flags=int(TcpFlags.SYNACK))
+        assert packet.has_flags(TcpFlags.SYN)
+        assert packet.has_flags(TcpFlags.ACK)
+        assert not packet.has_flags(TcpFlags.FIN)
+
+    def test_field_values_complete(self):
+        values = Packet().field_values()
+        assert set(values) == {
+            "sip", "dip", "proto", "sport", "dport", "tcp_flags",
+            "len", "ttl", "dns_ancount",
+        }
+
+    def test_reply_swaps_endpoints(self):
+        packet = Packet(sip=1, dip=2, sport=10, dport=20, proto=6,
+                        src_host="a", dst_host="b")
+        reply = packet.reply()
+        assert (reply.sip, reply.dip) == (2, 1)
+        assert (reply.sport, reply.dport) == (20, 10)
+        assert (reply.src_host, reply.dst_host) == ("b", "a")
+
+    def test_reply_overrides(self):
+        reply = Packet(sip=1, dip=2).reply(tcp_flags=int(TcpFlags.SYNACK))
+        assert reply.tcp_flags == int(TcpFlags.SYNACK)
+
+    def test_describe_readable(self):
+        text = Packet(sip=ip("10.0.0.1"), dip=ip("10.0.0.2"), proto=6,
+                      tcp_flags=int(TcpFlags.SYN)).describe()
+        assert "10.0.0.1" in text and "SYN" in text

@@ -1,0 +1,107 @@
+"""Fluent query API tests."""
+
+import pytest
+
+from repro.core.ast import CmpOp, Distinct, Filter, Map, Reduce, ResultFilter
+from repro.core.packet import Proto, TcpFlags
+from repro.core.query import CompositeQuery, Query, flatten
+
+
+class TestQueryBuilder:
+    def test_chain_builds_primitives(self):
+        q = (
+            Query("t")
+            .filter(proto=Proto.TCP)
+            .map("dip")
+            .distinct("dip", "sip")
+            .reduce("dip")
+            .where(ge=10)
+        )
+        types = [type(p) for p in q.primitives]
+        assert types == [Filter, Map, Distinct, Reduce, ResultFilter]
+
+    def test_filter_kwargs_sorted_deterministically(self):
+        a = Query("a").filter(proto=6, dport=22).primitives[0]
+        b = Query("b").filter(dport=22, proto=6).primitives[0]
+        assert a.predicates == b.predicates
+
+    def test_map_accepts_masked_tuples(self):
+        q = Query("t").map(("dip", 0xFFFFFF00))
+        assert q.primitives[0].keys[0].effective_mask == 0xFFFFFF00
+
+    def test_where_variants(self):
+        assert Query("t").reduce("dip").where(ge=5).final_threshold.op is CmpOp.GE
+        assert Query("t").reduce("dip").where(gt=5).final_threshold.op is CmpOp.GT
+        assert Query("t").reduce("dip").where(eq=5).final_threshold.op is CmpOp.EQ
+
+    def test_where_rejects_multiple_kwargs(self):
+        with pytest.raises(ValueError):
+            Query("t").reduce("dip").where(ge=5, gt=6)
+
+    def test_where_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Query("t").reduce("dip").where(le=5)
+
+    def test_empty_qid_rejected(self):
+        with pytest.raises(ValueError):
+            Query("")
+
+    def test_describe(self):
+        text = Query("t").filter(proto=6).map("dip").describe()
+        assert "filter" in text and "map(dip)" in text
+
+
+class TestValidation:
+    def test_empty_query_invalid(self):
+        with pytest.raises(ValueError):
+            Query("t").validate()
+
+    def test_threshold_without_stateful_invalid(self):
+        q = Query("t").map("dip")
+        q.primitives.append(ResultFilter(CmpOp.GE, 5))
+        with pytest.raises(ValueError):
+            q.validate()
+
+    def test_valid_chain_passes(self):
+        Query("t").distinct("dip").map("dip").reduce("dip").where(
+            ge=2
+        ).validate()
+
+
+class TestComposite:
+    def _composite(self):
+        a = Query("c.a").filter(proto=6).map("dip").reduce("dip").where(ge=2)
+        b = Query("c.b").filter(proto=17).map("dip").reduce("dip").where(ge=2)
+        return CompositeQuery(
+            qid="c", description="", subqueries=(a, b),
+            join=lambda results: [],
+        )
+
+    def test_flatten(self):
+        comp = self._composite()
+        assert [q.qid for q in flatten(comp)] == ["c.a", "c.b"]
+        single = Query("s").map("dip")
+        assert list(flatten(single)) == [single]
+
+    def test_primitive_counts(self):
+        comp = self._composite()
+        assert comp.dataplane_primitives == 8
+        assert comp.num_primitives == 8 + comp.cpu_primitives
+
+    def test_duplicate_sub_ids_rejected(self):
+        a = Query("dup").map("dip")
+        with pytest.raises(ValueError):
+            CompositeQuery(qid="c", description="", subqueries=(a, a),
+                           join=lambda r: [])
+
+    def test_empty_subqueries_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeQuery(qid="c", description="", subqueries=(),
+                           join=lambda r: [])
+
+    def test_validate_delegates(self):
+        broken = Query("c.x")
+        comp = CompositeQuery(qid="c", description="", subqueries=(broken,),
+                              join=lambda r: [])
+        with pytest.raises(ValueError):
+            comp.validate()

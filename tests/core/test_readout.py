@@ -1,0 +1,117 @@
+"""Register readout tests: exact window aggregates via the control plane."""
+
+import pytest
+
+from repro.core.compiler import QueryParams, compile_query
+from repro.core.packet import Packet
+from repro.core.query import Query
+from repro.core.readout import reduce_probe_rows
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+
+PARAMS = QueryParams(cm_depth=3, reduce_registers=1 << 12,
+                     distinct_registers=1 << 12)
+
+
+def q(qid="ro.q", threshold=100):
+    return (
+        Query(qid)
+        .filter(proto=6, tcp_flags=2)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=threshold)
+    )
+
+
+def syn(sip, dip, ts=0.0):
+    return Packet(sip=sip, dip=dip, proto=6, tcp_flags=2, ts=ts,
+                  src_host="h_src0", dst_host="h_dst0")
+
+
+class TestProbeRows:
+    def test_one_row_per_sketch_row(self):
+        compiled = compile_query(q(), PARAMS)
+        rows = reduce_probe_rows(compiled)
+        assert len(rows) == 3
+        assert len({r.hash_config.seed_index for r in rows}) == 3
+
+    def test_masks_recovered_through_opt2(self):
+        """The reduce's K was deduplicated away; masks still resolve."""
+        compiled = compile_query(q(), PARAMS)
+        for row in reduce_probe_rows(compiled):
+            assert dict(row.masks) == {"dip": 0xFFFFFFFF}
+
+    def test_final_reduce_selected(self):
+        query = (
+            Query("ro.two")
+            .map("sip", "dip")
+            .distinct("sip", "dip")
+            .map("sip")
+            .reduce("sip")
+            .where(ge=5)
+        )
+        compiled = compile_query(query, PARAMS)
+        for row in reduce_probe_rows(compiled):
+            assert dict(row.masks) == {"sip": 0xFFFFFFFF}
+
+    def test_no_reduce_yields_nothing(self):
+        compiled = compile_query(Query("ro.map").map("dip"), PARAMS)
+        assert reduce_probe_rows(compiled) == []
+
+    def test_flag_suite_not_probed(self):
+        """A byte-sum threshold's OR flag suite must not masquerade as a
+        sketch row."""
+        query = (
+            Query("ro.sum").filter(proto=6).map("dip")
+            .reduce("dip", func="sum").where(ge=5000)
+        )
+        compiled = compile_query(query, PARAMS)
+        rows = reduce_probe_rows(compiled)
+        assert len(rows) == PARAMS.cm_depth
+
+
+class TestEstimateCount:
+    def test_exact_on_single_switch(self):
+        deployment = build_deployment(linear(1), array_size=1 << 13)
+        deployment.controller.install_query(q(), PARAMS, path=["s0"])
+        for i in range(7):
+            deployment.simulator.run([syn(i + 1, dip=9, ts=i * 1e-4)])
+        assert deployment.controller.estimate_count("ro.q", {"dip": 9}) == 7
+        assert deployment.controller.estimate_count("ro.q", {"dip": 8}) == 0
+
+    def test_exact_across_cqe_slices(self):
+        deployment = build_deployment(linear(3), num_stages=4,
+                                      array_size=1 << 13)
+        deployment.controller.install_query(
+            q(), PARAMS, path=["s0", "s1", "s2"], stages_per_switch=4
+        )
+        deployment.simulator.run(
+            [syn(i + 1, dip=9, ts=i * 1e-4) for i in range(5)]
+        )
+        assert deployment.controller.estimate_count("ro.q", {"dip": 9}) == 5
+
+    def test_window_reset_clears_estimate(self):
+        deployment = build_deployment(linear(1), array_size=1 << 13)
+        deployment.controller.install_query(q(), PARAMS, path=["s0"])
+        deployment.simulator.run([syn(1, dip=9)])
+        deployment.controller.advance_window()
+        assert deployment.controller.estimate_count("ro.q", {"dip": 9}) == 0
+
+    def test_unknown_query_rejected(self):
+        deployment = build_deployment(linear(1))
+        with pytest.raises(KeyError):
+            deployment.controller.estimate_count("ghost", {"dip": 1})
+
+    def test_sharpens_clipped_report(self):
+        """The workflow the readout exists for: a crossing report says
+        'count reached 10'; the readout recovers the true total."""
+        deployment = build_deployment(linear(1), array_size=1 << 13)
+        deployment.controller.install_query(q(threshold=10), PARAMS,
+                                            path=["s0"])
+        deployment.simulator.run(
+            [syn(i + 1, dip=9, ts=i * 1e-4) for i in range(25)]
+        )
+        reported = deployment.analyzer.results("ro.q")[0][(9,)]
+        assert reported == 10  # clipped at the crossing
+        exact = deployment.controller.estimate_count("ro.q", {"dip": 9})
+        assert exact == 25

@@ -1,0 +1,61 @@
+"""Stateful and result ALU semantics."""
+
+import pytest
+
+from repro.dataplane.alu import (
+    REGISTER_MAX,
+    ResultOp,
+    StatefulOp,
+    apply_result,
+    apply_stateful,
+)
+
+
+class TestStatefulAlu:
+    def test_read_leaves_value(self):
+        assert apply_stateful(StatefulOp.READ, 7, 99) == 7
+
+    def test_add(self):
+        assert apply_stateful(StatefulOp.ADD, 10, 5) == 15
+
+    def test_add_saturates(self):
+        assert apply_stateful(StatefulOp.ADD, REGISTER_MAX, 10) == REGISTER_MAX
+
+    def test_or_sets_bits(self):
+        assert apply_stateful(StatefulOp.OR, 0b0101, 0b0011) == 0b0111
+
+    def test_max(self):
+        assert apply_stateful(StatefulOp.MAX, 4, 9) == 9
+        assert apply_stateful(StatefulOp.MAX, 9, 4) == 9
+
+
+class TestResultAlu:
+    def test_pass_overwrites(self):
+        assert apply_result(ResultOp.PASS, 100, 7) == 7
+
+    def test_pass_with_none_global(self):
+        assert apply_result(ResultOp.PASS, None, 7) == 7
+
+    def test_nop_keeps_global(self):
+        assert apply_result(ResultOp.NOP, 5, 99) == 5
+
+    def test_none_state_is_identity(self):
+        assert apply_result(ResultOp.MIN, 5, None) == 5
+        assert apply_result(ResultOp.ADD, 5, None) == 5
+
+    def test_min_fold(self):
+        assert apply_result(ResultOp.MIN, 9, 4) == 4
+        assert apply_result(ResultOp.MIN, 4, 9) == 4
+
+    def test_min_loads_when_global_none(self):
+        assert apply_result(ResultOp.MIN, None, 12) == 12
+
+    def test_max_fold(self):
+        assert apply_result(ResultOp.MAX, 3, 8) == 8
+
+    def test_add_fold_saturates(self):
+        assert apply_result(ResultOp.ADD, REGISTER_MAX, 1) == REGISTER_MAX
+
+    def test_sub_floors_at_zero(self):
+        assert apply_result(ResultOp.SUB, 3, 10) == 0
+        assert apply_result(ResultOp.SUB, 10, 3) == 7

@@ -1,0 +1,69 @@
+"""Hash family unit tests."""
+
+import pytest
+
+from repro.dataplane.hashing import HashFamily, HashUnit, hash_bytes
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes(b"abc", 1) == hash_bytes(b"abc", 1)
+
+    def test_seed_changes_output(self):
+        assert hash_bytes(b"abc", 1) != hash_bytes(b"abc", 2)
+
+    def test_data_changes_output(self):
+        assert hash_bytes(b"abc", 1) != hash_bytes(b"abd", 1)
+
+    def test_64_bit_range(self):
+        value = hash_bytes(b"anything", 12345)
+        assert 0 <= value < (1 << 64)
+
+    def test_empty_key_is_valid(self):
+        assert isinstance(hash_bytes(b"", 0), int)
+
+
+class TestHashUnit:
+    def test_respects_range(self):
+        unit = HashUnit(seed=7, range_size=100)
+        for i in range(200):
+            assert 0 <= unit(str(i).encode()) < 100
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            HashUnit(seed=1, range_size=0)
+
+    def test_distribution_roughly_uniform(self):
+        unit = HashUnit(seed=3, range_size=16)
+        counts = [0] * 16
+        for i in range(4096):
+            counts[unit(i.to_bytes(4, "big"))] += 1
+        # Expected 256 per bucket; allow generous slack.
+        assert min(counts) > 150
+        assert max(counts) < 400
+
+
+class TestHashFamily:
+    def test_units_differ_by_index(self):
+        family = HashFamily(1)
+        u0, u1 = family.unit(0, 1 << 20), family.unit(1, 1 << 20)
+        collisions = sum(
+            1 for i in range(500)
+            if u0(i.to_bytes(4, "big")) == u1(i.to_bytes(4, "big"))
+        )
+        assert collisions < 5
+
+    def test_same_seed_same_units(self):
+        a, b = HashFamily(42), HashFamily(42)
+        assert a.unit(3, 100) == b.unit(3, 100)
+        assert a == b
+
+    def test_different_base_seed(self):
+        assert HashFamily(1) != HashFamily(2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily().unit(-1, 10)
+
+    def test_hashable(self):
+        assert len({HashFamily(1), HashFamily(1), HashFamily(2)}) == 2

@@ -1,0 +1,70 @@
+"""PHV context tests."""
+
+import pytest
+
+from repro.dataplane.phv import NUM_METADATA_SETS, MetadataSet, PhvContext
+
+
+class TestMetadataSet:
+    def test_defaults_empty(self):
+        mset = MetadataSet()
+        assert mset.oper_keys == b""
+        assert mset.hash_result is None
+        assert mset.state_result is None
+
+    def test_clear(self):
+        mset = MetadataSet(oper_keys=b"x", hash_result=1, state_result=2)
+        mset.clear()
+        assert mset.oper_keys == b"" and mset.hash_result is None
+
+    def test_copy_is_deep_for_fields(self):
+        mset = MetadataSet(oper_fields={"dip": 1})
+        clone = mset.copy()
+        clone.oper_fields["dip"] = 99
+        assert mset.oper_fields["dip"] == 1
+
+
+class TestPhvContext:
+    def test_two_sets(self):
+        ctx = PhvContext()
+        assert len(ctx.sets) == NUM_METADATA_SETS == 2
+        assert ctx.set(0) is not ctx.set(1)
+
+    def test_set_bounds(self):
+        ctx = PhvContext()
+        with pytest.raises(IndexError):
+            ctx.set(2)
+        with pytest.raises(IndexError):
+            ctx.set(-1)
+
+    def test_wrong_set_count_rejected(self):
+        with pytest.raises(ValueError):
+            PhvContext(sets=[MetadataSet()])
+
+    def test_copy_independent(self):
+        ctx = PhvContext()
+        ctx.global_result = 5
+        ctx.set(0).state_result = 1
+        clone = ctx.copy()
+        clone.global_result = 9
+        clone.set(0).state_result = 7
+        assert ctx.global_result == 5
+        assert ctx.set(0).state_result == 1
+
+    def test_report_payload_structure(self):
+        ctx = PhvContext()
+        ctx.global_result = 42
+        ctx.set(1).oper_fields = {"dip": 3}
+        ctx.set(1).hash_result = 8
+        payload = ctx.report_payload()
+        assert payload["global_result"] == 42
+        assert payload["set1_fields"] == {"dip": 3}
+        assert payload["set1_hash"] == 8
+        assert payload["set0_fields"] == {}
+
+    def test_payload_copies_fields(self):
+        ctx = PhvContext()
+        ctx.set(0).oper_fields = {"sip": 1}
+        payload = ctx.report_payload()
+        payload["set0_fields"]["sip"] = 99
+        assert ctx.set(0).oper_fields["sip"] == 1

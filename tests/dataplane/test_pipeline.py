@@ -1,0 +1,183 @@
+"""Pipeline-level tests: dispatch, slices, windows, rollback."""
+
+import pytest
+
+from repro.core.compiler import QueryParams, compile_query, slice_compiled
+from repro.core.packet import Packet, Proto, TcpFlags
+from repro.core.query import Query
+from repro.dataplane.pipeline import NewtonPipeline
+from repro.network.snapshot import SnapshotHeader
+
+
+def q1(threshold=3):
+    return (
+        Query("p.q1")
+        .filter(proto=Proto.TCP, tcp_flags=TcpFlags.SYN)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=threshold)
+    )
+
+
+def small_params():
+    return QueryParams(cm_depth=2, reduce_registers=128,
+                       distinct_registers=128)
+
+
+def syn(sip, dip, ts=0.0):
+    return Packet(sip=sip, dip=dip, proto=6, tcp_flags=2, ts=ts)
+
+
+def install(pipeline, query, threshold=3, stages=None):
+    compiled = compile_query(query, small_params(),
+                             hash_family=pipeline.hash_family)
+    slices = slice_compiled(compiled, stages or pipeline.layout.num_stages)
+    for s in slices:
+        pipeline.install_slice(s)
+    return compiled, slices
+
+
+class TestSingleSwitch:
+    def test_report_at_threshold_crossing(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1(threshold=3))
+        reports = []
+        for i in range(5):
+            result = pipeline.process(syn(sip=i + 1, dip=9))
+            reports.extend(result.reports)
+        assert len(reports) == 1
+        assert reports[0].payload["global_result"] == 3
+        assert reports[0].payload["set0_fields"] == {"dip": 9}
+
+    def test_non_matching_traffic_ignored(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1())
+        result = pipeline.process(Packet(proto=17, dip=9))
+        assert not result.initiated and not result.reports
+
+    def test_window_reset_requires_recrossing(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1(threshold=2))
+        pipeline.process(syn(1, 9))
+        assert pipeline.process(syn(2, 9)).reports
+        pipeline.advance_window()
+        pipeline.process(syn(3, 9))
+        assert pipeline.process(syn(4, 9)).reports  # crossing again
+
+    def test_reports_tag_epoch(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1(threshold=1))
+        pipeline.advance_window()
+        pipeline.advance_window()
+        result = pipeline.process(syn(1, 9))
+        assert result.reports[0].epoch == 2
+
+
+class TestRuleManagement:
+    def test_rule_count_and_removal(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        compiled, _ = install(pipeline, q1())
+        assert pipeline.rule_count == compiled.rule_count
+        removed = pipeline.remove_query("p.q1")
+        assert removed == compiled.rule_count
+        assert pipeline.rule_count == 0
+
+    def test_duplicate_install_rejected(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        _, slices = install(pipeline, q1())
+        with pytest.raises(ValueError):
+            pipeline.install_slice(slices[0])
+
+    def test_failed_install_rolls_back(self):
+        # Arrays too small for the requested slices: nothing must remain.
+        pipeline = NewtonPipeline(num_stages=12, array_size=16)
+        compiled = compile_query(q1(), small_params(),
+                                 hash_family=pipeline.hash_family)
+        with pytest.raises(Exception):
+            pipeline.install_slice(
+                slice_compiled(compiled, 12)[0]
+            )
+        assert pipeline.rule_count == 0
+        assert not pipeline.installed_qids()
+
+    def test_removal_after_traffic(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1(threshold=1))
+        pipeline.process(syn(1, 9))
+        pipeline.remove_query("p.q1")
+        result = pipeline.process(syn(2, 9))
+        assert not result.initiated
+
+
+class TestCrossSwitch:
+    def _chain(self, n, stages, threshold=3):
+        from repro.dataplane.hashing import HashFamily
+
+        family = HashFamily(99)
+        pipelines = [
+            NewtonPipeline(switch_id=f"s{i}", num_stages=stages,
+                           array_size=256, hash_family=family)
+            for i in range(n)
+        ]
+        compiled = compile_query(q1(threshold), small_params(),
+                                 hash_family=family)
+        slices = slice_compiled(compiled, stages)
+        assert len(slices) == n
+        for pipeline, query_slice in zip(pipelines, slices):
+            pipeline.install_slice(query_slice)
+        return pipelines
+
+    def _walk(self, pipelines, packet):
+        header = SnapshotHeader()
+        reports = []
+        for pipeline in pipelines:
+            reports.extend(pipeline.process(packet, header).reports)
+        return reports, header
+
+    def test_two_switch_equivalence(self):
+        pipelines = self._chain(2, stages=3)
+        all_reports = []
+        for i in range(5):
+            reports, _ = self._walk(pipelines, syn(i + 1, 7))
+            all_reports.extend(reports)
+        assert len(all_reports) == 1
+        # The report comes from the final slice's switch.
+        assert all_reports[0].switch_id == "s1"
+
+    def test_header_stripped_after_completion(self):
+        pipelines = self._chain(2, stages=3)
+        _, header = self._walk(pipelines, syn(1, 7))
+        assert len(header) == 0
+
+    def test_missing_second_slice_keeps_cursor(self):
+        pipelines = self._chain(2, stages=3)
+        header = SnapshotHeader()
+        pipelines[0].process(syn(1, 7), header)
+        entry = header.get("p.q1")
+        assert entry is not None and entry.cursor == 1
+
+    def test_multi_switch_requires_header(self):
+        pipelines = self._chain(2, stages=3)
+        with pytest.raises(RuntimeError):
+            pipelines[0].process(syn(1, 7))  # no SP header available
+
+    def test_no_reinitiation_mid_path(self):
+        # The second switch also hosts slice 0 (redundant placement); a
+        # packet already carrying cursor 1 must not restart the query.
+        from repro.dataplane.hashing import HashFamily
+
+        family = HashFamily(5)
+        compiled = compile_query(q1(1), small_params(), hash_family=family)
+        slices = slice_compiled(compiled, 3)
+        first = NewtonPipeline("a", num_stages=3, array_size=256,
+                               hash_family=family)
+        second = NewtonPipeline("b", num_stages=3, array_size=256,
+                                hash_family=family)
+        first.install_slice(slices[0])
+        second.install_slice(slices[0])  # redundant copy
+        second.install_slice(slices[1])
+        header = SnapshotHeader()
+        first.process(syn(1, 7), header)
+        result = second.process(syn(1, 7), header)
+        assert result.continued == ["p.q1"]
+        assert not result.initiated

@@ -1,0 +1,102 @@
+"""Resource model: Table 3's numbers must fall out of the unit costs."""
+
+import pytest
+
+from repro.dataplane.module_types import MODULE_ORDER, ModuleType
+from repro.dataplane.resources import (
+    MODULE_COSTS,
+    RESOURCE_CATEGORIES,
+    STAGE_CAPACITY,
+    SWITCH_P4_USAGE,
+    ResourceVector,
+)
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(crossbar=1, sram=2)
+        b = ResourceVector(crossbar=3, vliw=4)
+        c = a + b
+        assert c.crossbar == 4 and c.sram == 2 and c.vliw == 4
+
+    def test_scalar_multiplication(self):
+        v = ResourceVector(tcam=3) * 2
+        assert v.tcam == 6
+
+    def test_fits_within(self):
+        small = ResourceVector(sram=1)
+        big = ResourceVector(sram=2)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_normalized_by(self):
+        v = ResourceVector(crossbar=10)
+        basis = ResourceVector(crossbar=100)
+        assert v.normalized_by(basis)["crossbar"] == pytest.approx(10.0)
+
+    def test_normalized_by_zero_basis(self):
+        pct = ResourceVector(salu=5).normalized_by(ResourceVector())
+        assert pct["salu"] == 0.0
+
+    def test_total(self):
+        total = ResourceVector.total(
+            [ResourceVector(sram=1), ResourceVector(sram=2)]
+        )
+        assert total.sram == 3
+
+
+class TestPaperCalibration:
+    """Pin the Table 3 percentages the integer costs were recovered from."""
+
+    def test_field_selection_row(self):
+        pct = MODULE_COSTS[ModuleType.KEY_SELECTION].normalized_by(
+            SWITCH_P4_USAGE
+        )
+        assert pct["crossbar"] == pytest.approx(0.243, abs=0.002)
+        assert pct["sram"] == pytest.approx(0.704, abs=0.002)
+        assert pct["vliw"] == pytest.approx(3.521, abs=0.002)
+        assert pct["gateway"] == pytest.approx(1.428, abs=0.002)
+
+    def test_hash_calculation_row(self):
+        pct = MODULE_COSTS[ModuleType.HASH_CALCULATION].normalized_by(
+            SWITCH_P4_USAGE
+        )
+        assert pct["crossbar"] == pytest.approx(2.682, abs=0.002)
+        assert pct["hash_bits"] == pytest.approx(1.589, abs=0.002)
+
+    def test_state_bank_row(self):
+        pct = MODULE_COSTS[ModuleType.STATE_BANK].normalized_by(
+            SWITCH_P4_USAGE
+        )
+        assert pct["sram"] == pytest.approx(3.521, abs=0.002)
+        assert pct["tcam"] == pytest.approx(2.150, abs=0.002)
+        assert pct["salu"] == pytest.approx(5.555, abs=0.002)
+
+    def test_result_process_row(self):
+        pct = MODULE_COSTS[ModuleType.RESULT_PROCESS].normalized_by(
+            SWITCH_P4_USAGE
+        )
+        assert pct["tcam"] == pytest.approx(4.301, abs=0.002)
+        assert pct["vliw"] == pytest.approx(10.56, abs=0.01)
+
+    def test_compact_stage_is_sum_of_modules(self):
+        compact = ResourceVector.total(MODULE_COSTS[t] for t in MODULE_ORDER)
+        pct = compact.normalized_by(SWITCH_P4_USAGE)
+        assert pct["vliw"] == pytest.approx(16.90, abs=0.01)
+        assert pct["sram"] == pytest.approx(4.929, abs=0.002)
+
+    def test_one_of_each_module_fits_a_stage(self):
+        compact = ResourceVector.total(MODULE_COSTS[t] for t in MODULE_ORDER)
+        assert compact.fits_within(STAGE_CAPACITY)
+
+    def test_fifth_state_bank_does_not_fit(self):
+        # The compact layout is maximal: adding a second S to a full stage
+        # exceeds the stage's stateful-ALU budget.
+        compact = ResourceVector.total(MODULE_COSTS[t] for t in MODULE_ORDER)
+        overfull = compact + MODULE_COSTS[ModuleType.STATE_BANK]
+        assert not overfull.fits_within(STAGE_CAPACITY)
+
+    def test_all_categories_covered(self):
+        assert set(RESOURCE_CATEGORIES) == set(
+            SWITCH_P4_USAGE.as_dict().keys()
+        )

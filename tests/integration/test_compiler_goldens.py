@@ -1,0 +1,74 @@
+"""Golden tests: the compiled form of every library query is pinned.
+
+The exported-rule JSON is a deterministic function of (query, params,
+optimisations).  Pinning a digest of it catches unintended compiler
+behaviour changes; an *intended* change updates the table below (and is
+thereby forced to show up in review).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.compiler import QueryParams, compile_query
+from repro.core.export import to_json
+from repro.core.library import QueryThresholds, build_query
+from repro.core.query import flatten
+
+PARAMS = QueryParams(cm_depth=2, bf_hashes=3,
+                     reduce_registers=4096, distinct_registers=4096)
+THRESHOLDS = QueryThresholds()
+
+
+def digest(name: str) -> str:
+    query = build_query(name, THRESHOLDS)
+    blob = "\n".join(
+        to_json(compile_query(sub, PARAMS)) for sub in flatten(query)
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def footprint(name: str):
+    query = build_query(name, THRESHOLDS)
+    compiled = [compile_query(sub, PARAMS) for sub in flatten(query)]
+    return (
+        sum(c.num_modules for c in compiled),
+        max(c.num_stages for c in compiled),
+        sum(c.rule_count for c in compiled),
+    )
+
+
+#: (modules, max sub stages, rules) per library query under PARAMS.
+EXPECTED_FOOTPRINTS = {
+    "Q1": (8, 6, 9),
+    "Q2": (19, 11, 20),
+    "Q3": (19, 10, 20),
+    "Q4": (19, 10, 20),
+    "Q5": (19, 10, 20),
+    "Q6": (24, 6, 27),
+    "Q7": (16, 6, 18),
+    "Q8": (31, 11, 33),
+    "Q9": (31, 12, 33),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FOOTPRINTS))
+def test_footprint_pinned(name):
+    assert footprint(name) == EXPECTED_FOOTPRINTS[name], name
+
+
+def test_compilation_is_deterministic():
+    for name in ("Q1", "Q6", "Q8"):
+        assert digest(name) == digest(name)
+
+
+def test_params_change_the_artifact():
+    base = digest("Q1")
+    other = hashlib.sha256(
+        to_json(
+            compile_query(build_query("Q1", THRESHOLDS),
+                          QueryParams(cm_depth=3))
+        ).encode()
+    ).hexdigest()[:16]
+    assert base != other

@@ -1,0 +1,101 @@
+"""Cross-switch query execution: equivalence and memory pooling."""
+
+import pytest
+
+from repro.core.compiler import QueryParams, compile_query
+from repro.core.library import QueryThresholds, build_query
+from repro.experiments.common import workload
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.traffic.generators import assign_hosts
+
+
+def deploy_q1(hops, registers, cm_depth, threshold=30, window_ms=100):
+    query = build_query("Q1", QueryThresholds(new_tcp_conns=threshold))
+    params = QueryParams(cm_depth=cm_depth, reduce_registers=registers,
+                         distinct_registers=registers)
+    probe = compile_query(query, params)
+    stages = -(-probe.num_stages // hops)
+    deployment = build_deployment(
+        linear(hops), num_stages=stages, array_size=registers,
+        window_ms=window_ms,
+    )
+    deployment.controller.install_query(
+        query, params, path=[f"s{i}" for i in range(hops)],
+        stages_per_switch=stages,
+    )
+    return deployment
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload("caida", n_packets=6000, duration_s=0.3, seed=23)
+
+
+class TestEquivalence:
+    def test_sliced_execution_matches_single_switch(self, trace):
+        """With identical sketch parameters, splitting the query across
+        switches must produce exactly the same reports."""
+        single = deploy_q1(1, registers=1 << 14, cm_depth=2)
+        sliced = deploy_q1(3, registers=1 << 14, cm_depth=2)
+        routed = assign_hosts(trace, [("h_src0", "h_dst0")])
+        single.simulator.run(routed)
+        sliced.simulator.run(routed)
+        assert (
+            single.analyzer.results("Q1") == sliced.analyzer.results("Q1")
+        )
+
+    def test_report_carries_keys_and_count(self, trace):
+        deployment = deploy_q1(2, registers=1 << 14, cm_depth=2)
+        routed = assign_hosts(trace, [("h_src0", "h_dst0")])
+        deployment.simulator.run(routed)
+        report = deployment.analyzer.reports[0]
+        assert report.global_result is not None
+        fields = report.keys_of_set(0)
+        assert "dip" in fields
+
+
+class TestMemoryPooling:
+    def test_more_switches_better_accuracy(self):
+        """The Figure 14 mechanism: 3k rows over k switches tighten the
+        Count-Min min, so constrained registers miss fewer crossings."""
+        from repro.core.groundtruth import evaluate_trace
+        from repro.traffic.generators import syn_flood, syn_scan_noise
+        from repro.traffic.traces import merge_traces
+
+        trace = merge_traces([
+            syn_scan_noise(n_packets=6000, n_destinations=4000,
+                           duration_s=0.2, seed=31),
+            syn_flood(victim_index=1, n_packets=90, duration_s=0.2, seed=32),
+            syn_flood(victim_index=2, n_packets=90, duration_s=0.2, seed=33),
+        ])
+        query = build_query("Q1", QueryThresholds(new_tcp_conns=30))
+        truth = evaluate_trace(query, trace.packets)
+        true_positives = {
+            epoch: window["Q1"].keys for epoch, window in truth.items()
+        }
+
+        def recall(hops):
+            deployment = deploy_q1(hops, registers=128,
+                                   cm_depth=3 * hops)
+            routed = assign_hosts(trace, [("h_src0", "h_dst0")])
+            deployment.simulator.run(routed)
+            results = deployment.analyzer.results("Q1")
+            hit = total = 0
+            for epoch, keys in true_positives.items():
+                found = set(results.get(epoch, {}))
+                hit += len(found & keys)
+                total += len(keys)
+            return hit / total if total else 1.0
+
+        assert recall(3) >= recall(1)
+
+    def test_sp_headers_only_while_in_flight(self, trace):
+        deployment = deploy_q1(3, registers=1 << 12, cm_depth=2)
+        routed = assign_hosts(trace, [("h_src0", "h_dst0")])
+        stats = deployment.simulator.run(routed)
+        # Only SYN packets (the monitored traffic) carry SP bytes, so the
+        # overhead stays far below the all-packets worst case.
+        assert stats.sp_bytes > 0
+        syn_count = sum(1 for p in trace if p.tcp_flags == 2 and p.proto == 6)
+        assert stats.sp_bytes <= syn_count * 12 * 2  # <= hops-1 links

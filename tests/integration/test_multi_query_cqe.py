@@ -1,0 +1,82 @@
+"""Multiple sliced queries in flight on one packet (shared SP header)."""
+
+import pytest
+
+from repro.core.compiler import QueryParams
+from repro.core.packet import Packet
+from repro.core.query import Query
+from repro.network.deployment import build_deployment
+from repro.network.snapshot import SP_HEADER_BYTES
+from repro.network.topology import linear
+from repro.traffic.traces import Trace
+
+PARAMS = QueryParams(cm_depth=2, reduce_registers=256,
+                     distinct_registers=256)
+
+
+def syn_count_query(qid, key, threshold):
+    return (
+        Query(qid)
+        .filter(proto=6, tcp_flags=2)
+        .map(key)
+        .reduce(key)
+        .where(ge=threshold)
+    )
+
+
+def packets(n):
+    return Trace([
+        Packet(sip=100 + (i % 4), dip=9, proto=6, tcp_flags=2,
+               sport=5000 + i, ts=i * 1e-3,
+               src_host="h_src0", dst_host="h_dst0")
+        for i in range(n)
+    ])
+
+
+@pytest.fixture
+def deployment():
+    dep = build_deployment(linear(3), num_stages=3, array_size=512)
+    # Two queries over the same traffic, different keys, both sliced
+    # across the chain: the SP header carries both simultaneously.
+    dep.controller.install_query(
+        syn_count_query("mq.dst", "dip", threshold=6), PARAMS,
+        path=["s0", "s1", "s2"], stages_per_switch=3,
+    )
+    dep.controller.install_query(
+        syn_count_query("mq.src", "sip", threshold=2), PARAMS,
+        path=["s0", "s1", "s2"], stages_per_switch=3,
+    )
+    return dep
+
+
+class TestSharedHeader:
+    def test_both_queries_detect(self, deployment):
+        deployment.simulator.run(packets(8))
+        dst = deployment.analyzer.results("mq.dst")
+        src = deployment.analyzer.results("mq.src")
+        assert dst[0] == {(9,): 6}
+        # Four sources send two SYNs each: all cross the threshold of 2.
+        assert set(src[0]) == {(100,), (101,), (102,), (103,)}
+
+    def test_sp_bytes_scale_with_inflight_queries(self, deployment):
+        stats = deployment.simulator.run(packets(8))
+        # Both queries ride every monitored packet over the first link;
+        # completion strips them before the last.
+        assert stats.sp_bytes >= 8 * 2 * SP_HEADER_BYTES
+
+    def test_queries_complete_independently(self, deployment):
+        # Remove one mid-stream; the other keeps working.
+        deployment.simulator.run(packets(4))
+        deployment.controller.remove_query("mq.src")
+        deployment.simulator.run(
+            Trace([
+                Packet(sip=200, dip=9, proto=6, tcp_flags=2,
+                       sport=7000 + i, ts=0.02 + i * 1e-3,
+                       src_host="h_src0", dst_host="h_dst0")
+                for i in range(4)
+            ])
+        )
+        assert deployment.analyzer.results("mq.dst")[0] == {(9,): 6}
+        # The removed query produced results only from before removal.
+        src = deployment.analyzer.results("mq.src")
+        assert (200,) not in src.get(0, {})

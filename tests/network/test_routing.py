@@ -1,0 +1,100 @@
+"""Routing and failure tests."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.network.routing import Router, RoutingError
+from repro.network.topology import fat_tree, linear
+
+
+def pkt(src_host, dst_host, sport=1000):
+    return Packet(sip=1, dip=2, proto=6, sport=sport, dport=80,
+                  src_host=src_host, dst_host=dst_host)
+
+
+class TestShortestPath:
+    def test_chain_path(self):
+        router = Router(linear(3))
+        path = router.path_for(pkt("h_src0", "h_dst0"))
+        assert path == ["s0", "s1", "s2"]
+
+    def test_same_switch(self):
+        topo = linear(1)
+        router = Router(topo)
+        assert router.path_for(pkt("h_src0", "h_dst0")) == ["s0"]
+
+    def test_hop_count(self):
+        router = Router(linear(4))
+        assert router.hop_count("h_src0", "h_dst0") == 4
+
+    def test_missing_host_info(self):
+        router = Router(linear(2))
+        with pytest.raises(RoutingError):
+            router.path_for(Packet())
+
+
+class TestEcmp:
+    def test_path_is_flow_stable(self):
+        topo = fat_tree(4)
+        router = Router(topo)
+        hosts = sorted(topo.hosts)
+        a, b = hosts[0], hosts[-1]
+        p1 = router.path_for(pkt(a, b, sport=1))
+        p2 = router.path_for(pkt(a, b, sport=1))
+        assert p1 == p2
+
+    def test_different_flows_can_diverge(self):
+        topo = fat_tree(4)
+        router = Router(topo)
+        hosts = sorted(topo.hosts)
+        a, b = hosts[0], hosts[-1]
+        paths = {tuple(router.path_for(pkt(a, b, sport=s)))
+                 for s in range(64)}
+        assert len(paths) > 1  # ECMP actually spreads
+
+    def test_ecmp_disabled_is_deterministic(self):
+        topo = fat_tree(4)
+        router = Router(topo, ecmp=False)
+        hosts = sorted(topo.hosts)
+        a, b = hosts[0], hosts[-1]
+        paths = {tuple(router.path_for(pkt(a, b, sport=s)))
+                 for s in range(16)}
+        assert len(paths) == 1
+
+
+class TestFailures:
+    def test_reroute_on_failure(self):
+        topo = fat_tree(4)
+        router = Router(topo, ecmp=False)
+        hosts = sorted(topo.hosts)
+        a, b = hosts[0], hosts[-1]
+        before = router.path_for(pkt(a, b))
+        router.fail_link(before[0], before[1])
+        after = router.path_for(pkt(a, b))
+        assert after != before
+        assert (before[0], before[1]) not in zip(after, after[1:])
+
+    def test_restore_recovers_path(self):
+        topo = fat_tree(4)
+        router = Router(topo, ecmp=False)
+        hosts = sorted(topo.hosts)
+        a, b = hosts[0], hosts[-1]
+        before = router.path_for(pkt(a, b))
+        router.fail_link(before[0], before[1])
+        router.restore_link(before[0], before[1])
+        assert router.path_for(pkt(a, b)) == before
+
+    def test_partition_raises(self):
+        router = Router(linear(2))
+        router.fail_link("s0", "s1")
+        with pytest.raises(RoutingError):
+            router.path_for(pkt("h_src0", "h_dst0"))
+
+    def test_fail_unknown_link(self):
+        with pytest.raises(RoutingError):
+            Router(linear(2)).fail_link("s0", "s5")
+
+    def test_failed_links_tracked(self):
+        router = Router(linear(3))
+        router.fail_link("s0", "s1")
+        assert len(router.failed_links) == 1

@@ -1,0 +1,97 @@
+"""Result snapshot protocol tests."""
+
+import pytest
+
+from repro.dataplane.phv import PhvContext
+from repro.network.snapshot import (
+    SNAPSHOT_VALUE_MAX,
+    SP_HEADER_BYTES,
+    SnapshotEntry,
+    SnapshotHeader,
+    decode_entry,
+    encode_entry,
+)
+
+
+def entry(cursor=1, total=3, state0=None, state1=None, global_result=None,
+          stopped=False):
+    ctx = PhvContext()
+    ctx.set(0).state_result = state0
+    ctx.set(1).state_result = state1
+    ctx.global_result = global_result
+    ctx.stopped = stopped
+    return SnapshotEntry(cursor=cursor, total_slices=total, ctx=ctx)
+
+
+class TestWireFormat:
+    def test_fits_reserved_budget(self):
+        wire = encode_entry(entry(state0=5, state1=6, global_result=7))
+        assert len(wire) <= SP_HEADER_BYTES
+
+    def test_round_trip(self):
+        original = entry(cursor=2, state0=100, state1=200, global_result=50)
+        decoded = decode_entry(encode_entry(original), total_slices=3)
+        assert decoded.cursor == 2
+        assert decoded.ctx.set(0).state_result == 100
+        assert decoded.ctx.set(1).state_result == 200
+        assert decoded.ctx.global_result == 50
+        assert not decoded.ctx.stopped
+
+    def test_none_values_round_trip(self):
+        decoded = decode_entry(encode_entry(entry()), total_slices=3)
+        assert decoded.ctx.set(0).state_result is None
+        assert decoded.ctx.global_result is None
+
+    def test_stopped_flag(self):
+        decoded = decode_entry(encode_entry(entry(stopped=True)), 3)
+        assert decoded.ctx.stopped
+
+    def test_saturation(self):
+        big = entry(state0=SNAPSHOT_VALUE_MAX + 100)
+        decoded = decode_entry(encode_entry(big), 3)
+        assert decoded.ctx.set(0).state_result == SNAPSHOT_VALUE_MAX
+
+    def test_cursor_limit(self):
+        with pytest.raises(ValueError):
+            encode_entry(entry(cursor=16))
+
+    def test_decode_length_checked(self):
+        with pytest.raises(ValueError):
+            decode_entry(b"short", 3)
+
+
+class TestHeader:
+    def test_put_get_pop(self):
+        header = SnapshotHeader()
+        header.put("q1", entry())
+        assert "q1" in header
+        assert header.get("q1").cursor == 1
+        assert header.pop("q1") is not None
+        assert header.pop("q1") is None
+
+    def test_wire_bytes_scale_with_queries(self):
+        header = SnapshotHeader()
+        assert header.wire_bytes == 0
+        header.put("q1", entry())
+        header.put("q2", entry())
+        assert header.wire_bytes == 2 * SP_HEADER_BYTES
+
+    def test_completion(self):
+        done = entry(cursor=3, total=3)
+        assert done.complete
+        assert not entry(cursor=2, total=3).complete
+
+    def test_copy_is_deep(self):
+        header = SnapshotHeader()
+        header.put("q1", entry(global_result=5))
+        clone = header.copy()
+        clone.get("q1").ctx.global_result = 99
+        assert header.get("q1").ctx.global_result == 5
+
+    def test_items_snapshot_safe_to_mutate(self):
+        header = SnapshotHeader()
+        header.put("q1", entry())
+        header.put("q2", entry())
+        for qid, _ in header.items():
+            header.pop(qid)  # must not raise
+        assert len(header) == 0

@@ -1,0 +1,110 @@
+"""Topology construction tests."""
+
+import pytest
+
+from repro.network.topology import (
+    CALIFORNIA_SITES,
+    Topology,
+    fat_tree,
+    isp_backbone,
+    linear,
+)
+
+
+class TestLinear:
+    def test_chain_structure(self):
+        topo = linear(4)
+        assert topo.num_switches == 4
+        assert topo.num_links == 3
+        assert topo.neighbors("s1") == ["s0", "s2"] or set(
+            topo.neighbors("s1")
+        ) == {"s0", "s2"}
+
+    def test_hosts_at_ends(self):
+        topo = linear(3, hosts_per_end=2)
+        assert set(topo.edge_switches) == {"s0", "s2"}
+        assert len(topo.hosts) == 4
+        assert topo.attachment("h_src0") == "s0"
+
+    def test_single_switch(self):
+        topo = linear(1)
+        assert topo.num_switches == 1
+        assert topo.edge_switches == ["s0"]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            linear(0)
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_switch_count(self, k):
+        # Standard fat-tree: 5k^2/4 switches.
+        topo = fat_tree(k)
+        assert topo.num_switches == 5 * k * k // 4
+
+    def test_edge_degree(self):
+        topo = fat_tree(4)
+        # Each edge switch connects to k/2 aggs.
+        assert len(topo.neighbors("p0e0")) == 2
+
+    def test_core_degree(self):
+        topo = fat_tree(4)
+        # Each core connects to one agg per pod.
+        assert len(topo.neighbors("c0")) == 4
+
+    def test_all_edges_have_hosts(self):
+        topo = fat_tree(4, hosts_per_edge=1)
+        assert len(topo.edge_switches) == 8  # k pods * k/2 edges
+
+    def test_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(fat_tree(4).graph)
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+
+class TestIspBackbone:
+    def test_shape(self):
+        topo = isp_backbone()
+        assert 20 <= topo.num_switches <= 30
+        assert topo.num_links >= topo.num_switches  # meshy, not a tree
+
+    def test_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(isp_backbone().graph)
+
+    def test_california_sites_present(self):
+        topo = isp_backbone()
+        for city in CALIFORNIA_SITES:
+            assert city in topo.graph
+
+    def test_every_city_has_host(self):
+        topo = isp_backbone()
+        assert len(topo.edge_switches) == topo.num_switches
+
+
+class TestTopologyApi:
+    def test_unknown_host(self):
+        with pytest.raises(KeyError):
+            linear(2).attachment("ghost")
+
+    def test_host_on_unknown_switch_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node("a")
+        with pytest.raises(ValueError):
+            Topology(graph, {"h": "b"})
+
+    def test_hosts_at(self):
+        topo = linear(2, hosts_per_end=2)
+        assert topo.hosts_at("s0") == ["h_src0", "h_src1"]
+
+    def test_neighbor_map_complete(self):
+        topo = fat_tree(4)
+        assert set(topo.neighbor_map()) == set(topo.switches())

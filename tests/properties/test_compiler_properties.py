@@ -1,0 +1,111 @@
+"""Property-based tests for the compiler's structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import (
+    Optimizations,
+    QueryParams,
+    compile_query,
+    slice_compiled,
+)
+from repro.core.query import Query
+from repro.dataplane.module_types import ModuleType
+
+FIELDS = ("sip", "dip", "sport", "dport", "proto", "len")
+
+
+@st.composite
+def random_query(draw):
+    """A random but valid query chain."""
+    qid = draw(st.text(alphabet="abcdef", min_size=1, max_size=6))
+    query = Query("h." + qid)
+    n_front = draw(st.integers(0, 2))
+    for _ in range(n_front):
+        field = draw(st.sampled_from(FIELDS))
+        query.map(field)
+    keys = draw(st.lists(st.sampled_from(FIELDS), min_size=1, max_size=3,
+                         unique=True))
+    if draw(st.booleans()):
+        query.distinct(*keys)
+    reduce_keys = draw(st.lists(st.sampled_from(FIELDS), min_size=1,
+                                max_size=2, unique=True))
+    query.reduce(*reduce_keys)
+    query.where(ge=draw(st.integers(1, 100)))
+    return query
+
+
+PARAMS = QueryParams(cm_depth=2, bf_hashes=2,
+                     reduce_registers=64, distinct_registers=64)
+
+
+class TestCompilerInvariants:
+    @given(random_query())
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_respects_dependencies(self, query):
+        compiled = compile_query(query, PARAMS)
+        # Intra-suite dataflow: H < S < R stage order per suite.
+        suites = {}
+        for spec in compiled.specs:
+            suites.setdefault(
+                (spec.primitive_index, spec.suite_index), {}
+            )[spec.module_type] = spec.stage
+        for stages in suites.values():
+            order = [
+                stages.get(ModuleType.KEY_SELECTION),
+                stages.get(ModuleType.HASH_CALCULATION),
+                stages.get(ModuleType.STATE_BANK),
+                stages.get(ModuleType.RESULT_PROCESS),
+            ]
+            present = [s for s in order if s is not None]
+            assert present == sorted(present)
+
+    @given(random_query())
+    @settings(max_examples=60, deadline=None)
+    def test_slot_exclusivity(self, query):
+        compiled = compile_query(query, PARAMS)
+        seen = set()
+        for spec in compiled.specs:
+            key = (spec.stage, spec.module_type)
+            assert key not in seen
+            seen.add(key)
+
+    @given(random_query())
+    @settings(max_examples=60, deadline=None)
+    def test_optimized_never_larger(self, query):
+        naive = compile_query(query, PARAMS, Optimizations.none())
+        optimized = compile_query(query, PARAMS, Optimizations.all())
+        assert optimized.num_modules <= naive.num_modules
+        assert optimized.num_stages <= naive.num_stages
+
+    @given(random_query())
+    @settings(max_examples=60, deadline=None)
+    def test_steps_are_contiguous(self, query):
+        compiled = compile_query(query, PARAMS)
+        steps = sorted(spec.step for spec in compiled.specs)
+        assert steps == list(range(len(steps)))
+
+    @given(random_query(), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_slicing_partitions_specs(self, query, stages_per_switch):
+        compiled = compile_query(query, PARAMS)
+        slices = slice_compiled(compiled, stages_per_switch)
+        total = sum(len(s.specs) for s in slices)
+        assert total == compiled.num_modules
+        # Slices carry disjoint step sets in increasing stage ranges.
+        seen_steps = set()
+        for s in slices:
+            for spec in s.specs:
+                assert spec.step not in seen_steps
+                seen_steps.add(spec.step)
+        assert slices[0].init_entries
+        assert all(s.total_slices == len(slices) for s in slices)
+
+    @given(random_query())
+    @settings(max_examples=40, deadline=None)
+    def test_r_chain_total_order(self, query):
+        compiled = compile_query(query, PARAMS)
+        r_stages = [s.stage for s in compiled.specs
+                    if s.module_type is ModuleType.RESULT_PROCESS]
+        assert len(set(r_stages)) == len(r_stages)
+        assert r_stages == sorted(r_stages)

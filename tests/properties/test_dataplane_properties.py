@@ -1,0 +1,136 @@
+"""Property-based tests for the data-plane substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.alu import StatefulOp
+from repro.dataplane.phv import PhvContext
+from repro.dataplane.registers import RegisterArray
+from repro.dataplane.tables import TernaryRule, TernaryTable
+from repro.network.snapshot import (
+    SNAPSHOT_VALUE_MAX,
+    SnapshotEntry,
+    decode_entry,
+    encode_entry,
+)
+
+values = st.one_of(st.none(), st.integers(0, SNAPSHOT_VALUE_MAX))
+
+
+class TestSnapshotCodecProperties:
+    @given(st.integers(0, 15), st.integers(1, 16), values, values, values,
+           st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, cursor, total, s0, s1, g, stopped):
+        ctx = PhvContext()
+        ctx.set(0).state_result = s0
+        ctx.set(1).state_result = s1
+        ctx.global_result = g
+        ctx.stopped = stopped
+        entry = SnapshotEntry(cursor=cursor, total_slices=total, ctx=ctx)
+        decoded = decode_entry(encode_entry(entry), total)
+        assert decoded.cursor == cursor
+        assert decoded.ctx.stopped == stopped
+        assert decoded.ctx.set(0).state_result == s0
+        assert decoded.ctx.set(1).state_result == s1
+        assert decoded.ctx.global_result == g
+
+    @given(st.integers(0, 15), st.integers(0, 1 << 40))
+    @settings(max_examples=100, deadline=None)
+    def test_wire_size_constant(self, cursor, value):
+        ctx = PhvContext()
+        ctx.global_result = value
+        wire = encode_entry(SnapshotEntry(cursor=cursor, total_slices=16,
+                                          ctx=ctx))
+        assert len(wire) == 10  # always within the reserved 12 bytes
+
+    @given(st.integers(SNAPSHOT_VALUE_MAX + 1, 1 << 45))
+    @settings(max_examples=50, deadline=None)
+    def test_saturation_never_wraps(self, huge):
+        ctx = PhvContext()
+        ctx.set(0).state_result = huge
+        decoded = decode_entry(
+            encode_entry(SnapshotEntry(cursor=0, total_slices=2, ctx=ctx)), 2
+        )
+        assert decoded.ctx.set(0).state_result == SNAPSHOT_VALUE_MAX
+
+
+@st.composite
+def ternary_rules(draw):
+    fields = draw(st.lists(
+        st.sampled_from(["proto", "dport", "tcp_flags"]),
+        min_size=0, max_size=2, unique=True,
+    ))
+    match = {}
+    for name in fields:
+        value = draw(st.integers(0, 255))
+        mask = draw(st.integers(0, 255))
+        match[name] = (value, mask)
+    priority = draw(st.integers(0, 10))
+    return TernaryRule.build(match, priority, action=draw(st.integers()))
+
+
+class TestTernaryTableProperties:
+    @given(st.lists(ternary_rules(), min_size=1, max_size=12),
+           st.dictionaries(
+               st.sampled_from(["proto", "dport", "tcp_flags"]),
+               st.integers(0, 255), max_size=3,
+           ))
+    @settings(max_examples=150, deadline=None)
+    def test_lookup_matches_brute_force(self, rules, fields):
+        table = TernaryTable("t", capacity=64)
+        for rule in rules:
+            table.insert(rule)
+        hit = table.lookup(fields)
+        matching = [r for r in rules if r.matches(fields)]
+        if not matching:
+            assert hit is None
+        else:
+            best = max(r.priority for r in matching)
+            assert hit is not None
+            assert hit.priority == best
+            assert hit.matches(fields)
+
+    @given(st.lists(ternary_rules(), min_size=1, max_size=12),
+           st.dictionaries(
+               st.sampled_from(["proto", "dport", "tcp_flags"]),
+               st.integers(0, 255), max_size=3,
+           ))
+    @settings(max_examples=100, deadline=None)
+    def test_lookup_all_is_exact_filter(self, rules, fields):
+        table = TernaryTable("t", capacity=64)
+        for rule in rules:
+            table.insert(rule)
+        got = table.lookup_all(fields)
+        assert len(got) == sum(1 for r in rules if r.matches(fields))
+        assert all(r.matches(fields) for r in got)
+
+
+class TestRegisterArrayProperties:
+    @given(st.lists(st.integers(1, 16), min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        array = RegisterArray(128)
+        allocations = []
+        for i, size in enumerate(sizes):
+            try:
+                allocations.append(array.allocate(("q", i), size))
+            except Exception:
+                break
+        spans = sorted((a.offset, a.end) for a in allocations)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 5)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_counting_is_exact_per_cell(self, ops):
+        array = RegisterArray(64)
+        array.allocate(("q", 0), 64)
+        truth = {}
+        for index, amount in ops:
+            truth[index] = truth.get(index, 0) + amount
+            array.execute(("q", 0), index, StatefulOp.ADD, amount)
+        cells = array.read_slice(("q", 0))
+        for index, expected in truth.items():
+            assert cells[index] == expected

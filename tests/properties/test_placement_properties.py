@@ -1,0 +1,83 @@
+"""Property-based tests for Algorithm 2's resilience guarantee."""
+
+import networkx as nx
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import place_slices
+
+
+@st.composite
+def connected_graph(draw):
+    """A small random connected graph as an adjacency map."""
+    n = draw(st.integers(3, 9))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    # Random spanning tree first (guarantees connectivity)...
+    nodes = list(range(n))
+    for i in range(1, n):
+        parent = draw(st.integers(0, i - 1))
+        graph.add_edge(nodes[i], nodes[parent])
+    # ...then sprinkle extra links.
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            graph.add_edge(a, b)
+    return graph
+
+
+class TestPlacementProperties:
+    @given(connected_graph(), st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_every_simple_path_covered(self, graph, num_slices, data):
+        adjacency = {v: list(graph.neighbors(v)) for v in graph.nodes}
+        root = data.draw(st.sampled_from(sorted(graph.nodes)))
+        result = place_slices(adjacency, [root], num_slices, method="dfs")
+        # Every simple path from the root long enough to host all slices
+        # must execute them in order.
+        for target in graph.nodes:
+            if target == root:
+                continue
+            for path in nx.all_simple_paths(graph, root, target,
+                                            cutoff=num_slices + 1):
+                if len(path) < num_slices:
+                    continue
+                assert result.covers_path(path), (path, result.assignments)
+
+    @given(connected_graph(), st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_layered_superset_of_dfs(self, graph, num_slices, data):
+        adjacency = {v: list(graph.neighbors(v)) for v in graph.nodes}
+        root = data.draw(st.sampled_from(sorted(graph.nodes)))
+        dfs = place_slices(adjacency, [root], num_slices, method="dfs")
+        layered = place_slices(adjacency, [root], num_slices,
+                               method="layered")
+        for switch, slices in dfs.assignments.items():
+            assert set(slices) <= set(layered.slices_at(switch))
+
+    @given(connected_graph(), st.integers(1, 4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_roots_host_slice_zero(self, graph, num_slices, data):
+        adjacency = {v: list(graph.neighbors(v)) for v in graph.nodes}
+        roots = data.draw(
+            st.lists(st.sampled_from(sorted(graph.nodes)), min_size=1,
+                     max_size=3, unique=True)
+        )
+        result = place_slices(adjacency, roots, num_slices, method="dfs")
+        for root in roots:
+            assert 0 in result.slices_at(root)
+
+    @given(connected_graph(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_depth_bounds_assignment(self, graph, data):
+        """Slice d only ever lands within d hops of some root."""
+        adjacency = {v: list(graph.neighbors(v)) for v in graph.nodes}
+        root = data.draw(st.sampled_from(sorted(graph.nodes)))
+        num_slices = 3
+        result = place_slices(adjacency, [root], num_slices, method="dfs")
+        dist = nx.single_source_shortest_path_length(graph, root)
+        for switch, slices in result.assignments.items():
+            for d in slices:
+                assert dist[switch] <= d

@@ -1,0 +1,86 @@
+"""Property-based tests for sketches (hypothesis)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.hashing import HashFamily
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.countmin import CountMinSketch
+
+keys = st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=200)
+
+
+class TestBloomProperties:
+    @given(keys)
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives_ever(self, items):
+        bf = BloomFilter(bits=128, num_hashes=2)
+        for key in items:
+            bf.add(key)
+        assert all(key in bf for key in items)
+
+    @given(keys)
+    @settings(max_examples=50, deadline=None)
+    def test_second_add_always_present(self, items):
+        bf = BloomFilter(bits=256, num_hashes=3)
+        for key in items:
+            bf.add(key)
+            assert bf.add(key) is True
+
+    @given(keys)
+    @settings(max_examples=50, deadline=None)
+    def test_inserted_counts_distinct_at_most(self, items):
+        bf = BloomFilter(bits=4096, num_hashes=3)
+        bf.add_all(items)
+        assert bf.inserted <= len(set(items))
+
+    @given(keys)
+    @settings(max_examples=30, deadline=None)
+    def test_clear_restores_empty(self, items):
+        bf = BloomFilter(bits=128, num_hashes=2)
+        bf.add_all(items)
+        bf.clear()
+        assert bf.fill_ratio == 0.0
+
+
+class TestCountMinProperties:
+    @given(keys)
+    @settings(max_examples=50, deadline=None)
+    def test_never_underestimates(self, items):
+        cm = CountMinSketch(width=32, depth=2)
+        truth = Counter(items)
+        for key in items:
+            cm.add(key)
+        for key, count in truth.items():
+            assert cm.estimate(key) >= count
+
+    @given(keys)
+    @settings(max_examples=50, deadline=None)
+    def test_total_preserved(self, items):
+        cm = CountMinSketch(width=64, depth=3)
+        for key in items:
+            cm.add(key)
+        assert cm.total == len(items)
+
+    @given(keys, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_monotone_in_inserts(self, items, repeats):
+        cm = CountMinSketch(width=32, depth=2)
+        probe = b"probe"
+        before = cm.estimate(probe)
+        for _ in range(repeats):
+            cm.add(probe)
+        assert cm.estimate(probe) >= before + repeats
+
+    @given(keys)
+    @settings(max_examples=30, deadline=None)
+    def test_same_seeds_same_estimates(self, items):
+        family = HashFamily(77)
+        a = CountMinSketch(width=32, depth=2, family=family, seed_base=5)
+        b = CountMinSketch(width=32, depth=2, family=family, seed_base=5)
+        for key in items:
+            a.add(key)
+            b.add(key)
+        assert all(a.estimate(k) == b.estimate(k) for k in items)

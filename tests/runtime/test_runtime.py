@@ -1,0 +1,74 @@
+"""Clock and control-channel tests."""
+
+import pytest
+
+from repro.runtime.channel import ControlChannel
+from repro.runtime.clock import SimClock, epoch_of
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_no_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_epoch_of(self):
+        assert epoch_of(0.05, 0.1) == 0
+        assert epoch_of(0.1, 0.1) == 1
+        assert epoch_of(0.99, 0.1) == 9
+
+    def test_epoch_requires_positive_window(self):
+        with pytest.raises(ValueError):
+            epoch_of(1.0, 0)
+
+
+class TestChannel:
+    def test_delay_linear_in_rules(self):
+        channel = ControlChannel(jitter_s=0.0)
+        d10 = channel.install_delay(10)
+        d20 = channel.install_delay(20)
+        assert d20 - d10 == pytest.approx(10 * channel.per_rule_s)
+
+    def test_batch_overhead_applies_once(self):
+        channel = ControlChannel(jitter_s=0.0)
+        assert channel.install_delay(0) == pytest.approx(
+            channel.batch_overhead_s
+        )
+
+    def test_jitter_is_seeded(self):
+        a = ControlChannel(seed=1)
+        b = ControlChannel(seed=1)
+        assert a.install_delay(5) == b.install_delay(5)
+
+    def test_log_and_totals(self):
+        channel = ControlChannel(jitter_s=0.0)
+        channel.install_delay(4)
+        channel.remove_delay(4)
+        assert len(channel.log) == 2
+        assert channel.total_delay("install") < channel.total_delay()
+
+    def test_q1_scale_lands_in_paper_band(self):
+        """~9 rules must install in single-digit milliseconds (Figure 11)."""
+        channel = ControlChannel(seed=3)
+        delay_ms = channel.install_delay(9) * 1e3
+        assert 3.0 < delay_ms < 10.0
+
+    def test_negative_rules_rejected(self):
+        with pytest.raises(ValueError):
+            ControlChannel().install_delay(-1)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError):
+            ControlChannel(per_rule_s=-0.1)

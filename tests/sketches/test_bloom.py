@@ -1,0 +1,100 @@
+"""Bloom filter tests."""
+
+import pytest
+
+from repro.dataplane.hashing import HashFamily
+from repro.sketches.bloom import BloomFilter
+
+
+class TestBasics:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(bits=1024, num_hashes=3)
+        keys = [f"k{i}".encode() for i in range(100)]
+        for key in keys:
+            bf.add(key)
+        assert all(key in bf for key in keys)
+
+    def test_test_and_set_semantics(self):
+        bf = BloomFilter(bits=1024, num_hashes=3)
+        assert bf.add(b"x") is False  # new
+        assert bf.add(b"x") is True   # present
+
+    def test_add_all_counts_new(self):
+        bf = BloomFilter(bits=1024, num_hashes=2)
+        assert bf.add_all([b"a", b"b", b"a"]) == 2
+
+    def test_clear(self):
+        bf = BloomFilter(bits=64, num_hashes=2)
+        bf.add(b"x")
+        bf.clear()
+        assert b"x" not in bf
+        assert bf.inserted == 0
+
+    def test_fill_ratio(self):
+        bf = BloomFilter(bits=100, num_hashes=1)
+        assert bf.fill_ratio == 0.0
+        bf.add(b"x")
+        assert bf.fill_ratio == pytest.approx(0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0, num_hashes=1)
+        with pytest.raises(ValueError):
+            BloomFilter(bits=8, num_hashes=0)
+
+
+class TestAccuracy:
+    def test_fpr_grows_with_load(self):
+        bf = BloomFilter(bits=256, num_hashes=2)
+        light_fpr = None
+        for i in range(64):
+            bf.add(f"in{i}".encode())
+        light_fpr = sum(
+            1 for i in range(1000) if f"out{i}".encode() in bf
+        ) / 1000
+        for i in range(64, 512):
+            bf.add(f"in{i}".encode())
+        heavy_fpr = sum(
+            1 for i in range(1000) if f"out{i}".encode() in bf
+        ) / 1000
+        assert heavy_fpr > light_fpr
+
+    def test_analytic_estimate_reasonable(self):
+        bf = BloomFilter(bits=1024, num_hashes=3)
+        for i in range(200):
+            bf.add(f"in{i}".encode())
+        measured = sum(
+            1 for i in range(2000) if f"out{i}".encode() in bf
+        ) / 2000
+        predicted = bf.false_positive_rate()
+        assert abs(measured - predicted) < 0.1
+
+    def test_empty_filter_has_zero_fpr(self):
+        assert BloomFilter(64, 2).false_positive_rate() == 0.0
+
+
+class TestDataPlaneAgreement:
+    def test_matches_state_bank_rows(self):
+        """A BloomFilter with the data plane's seeds answers identically
+        to the distinct primitive's S modules."""
+        from repro.dataplane.alu import StatefulOp
+        from repro.dataplane.registers import RegisterArray
+
+        family = HashFamily(0x5EED)
+        bits, rows, seed_base = 128, 3, 10
+        bf = BloomFilter(bits, rows, family=family, seed_base=seed_base)
+        arrays = [RegisterArray(bits) for _ in range(rows)]
+        units = [family.unit(seed_base + i, bits) for i in range(rows)]
+        for array in arrays:
+            array.allocate(("q", 0), bits)
+
+        def dataplane_add(key: bytes) -> bool:
+            olds = []
+            for array, unit in zip(arrays, units):
+                old, _ = array.execute(("q", 0), unit(key), StatefulOp.OR, 1)
+                olds.append(old)
+            return min(olds) == 1  # seen before
+
+        for i in range(300):
+            key = f"key{i % 60}".encode()
+            assert bf.add(key) == dataplane_add(key)

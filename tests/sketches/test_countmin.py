@@ -1,0 +1,104 @@
+"""Count-Min sketch tests."""
+
+import pytest
+
+from repro.dataplane.hashing import HashFamily
+from repro.sketches.countmin import CountMinSketch
+
+
+class TestBasics:
+    def test_never_underestimates(self):
+        cm = CountMinSketch(width=64, depth=3)
+        truth = {}
+        for i in range(500):
+            key = f"k{i % 40}".encode()
+            truth[key] = truth.get(key, 0) + 1
+            cm.add(key)
+        for key, count in truth.items():
+            assert cm.estimate(key) >= count
+
+    def test_exact_when_no_collisions(self):
+        cm = CountMinSketch(width=4096, depth=3)
+        for _ in range(7):
+            cm.add(b"solo")
+        assert cm.estimate(b"solo") == 7
+
+    def test_weighted_add(self):
+        cm = CountMinSketch(width=64, depth=2)
+        cm.add(b"x", amount=100)
+        assert cm.estimate(b"x") >= 100
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(8, 1).add(b"x", amount=-1)
+
+    def test_clear(self):
+        cm = CountMinSketch(width=16, depth=2)
+        cm.add(b"x")
+        cm.clear()
+        assert cm.estimate(b"x") == 0
+        assert cm.total == 0
+
+    def test_shape(self):
+        assert CountMinSketch(32, 4).shape == (4, 32)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 1)
+        with pytest.raises(ValueError):
+            CountMinSketch(8, 0)
+
+
+class TestAccuracy:
+    def test_deeper_sketch_estimates_no_worse(self):
+        """More rows — the CQE memory-pooling effect — tightens estimates."""
+        keys = [f"k{i}".encode() for i in range(2000)]
+        shallow = CountMinSketch(width=128, depth=1, seed_base=0)
+        deep = CountMinSketch(width=128, depth=6, seed_base=0)
+        for key in keys:
+            shallow.add(key)
+            deep.add(key)
+        shallow_err = sum(shallow.estimate(k) - 1 for k in keys)
+        deep_err = sum(deep.estimate(k) - 1 for k in keys)
+        assert deep_err < shallow_err
+
+    def test_error_bound_scales_with_width(self):
+        narrow = CountMinSketch(width=64, depth=2)
+        wide = CountMinSketch(width=1024, depth=2)
+        for i in range(1000):
+            narrow.add(f"{i}".encode())
+            wide.add(f"{i}".encode())
+        assert wide.error_bound() < narrow.error_bound()
+
+    def test_heavy_keys(self):
+        cm = CountMinSketch(width=512, depth=3)
+        for _ in range(50):
+            cm.add(b"heavy")
+        cm.add(b"light")
+        found = cm.heavy_keys([b"heavy", b"light"], threshold=40)
+        assert b"heavy" in found and b"light" not in found
+
+
+class TestDataPlaneAgreement:
+    def test_matches_state_bank_rows(self):
+        from repro.dataplane.alu import StatefulOp
+        from repro.dataplane.registers import RegisterArray
+
+        family = HashFamily(0x5EED)
+        width, depth, seed_base = 64, 2, 3
+        cm = CountMinSketch(width, depth, family=family, seed_base=seed_base)
+        arrays = [RegisterArray(width) for _ in range(depth)]
+        units = [family.unit(seed_base + i, width) for i in range(depth)]
+        for array in arrays:
+            array.allocate(("q", 0), width)
+
+        def dataplane_add(key: bytes) -> int:
+            news = []
+            for array, unit in zip(arrays, units):
+                _, new = array.execute(("q", 0), unit(key), StatefulOp.ADD, 1)
+                news.append(new)
+            return min(news)
+
+        for i in range(400):
+            key = f"key{i % 30}".encode()
+            assert cm.add(key) == dataplane_add(key)

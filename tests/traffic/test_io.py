@@ -1,0 +1,64 @@
+"""Trace serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.packet import Packet
+from repro.traffic.generators import assign_hosts, caida_like
+from repro.traffic.io import save_trace, load_trace
+from repro.traffic.traces import Trace
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, tmp_path):
+        trace = caida_like(500, duration_s=0.2, seed=3)
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.name == trace.name
+        for a, b in zip(trace, loaded):
+            assert a.five_tuple == b.five_tuple
+            assert a.tcp_flags == b.tcp_flags
+            assert a.len == b.len
+            assert a.ts == pytest.approx(b.ts)
+
+    def test_host_labels_preserved(self, tmp_path):
+        trace = assign_hosts(caida_like(200, duration_s=0.1, seed=4),
+                             [("h_a", "h_b"), ("h_c", "h_d")])
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert {(p.src_host, p.dst_host) for p in loaded} == {
+            (p.src_host, p.dst_host) for p in trace
+        }
+
+    def test_none_hosts_preserved(self, tmp_path):
+        trace = Trace([Packet(ts=0.1), Packet(ts=0.2)])
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert all(p.src_host is None for p in loaded)
+
+    def test_empty_trace(self, tmp_path):
+        loaded = load_trace(save_trace(Trace([]), tmp_path / "t.npz"))
+        assert len(loaded) == 0
+
+    def test_version_checked(self, tmp_path):
+        import json
+
+        trace = Trace([Packet(ts=0.0)])
+        path = save_trace(trace, tmp_path / "t.npz")
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["meta"] = np.array(json.dumps({"version": 99, "name": "x",
+                                              "hosts": []}))
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_loaded_trace_runs_through_simulator(self, tmp_path):
+        from repro.network.deployment import build_deployment
+        from repro.network.topology import linear
+
+        trace = assign_hosts(caida_like(300, duration_s=0.1, seed=5),
+                             [("h_src0", "h_dst0")])
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        deployment = build_deployment(linear(1))
+        stats = deployment.simulator.run(loaded)
+        assert stats.delivered == len(trace)

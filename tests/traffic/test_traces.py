@@ -1,0 +1,70 @@
+"""Trace container tests."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.traffic.traces import Trace, merge_traces
+
+
+def pkts(times):
+    return [Packet(ts=t) for t in times]
+
+
+class TestTrace:
+    def test_sorts_by_default(self):
+        trace = Trace(pkts([0.3, 0.1, 0.2]))
+        assert [p.ts for p in trace] == [0.1, 0.2, 0.3]
+
+    def test_assume_sorted_validates(self):
+        with pytest.raises(ValueError):
+            Trace(pkts([0.3, 0.1]), assume_sorted=True)
+
+    def test_duration(self):
+        assert Trace(pkts([0.1, 0.6])).duration_s == pytest.approx(0.5)
+        assert Trace([]).duration_s == 0.0
+
+    def test_window_slicing(self):
+        trace = Trace(pkts([0.05, 0.15, 0.17, 0.25]))
+        assert len(trace.window(1, 0.1)) == 2
+        assert len(trace.window(3, 0.1)) == 0
+
+    def test_epochs(self):
+        trace = Trace(pkts([0.05, 0.15, 0.25]))
+        buckets = trace.epochs(0.1)
+        assert set(buckets) == {0, 1, 2}
+
+    def test_with_hosts(self):
+        trace = Trace([Packet(sip=1, dip=2)])
+        routed = trace.with_hosts("a", "b")
+        assert routed[0].src_host == "a"
+        assert routed[0].dst_host == "b"
+        assert routed[0].sip == 1
+
+    def test_limited(self):
+        trace = Trace(pkts([0.1, 0.2, 0.3]))
+        assert len(trace.limited(2)) == 2
+
+    def test_stats(self):
+        trace = Trace([
+            Packet(proto=6, len=100, ts=0.0, sip=1),
+            Packet(proto=17, len=200, ts=0.5, sip=2),
+        ])
+        stats = trace.stats()
+        assert stats.packets == 2
+        assert stats.flows == 2
+        assert stats.bytes == 300
+        assert stats.tcp_fraction == 0.5
+        assert stats.udp_fraction == 0.5
+        assert stats.packet_rate == pytest.approx(4.0)
+
+
+class TestMerge:
+    def test_merge_preserves_order(self):
+        a = Trace(pkts([0.1, 0.3]), name="a")
+        b = Trace(pkts([0.2, 0.4]), name="b")
+        merged = merge_traces([a, b])
+        assert [p.ts for p in merged] == [0.1, 0.2, 0.3, 0.4]
+        assert merged.name == "a+b"
+
+    def test_merge_empty(self):
+        assert len(merge_traces([Trace([]), Trace([])])) == 0

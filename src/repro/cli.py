@@ -4,6 +4,8 @@ Everything the repository can do, reachable without writing Python::
 
     newton-repro list-queries              # the Table 2 query library
     newton-repro compile Q4                # rules/stages a query compiles to
+    newton-repro lint --all                # static verification of the library
+    newton-repro lint Q6 Q8 --joint        # cross-query checks of a set
     newton-repro experiment fig7           # regenerate a paper artefact
     newton-repro experiment all            # every table and figure
     newton-repro demo                      # quickstart end-to-end run
@@ -14,12 +16,14 @@ Everything the repository can do, reachable without writing Python::
 from __future__ import annotations
 
 import argparse
+import os
+import runpy
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.compiler import Optimizations, QueryParams, compile_query
 from repro.core.library import QUERY_DESCRIPTIONS, build_query
-from repro.core.query import flatten
+from repro.core.query import QueryLike, flatten
 from repro.experiments.common import evaluation_thresholds, format_table
 
 __all__ = ["main", "build_parser"]
@@ -200,7 +204,98 @@ def cmd_compile(args) -> int:
             print(format_table(
                 ["step", "mod", "set", "stage", "origin", "config"], rows
             ))
+    # Static verification of what was just compiled (same artifacts the
+    # controller would check before an install).
+    from repro.verify import PipelineModel, verify_queries
+
+    compiled_subs = [compile_query(sub, params, opts)
+                     for sub in flatten(query)]
+    report = verify_queries(compiled_subs, model=PipelineModel())
+    print()
+    print(report.render())
     return 0
+
+
+def _lint_targets(
+    names: List[str], thresholds,
+) -> List[Tuple[str, List[QueryLike]]]:
+    """Resolve lint operands: library names or Python files.
+
+    A file must expose ``QUERY`` (one query) or ``QUERIES`` (an iterable);
+    each may be a plain or composite query.
+    """
+    targets: List[Tuple[str, List[QueryLike]]] = []
+    for name in names:
+        if name in QUERY_DESCRIPTIONS:
+            targets.append((name, [build_query(name, thresholds)]))
+            continue
+        if os.path.exists(name):
+            namespace = runpy.run_path(name)
+            if "QUERIES" in namespace:
+                queries = list(namespace["QUERIES"])
+            elif "QUERY" in namespace:
+                queries = [namespace["QUERY"]]
+            else:
+                raise SystemExit(
+                    f"lint: {name} defines neither QUERY nor QUERIES"
+                )
+            targets.append((name, queries))
+            continue
+        raise SystemExit(
+            f"lint: {name!r} is neither a library query "
+            f"({', '.join(sorted(QUERY_DESCRIPTIONS))}) nor a file"
+        )
+    return targets
+
+
+def cmd_lint(args) -> int:
+    """Statically verify compiled query programs; exit 1 on errors."""
+    from repro.verify import PipelineModel, VerifierConfig, verify_queries
+
+    names = list(args.targets)
+    if args.all:
+        names.extend(sorted(QUERY_DESCRIPTIONS))
+    if not names:
+        raise SystemExit("lint: name queries/files to check, or pass --all")
+
+    params = QueryParams(
+        cm_depth=args.cm_depth,
+        bf_hashes=args.bf_hashes,
+        reduce_registers=args.reduce_registers,
+        distinct_registers=args.distinct_registers,
+    )
+    opts = Optimizations.upto(args.opt_level)
+    model = PipelineModel(
+        num_stages=args.stages,
+        table_capacity=args.table_capacity,
+        array_size=args.array_size,
+    )
+    config = VerifierConfig(suppress=tuple(args.suppress))
+
+    # Each target is a verification unit; --joint folds every target into
+    # one unit so cross-query passes see the whole set.
+    units: List[Tuple[str, List[QueryLike]]] = _lint_targets(
+        names, evaluation_thresholds()
+    )
+    if args.joint:
+        units = [("joint", [q for _, qs in units for q in qs])]
+
+    failed = False
+    for label, queries in units:
+        compiled = [
+            compile_query(sub, params, opts)
+            for query in queries
+            for sub in flatten(query)
+        ]
+        report = verify_queries(compiled, model=model, config=config)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(f"== {label}")
+            print(report.render())
+        if not report.ok or (args.werror and report.warnings):
+            failed = True
+    return 1 if failed else 0
 
 
 def cmd_experiment(args) -> int:
@@ -265,6 +360,37 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--cm-depth", type=int, default=2)
     compile_parser.add_argument("--bf-hashes", type=int, default=3)
     compile_parser.set_defaults(func=cmd_compile)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically verify compiled query programs (exit 1 on errors)",
+    )
+    lint_parser.add_argument(
+        "targets", nargs="*",
+        help="library query names and/or .py files exposing QUERY/QUERIES",
+    )
+    lint_parser.add_argument("--all", action="store_true",
+                             help="lint the whole Table 2 library")
+    lint_parser.add_argument("--joint", action="store_true",
+                             help="verify all targets as one co-installed set")
+    lint_parser.add_argument("--werror", action="store_true",
+                             help="treat warnings as errors for the exit code")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit diagnostics as JSON")
+    lint_parser.add_argument("--suppress", action="append", default=[],
+                             metavar="CODE",
+                             help="drop a diagnostic code (repeatable)")
+    lint_parser.add_argument("--opt-level", type=int, default=3,
+                             choices=(0, 1, 2, 3))
+    lint_parser.add_argument("--cm-depth", type=int, default=2)
+    lint_parser.add_argument("--bf-hashes", type=int, default=3)
+    lint_parser.add_argument("--reduce-registers", type=int, default=4096)
+    lint_parser.add_argument("--distinct-registers", type=int, default=4096)
+    lint_parser.add_argument("--stages", type=int, default=12,
+                             help="pipeline stages of the target model")
+    lint_parser.add_argument("--table-capacity", type=int, default=256)
+    lint_parser.add_argument("--array-size", type=int, default=4096)
+    lint_parser.set_defaults(func=cmd_lint)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"

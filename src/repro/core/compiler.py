@@ -28,7 +28,8 @@ the naive composition used as the baseline in Table 3 and Figure 15.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+import os
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.ast import (
@@ -715,8 +716,16 @@ def compile_query(
     params: QueryParams = QueryParams(),
     opts: Optimizations = Optimizations.all(),
     hash_family: Optional[HashFamily] = None,
+    self_check: Optional[bool] = None,
 ) -> CompiledQuery:
-    """Compile one query into placed module rules + its dispatch entry."""
+    """Compile one query into placed module rules + its dispatch entry.
+
+    ``self_check=True`` (or the ``REPRO_COMPILER_SELFCHECK`` environment
+    variable) re-validates the emitted schedule with the static verifier's
+    dependency pass — an independent re-derivation of Figure 4's
+    constraints — and raises :class:`CompilationError` if the scheduler
+    ever violates them.
+    """
     family = hash_family or HashFamily()
     lowered, init_match = _lower(query, params, opts, family)
     mods = _apply_opt2_and_sets(lowered, opts)
@@ -740,7 +749,7 @@ def compile_query(
         for step, mod in enumerate(mods)
     )
     init_entry = NewtonInitEntry.build(query.qid, init_match, priority=0)
-    return CompiledQuery(
+    compiled = CompiledQuery(
         qid=query.qid,
         specs=specs,
         init_entries=(init_entry,),
@@ -750,6 +759,19 @@ def compile_query(
         optimizations=opts,
         absorbed_front_filter=any(lp.absorbed for lp in lowered),
     )
+    if self_check is None:
+        self_check = bool(os.environ.get("REPRO_COMPILER_SELFCHECK"))
+    if self_check:
+        # Late import: repro.verify consumes this module's artifacts.
+        from repro.verify.dependencies import check_dependencies
+
+        violations = check_dependencies(compiled)
+        if violations:
+            raise CompilationError(
+                f"scheduler post-condition failed for {query.qid!r}: "
+                + "; ".join(d.render() for d in violations)
+            )
+    return compiled
 
 
 def slice_compiled(compiled: CompiledQuery,

@@ -31,6 +31,15 @@ from repro.core.query import QueryLike, flatten
 from repro.core.rules import QuerySlice
 from repro.dataplane.switch import Switch
 from repro.runtime.channel import ControlChannel
+from repro.verify import (
+    Diagnostic,
+    PipelineModel,
+    VerificationError,
+    VerificationReport,
+    VerifierConfig,
+    verify_queries,
+    verify_slices,
+)
 
 __all__ = ["NewtonController", "InstallResult", "InstalledQuery"]
 
@@ -46,6 +55,8 @@ class InstallResult:
     slices_per_sub: Dict[str, int] = field(default_factory=dict)
     #: sub-qid -> per-switch slice assignment (network mode only).
     placements: Dict[str, PlacementResult] = field(default_factory=dict)
+    #: Static-verifier findings (warnings/infos; errors abort the install).
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
 
 @dataclass
@@ -91,12 +102,20 @@ class NewtonController:
         edge_switches: Optional[Iterable[object]] = None,
         stages_per_switch: Optional[int] = None,
         placement_method: str = "auto",
+        verify: bool = True,
+        verifier_config: Optional[VerifierConfig] = None,
     ) -> InstallResult:
         """Compile and deploy a query at runtime.
 
         Exactly one of ``path`` or (``topology`` + ``edge_switches``) must
         be given.  ``stages_per_switch`` defaults to the first target
         switch's pipeline depth.
+
+        Unless ``verify=False``, the compiled artifacts are statically
+        verified before any rule is sent: error diagnostics raise
+        :class:`~repro.verify.VerificationError` (the network is left
+        untouched), warnings are surfaced on the returned
+        :attr:`InstallResult.diagnostics`.
         """
         if query.qid in self.installed:
             raise ValueError(f"query {query.qid!r} is already installed")
@@ -156,6 +175,32 @@ class NewtonController:
                     for index in indices:
                         by_switch.setdefault(sid, []).append((sub.qid, index))
 
+        # Static verification before any rule reaches a switch: artifact
+        # passes over the candidate sub-queries (with already-installed
+        # queries as cross-query context), then resource admission per
+        # target switch at its real occupancy.
+        report = VerificationReport()
+        if verify:
+            context = [
+                comp
+                for record in self.installed.values()
+                for comp in record.compiled.values()
+            ]
+            report = verify_queries(
+                list(compiled.values()), context=context,
+                config=verifier_config,
+            )
+            for sid, entries in by_switch.items():
+                model = PipelineModel.of_switch(
+                    self.switches[sid], label=f"switch {sid}"
+                )
+                report.extend(verify_slices(
+                    [slices[sub_qid][index] for sub_qid, index in entries],
+                    model, switch=sid, config=verifier_config,
+                ).diagnostics)
+            if not report.ok:
+                raise VerificationError(report)
+
         # Install per switch, rolling back on failure so a rejected query
         # leaves the network untouched.
         installed_on: List[Tuple[object, str]] = []
@@ -197,6 +242,7 @@ class NewtonController:
             rules_installed=rules_installed,
             slices_per_sub={q: len(s) for q, s in slices.items()},
             placements=placements,
+            diagnostics=report.diagnostics,
         )
 
     def remove_query(self, qid: str) -> InstallResult:

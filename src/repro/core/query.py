@@ -17,7 +17,7 @@ Newton both make (§4.1, Expressibility).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.ast import (

@@ -216,15 +216,42 @@ class NewtonInitEntry:
     match: Tuple[Tuple[str, int, int], ...]  # (field, value, mask)
     priority: int = 0
 
+    #: newton_init matches the five-tuple plus TCP flags, nothing else.
+    ALLOWED_FIELDS = frozenset(
+        {"sip", "dip", "proto", "sport", "dport", "tcp_flags"}
+    )
+
+    def __post_init__(self) -> None:
+        for name, value, mask in self.match:
+            if name not in self.ALLOWED_FIELDS:
+                raise ValueError(
+                    f"newton_init matches five-tuple + tcp_flags only, "
+                    f"got {name!r}"
+                )
+            width_mask = GLOBAL_FIELDS.get(name).max_value
+            if not 0 <= mask <= width_mask:
+                raise ValueError(
+                    f"mask {mask:#x} out of range for field {name!r} "
+                    f"(width mask {width_mask:#x})"
+                )
+            if not 0 <= value <= width_mask:
+                raise ValueError(
+                    f"value {value:#x} out of range for field {name!r} "
+                    f"(width mask {width_mask:#x})"
+                )
+            if value & ~mask:
+                # A ternary entry only compares masked bits; value bits
+                # outside the mask silently never participate and almost
+                # always indicate a mis-built filter.
+                raise ValueError(
+                    f"value {value:#x} sets bits outside mask {mask:#x} "
+                    f"for field {name!r}; the entry would never match the "
+                    f"intended packets"
+                )
+
     @staticmethod
     def build(qid: str, match: Dict[str, Tuple[int, int]],
               priority: int = 0) -> "NewtonInitEntry":
-        allowed = {"sip", "dip", "proto", "sport", "dport", "tcp_flags"}
-        for name in match:
-            if name not in allowed:
-                raise ValueError(
-                    f"newton_init matches five-tuple + tcp_flags only, got {name!r}"
-                )
         packed = tuple(sorted((k, v, m) for k, (v, m) in match.items()))
         return NewtonInitEntry(qid=qid, match=packed, priority=priority)
 

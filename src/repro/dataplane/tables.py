@@ -16,7 +16,7 @@ Figure 16.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 
 __all__ = [

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.compiler import Optimizations, QueryParams, compile_query
 from repro.core.library import QueryThresholds, all_queries
@@ -33,7 +33,7 @@ def query_footprint(
     query: QueryLike,
     params: QueryParams = QueryParams(),
     opts: Optimizations = Optimizations.all(),
-    multiplex: bool = None,
+    multiplex: Optional[bool] = None,
 ) -> Tuple[int, int]:
     """(modules, stages) one query occupies on a switch.
 

@@ -8,7 +8,7 @@ two implementations agree exactly for equal seeds and widths.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -73,6 +73,6 @@ class CountMinSketch:
     def shape(self) -> Tuple[int, int]:
         return (self.depth, self.width)
 
-    def error_bound(self, confidence_rows: int = None) -> float:
+    def error_bound(self, confidence_rows: Optional[int] = None) -> float:
         """Classic CM additive error bound: e/width × total inserted."""
         return float(np.e / self.width * self.total)

@@ -1,0 +1,55 @@
+"""Static rule verifier: pre-install analysis of compiled module-rule
+programs.
+
+Newton pushes query compilation into table rules for pre-loaded modules;
+this package analyses those rules *before* the controller touches a
+switch, so ill-formed programs are rejected with structured diagnostics
+instead of corrupting monitoring silently at runtime.  Five passes:
+
+1. ternary shadowing/overlap (``NV0xx``, :mod:`repro.verify.shadowing`),
+2. container-dependency and layout soundness (``NV1xx``,
+   :mod:`repro.verify.dependencies`) — the machine-checked Figure 4,
+3. resource admission (``NV2xx``, :mod:`repro.verify.resources`),
+4. sketch-parameter sanity (``NV3xx``, :mod:`repro.verify.sketch`),
+5. dead-rule elimination hints (``NV5xx``, :mod:`repro.verify.deadrules`).
+
+All codes are documented in ``docs/static-analysis.md``.
+"""
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    VerificationError,
+    VerificationReport,
+)
+from repro.verify.program import (
+    PipelineModel,
+    RuleView,
+    init_entries_of,
+    rules_of_compiled,
+    rules_of_slices,
+)
+from repro.verify.verifier import (
+    VerifierConfig,
+    require_ok,
+    verify_queries,
+    verify_slices,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "VerificationError",
+    "VerificationReport",
+    "PipelineModel",
+    "RuleView",
+    "VerifierConfig",
+    "init_entries_of",
+    "require_ok",
+    "rules_of_compiled",
+    "rules_of_slices",
+    "verify_queries",
+    "verify_slices",
+]

@@ -1,0 +1,185 @@
+"""Structured diagnostics emitted by the static rule verifier.
+
+Every check in :mod:`repro.verify` reports through the same vocabulary: a
+:class:`Diagnostic` carries a severity, a *stable* error code (``NVxxx``,
+documented in ``docs/static-analysis.md``), a human-readable message, and a
+:class:`Location` pinpointing the artifact — query, step, stage, switch —
+the finding is anchored to.  A :class:`VerificationReport` aggregates the
+diagnostics of one verification run and decides the overall verdict.
+
+Code blocks are grouped by pass:
+
+* ``NV0xx`` — ternary shadowing / overlap (dispatch and R entries)
+* ``NV1xx`` — container dependency and compact-layout soundness (Figure 4)
+* ``NV2xx`` — resource admission (stage capacity, registers, stage budget)
+* ``NV3xx`` — sketch-parameter sanity (Count-Min, Bloom, hash seeds)
+* ``NV5xx`` — dead-rule elimination hints
+
+Codes are part of the public surface: tests pin them, operators suppress
+them, and docs explain them.  Never renumber; retire codes by leaving the
+number unused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "VerificationReport",
+    "VerificationError",
+]
+
+
+class Severity(Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings violate a hard invariant of §4 — installing the rule
+    set would corrupt monitoring silently at runtime — and make the
+    controller reject the operation.  ``WARNING`` findings are suspicious
+    but installable (quality or portability hazards).  ``INFO`` findings
+    are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where in the compiled artifact a diagnostic points.
+
+    All parts are optional so one type serves every pass: a dispatch-entry
+    finding has no stage, a per-switch resource finding has no step.
+    """
+
+    qid: Optional[str] = None
+    step: Optional[int] = None
+    stage: Optional[int] = None
+    switch: Optional[object] = None
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        if self.switch is not None:
+            parts.append(f"switch={self.switch}")
+        if self.qid is not None:
+            parts.append(self.qid)
+        if self.step is not None:
+            parts.append(f"step {self.step}")
+        if self.stage is not None:
+            parts.append(f"stage {self.stage}")
+        return " ".join(parts) if parts else "<program>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    location: Location = field(default_factory=Location)
+
+    def render(self) -> str:
+        return (
+            f"{self.severity.value.upper():7s} {self.code} "
+            f"[{self.location}] {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity.value,
+            "code": self.code,
+            "message": self.message,
+            "qid": self.location.qid,
+            "step": self.location.step,
+            "stage": self.location.stage,
+            "switch": (
+                None if self.location.switch is None
+                else str(self.location.switch)
+            ),
+        }
+
+
+@dataclass
+class VerificationReport:
+    """All diagnostics of one verification run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, found: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(found)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings and infos do not fail verification)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No diagnostics of any severity."""
+        return not self.diagnostics
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def sorted(self) -> List[Diagnostic]:
+        """Errors first, then warnings, then infos; stable within a class."""
+        return sorted(
+            self.diagnostics, key=lambda d: -d.severity.rank
+        )
+
+    def render(self) -> str:
+        if self.clean:
+            return "verifier: clean (0 diagnostics)"
+        lines = [d.render() for d in self.sorted()]
+        lines.append(
+            f"verifier: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics)} total"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [d.as_dict() for d in self.sorted()], indent=2, sort_keys=True
+        )
+
+
+class VerificationError(RuntimeError):
+    """Raised when a rule set fails verification with errors.
+
+    Carries the full :class:`VerificationReport` so callers (and tests)
+    can inspect the structured diagnostics instead of parsing the message.
+    """
+
+    def __init__(self, report: VerificationReport):
+        self.report = report
+        summary = "; ".join(
+            f"{d.code} [{d.location}] {d.message}" for d in report.errors[:5]
+        )
+        extra = len(report.errors) - 5
+        if extra > 0:
+            summary += f"; ... {extra} more"
+        super().__init__(f"rule verification failed: {summary}")

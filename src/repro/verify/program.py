@@ -1,0 +1,114 @@
+"""The verifier's view of a rule program and its target pipeline.
+
+The analyzer never talks to a switch: it works over compiled artifacts
+(:class:`~repro.core.compiler.CompiledQuery`, the per-switch
+:class:`~repro.core.rules.QuerySlice` partitions) plus a
+:class:`PipelineModel` describing the pipeline the rules are bound for —
+stage count, table capacity, register-array size, and any resources already
+in use.  Models are cheap value objects: lint builds a default Tofino-shaped
+one, the controller snapshots the actual target switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.compiler import CompiledQuery
+from repro.core.rules import ModuleRuleSpec, NewtonInitEntry, QuerySlice
+from repro.dataplane.module_types import ModuleType
+from repro.dataplane.resources import TOFINO_STAGES
+
+__all__ = ["PipelineModel", "RuleView", "rules_of_compiled", "rules_of_slices"]
+
+#: Mirrors :data:`repro.dataplane.tables.DEFAULT_TABLE_CAPACITY` without
+#: pulling the table implementation into the analyzer.
+_DEFAULT_TABLE_CAPACITY = 256
+_DEFAULT_ARRAY_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class RuleView:
+    """One placed module rule as the resource pass sees it."""
+
+    qid: str
+    stage: int
+    module_type: ModuleType
+    spec: ModuleRuleSpec
+
+    @staticmethod
+    def of(spec: ModuleRuleSpec, stage_base: int = 0) -> "RuleView":
+        return RuleView(
+            qid=spec.qid,
+            stage=spec.stage - stage_base,
+            module_type=spec.module_type,
+            spec=spec,
+        )
+
+
+@dataclass
+class PipelineModel:
+    """Capacities (and current usage) of one target pipeline.
+
+    ``rules_used`` and ``registers_used`` describe rules already resident —
+    zero for a lint run, the live occupancy for an install-time check — so
+    admission verdicts account for every co-installed query.
+    """
+
+    num_stages: int = TOFINO_STAGES
+    table_capacity: int = _DEFAULT_TABLE_CAPACITY
+    array_size: int = _DEFAULT_ARRAY_SIZE
+    #: (stage, module type) -> module rules already installed.
+    rules_used: Dict[Tuple[int, ModuleType], int] = field(default_factory=dict)
+    #: stage -> registers already leased from the stage's state bank.
+    registers_used: Dict[int, int] = field(default_factory=dict)
+    label: str = "pipeline"
+
+    @staticmethod
+    def of_switch(switch: object, label: str = "switch") -> "PipelineModel":
+        """Snapshot a simulated switch's layout and current occupancy."""
+        from repro.dataplane.modules import StateBankModule
+
+        layout = switch.pipeline.layout  # type: ignore[attr-defined]
+        rules_used: Dict[Tuple[int, ModuleType], int] = {}
+        registers_used: Dict[int, int] = {}
+        for stage in range(layout.num_stages):
+            for mtype, module in layout.stage_slots(stage).items():
+                if module.rule_count:
+                    rules_used[(stage, mtype)] = module.rule_count
+                if isinstance(module, StateBankModule):
+                    used = module.array.size - module.array.free_registers()
+                    if used:
+                        registers_used[stage] = used
+        return PipelineModel(
+            num_stages=layout.num_stages,
+            table_capacity=layout.table_capacity,
+            array_size=layout.array_size,
+            rules_used=rules_used,
+            registers_used=registers_used,
+            label=label,
+        )
+
+
+def rules_of_compiled(compiled: Iterable[CompiledQuery]) -> List[RuleView]:
+    """Flatten compiled queries into placed-rule views at global stages."""
+    return [
+        RuleView.of(spec)
+        for comp in compiled
+        for spec in comp.specs
+    ]
+
+
+def rules_of_slices(slices: Iterable[QuerySlice]) -> List[RuleView]:
+    """Flatten per-switch slices into rule views at *local* stages."""
+    return [
+        RuleView.of(spec, stage_base=query_slice.stage_base)
+        for query_slice in slices
+        for spec in query_slice.specs
+    ]
+
+
+def init_entries_of(
+    compiled: Iterable[CompiledQuery],
+) -> List[NewtonInitEntry]:
+    return [entry for comp in compiled for entry in comp.init_entries]

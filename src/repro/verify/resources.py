@@ -1,0 +1,144 @@
+"""Resource admission: can this rule set actually fit the pipeline?
+
+Codes NV201–NV203.  Newton's modules are pre-loaded, so installing a rule
+never synthesises hardware — but the *rule set* still has a hardware
+budget.  Each (stage, module type) slot is one physical module instance
+costing :data:`~repro.dataplane.resources.MODULE_COSTS` out of
+:data:`~repro.dataplane.resources.STAGE_CAPACITY`; its table multiplexes
+up to ``table_capacity`` rules.  When the rules demanded at one slot
+exceed that, the stage would need another instance of the module — and the
+pass charges it, which is where the seven per-category budgets (Table 3's
+columns) start to overflow:
+
+* **NV201** — per-stage resource over-subscription, reported with a
+  per-category breakdown (only the categories that overflow).
+* **NV202** — the rule set needs more stages than the pipeline offers;
+  installable only by slicing across switches (CQE, §5.1), so a warning.
+* **NV203** — per-stage register over-subscription: stateful S rules
+  lease more registers than the stage's state-bank array holds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.compiler import CompiledQuery
+from repro.core.rules import SConfig
+from repro.dataplane.module_types import ModuleType
+from repro.dataplane.resources import (
+    MODULE_COSTS,
+    RESOURCE_CATEGORIES,
+    STAGE_CAPACITY,
+)
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.program import PipelineModel, RuleView
+
+__all__ = ["check_resources", "check_stage_budget"]
+
+
+def check_stage_budget(
+    compiled: Sequence[CompiledQuery], model: PipelineModel
+) -> List[Diagnostic]:
+    """NV202: queries whose schedule exceeds the pipeline's stage count."""
+    out: List[Diagnostic] = []
+    for comp in compiled:
+        if comp.num_stages > model.num_stages:
+            slices = math.ceil(comp.num_stages / model.num_stages)
+            out.append(Diagnostic(
+                severity=Severity.WARNING,
+                code="NV202",
+                message=(
+                    f"query needs {comp.num_stages} stages but the "
+                    f"pipeline has {model.num_stages}; deployment requires "
+                    f"cross-switch execution over >= {slices} switches "
+                    f"(or analyzer offload for the remainder)"
+                ),
+                location=Location(qid=comp.qid),
+            ))
+    return out
+
+
+def check_resources(
+    rules: Iterable[RuleView],
+    model: PipelineModel,
+    switch: object = None,
+) -> List[Diagnostic]:
+    """NV201 + NV203 for a rule set bound to one pipeline.
+
+    ``rules`` carry *local* stages for the target pipeline; the model's
+    ``rules_used``/``registers_used`` describe what is already resident so
+    candidate and installed queries are admitted jointly.
+    """
+    out: List[Diagnostic] = []
+    rule_counts: Dict[Tuple[int, ModuleType], int] = defaultdict(int)
+    register_demand: Dict[int, int] = defaultdict(int)
+    for key, used in model.rules_used.items():
+        rule_counts[key] += used
+    for stage, used in model.registers_used.items():
+        register_demand[stage] += used
+
+    for view in rules:
+        rule_counts[(view.stage, view.module_type)] += 1
+        config = view.spec.config
+        if (view.module_type is ModuleType.STATE_BANK
+                and isinstance(config, SConfig)
+                and not config.passthrough):
+            register_demand[view.stage] += config.slice_size
+
+    # NV201: instances demanded per slot -> per-category stage usage.
+    stages = sorted({stage for stage, _ in rule_counts})
+    for stage in stages:
+        usage = {category: 0.0 for category in RESOURCE_CATEGORIES}
+        demanded: List[str] = []
+        for mtype in ModuleType:
+            count = rule_counts.get((stage, mtype), 0)
+            if not count:
+                continue
+            instances = math.ceil(count / model.table_capacity)
+            cost = MODULE_COSTS[mtype]
+            for category in RESOURCE_CATEGORIES:
+                usage[category] += instances * getattr(cost, category)
+            if instances > 1:
+                demanded.append(
+                    f"{count} {mtype.symbol} rules need {instances} "
+                    f"instances ({model.table_capacity} rules each)"
+                )
+        over = {
+            category: (usage[category], getattr(STAGE_CAPACITY, category))
+            for category in RESOURCE_CATEGORIES
+            if usage[category] > getattr(STAGE_CAPACITY, category)
+        }
+        if over:
+            breakdown = ", ".join(
+                f"{category} {used:g}/{cap:g}"
+                for category, (used, cap) in sorted(over.items())
+            )
+            detail = f" ({'; '.join(demanded)})" if demanded else ""
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="NV201",
+                message=(
+                    f"stage {stage} over-subscribed on {model.label}: "
+                    f"{breakdown}{detail}"
+                ),
+                location=Location(stage=stage, switch=switch),
+            ))
+
+    # NV203: register leases per stage vs the state-bank array.
+    for stage in sorted(register_demand):
+        demand = register_demand[stage]
+        if demand > model.array_size:
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="NV203",
+                message=(
+                    f"stage {stage} register over-subscription on "
+                    f"{model.label}: stateful rules lease {demand} "
+                    f"registers, the state-bank array holds "
+                    f"{model.array_size}"
+                ),
+                location=Location(stage=stage, switch=switch),
+            ))
+    return out

@@ -1,0 +1,149 @@
+"""The static rule verifier: every pass, one report.
+
+:func:`verify_queries` analyses compiled artifacts *before* any rule
+reaches a switch — the controller runs it by default on install, ``repro
+lint`` runs it from the command line, and the compiler can run the
+dependency pass as a post-condition self-check.  :func:`verify_slices`
+re-runs the resource admission pass against one concrete switch once the
+controller has partitioned a query (so occupancy and per-switch layouts
+are respected).
+
+Severity policy: ERROR diagnostics make :attr:`VerificationReport.ok`
+false and the controller refuse the install; WARNING/INFO diagnostics are
+surfaced but do not block.  Individual codes can be suppressed via
+:attr:`VerifierConfig.suppress`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import CompiledQuery
+from repro.core.rules import QuerySlice
+from repro.verify.deadrules import check_dead_rules
+from repro.verify.dependencies import check_dependencies
+from repro.verify.diagnostics import (
+    Diagnostic,
+    VerificationError,
+    VerificationReport,
+)
+from repro.verify.program import (
+    PipelineModel,
+    init_entries_of,
+    rules_of_compiled,
+    rules_of_slices,
+)
+from repro.verify.resources import check_resources, check_stage_budget
+from repro.verify.shadowing import (
+    check_init_shadowing,
+    check_r_entry_shadowing,
+)
+from repro.verify.sketch import (
+    DEFAULT_BLOOM_LOAD,
+    DEFAULT_MAX_DELTA,
+    DEFAULT_MAX_EPSILON,
+    DEFAULT_MAX_FPR,
+    check_hash_seed_collisions,
+    check_sketch_params,
+)
+
+__all__ = ["VerifierConfig", "verify_queries", "verify_slices", "require_ok"]
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """Tunable thresholds and per-code suppression."""
+
+    max_epsilon: float = DEFAULT_MAX_EPSILON
+    max_delta: float = DEFAULT_MAX_DELTA
+    bloom_load: float = DEFAULT_BLOOM_LOAD
+    max_fpr: float = DEFAULT_MAX_FPR
+    #: Diagnostic codes to drop from reports (e.g. ("NV302",)).
+    suppress: Tuple[str, ...] = field(default=())
+
+    def filter(self, found: Iterable[Diagnostic]) -> List[Diagnostic]:
+        return [d for d in found if d.code not in self.suppress]
+
+
+def verify_queries(
+    candidates: Sequence[CompiledQuery],
+    context: Sequence[CompiledQuery] = (),
+    model: Optional[PipelineModel] = None,
+    config: Optional[VerifierConfig] = None,
+) -> VerificationReport:
+    """Run every static pass over ``candidates``.
+
+    ``context`` holds already-accepted queries: cross-query passes (init
+    shadowing, hash-seed collisions) see candidates and context together,
+    but only findings anchored to a candidate are reported — pre-existing
+    context findings are not re-litigated.  Pass a :class:`PipelineModel`
+    to also run resource admission at global stages (what lint does); the
+    controller instead calls :func:`verify_slices` per target switch.
+    """
+    config = config or VerifierConfig()
+    report = VerificationReport()
+    everything = list(candidates) + [
+        c for c in context
+        if c.qid not in {cand.qid for cand in candidates}
+    ]
+
+    # Per-query artifact passes: candidates only.
+    for comp in candidates:
+        report.extend(config.filter(check_dependencies(comp)))
+        report.extend(config.filter(check_r_entry_shadowing(comp)))
+        report.extend(config.filter(check_dead_rules(comp)))
+    report.extend(config.filter(check_sketch_params(
+        candidates,
+        max_epsilon=config.max_epsilon,
+        max_delta=config.max_delta,
+        bloom_load=config.bloom_load,
+        max_fpr=config.max_fpr,
+    )))
+
+    # Cross-query passes: joint view, candidate-anchored findings only.
+    candidate_qids = {comp.qid for comp in candidates}
+    joint: List[Diagnostic] = []
+    joint.extend(check_init_shadowing(init_entries_of(everything)))
+    joint.extend(check_hash_seed_collisions(everything))
+    report.extend(config.filter(
+        d for d in joint
+        if d.location.qid is None or d.location.qid in candidate_qids
+    ))
+
+    # Resource admission at global stages.  Each candidate is admitted
+    # standalone: whether several candidates *co-reside* on one pipeline
+    # is a placement decision, checked per target switch at install time
+    # by :func:`verify_slices`.
+    if model is not None:
+        report.extend(config.filter(check_stage_budget(candidates, model)))
+        for comp in candidates:
+            report.extend(config.filter(check_resources(
+                rules_of_compiled([comp]), model
+            )))
+    return report
+
+
+def verify_slices(
+    slices: Sequence[QuerySlice],
+    model: PipelineModel,
+    switch: object = None,
+    config: Optional[VerifierConfig] = None,
+) -> VerificationReport:
+    """Resource admission of candidate slices against one concrete switch.
+
+    ``model`` should be :meth:`PipelineModel.of_switch` of the target so
+    already-resident rules and leased registers count toward capacity.
+    """
+    config = config or VerifierConfig()
+    report = VerificationReport()
+    report.extend(config.filter(
+        check_resources(rules_of_slices(slices), model, switch=switch)
+    ))
+    return report
+
+
+def require_ok(report: VerificationReport) -> None:
+    """Raise :class:`VerificationError` if the report carries errors."""
+    if not report.ok:
+        raise VerificationError(report)

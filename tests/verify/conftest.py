@@ -1,0 +1,66 @@
+"""Shared helpers for verifier tests: compile + doctor compiled artifacts.
+
+Most fixtures seed exactly one violation by compiling a healthy query and
+then surgically corrupting the frozen artifact with ``dataclasses.replace``
+— the verifier sees artifacts, so corrupt artifacts are the natural unit
+of test input.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.compiler import (
+    CompiledQuery,
+    Optimizations,
+    QueryParams,
+    compile_query,
+)
+from repro.core.query import Query
+
+
+def reduce_query(qid: str = "t.reduce", **params) -> CompiledQuery:
+    """A healthy single-chain reduce query (SYN-flood shape)."""
+    query = (
+        Query(qid)
+        .filter(proto=6, tcp_flags=2)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=10)
+    )
+    return compile_query(query, QueryParams(**params), Optimizations.all())
+
+
+def distinct_query(qid: str = "t.distinct", **params) -> CompiledQuery:
+    """A healthy query with a Bloom-filter distinct."""
+    query = (
+        Query(qid)
+        .filter(proto=6)
+        .map("dip", "sip")
+        .distinct("dip", "sip")
+        .map("dip")
+        .reduce("dip")
+        .where(ge=10)
+    )
+    return compile_query(query, QueryParams(**params), Optimizations.all())
+
+
+def replace_spec(compiled: CompiledQuery, step: int, **changes):
+    """Return a copy of ``compiled`` with one spec's fields replaced."""
+    specs = tuple(
+        replace(spec, **changes) if spec.step == step else spec
+        for spec in compiled.specs
+    )
+    return replace(compiled, specs=specs)
+
+
+def spec_at(compiled: CompiledQuery, step: int):
+    for spec in compiled.specs:
+        if spec.step == step:
+            return spec
+    raise AssertionError(f"no spec at step {step}")
+
+
+@pytest.fixture
+def compiled_reduce() -> CompiledQuery:
+    return reduce_query()

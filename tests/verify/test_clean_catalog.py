@@ -1,0 +1,50 @@
+"""The shipped query catalog must verify clean — the acceptance bar."""
+
+import pytest
+
+from repro.core.compiler import Optimizations, QueryParams, compile_query
+from repro.core.library import QUERY_NAMES, build_query
+from repro.core.query import flatten
+from repro.experiments.common import evaluation_thresholds
+from repro.verify import PipelineModel, verify_queries
+
+
+def compiled_subs(name):
+    query = build_query(name, evaluation_thresholds())
+    params = QueryParams()
+    return [
+        compile_query(sub, params, Optimizations.all())
+        for sub in flatten(query)
+    ]
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_library_query_verifies_clean(name):
+    report = verify_queries(compiled_subs(name), model=PipelineModel())
+    assert report.clean, (
+        f"{name} should produce zero diagnostics:\n{report.render()}"
+    )
+
+
+def test_joint_catalog_has_no_errors():
+    # Jointly, independently-seeded queries share hash seeds (NV304
+    # warnings are expected and true) but nothing rises to an error.
+    everything = [c for name in QUERY_NAMES for c in compiled_subs(name)]
+    report = verify_queries(everything, model=PipelineModel())
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+@pytest.mark.parametrize("level", [0, 3])
+def test_compiler_self_check_passes(name, level):
+    query = build_query(name, evaluation_thresholds())
+    for sub in flatten(query):
+        compile_query(sub, QueryParams(), Optimizations.upto(level),
+                      self_check=True)
+
+
+def test_compiler_self_check_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILER_SELFCHECK", "1")
+    query = build_query("Q1", evaluation_thresholds())
+    for sub in flatten(query):
+        compile_query(sub, QueryParams(), Optimizations.all())

@@ -1,0 +1,92 @@
+"""Install-time verification: the controller gates rules behind the verifier."""
+
+import pytest
+
+from repro.core.compiler import QueryParams
+from repro.core.query import Query
+from repro.dataplane.registers import AllocationError
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.verify import VerificationError
+
+
+def syn_query(qid="ctl.q", threshold=10):
+    return (
+        Query(qid)
+        .filter(proto=6, tcp_flags=2)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=threshold)
+    )
+
+
+SMALL = QueryParams(cm_depth=2, reduce_registers=128, distinct_registers=128)
+
+
+class TestInstallGate:
+    def test_over_subscribed_registers_rejected_before_any_rule(self):
+        dep = build_deployment(linear(1), array_size=64)
+        with pytest.raises(VerificationError) as exc:
+            dep.controller.install_query(syn_query(), QueryParams(),
+                                         path=["s0"])
+        assert "NV203" in exc.value.report.codes()
+        # Rejected before touching the switch: nothing to roll back.
+        assert dep.switch("s0").rule_count == 0
+        assert "ctl.q" not in dep.controller.installed
+
+    def test_verify_false_opts_out(self):
+        # With the gate off the install reaches the data plane and dies on
+        # the allocator instead (and is rolled back there).
+        dep = build_deployment(linear(1), array_size=64)
+        with pytest.raises(AllocationError):
+            dep.controller.install_query(syn_query(), QueryParams(),
+                                         path=["s0"], verify=False)
+        assert dep.switch("s0").rule_count == 0
+
+    def test_warnings_surface_on_install_result(self):
+        dep = build_deployment(linear(1), array_size=256)
+        params = QueryParams(cm_depth=1, reduce_registers=128,
+                             distinct_registers=128)
+        result = dep.controller.install_query(syn_query(), params,
+                                              path=["s0"])
+        assert result.rules_installed > 0
+        assert "NV302" in {d.code for d in result.diagnostics}
+
+    def test_clean_install_reports_no_diagnostics(self):
+        dep = build_deployment(linear(1), array_size=256)
+        result = dep.controller.install_query(syn_query(), SMALL, path=["s0"])
+        assert result.rules_installed > 0
+        assert result.diagnostics == []
+
+
+class TestJointAdmission:
+    def test_second_query_rejected_at_real_occupancy(self):
+        # table_capacity=1: the resident query's S rule plus the newcomer's
+        # demand a second state-bank instance in the same stage, and two
+        # instances of salu cost exceed the per-stage budget.
+        dep = build_deployment(linear(1), table_capacity=1,
+                               array_size=1 << 16)
+        first = dep.controller.install_query(syn_query("ctl.a"), SMALL,
+                                             path=["s0"])
+        assert first.rules_installed > 0
+        resident_rules = dep.switch("s0").rule_count
+
+        with pytest.raises(VerificationError) as exc:
+            dep.controller.install_query(syn_query("ctl.b"), SMALL,
+                                         path=["s0"])
+        report = exc.value.report
+        assert "NV201" in report.codes()
+        nv201 = report.by_code("NV201")
+        assert any(d.location.switch == "s0" for d in nv201)
+        assert any("salu" in d.message for d in nv201)
+        # The resident query is untouched.
+        assert dep.switch("s0").rule_count == resident_rules
+        assert "ctl.a" in dep.controller.installed
+
+    def test_same_set_admitted_on_empty_switch(self):
+        # Control: the rejected newcomer installs fine when it is first.
+        dep = build_deployment(linear(1), table_capacity=1,
+                               array_size=1 << 16)
+        result = dep.controller.install_query(syn_query("ctl.b"), SMALL,
+                                              path=["s0"])
+        assert result.rules_installed > 0

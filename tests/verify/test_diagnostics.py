@@ -1,0 +1,80 @@
+"""Diagnostic / report mechanics: rendering, ordering, JSON, suppression."""
+
+import json
+
+from repro.verify import (
+    Severity,
+    VerificationError,
+    VerificationReport,
+    VerifierConfig,
+)
+from repro.verify.diagnostics import Diagnostic, Location
+
+
+def diag(code="NV101", severity=Severity.ERROR, qid="q", **loc):
+    return Diagnostic(
+        severity=severity,
+        code=code,
+        message=f"message for {code}",
+        location=Location(qid=qid, **loc),
+    )
+
+
+class TestReport:
+    def test_partitions_by_severity(self):
+        report = VerificationReport()
+        report.extend([
+            diag("NV301", Severity.WARNING),
+            diag("NV101", Severity.ERROR),
+        ])
+        assert [d.code for d in report.errors] == ["NV101"]
+        assert [d.code for d in report.warnings] == ["NV301"]
+        assert not report.ok
+        assert not report.clean
+
+    def test_warnings_only_is_ok_but_not_clean(self):
+        report = VerificationReport()
+        report.extend([diag("NV301", Severity.WARNING)])
+        assert report.ok
+        assert not report.clean
+
+    def test_sorted_puts_errors_first(self):
+        report = VerificationReport()
+        report.extend([
+            diag("NV301", Severity.WARNING),
+            diag("NV501", Severity.WARNING),
+            diag("NV101", Severity.ERROR),
+        ])
+        assert [d.code for d in report.sorted()][0] == "NV101"
+
+    def test_render_names_code_and_location(self):
+        text = diag("NV104", qid="t.q", step=3, stage=2).render()
+        assert "NV104" in text
+        assert "t.q" in text
+        assert "error" in text.lower()
+
+    def test_to_json_round_trips(self):
+        report = VerificationReport()
+        report.extend([diag("NV101", step=1, stage=0)])
+        [entry] = json.loads(report.to_json())
+        assert entry["code"] == "NV101"
+        assert entry["severity"] == "error"
+        assert entry["qid"] == "q"
+        assert entry["step"] == 1
+
+    def test_verification_error_summarises(self):
+        report = VerificationReport()
+        report.extend([diag("NV102")])
+        err = VerificationError(report)
+        assert "NV102" in str(err)
+        assert err.report is report
+
+
+class TestSuppression:
+    def test_config_suppresses_codes(self):
+        config = VerifierConfig(suppress=("NV301",))
+        kept = config.filter([
+            diag("NV301", Severity.WARNING),
+            diag("NV101", Severity.ERROR),
+        ])
+        assert [d.code for d in kept] == ["NV101"]

@@ -1,0 +1,291 @@
+"""One seeded-violation fixture per diagnostic code.
+
+Each test corrupts a healthy compiled artifact (or picks degenerate
+parameters) so exactly the targeted invariant breaks, then asserts the
+verifier names the expected stable code.  Codes are public API: these
+tests pin them.
+"""
+
+from dataclasses import replace
+
+from repro.core.rules import (
+    MatchSource,
+    NewtonInitEntry,
+    RAction,
+    RConfig,
+    RMatchEntry,
+)
+from repro.dataplane.module_types import ModuleType
+from repro.verify import (
+    PipelineModel,
+    RuleView,
+    Severity,
+    verify_queries,
+)
+from repro.verify.resources import check_resources
+
+from tests.verify.conftest import (
+    distinct_query,
+    reduce_query,
+    replace_spec,
+    spec_at,
+)
+
+
+def codes_of(report):
+    return set(report.codes())
+
+
+# --------------------------------------------------------------------- #
+# NV0xx: ternary shadowing                                              #
+# --------------------------------------------------------------------- #
+
+
+class TestShadowing:
+    def test_nv001_same_query_shadowed_entry(self, compiled_reduce):
+        narrow = compiled_reduce.init_entries[0]
+        catch_all = NewtonInitEntry(qid=compiled_reduce.qid, match=())
+        doctored = replace(
+            compiled_reduce, init_entries=(narrow, catch_all)
+        )
+        report = verify_queries([doctored])
+        nv001 = report.by_code("NV001")
+        assert len(nv001) == 1
+        assert nv001[0].severity is Severity.ERROR
+        assert nv001[0].location.qid == compiled_reduce.qid
+        assert not report.ok
+
+    def test_nv001_identical_twin_flags_only_the_later(self, compiled_reduce):
+        entry = compiled_reduce.init_entries[0]
+        doctored = replace(compiled_reduce, init_entries=(entry, entry))
+        report = verify_queries([doctored])
+        assert len(report.by_code("NV001")) == 1
+
+    def test_nv002_cross_query_priority_containment(self):
+        low = reduce_query("t.low")
+        high = reduce_query("t.high")
+        high = replace(
+            high,
+            init_entries=tuple(
+                replace(e, match=(), priority=5) for e in high.init_entries
+            ),
+        )
+        report = verify_queries([low, high])
+        nv002 = report.by_code("NV002")
+        assert len(nv002) == 1
+        assert nv002[0].severity is Severity.WARNING
+        assert nv002[0].location.qid == "t.low"
+
+    def test_nv002_not_raised_on_equal_priority(self):
+        # Multi-match dispatch runs overlapping equal-priority queries by
+        # design (§4.1 Concurrency) — no warning.
+        a, b = reduce_query("t.a"), reduce_query("t.b")
+        assert not verify_queries([a, b]).by_code("NV002")
+
+    def test_nv003_covered_r_entry(self, compiled_reduce):
+        spec = spec_at(compiled_reduce, 3)
+        dead = RConfig(
+            source=MatchSource.STATE,
+            entries=(
+                RMatchEntry(0, 100, RAction()),
+                RMatchEntry(5, 10, RAction(report=True)),  # covered
+            ),
+            default=spec.config.default,
+        )
+        doctored = replace_spec(compiled_reduce, 3, config=dead)
+        report = verify_queries([doctored])
+        nv003 = report.by_code("NV003")
+        assert len(nv003) == 1
+        assert nv003[0].severity is Severity.ERROR
+        assert "index 1" in nv003[0].message
+
+
+# --------------------------------------------------------------------- #
+# NV1xx: dependency / layout soundness                                  #
+# --------------------------------------------------------------------- #
+
+
+class TestDependencies:
+    def test_nv101_true_dependency_same_stage(self, compiled_reduce):
+        # S reads the hash its H writes; placing both in one stage breaks
+        # the strict ordering of Figure 4.
+        doctored = replace_spec(compiled_reduce, 2, stage=1)
+        report = verify_queries([doctored])
+        assert "NV101" in codes_of(report)
+        assert not report.ok
+
+    def test_nv102_anti_dependency(self, compiled_reduce):
+        # Row 2's H overwrites the hash result while row 1's S (a later
+        # stage) still has to read the old value.
+        doctored = replace_spec(compiled_reduce, 4, stage=1)
+        report = verify_queries([doctored])
+        assert "NV102" in codes_of(report)
+
+    def test_nv103_output_dependency(self, compiled_reduce):
+        # Two writers of the same container at the same stage: the later
+        # logical write is lost.
+        doctored = replace_spec(compiled_reduce, 4, stage=1)
+        report = verify_queries([doctored])
+        assert "NV103" in codes_of(report)
+
+    def test_nv104_compact_layout_slot_clash(self, compiled_reduce):
+        # Both S rules forced into stage 2: one S slot per stage.
+        doctored = replace_spec(compiled_reduce, 5, stage=2)
+        report = verify_queries([doctored])
+        assert "NV104" in codes_of(report)
+        assert not report.ok
+
+    def test_clean_schedule_has_no_nv1xx(self, compiled_reduce):
+        report = verify_queries([compiled_reduce])
+        assert not [c for c in report.codes() if c.startswith("NV1")]
+
+
+# --------------------------------------------------------------------- #
+# NV2xx: resource admission                                             #
+# --------------------------------------------------------------------- #
+
+
+class TestResources:
+    def test_nv201_stage_over_subscription_with_breakdown(
+        self, compiled_reduce
+    ):
+        # 256 resident S rules + one more demand a second state-bank
+        # instance: 2 x salu(2) blows the per-stage salu budget of 3.
+        s_spec = spec_at(compiled_reduce, 2)
+        model = PipelineModel(
+            array_size=1 << 20,
+            rules_used={(s_spec.stage, ModuleType.STATE_BANK): 256},
+        )
+        found = check_resources([RuleView.of(s_spec)], model)
+        nv201 = [d for d in found if d.code == "NV201"]
+        assert len(nv201) == 1
+        assert nv201[0].severity is Severity.ERROR
+        assert "salu 4/3" in nv201[0].message  # per-category breakdown
+        assert nv201[0].location.stage == s_spec.stage
+
+    def test_nv202_stage_budget_exceeded(self, compiled_reduce):
+        report = verify_queries(
+            [compiled_reduce], model=PipelineModel(num_stages=4)
+        )
+        nv202 = report.by_code("NV202")
+        assert len(nv202) == 1
+        assert nv202[0].severity is Severity.WARNING
+        assert report.ok  # CQE can still deploy it: warning, not error
+
+    def test_nv203_register_over_subscription(self, compiled_reduce):
+        report = verify_queries(
+            [compiled_reduce], model=PipelineModel(array_size=64)
+        )
+        nv203 = report.by_code("NV203")
+        assert nv203
+        assert all(d.severity is Severity.ERROR for d in nv203)
+        assert not report.ok
+
+    def test_fits_exactly_is_accepted(self, compiled_reduce):
+        # Demand == capacity must pass: exp_fig14 fills arrays exactly.
+        report = verify_queries(
+            [compiled_reduce], model=PipelineModel(array_size=4096)
+        )
+        assert not report.by_code("NV203")
+
+
+# --------------------------------------------------------------------- #
+# NV3xx: sketch-parameter sanity                                        #
+# --------------------------------------------------------------------- #
+
+
+class TestSketchSanity:
+    def test_nv301_count_min_width_too_small(self):
+        report = verify_queries([reduce_query(reduce_registers=8)])
+        nv301 = report.by_code("NV301")
+        assert len(nv301) == 1
+        assert nv301[0].severity is Severity.WARNING
+        assert "epsilon" in nv301[0].message
+
+    def test_nv302_count_min_depth_too_small(self):
+        report = verify_queries([reduce_query(cm_depth=1)])
+        assert len(report.by_code("NV302")) == 1
+        # Depth 2 (the paper's default) must pass.
+        assert not verify_queries([reduce_query()]).by_code("NV302")
+
+    def test_nv303_bloom_fpr_too_high(self):
+        report = verify_queries([distinct_query(bf_hashes=1)])
+        nv303 = report.by_code("NV303")
+        assert len(nv303) == 1
+        assert "false-positive" in nv303[0].message
+        assert not verify_queries([distinct_query()]).by_code("NV303")
+
+    def test_nv303_ignores_report_once_flag_suites(self):
+        # A byte-sum threshold lowers a single test-and-set OR bit (suite
+        # index > 0); it is not a Bloom membership sketch.
+        from repro.core.compiler import Optimizations, QueryParams, compile_query
+        from repro.core.query import Query
+
+        query = (
+            Query("t.bytes")
+            .filter(proto=6)
+            .map("dip")
+            .reduce("dip", func="sum")
+            .where(ge=1000)
+        )
+        compiled = compile_query(query, QueryParams(), Optimizations.all())
+        assert not verify_queries([compiled]).by_code("NV303")
+
+    def test_nv304_cross_query_seed_collision(self):
+        # Same shape, overlapping dispatch, independently compiled: both
+        # allocate seeds 1, 2 over the same keys.
+        report = verify_queries([reduce_query("t.a"), reduce_query("t.b")])
+        nv304 = report.by_code("NV304")
+        assert nv304
+        assert all(d.severity is Severity.WARNING for d in nv304)
+
+    def test_nv304_suppressed_for_disjoint_dispatch(self):
+        a = reduce_query("t.a")
+        b = reduce_query("t.b")
+        # Make the dispatch entries disjoint (different protocols).
+        b = replace(
+            b,
+            init_entries=tuple(
+                replace(e, match=(("proto", 17, 255),))
+                for e in b.init_entries
+            ),
+        )
+        assert not verify_queries([a, b]).by_code("NV304")
+
+
+# --------------------------------------------------------------------- #
+# NV5xx: dead-rule hints                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestDeadRules:
+    def test_nv501_dead_state_entry(self, compiled_reduce):
+        # The CM row's S is ADD(+1): the state result is always >= 1, so
+        # an entry on [0, 0] can never match.
+        spec = spec_at(compiled_reduce, 3)
+        dead = replace(
+            spec.config, entries=(RMatchEntry(0, 0, RAction(report=True)),)
+        )
+        doctored = replace_spec(compiled_reduce, 3, config=dead)
+        report = verify_queries([doctored])
+        nv501 = report.by_code("NV501")
+        assert len(nv501) == 1
+        assert nv501[0].severity is Severity.WARNING
+        assert nv501[0].location.step == 3
+
+    def test_nv502_dead_global_entry(self, compiled_reduce):
+        # The folded global result (min over ADD(+1) rows) is >= 1.
+        spec = spec_at(compiled_reduce, 7)
+        assert spec.config.source == MatchSource.GLOBAL
+        dead = replace(
+            spec.config, entries=(RMatchEntry(0, 0, RAction(report=True)),)
+        )
+        doctored = replace_spec(compiled_reduce, 7, config=dead)
+        report = verify_queries([doctored])
+        nv502 = report.by_code("NV502")
+        assert len(nv502) == 1
+        assert nv502[0].location.step == 7
+
+    def test_feasible_entries_not_flagged(self, compiled_reduce):
+        report = verify_queries([compiled_reduce])
+        assert not [c for c in report.codes() if c.startswith("NV5")]

@@ -1,0 +1,41 @@
+"""NewtonInitEntry construction validation (dispatch-entry sanity)."""
+
+import pytest
+
+from repro.core.rules import NewtonInitEntry
+
+
+class TestInitEntryValidation:
+    def test_valid_entry_accepted(self):
+        entry = NewtonInitEntry(
+            qid="q", match=(("proto", 6, 255), ("tcp_flags", 2, 255))
+        )
+        assert entry.qid == "q"
+
+    def test_match_all_entry_accepted(self):
+        NewtonInitEntry(qid="q", match=())
+
+    def test_value_bits_outside_mask_rejected(self):
+        # mask 0xF0 only inspects the high nibble; value 0x06 lives in the
+        # low nibble, so the TCAM entry could never match what was meant.
+        with pytest.raises(ValueError, match="outside"):
+            NewtonInitEntry(qid="q", match=(("proto", 6, 0xF0),))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="five-tuple"):
+            NewtonInitEntry(qid="q", match=(("ttl", 64, 255),))
+
+    def test_value_wider_than_field_rejected(self):
+        with pytest.raises(ValueError):
+            NewtonInitEntry(qid="q", match=(("proto", 300, 255),))
+
+    def test_mask_wider_than_field_rejected(self):
+        with pytest.raises(ValueError):
+            NewtonInitEntry(qid="q", match=(("proto", 6, 0x1FF),))
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            NewtonInitEntry(qid="q", match=(("sport", -1, 0xFFFF),))
+
+    def test_exact_match_on_wide_field_accepted(self):
+        NewtonInitEntry(qid="q", match=(("dip", 0xC0A80001, 0xFFFFFFFF),))

@@ -1,0 +1,184 @@
+"""Collection-plane benchmark: ingest throughput and batch speedup.
+
+Two measurements on synthetic report streams:
+
+* **ingest throughput** — reports/second through the full collector path
+  (decode → fault shim → bounded queue → windowed executor);
+* **batch vs per-report execution** — the windowed batch executor
+  (:func:`repro.collector.executor.run_batch`) against the naive
+  per-message consumer (:class:`~repro.collector.executor.
+  PerReportExecutor`) on one window of 100k reports.  The acceptance bar
+  is a >= 3x speedup; EXPERIMENTS.md records the measured value.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_collector.py``) or
+as a script::
+
+    python benchmarks/bench_collector.py [--smoke]
+
+``--smoke`` shrinks the workload for CI time budgets while still checking
+the speedup bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.collector.executor import PerReportExecutor, run_batch
+from repro.collector.metrics import MetricsRegistry
+from repro.collector.queue import BackpressurePolicy
+from repro.collector.records import QueryRegistration, ReportRecord
+from repro.collector.collector import CollectorConfig, ReportCollector
+from repro.core.rules import Report
+
+REPORTS_PER_WINDOW = 100_000
+SMOKE_REPORTS = 20_000
+DISTINCT_KEYS = 1_024
+
+
+def synthetic_registration() -> QueryRegistration:
+    """A fully on-path query: empty CPU tail (the common case)."""
+    return QueryRegistration(
+        qid="bench.q", top_qid="bench.q", key_fields=("dip",),
+        result_set=0, cpu_start=4, num_primitives=4, tail=(),
+    )
+
+
+def synthetic_records(n: int, keys: int = DISTINCT_KEYS,
+                      epoch: int = 0) -> List[ReportRecord]:
+    return [
+        ReportRecord(
+            qid="bench.q", switch_id="s0", epoch=epoch,
+            ts=epoch * 0.1 + (i % 1000) * 1e-4,
+            key=(i % keys,), count=(i % 97) + 1, seq=i + 1,
+            arrival_epoch=epoch,
+        )
+        for i in range(n)
+    ]
+
+
+def synthetic_reports(n: int, keys: int = DISTINCT_KEYS) -> List[Report]:
+    return [
+        Report(
+            qid="bench.q", switch_id=f"s{i % 4}", ts=(i % 1000) * 1e-4,
+            epoch=0,
+            payload={"set0_fields": {"dip": i % keys},
+                     "global_result": (i % 97) + 1},
+        )
+        for i in range(n)
+    ]
+
+
+def measure_batch_speedup(n: int) -> dict:
+    """Time per-report vs batched execution of one n-report window."""
+    registration = synthetic_registration()
+    records = synthetic_records(n)
+
+    start = time.perf_counter()
+    per_report = PerReportExecutor(registration)
+    observe = per_report.observe
+    for record in records:
+        observe(record)
+    naive_outcome = per_report.finish()
+    per_report_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_outcome = run_batch(records, registration)
+    batch_s = time.perf_counter() - start
+
+    assert naive_outcome.results == batch_outcome.results, (
+        "batched and per-report execution must agree"
+    )
+    return {
+        "reports": n,
+        "per_report_s": per_report_s,
+        "batch_s": batch_s,
+        "speedup": per_report_s / batch_s if batch_s > 0 else float("inf"),
+        "keys": len(batch_outcome.results),
+    }
+
+
+def measure_ingest_throughput(n: int) -> dict:
+    """Reports/second through decode + queue + windowed close."""
+    collector = ReportCollector(
+        config=CollectorConfig(
+            queue_capacity=1 << 16, policy=BackpressurePolicy.BLOCK
+        ),
+        metrics=MetricsRegistry(),
+    )
+    collector._registrations["bench.q"] = synthetic_registration()
+    reports = synthetic_reports(n)
+    start = time.perf_counter()
+    ingest = collector.ingest
+    for report in reports:
+        ingest(report)
+    collector.close_window(0)
+    elapsed = time.perf_counter() - start
+    ingested, accounted = collector.balance()
+    assert ingested == accounted, "flow invariant violated"
+    return {
+        "reports": n,
+        "seconds": elapsed,
+        "reports_per_s": n / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def render(speedup: dict, ingest: dict) -> str:
+    return "\n".join([
+        "Collection plane:",
+        f"  ingest:  {ingest['reports']} reports in "
+        f"{ingest['seconds'] * 1e3:.1f} ms "
+        f"({ingest['reports_per_s'] / 1e3:.0f}k reports/s, full path)",
+        f"  window execution at {speedup['reports']} reports "
+        f"({speedup['keys']} keys):",
+        f"    per-report: {speedup['per_report_s'] * 1e3:.1f} ms",
+        f"    batched:    {speedup['batch_s'] * 1e3:.1f} ms",
+        f"    speedup:    {speedup['speedup']:.2f}x",
+    ])
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points                                                    #
+# --------------------------------------------------------------------- #
+
+def test_batch_speedup(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: measure_batch_speedup(REPORTS_PER_WINDOW),
+        rounds=1, iterations=1,
+    )
+    ingest = measure_ingest_throughput(REPORTS_PER_WINDOW)
+    show(render(result, ingest))
+    assert result["speedup"] >= 3.0, (
+        f"batched execution only {result['speedup']:.2f}x faster"
+    )
+
+
+# --------------------------------------------------------------------- #
+# script entry point (CI smoke job)                                      #
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for CI time budgets")
+    parser.add_argument("--reports", type=int, default=None,
+                        help="reports per window (overrides --smoke)")
+    args = parser.parse_args(argv)
+    n = args.reports or (SMOKE_REPORTS if args.smoke else REPORTS_PER_WINDOW)
+    speedup = measure_batch_speedup(n)
+    ingest = measure_ingest_throughput(n)
+    print(render(speedup, ingest))
+    # Full runs hold the 3x acceptance bar; the CI smoke run keeps a small
+    # allowance for noisy shared runners.
+    floor = 2.5 if args.smoke else 3.0
+    if speedup["speedup"] < floor:
+        print(f"FAIL: batched execution only {speedup['speedup']:.2f}x "
+              f"faster (need >= {floor}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,10 @@ the paper's core mechanisms:
 * admitted queries install as runtime rule transactions;
 * the **rule exporter** shows exactly what would go over P4Runtime;
 * the **register readout** turns a threshold-clipped report into the
-  exact window aggregate.
+  exact window aggregate;
+* the **collection plane** accounts for every mirrored report it was
+  offered — per-query and per-switch counters, queue depths, and the
+  ingest flow invariant an operator would alert on.
 
 Run:  python examples/operator_console.py
 """
@@ -93,6 +96,22 @@ def main() -> None:
     print(f"\nwindow {epoch}: Q1 flagged {ip_str(victim)}")
     print(f"  report count (clipped at the crossing): {clipped}")
     print(f"  register readout (exact current total): {exact}")
+
+    # -- 5. collection-plane health ---------------------------------------
+    collector = deployment.collector
+    collector.flush()
+    ingested, accounted = collector.balance()
+    print("\ncollection plane:")
+    print(f"  ingested={ingested} processed={collector.processed} "
+          f"dropped={collector.dropped} pending={collector.pending}")
+    print(f"  flow invariant holds: {ingested == accounted}")
+    metrics = collector.metrics
+    windows = metrics.counter("collector_windows_closed_total").value()
+    per_query = metrics.counter("collector_reports_processed_total")
+    print(f"  windows closed: {windows}")
+    for labels, count in sorted(per_query.series().items()):
+        label = ", ".join(f"{k}={v}" for k, v in labels) or "all"
+        print(f"  reports processed [{label}]: {count}")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ Everything the repository can do, reachable without writing Python::
     newton-repro lint Q6 Q8 --joint        # cross-query checks of a set
     newton-repro experiment fig7           # regenerate a paper artefact
     newton-repro experiment all            # every table and figure
+    newton-repro collect-stats             # collection-plane metrics run
     newton-repro demo                      # quickstart end-to-end run
 
 (Equivalently ``python -m repro.cli ...``.)
@@ -307,6 +308,76 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_collect_stats(args) -> int:
+    """Run a trace through the collection plane and expose its metrics."""
+    import json as json_module
+
+    from repro import build_deployment, caida_like, linear, syn_flood
+    from repro.collector import BackpressurePolicy, CollectorConfig, FaultConfig
+    from repro.traffic.generators import assign_hosts
+    from repro.traffic.traces import merge_traces
+
+    BackpressurePolicy.validate(args.policy)
+    config = CollectorConfig(
+        queue_capacity=args.capacity,
+        policy=args.policy,
+        allowed_lateness=args.lateness,
+        reconcile_loss_threshold=args.reconcile_threshold,
+        faults=FaultConfig(
+            loss=args.loss,
+            duplication=args.duplication,
+            reorder=args.reorder,
+            delay=args.delay,
+            seed=args.seed,
+        ),
+    )
+    deployment = build_deployment(
+        linear(args.switches), array_size=1 << 13, collector_config=config
+    )
+    path = [f"s{i}" for i in range(args.switches)]
+    query = build_query(args.query, evaluation_thresholds())
+    deployment.controller.install_query(
+        query, QueryParams(cm_depth=2, reduce_registers=2048), path=path
+    )
+    trace = merge_traces([
+        caida_like(args.packets, duration_s=args.duration, seed=args.seed),
+        syn_flood(n_packets=max(args.packets // 20, 100),
+                  duration_s=args.duration, seed=args.seed + 1),
+    ])
+    stats = deployment.simulator.run(
+        assign_hosts(trace, [("h_src0", "h_dst0")])
+    )
+    collector = deployment.collector
+    collector.flush()
+
+    if args.json:
+        print(json_module.dumps(collector.metrics.snapshot(), indent=2,
+                                default=str))
+        return 0
+
+    ingested, accounted = collector.balance()
+    print(f"ran {stats.packets} packets over {args.switches} switch(es); "
+          f"{stats.reports_total} mirrored reports, "
+          f"{stats.deferred} deferred packets")
+    print(f"collection plane [{args.policy}, capacity {args.capacity}]: "
+          f"ingested={ingested} processed={collector.processed} "
+          f"dropped={collector.dropped} pending={collector.pending} "
+          f"lost-in-flight={collector.lost}")
+    print(f"flow invariant: ingested == processed + dropped + pending "
+          f"-> {ingested} == {accounted}")
+    print("\nper-switch queues:")
+    rows = [
+        [sid, q.offered, q.accepted, q.dropped, q.blocked, q.high_watermark]
+        for sid, q in sorted(collector.queue_stats().items(), key=str)
+    ]
+    print(format_table(
+        ["switch", "offered", "accepted", "dropped", "blocked", "hwm"], rows
+    ))
+    print("\nmetrics registry:")
+    print(collector.metrics.render())
+    return 0
+
+
 def cmd_demo(_args) -> int:
     """Inline quickstart: intent -> rules -> traffic -> detections."""
     from repro import build_deployment, caida_like, ip_str, linear, syn_flood
@@ -399,6 +470,41 @@ def build_parser() -> argparse.ArgumentParser:
         "name", choices=sorted(EXPERIMENTS) + ["all"],
     )
     experiment_parser.set_defaults(func=cmd_experiment)
+
+    collect_parser = sub.add_parser(
+        "collect-stats",
+        help="run a trace through the collection plane and print its "
+             "per-query/per-switch metrics",
+    )
+    collect_parser.add_argument("--query", default="Q1",
+                                choices=sorted(QUERY_DESCRIPTIONS))
+    collect_parser.add_argument("--packets", type=int, default=20_000)
+    collect_parser.add_argument("--duration", type=float, default=0.5,
+                                help="trace duration in seconds")
+    collect_parser.add_argument("--switches", type=int, default=3,
+                                help="linear path length")
+    collect_parser.add_argument("--policy", default="block",
+                                choices=("block", "drop-newest",
+                                         "drop-oldest"),
+                                help="backpressure policy for full queues")
+    collect_parser.add_argument("--capacity", type=int, default=4096,
+                                help="per-switch queue capacity")
+    collect_parser.add_argument("--lateness", type=int, default=1,
+                                help="windows a report may arrive late")
+    collect_parser.add_argument("--loss", type=float, default=0.0,
+                                help="injected per-report loss probability")
+    collect_parser.add_argument("--duplication", type=float, default=0.0)
+    collect_parser.add_argument("--reorder", type=float, default=0.0)
+    collect_parser.add_argument("--delay", type=float, default=0.0)
+    collect_parser.add_argument("--reconcile-threshold", type=float,
+                                default=1.0,
+                                help="window loss fraction beyond which "
+                                     "register readout replaces clipped "
+                                     "counts (1.0 disables)")
+    collect_parser.add_argument("--seed", type=int, default=7)
+    collect_parser.add_argument("--json", action="store_true",
+                                help="emit the metrics snapshot as JSON")
+    collect_parser.set_defaults(func=cmd_collect_stats)
 
     sub.add_parser("demo", help="end-to-end quickstart run"
                    ).set_defaults(func=cmd_demo)

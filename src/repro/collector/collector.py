@@ -1,0 +1,456 @@
+"""The report collector — Newton's controller-side collection plane.
+
+Sits between the switches' mirror sessions and the query results (paper
+Figure 1's "stream processor" box): every mirrored report is decoded into
+a :class:`~repro.collector.records.ReportRecord` at ingest, queued in a
+bounded per-switch queue (:mod:`repro.collector.queue`), optionally
+mangled by the fault shim (:mod:`repro.collector.faults`), and processed
+in per-window batches by the stream executor
+(:mod:`repro.collector.executor`) when the shared window clock closes an
+epoch.
+
+Loss tolerance: when a window's observed report loss exceeds
+``CollectorConfig.reconcile_loss_threshold``, the collector falls back to
+the control channel — it re-reads the query's Count-Min rows via
+:meth:`NewtonController.estimate_count` for every surviving key and
+replaces the clipped report counts with the register truth (the paper's
+"the CPU can alleviate the inaccuracy" recovery).  Keys whose *every*
+report was lost cannot be recovered this way; the documented bound is
+therefore a recall floor of ``1 - loss_rate`` per window with exact
+counts for all surviving keys.
+
+Everything the collector does is visible in its
+:class:`~repro.collector.metrics.MetricsRegistry`; drops are accounted,
+never silent, and the flow invariant
+
+    ingested == processed + dropped + pending
+
+holds at every window boundary (property-tested).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.collector.executor import apply_tail, merge_records
+from repro.collector.faults import FaultConfig, FaultInjector
+from repro.collector.metrics import (
+    BATCH_BUCKETS,
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.collector.queue import BackpressurePolicy, BoundedReportQueue
+from repro.collector.records import QueryRegistration, ReportRecord
+from repro.core.analyzer import (
+    first_incomplete_primitive,
+    result_key_fields,
+    result_set_id,
+)
+from repro.core.query import flatten
+from repro.core.rules import Report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.analyzer import Analyzer
+    from repro.core.controller import NewtonController
+
+__all__ = ["CollectorConfig", "ReportCollector"]
+
+Key = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Tuning knobs of the collection plane."""
+
+    #: Per-switch queue capacity (reports).
+    queue_capacity: int = 4096
+    #: Full-queue policy: block | drop-newest | drop-oldest.
+    policy: str = BackpressurePolicy.BLOCK
+    #: How many windows a report's epoch may trail the closing epoch
+    #: before it is discarded as late (the lateness watermark).
+    allowed_lateness: int = 1
+    #: Window loss fraction above which the register-readout
+    #: reconciliation kicks in (1.0 disables it).
+    reconcile_loss_threshold: float = 1.0
+    #: Fault shim applied at ingest (identity by default).
+    faults: FaultConfig = field(default_factory=FaultConfig)
+
+    def __post_init__(self) -> None:
+        BackpressurePolicy.validate(self.policy)
+        if self.allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be >= 0")
+        if not 0.0 <= self.reconcile_loss_threshold <= 1.0:
+            raise ValueError("reconcile_loss_threshold outside [0, 1]")
+
+
+@dataclass
+class _OpenWindow:
+    """Accumulating state of one (qid, epoch) not yet past the watermark."""
+
+    merged: Dict[Key, int] = field(default_factory=dict)
+    seen: Set[Tuple[object, int]] = field(default_factory=set)
+
+
+class ReportCollector:
+    """Streaming report collector with backpressure and loss tolerance."""
+
+    def __init__(
+        self,
+        config: Optional[CollectorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or CollectorConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.faults = FaultInjector(self.config.faults)
+        self.controller: Optional["NewtonController"] = None
+        self.analyzer: Optional["Analyzer"] = None
+        self._queues: Dict[object, BoundedReportQueue] = {}
+        self._registrations: Dict[str, QueryRegistration] = {}
+        self._open: Dict[Tuple[str, int], _OpenWindow] = {}
+        self._results: Dict[Tuple[str, int], Dict[Key, int]] = {}
+        self._seq = 0
+        self._closed_epoch = -1
+        #: Per-window ingest accounting for the reconciliation trigger.
+        self._window_offered = 0
+        self._window_lost = 0
+        self._window_dropped = 0
+
+        m = self.metrics
+        self._c_ingested = m.counter(
+            "collector_reports_ingested_total",
+            "reports offered to the collection plane (post-fault-shim)",
+        )
+        self._c_lost = m.counter(
+            "collector_reports_lost_total",
+            "reports lost in flight (fault shim), per query",
+        )
+        self._c_dropped = m.counter(
+            "collector_reports_dropped_total",
+            "reports dropped by backpressure or lateness, per reason",
+        )
+        self._c_blocked = m.counter(
+            "collector_backpressure_blocked_total",
+            "producer stalls under the block policy, per switch",
+        )
+        self._c_processed = m.counter(
+            "collector_reports_processed_total",
+            "reports consumed by the windowed executor, per query",
+        )
+        self._c_duplicates = m.counter(
+            "collector_reports_duplicate_total",
+            "duplicate reports collapsed by the executor, per query",
+        )
+        self._c_windows = m.counter(
+            "collector_windows_closed_total", "window boundaries processed"
+        )
+        self._c_reconciled = m.counter(
+            "collector_reconciled_keys_total",
+            "keys whose clipped count was replaced by register readout",
+        )
+        self._g_depth = m.gauge(
+            "collector_queue_depth", "reports waiting, per switch queue"
+        )
+        self._h_depth = m.histogram(
+            "collector_queue_depth_at_close", DEPTH_BUCKETS,
+            "queue depth sampled at every window close, per switch",
+        )
+        self._h_batch = m.histogram(
+            "collector_window_batch_reports", BATCH_BUCKETS,
+            "reports per window batch, per query",
+        )
+        self._h_latency = m.histogram(
+            "collector_window_close_seconds", LATENCY_BUCKETS_S,
+            "wall-clock time spent closing one window",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (driven by the controller)                                #
+    # ------------------------------------------------------------------ #
+
+    def on_install(self, query, compiled, slices, by_switch) -> None:
+        """Register a freshly installed query's sub-queries for decoding.
+
+        Mirrors what the controller knows at install time: where each
+        sub-query's slices landed determines how far the data plane runs
+        and therefore where the CPU tail starts.
+        """
+        for sub in flatten(query):
+            sub_slices = slices[sub.qid]
+            installed = {
+                index
+                for entries in by_switch.values()
+                for (sub_qid, index) in entries
+                if sub_qid == sub.qid
+            }
+            executed = (max(installed) + 1) if installed else 0
+            stage_limit = (
+                sub_slices[0].num_stages * executed if sub_slices else 0
+            )
+            cpu_start = first_incomplete_primitive(
+                compiled[sub.qid], stage_limit
+            )
+            self._registrations[sub.qid] = QueryRegistration(
+                qid=sub.qid,
+                top_qid=query.qid,
+                key_fields=result_key_fields(sub),
+                result_set=result_set_id(compiled[sub.qid]),
+                cpu_start=cpu_start,
+                num_primitives=len(sub.primitives),
+                tail=tuple(sub.primitives[cpu_start:]),
+            )
+
+    def on_remove(self, top_qid: str) -> None:
+        """Forget a removed query; queued reports for it become stale and
+        are dropped (accounted) at the next window close."""
+        for sub_qid in [
+            qid for qid, reg in self._registrations.items()
+            if reg.top_qid == top_qid
+        ]:
+            del self._registrations[sub_qid]
+
+    def registration(self, sub_qid: str) -> Optional[QueryRegistration]:
+        return self._registrations.get(sub_qid)
+
+    # ------------------------------------------------------------------ #
+    # Ingest                                                              #
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, report: Report) -> bool:
+        """Offer one mirrored report; returns True iff it was queued.
+
+        Unregistered queries' reports are dropped (accounted as
+        ``reason="unregistered"``) — the controller removed the query
+        while reports were still in flight.
+        """
+        registration = self._registrations.get(report.qid)
+        if registration is None:
+            # Still counted as ingested so the flow invariant
+            # (ingested == processed + dropped + pending) survives a
+            # query being removed while its reports are in flight.
+            self._window_offered += 1
+            self._c_ingested.inc(switch=report.switch_id, qid=report.qid)
+            self._c_dropped.inc(reason="unregistered")
+            return False
+        self._seq += 1
+        record = ReportRecord.decode(report, registration, seq=self._seq)
+        lost_before = self.faults.lost
+        delivered = self.faults.apply(record)
+        if self.faults.lost > lost_before:
+            self._window_lost += 1
+            self._c_lost.inc(qid=registration.top_qid)
+        accepted_any = False
+        for delivered_record in delivered:
+            accepted_any |= self._deliver(delivered_record)
+        return accepted_any
+
+    def _deliver(self, record: ReportRecord) -> bool:
+        """Count one post-shim record as ingested and offer it to its
+        switch queue."""
+        registration = self._registrations.get(record.qid)
+        top_qid = registration.top_qid if registration else record.qid
+        self._window_offered += 1
+        self._c_ingested.inc(switch=record.switch_id, qid=top_qid)
+        queue = self._queues.get(record.switch_id)
+        if queue is None:
+            queue = BoundedReportQueue(
+                capacity=self.config.queue_capacity,
+                policy=self.config.policy,
+            )
+            self._queues[record.switch_id] = queue
+        stats = queue.stats
+        blocked_before = stats.blocked
+        dropped_old_before = stats.dropped_oldest
+        accepted = queue.push(record)
+        if not accepted:
+            self._window_dropped += 1
+            self._c_dropped.inc(
+                reason="queue-full", switch=record.switch_id
+            )
+        if stats.dropped_oldest > dropped_old_before:
+            self._window_dropped += 1
+            self._c_dropped.inc(
+                reason="evicted-oldest", switch=record.switch_id
+            )
+        if stats.blocked > blocked_before:
+            self._c_blocked.inc(switch=record.switch_id)
+        self._g_depth.set(queue.depth, switch=record.switch_id)
+        return accepted
+
+    # ------------------------------------------------------------------ #
+    # Window close (driven by the shared WindowClock)                     #
+    # ------------------------------------------------------------------ #
+
+    def close_window(self, epoch: int) -> None:
+        """Drain, batch, execute, and (if needed) reconcile one window.
+
+        Called with the *closing* epoch while that window's registers are
+        still live on the switches, so reconciliation can read them.
+        """
+        started = time.perf_counter()
+        self._c_windows.inc()
+        released: List[ReportRecord] = []
+        for sid, queue in self._queues.items():
+            self._h_depth.observe(queue.depth, switch=sid)
+            released.extend(queue.drain(upto_epoch=epoch))
+            self._g_depth.set(queue.depth, switch=sid)
+        self._process(released, epoch)
+        self._reconcile(epoch)
+        self._expire(epoch)
+        self._closed_epoch = max(self._closed_epoch, epoch)
+        self._window_offered = 0
+        self._window_lost = 0
+        self._window_dropped = 0
+        self._h_latency.observe(time.perf_counter() - started)
+
+    def flush(self) -> None:
+        """End of run: deliver held/delayed records and close them out.
+
+        Windows close one epoch at a time up to the latest pending
+        arrival, so lateness is judged exactly as it would have been had
+        the clock kept ticking — a delayed record inside the watermark is
+        processed, one beyond it is dropped late, and nothing stays
+        queued.
+        """
+        for record in self.faults.flush():
+            self._deliver(record)
+        horizon = self._closed_epoch + self.config.allowed_lateness + 1
+        for queue in self._queues.values():
+            pending_horizon = queue.max_arrival_epoch()
+            if pending_horizon is not None:
+                horizon = max(horizon, pending_horizon)
+        for epoch in range(self._closed_epoch + 1, horizon + 1):
+            self.close_window(epoch)
+
+    def _process(self, released: List[ReportRecord], epoch: int) -> None:
+        watermark = epoch - self.config.allowed_lateness
+        batches: Dict[Tuple[str, int], List[ReportRecord]] = {}
+        for record in released:
+            registration = self._registrations.get(record.qid)
+            if registration is None:
+                self._c_dropped.inc(reason="stale-query")
+                continue
+            if record.epoch < watermark and (
+                (record.qid, record.epoch) not in self._open
+            ):
+                self._c_dropped.inc(reason="late", qid=registration.top_qid)
+                continue
+            batches.setdefault((record.qid, record.epoch), []).append(record)
+        for (qid, record_epoch), records in batches.items():
+            registration = self._registrations[qid]
+            window = self._open.setdefault(
+                (qid, record_epoch), _OpenWindow()
+            )
+            processed, duplicates = merge_records(
+                records, window.merged, window.seen
+            )
+            self._c_processed.inc(processed, qid=registration.top_qid)
+            if duplicates:
+                self._c_duplicates.inc(
+                    duplicates, qid=registration.top_qid
+                )
+            self._h_batch.observe(len(records), qid=registration.top_qid)
+            # The tail is a pure function of the merged map, so a late
+            # batch simply recomputes the window's answer.
+            self._results[(qid, record_epoch)] = apply_tail(
+                registration.tail, registration.key_fields,
+                dict(window.merged),
+            )
+
+    def _reconcile(self, epoch: int) -> None:
+        """Replace clipped counts with register readout when the window's
+        loss exceeds the configured threshold (only the closing epoch's
+        registers are still live)."""
+        threshold = self.config.reconcile_loss_threshold
+        if threshold >= 1.0 or self.controller is None:
+            return
+        attempts = self._window_offered + self._window_lost
+        failures = self._window_lost + self._window_dropped
+        if attempts == 0 or failures / attempts <= threshold:
+            return
+        for (qid, record_epoch), results in self._results.items():
+            if record_epoch != epoch or not results:
+                continue
+            registration = self._registrations.get(qid)
+            if registration is None or registration.tail:
+                continue  # tail outputs are not register-addressable
+            for key in list(results):
+                key_map = dict(zip(registration.key_fields, key))
+                try:
+                    estimate = self.controller.estimate_count(qid, key_map)
+                except KeyError:
+                    break  # query removed mid-flight
+                if estimate is not None and estimate > results[key]:
+                    results[key] = int(estimate)
+                    self._c_reconciled.inc(qid=registration.top_qid)
+
+    def _expire(self, epoch: int) -> None:
+        """Drop open-window state past the lateness watermark so memory
+        stays bounded by the lateness horizon, not the run length."""
+        watermark = epoch - self.config.allowed_lateness
+        for key in [k for k in self._open if k[1] < watermark]:
+            del self._open[key]
+
+    # ------------------------------------------------------------------ #
+    # Results                                                             #
+    # ------------------------------------------------------------------ #
+
+    def results(self, sub_qid: str) -> Dict[int, Dict[Key, int]]:
+        """Per-epoch key→count answers assembled from reports alone."""
+        out: Dict[int, Dict[Key, int]] = {}
+        for (qid, epoch), bucket in self._results.items():
+            if qid == sub_qid:
+                out[epoch] = dict(bucket)
+        return out
+
+    def merged_results(self, sub_qid: str) -> Dict[int, Dict[Key, int]]:
+        """Collector answers composed with the analyzer's deferred-CPU
+        results: one per-window answer per query (max-merge, the same
+        rule both sides already apply internally)."""
+        out = self.results(sub_qid)
+        if self.analyzer is not None:
+            for epoch, bucket in self.analyzer.results(sub_qid).items():
+                target = out.setdefault(epoch, {})
+                for key, count in bucket.items():
+                    if count > target.get(key, 0):
+                        target[key] = count
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Accounting (flow invariant)                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ingested(self) -> int:
+        """Reports offered to the queues (fault-shim survivors)."""
+        return self._c_ingested.total
+
+    @property
+    def processed(self) -> int:
+        """Reports consumed by the windowed executor (incl. duplicates)."""
+        return self._c_processed.total
+
+    @property
+    def dropped(self) -> int:
+        """Reports dropped anywhere: backpressure, lateness, staleness."""
+        return self._c_dropped.total
+
+    @property
+    def pending(self) -> int:
+        """Reports still queued (delayed past the last closed window)."""
+        return sum(q.pending() for q in self._queues.values())
+
+    @property
+    def lost(self) -> int:
+        """Reports destroyed in flight by the fault shim."""
+        return self._c_lost.total
+
+    def queue_stats(self) -> Dict[object, "object"]:
+        return {sid: q.stats for sid, q in self._queues.items()}
+
+    def balance(self) -> Tuple[int, int]:
+        """(ingested, processed + dropped + pending) — equal when the
+        collection plane has accounted for every report it was offered."""
+        return self.ingested, self.processed + self.dropped + self.pending

@@ -1,0 +1,111 @@
+"""Fault-injection shim for the collection plane.
+
+Mirrored reports ride a best-effort path from the switch ASIC to the
+controller (mirror session → DMA ring → UDP socket); under burst they are
+lost, duplicated, reordered, or delayed.  The shim models those faults at
+ingest, seeded and deterministic, so tests can assert exact loss
+tolerance properties:
+
+* **loss** — the record vanishes before the queue (counted, not silent);
+* **duplication** — the record is delivered twice (the executor collapses
+  duplicates by sequence number);
+* **reorder** — the record is swapped with the next arrival from the same
+  shim (FIFO order broken, window membership preserved);
+* **delay** — the record's arrival slips one or more windows; arrivals
+  beyond the executor's lateness watermark are dropped as *late*.
+
+All probabilities are per-record.  ``FaultConfig()`` (all zeros) is the
+identity: every record passes through untouched, in order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.collector.records import ReportRecord
+
+__all__ = ["FaultConfig", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-record fault probabilities (all in [0, 1])."""
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    #: Windows of delay applied when a record is delayed.
+    delay_windows: int = 1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplication", "reorder", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability {p} outside [0, 1]")
+        if self.delay_windows < 1:
+            raise ValueError("delay_windows must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return any((self.loss, self.duplication, self.reorder, self.delay))
+
+
+class FaultInjector:
+    """Applies a :class:`FaultConfig` to the ingest stream."""
+
+    def __init__(self, config: Optional[FaultConfig] = None):
+        self.config = config or FaultConfig()
+        self._rng = random.Random(self.config.seed)
+        self._held: Optional[ReportRecord] = None
+        self.lost = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.delayed = 0
+
+    def apply(self, record: ReportRecord) -> List[ReportRecord]:
+        """Transform one arriving record into 0..n delivered records."""
+        config = self.config
+        if not config.active:
+            return [record]
+        rng = self._rng
+        if config.loss and rng.random() < config.loss:
+            self.lost += 1
+            return []
+        if config.delay and rng.random() < config.delay:
+            self.delayed += 1
+            record = record.delayed(config.delay_windows)
+        out: List[ReportRecord] = [record]
+        if config.duplication and rng.random() < config.duplication:
+            self.duplicated += 1
+            out.append(record)
+        if config.reorder:
+            out = self._reorder(out)
+        return out
+
+    def _reorder(self, arriving: List[ReportRecord]) -> List[ReportRecord]:
+        """Swap records with a one-element hold-back buffer."""
+        out: List[ReportRecord] = []
+        for record in arriving:
+            if self._held is not None:
+                # Release the held record *after* the newcomer: the pair
+                # is delivered out of order.
+                out.append(record)
+                out.append(self._held)
+                self._held = None
+                self.reordered += 1
+            elif self._rng.random() < self.config.reorder:
+                self._held = record
+            else:
+                out.append(record)
+        return out
+
+    def flush(self) -> List[ReportRecord]:
+        """Release any record still held for reordering (end of run)."""
+        if self._held is None:
+            return []
+        held, self._held = self._held, None
+        return [held]

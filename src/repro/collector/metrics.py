@@ -1,0 +1,284 @@
+"""Collection-plane observability registry.
+
+Lightweight, dependency-free metric primitives for the collector: monotone
+counters, gauges, and fixed-bucket histograms, each optionally labelled
+(per query, per switch).  The registry renders to a stable text exposition
+(``render``) and to a JSON-serialisable snapshot (``snapshot``) for the
+``newton-repro collect-stats`` subcommand and the operator console.
+
+Design points:
+
+* **Labels are tuples of (key, value) pairs**, sorted at observation time,
+  so ``{"qid": "Q1"}`` and the same mapping in another order land in one
+  series.
+* **Histograms use fixed buckets** chosen at declaration (queue depths,
+  batch sizes, latencies); observations are O(#buckets), memory is O(1) —
+  the collector must not grow with traffic.
+* Everything is plain Python ints/floats: deterministic, picklable, and
+  safe to diff in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEPTH_BUCKETS",
+    "BATCH_BUCKETS",
+    "LATENCY_BUCKETS_S",
+]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Queue-depth buckets (reports waiting per switch queue).
+DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 8, 64, 512, 4096, 32768)
+
+#: Batch-size buckets (reports per window batch).
+BATCH_BUCKETS: Tuple[float, ...] = (0, 1, 16, 256, 4096, 65536)
+
+#: Wall-clock latency buckets in seconds (window batch processing).
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+)
+
+
+def _labels_of(labels: Optional[Mapping[str, object]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing counter, one value per label set."""
+
+    name: str
+    help: str = ""
+    _series: Dict[LabelPairs, int] = field(default_factory=dict)
+
+    def inc(self, n: int = 1, **labels: object) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _labels_of(labels)
+        self._series[key] = self._series.get(key, 0) + n
+
+    def value(self, **labels: object) -> int:
+        return self._series.get(_labels_of(labels), 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._series.values())
+
+    def series(self) -> Dict[LabelPairs, int]:
+        return dict(self._series)
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value, one per label set."""
+
+    name: str
+    help: str = ""
+    _series: Dict[LabelPairs, float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[_labels_of(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_labels_of(labels), 0.0)
+
+    def series(self) -> Dict[LabelPairs, float]:
+        return dict(self._series)
+
+
+@dataclass
+class _HistogramSeries:
+    counts: List[int]
+    total: int = 0
+    sum: float = 0.0
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: per-bin counts (an observation lands in the
+    first bucket whose bound it does not exceed), plus a +Inf overflow
+    bin, a total count, and a running sum."""
+
+    name: str
+    buckets: Tuple[float, ...]
+    help: str = ""
+    _series: Dict[LabelPairs, _HistogramSeries] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.buckets or list(self.buckets) != sorted(self.buckets):
+            raise ValueError(
+                f"histogram {self.name} needs sorted, non-empty buckets"
+            )
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _labels_of(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(counts=[0] * (len(self.buckets) + 1))
+            self._series[key] = series
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.counts[i] += 1
+                break
+        else:
+            series.counts[-1] += 1  # +Inf bucket
+        series.total += 1
+        series.sum += value
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_labels_of(labels))
+        return series.total if series else 0
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        series = self._series.get(_labels_of(labels))
+        if series is None:
+            return [0] * (len(self.buckets) + 1)
+        return list(series.counts)
+
+    def mean(self, **labels: object) -> float:
+        series = self._series.get(_labels_of(labels))
+        if series is None or series.total == 0:
+            return 0.0
+        return series.sum / series.total
+
+    def series(self) -> Dict[LabelPairs, _HistogramSeries]:
+        return dict(self._series)
+
+
+class MetricsRegistry:
+    """Named registry of the collector's counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- declaration (idempotent: same name returns the same metric) ---- #
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = Counter(name=name, help=help)
+            self._counters[name] = metric
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = Gauge(name=name, help=help)
+            self._gauges[name] = metric
+        return metric
+
+    def histogram(self, name: str, buckets: Iterable[float],
+                  help: str = "") -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = Histogram(name=name, buckets=tuple(buckets), help=help)
+            self._histograms[name] = metric
+        return metric
+
+    def _check_fresh(self, name: str) -> None:
+        if (name in self._counters or name in self._gauges
+                or name in self._histograms):
+            raise ValueError(f"metric {name!r} already registered "
+                             f"with a different type")
+
+    # -- exposition ----------------------------------------------------- #
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serialisable view of every series."""
+        out: Dict[str, Dict[str, object]] = {}
+        for counter in self._counters.values():
+            out[counter.name] = {
+                "type": "counter",
+                "help": counter.help,
+                "series": {
+                    _render_labels(k) or "_": v
+                    for k, v in counter.series().items()
+                },
+            }
+        for gauge in self._gauges.values():
+            out[gauge.name] = {
+                "type": "gauge",
+                "help": gauge.help,
+                "series": {
+                    _render_labels(k) or "_": v
+                    for k, v in gauge.series().items()
+                },
+            }
+        for histogram in self._histograms.values():
+            out[histogram.name] = {
+                "type": "histogram",
+                "help": histogram.help,
+                "buckets": list(histogram.buckets),
+                "series": {
+                    _render_labels(k) or "_": {
+                        "counts": list(s.counts),
+                        "total": s.total,
+                        "sum": s.sum,
+                    }
+                    for k, s in histogram.series().items()
+                },
+            }
+        return out
+
+    def render(self) -> str:
+        """Stable text exposition (sorted names, sorted label sets)."""
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            if counter.help:
+                lines.append(f"# HELP {name} {counter.help}")
+            lines.append(f"# TYPE {name} counter")
+            for pairs in sorted(counter.series()):
+                lines.append(
+                    f"{name}{_render_labels(pairs)} "
+                    f"{counter.series()[pairs]}"
+                )
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            if gauge.help:
+                lines.append(f"# HELP {name} {gauge.help}")
+            lines.append(f"# TYPE {name} gauge")
+            for pairs in sorted(gauge.series()):
+                lines.append(
+                    f"{name}{_render_labels(pairs)} {gauge.series()[pairs]}"
+                )
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            if histogram.help:
+                lines.append(f"# HELP {name} {histogram.help}")
+            lines.append(f"# TYPE {name} histogram")
+            for pairs in sorted(histogram.series()):
+                series = histogram.series()[pairs]
+                bounds = [f"{b:g}" for b in histogram.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, series.counts):
+                    label = _render_labels(pairs + (("le", bound),))
+                    lines.append(f"{name}_bucket{label} {count}")
+                lines.append(
+                    f"{name}_count{_render_labels(pairs)} {series.total}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(pairs)} {series.sum:g}"
+                )
+        return "\n".join(lines)

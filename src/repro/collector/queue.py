@@ -1,0 +1,143 @@
+"""Bounded per-switch report queues with explicit backpressure policy.
+
+The collector gives every reporting switch its own bounded queue so one
+bursty device cannot starve the rest (DynamiQ's lesson: report volume is
+bursty and shifts with traffic).  When a queue is full, the configured
+policy decides — and *accounts for* — what happens; the collection plane
+never loses a report silently:
+
+========== =========================================================
+policy      full-queue behaviour
+========== =========================================================
+block       producer stalls until the window drains; nothing is
+            dropped (the simulation models the stall as an accounted
+            ``blocked`` event and admits the report, matching a
+            lossless transport such as TCP with flow control)
+drop-newest the incoming report is rejected (tail drop)
+drop-oldest the oldest queued report is evicted to admit the new one
+========== =========================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.collector.records import ReportRecord
+
+__all__ = ["BackpressurePolicy", "BoundedReportQueue", "QueueStats"]
+
+
+class BackpressurePolicy:
+    """Full-queue behaviours (see module docstring)."""
+
+    BLOCK = "block"
+    DROP_NEWEST = "drop-newest"
+    DROP_OLDEST = "drop-oldest"
+
+    ALL = (BLOCK, DROP_NEWEST, DROP_OLDEST)
+
+    @staticmethod
+    def validate(policy: str) -> str:
+        if policy not in BackpressurePolicy.ALL:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {BackpressurePolicy.ALL}"
+            )
+        return policy
+
+
+@dataclass
+class QueueStats:
+    """Accounting for one switch queue; drops are never silent."""
+
+    offered: int = 0        #: push attempts
+    accepted: int = 0       #: records admitted to the queue
+    dropped_newest: int = 0  #: rejected incoming records (tail drop)
+    dropped_oldest: int = 0  #: evicted queued records (head drop)
+    blocked: int = 0        #: producer stalls under the block policy
+    drained: int = 0        #: records handed to the executor
+    high_watermark: int = 0  #: maximum depth ever observed
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_newest + self.dropped_oldest
+
+
+class BoundedReportQueue:
+    """FIFO of :class:`ReportRecord` with a capacity and a drop policy.
+
+    Records carry an ``arrival_epoch`` (set by the fault shim when a
+    report is delayed in flight); :meth:`drain` only releases records
+    whose arrival epoch has passed, so delayed reports stay "on the wire"
+    until their window.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 policy: str = BackpressurePolicy.BLOCK):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.policy = BackpressurePolicy.validate(policy)
+        self.stats = QueueStats()
+        self._items: Deque[ReportRecord] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def push(self, record: ReportRecord) -> bool:
+        """Offer one record; returns True iff it was admitted.
+
+        Under ``block`` the queue may exceed its capacity — the overshoot
+        models the producer-side buffer while the producer is stalled, and
+        every stall is counted in :attr:`QueueStats.blocked`.
+        """
+        stats = self.stats
+        stats.offered += 1
+        if len(self._items) >= self.capacity:
+            if self.policy == BackpressurePolicy.DROP_NEWEST:
+                stats.dropped_newest += 1
+                return False
+            if self.policy == BackpressurePolicy.DROP_OLDEST:
+                self._items.popleft()
+                stats.dropped_oldest += 1
+            else:  # BLOCK: admit after an accounted stall
+                stats.blocked += 1
+        self._items.append(record)
+        stats.accepted += 1
+        if len(self._items) > stats.high_watermark:
+            stats.high_watermark = len(self._items)
+        return True
+
+    def drain(self, upto_epoch: Optional[int] = None) -> List[ReportRecord]:
+        """Remove and return every record whose arrival epoch has passed.
+
+        ``None`` drains everything (end of run).  Relative order of the
+        released records is preserved.
+        """
+        if upto_epoch is None:
+            released = list(self._items)
+            self._items.clear()
+        else:
+            released = []
+            kept: Deque[ReportRecord] = deque()
+            for record in self._items:
+                if record.arrival_epoch <= upto_epoch:
+                    released.append(record)
+                else:
+                    kept.append(record)
+            self._items = kept
+        self.stats.drained += len(released)
+        return released
+
+    def pending(self) -> int:
+        return len(self._items)
+
+    def max_arrival_epoch(self) -> Optional[int]:
+        """Latest arrival epoch among queued records (None when empty)."""
+        return max((r.arrival_epoch for r in self._items), default=None)

@@ -21,7 +21,12 @@ from repro.core.query import CompositeQuery, Query, QueryLike, flatten
 from repro.core.rules import Report
 from repro.dataplane.module_types import ModuleType
 
-__all__ = ["Analyzer", "first_incomplete_primitive"]
+__all__ = [
+    "Analyzer",
+    "first_incomplete_primitive",
+    "result_key_fields",
+    "result_set_id",
+]
 
 Key = Tuple[int, ...]
 
@@ -78,8 +83,8 @@ class Analyzer:
         for sub in flatten(query):
             if sub.qid not in compiled:
                 raise KeyError(f"missing compiled form for {sub.qid!r}")
-            key_fields[sub.qid] = _result_key_fields(sub)
-            result_set[sub.qid] = _result_set_id(compiled[sub.qid])
+            key_fields[sub.qid] = result_key_fields(sub)
+            result_set[sub.qid] = result_set_id(compiled[sub.qid])
             self._sub_to_top[sub.qid] = top_qid
         self._registered[top_qid] = _RegisteredQuery(
             query=query,
@@ -209,7 +214,7 @@ class Analyzer:
         self._deferred_epoch = 0
 
 
-def _result_key_fields(query: Query) -> Tuple[str, ...]:
+def result_key_fields(query: Query) -> Tuple[str, ...]:
     """Field order of the query's final aggregation key."""
     for prim in reversed(query.primitives):
         if isinstance(prim, (Reduce, Distinct, Map)):
@@ -217,7 +222,7 @@ def _result_key_fields(query: Query) -> Tuple[str, ...]:
     return ()
 
 
-def _result_set_id(compiled: CompiledQuery) -> int:
+def result_set_id(compiled: CompiledQuery) -> int:
     """Metadata set whose fields carry the result keys in reports."""
     from repro.core.rules import SConfig
 

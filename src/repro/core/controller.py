@@ -78,12 +78,21 @@ class NewtonController:
         switches: Dict[object, Switch],
         channel: Optional[ControlChannel] = None,
         analyzer: Optional[Analyzer] = None,
+        collector=None,
     ):
         if not switches:
             raise ValueError("controller needs at least one switch")
         self.switches = dict(switches)
         self.channel = channel or ControlChannel()
         self.analyzer = analyzer
+        #: Collection plane (repro.collector.ReportCollector); its query
+        #: registry lives and dies with install/remove operations, and its
+        #: loss reconciliation reads registers through this controller.
+        self.collector = collector
+        if collector is not None:
+            collector.controller = self
+            if analyzer is not None and collector.analyzer is None:
+                collector.analyzer = analyzer
         self.installed: Dict[str, InstalledQuery] = {}
         self._sub_owner: Dict[str, str] = {}
 
@@ -232,6 +241,8 @@ class NewtonController:
             self._sub_owner[sub.qid] = query.qid
         if self.analyzer is not None:
             self.analyzer.register(query, compiled)
+        if self.collector is not None:
+            self.collector.on_install(query, compiled, slices, by_switch)
 
         # Switch sessions run in parallel: the operation completes when the
         # slowest switch acknowledges (Figure 11 measures this).
@@ -263,6 +274,8 @@ class NewtonController:
             self._sub_owner.pop(sub.qid, None)
         if self.analyzer is not None:
             self.analyzer.unregister(qid)
+        if self.collector is not None:
+            self.collector.on_remove(qid)
         return InstallResult(
             qid=qid,
             delay_s=max(per_switch_delay.values(), default=0.0),

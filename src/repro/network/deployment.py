@@ -1,8 +1,9 @@
 """One-call construction of a full Newton deployment.
 
 Gathers the pieces every experiment needs — switches on a topology, a
-shared hash family, the analyzer wired as report sink, a controller, and a
-simulator — so examples and benchmarks stay focused on the experiment.
+shared hash family, the analyzer wired as report sink, a controller, the
+collection plane, and a simulator — so examples and benchmarks stay
+focused on the experiment.
 """
 
 from __future__ import annotations
@@ -10,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
+from repro.collector import CollectorConfig, ReportCollector
 from repro.core.analyzer import Analyzer
 from repro.core.controller import NewtonController
 from repro.dataplane.hashing import HashFamily
@@ -19,6 +21,7 @@ from repro.network.routing import Router
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology
 from repro.runtime.channel import ControlChannel
+from repro.runtime.clock import WindowClock
 
 __all__ = ["Deployment", "build_deployment"]
 
@@ -33,6 +36,8 @@ class Deployment:
     analyzer: Analyzer
     controller: NewtonController
     simulator: NetworkSimulator
+    collector: ReportCollector
+    clock: WindowClock
 
     def switch(self, switch_id: Hashable) -> Switch:
         return self.switches[switch_id]
@@ -48,18 +53,27 @@ def build_deployment(
     channel: Optional[ControlChannel] = None,
     ecmp: bool = True,
     newton_switches=None,
+    collector_config: Optional[CollectorConfig] = None,
 ) -> Deployment:
     """Instantiate Newton switches on every topology node and wire them up.
 
     All switches share one :class:`HashFamily` so cross-switch query slices
-    index their registers consistently (a CQE prerequisite).
+    index their registers consistently (a CQE prerequisite), and one
+    :class:`WindowClock` so the analyzer's deferred CPU execution and the
+    collection plane close windows at the same instant.
 
     ``newton_switches`` restricts the Newton component to a subset of the
     topology (partial deployment, paper §7); the rest become legacy
     forwarders.  ``None`` (the default) enables Newton everywhere.
+
+    ``collector_config`` tunes the collection plane (backpressure policy,
+    queue capacity, fault injection, loss reconciliation).
     """
     family = HashFamily(hash_seed)
+    clock = WindowClock(window_ms=window_ms)
     analyzer = Analyzer(window_ms=window_ms)
+    collector = ReportCollector(config=collector_config)
+    collector.analyzer = analyzer
     enabled = (
         set(topology.switches()) if newton_switches is None
         else set(newton_switches)
@@ -79,7 +93,8 @@ def build_deployment(
     }
     router = Router(topology, ecmp=ecmp)
     controller = NewtonController(
-        switches, channel=channel or ControlChannel(), analyzer=analyzer
+        switches, channel=channel or ControlChannel(), analyzer=analyzer,
+        collector=collector,
     )
     simulator = NetworkSimulator(
         topology,
@@ -88,6 +103,8 @@ def build_deployment(
         controller=controller,
         analyzer=analyzer,
         window_ms=window_ms,
+        collector=collector,
+        clock=clock,
     )
     return Deployment(
         topology=topology,
@@ -96,4 +113,6 @@ def build_deployment(
         analyzer=analyzer,
         controller=controller,
         simulator=simulator,
+        collector=collector,
+        clock=clock,
     )

@@ -7,14 +7,21 @@ is stripped: completed queries have already reported; incomplete ones are
 deferred to the software analyzer (§5.2).
 
 The simulator also owns window synchronisation: when a packet's timestamp
-crosses a 100 ms boundary, every switch's registers reset and the analyzer
-closes its CPU-side window.
+crosses a 100 ms boundary, the shared :class:`~repro.runtime.clock.
+WindowClock` fires (closing the collector's and the analyzer's window —
+in that order, so the collector's register-readout reconciliation still
+sees live registers) and every switch's registers reset.
+
+Mirrored reports are no longer just counted: when a collection plane is
+attached, every :class:`~repro.core.rules.Report` a switch emits is handed
+to the collector's ingest path as a first-class record.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional
 
 from repro.core.analyzer import Analyzer
 from repro.core.controller import NewtonController
@@ -23,6 +30,10 @@ from repro.dataplane.switch import Switch
 from repro.network.routing import Router
 from repro.network.snapshot import SnapshotHeader
 from repro.network.topology import Topology
+from repro.runtime.clock import WindowClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.collector import ReportCollector
 
 __all__ = ["NetworkSimulator", "SimulationStats"]
 
@@ -35,9 +46,12 @@ class SimulationStats:
     delivered: int = 0
     dropped: int = 0
     #: Mirrored monitoring messages, per reporting switch.
-    reports_by_switch: Dict[Hashable, int] = field(default_factory=dict)
+    reports_by_switch: "Counter[Hashable]" = field(default_factory=Counter)
     #: Packets whose query remainder went to the analyzer (§5.2).
     deferred: int = 0
+    #: Deferred snapshot entries dropped because their query was removed
+    #: mid-window while the entry was still in flight.
+    stale_deferred: int = 0
     #: Total SP header bytes carried across links.
     sp_bytes: int = 0
     #: Total payload bytes forwarded (for overhead ratios).
@@ -45,12 +59,18 @@ class SimulationStats:
     epochs: int = 0
 
     @property
-    def total_reports(self) -> int:
+    def reports_total(self) -> int:
+        """Mirrored reports across all switches."""
         return sum(self.reports_by_switch.values())
+
+    #: Backwards-compatible alias (pre-collection-plane name).
+    @property
+    def total_reports(self) -> int:
+        return self.reports_total
 
     @property
     def monitoring_messages(self) -> int:
-        return self.total_reports + self.deferred
+        return self.reports_total + self.deferred
 
     @property
     def sp_overhead_ratio(self) -> float:
@@ -71,6 +91,8 @@ class NetworkSimulator:
         controller: Optional[NewtonController] = None,
         analyzer: Optional[Analyzer] = None,
         window_ms: int = 100,
+        collector: Optional["ReportCollector"] = None,
+        clock: Optional[WindowClock] = None,
     ):
         missing = [s for s in topology.switches() if s not in switches]
         if missing:
@@ -80,7 +102,16 @@ class NetworkSimulator:
         self.router = router or Router(topology)
         self.controller = controller
         self.analyzer = analyzer
-        self.window_s = window_ms / 1000.0
+        self.collector = collector
+        self.clock = clock or WindowClock(window_ms=window_ms)
+        # Close order matters: the collector reconciles against registers
+        # that the switches reset right after the close, and the analyzer
+        # publishes its deferred-CPU window results last.
+        if collector is not None:
+            self.clock.subscribe(collector.close_window)
+        if analyzer is not None:
+            self.clock.subscribe(analyzer.advance_window)
+        self.window_s = self.clock.window_s
         self._epoch = 0
 
     # ------------------------------------------------------------------ #
@@ -106,9 +137,10 @@ class NetworkSimulator:
                 stats.dropped += 1
                 return
             if result.reports:
-                stats.reports_by_switch[sid] = (
-                    stats.reports_by_switch.get(sid, 0) + len(result.reports)
-                )
+                stats.reports_by_switch[sid] += len(result.reports)
+                if self.collector is not None:
+                    for report in result.reports:
+                        self.collector.ingest(report)
             if hop + 1 < len(path):
                 # The SP header rides the next link (bandwidth accounting).
                 stats.sp_bytes += snapshot.wire_bytes
@@ -119,29 +151,35 @@ class NetworkSimulator:
             snapshot.pop(qid)
             if entry.ctx.stopped or entry.complete:
                 continue
-            stats.deferred += 1
             if self.analyzer is not None and self.controller is not None:
-                start = self.controller.cpu_start_for(qid, entry.cursor)
+                try:
+                    start = self.controller.cpu_start_for(qid, entry.cursor)
+                except KeyError:
+                    # The query was removed mid-window while this entry
+                    # was still in flight: drop it, never crash the run.
+                    stats.stale_deferred += 1
+                    continue
+                stats.deferred += 1
                 self.analyzer.defer(qid, packet, start)
+            else:
+                stats.deferred += 1
 
     # ------------------------------------------------------------------ #
     # Window synchronisation                                              #
     # ------------------------------------------------------------------ #
 
     def _sync_windows(self, ts: float, stats: SimulationStats) -> None:
-        pkt_epoch = int(ts / self.window_s)
+        pkt_epoch = self.clock.epoch_of(ts)
         if pkt_epoch < self._epoch:
             raise ValueError("trace packets must be sorted by timestamp")
         while self._epoch < pkt_epoch:
             self._roll(stats)
 
     def _close_window(self, stats: SimulationStats) -> None:
-        if self.analyzer is not None:
-            self.analyzer.advance_window(self._epoch)
+        self.clock.close(self._epoch)
 
     def _roll(self, stats: SimulationStats) -> None:
-        if self.analyzer is not None:
-            self.analyzer.advance_window(self._epoch)
+        self.clock.close(self._epoch)
         for switch in self.switches.values():
             switch.advance_window()
         self._epoch += 1

@@ -12,8 +12,9 @@ per-entry cost is the linear term of Figure 10(b).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Optional
 
 import numpy as np
 
@@ -38,14 +39,22 @@ class ControlChannel:
         batch_overhead_s: float = 0.0015,
         jitter_s: float = 0.0002,
         seed: int = 7,
+        max_log: int = 10_000,
     ):
         if per_rule_s < 0 or batch_overhead_s < 0 or jitter_s < 0:
             raise ValueError("channel timing parameters must be non-negative")
+        if max_log <= 0:
+            raise ValueError("max_log must be positive")
         self.per_rule_s = per_rule_s
         self.batch_overhead_s = batch_overhead_s
         self.jitter_s = jitter_s
         self._rng = np.random.default_rng(seed)
-        self.log: List[RuleTransaction] = []
+        #: Transaction history, capped at ``max_log`` entries so long runs
+        #: cannot grow controller memory without bound; evictions (oldest
+        #: first) are counted, never silent.
+        self.max_log = max_log
+        self.log: Deque[RuleTransaction] = deque(maxlen=max_log)
+        self.dropped_log_entries = 0
 
     def _jitter(self) -> float:
         if self.jitter_s == 0:
@@ -57,6 +66,8 @@ class ControlChannel:
         if rules < 0:
             raise ValueError("rule count must be non-negative")
         delay = self.batch_overhead_s + self.per_rule_s * rules + self._jitter()
+        if len(self.log) == self.max_log:
+            self.dropped_log_entries += 1  # deque evicts the oldest entry
         self.log.append(
             RuleTransaction(operation=operation, rules=rules, delay_s=delay)
         )

@@ -1,0 +1,88 @@
+"""Fault-injection shim tests."""
+
+import pytest
+
+from repro.collector.faults import FaultConfig, FaultInjector
+from repro.collector.records import ReportRecord
+
+
+def record(seq, epoch=0):
+    return ReportRecord(
+        qid="q", switch_id="s0", epoch=epoch, ts=0.0, key=(seq,),
+        count=1, seq=seq, arrival_epoch=epoch,
+    )
+
+
+class TestConfig:
+    def test_identity_by_default(self):
+        assert not FaultConfig().active
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultConfig(loss=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(reorder=-0.1)
+
+    def test_delay_windows_floor(self):
+        with pytest.raises(ValueError):
+            FaultConfig(delay=0.1, delay_windows=0)
+
+
+class TestInjector:
+    def test_identity_passthrough(self):
+        shim = FaultInjector()
+        r = record(1)
+        assert shim.apply(r) == [r]
+        assert shim.lost == shim.duplicated == 0
+
+    def test_loss_is_counted(self):
+        shim = FaultInjector(FaultConfig(loss=1.0))
+        assert shim.apply(record(1)) == []
+        assert shim.lost == 1
+
+    def test_duplication_delivers_twice(self):
+        shim = FaultInjector(FaultConfig(duplication=1.0))
+        out = shim.apply(record(1))
+        assert len(out) == 2
+        assert out[0] == out[1]
+        assert shim.duplicated == 1
+
+    def test_delay_slips_arrival_epoch(self):
+        shim = FaultInjector(FaultConfig(delay=1.0, delay_windows=2))
+        (out,) = shim.apply(record(1, epoch=3))
+        assert out.epoch == 3            # window membership preserved
+        assert out.arrival_epoch == 5    # but it arrives late
+        assert shim.delayed == 1
+
+    def test_reorder_swaps_adjacent_records(self):
+        shim = FaultInjector(FaultConfig(reorder=1.0))
+        first = shim.apply(record(1))    # held back
+        second = shim.apply(record(2))   # releases the pair swapped
+        assert first == []
+        assert [r.seq for r in second] == [2, 1]
+        assert shim.reordered == 1
+
+    def test_flush_releases_held_record(self):
+        shim = FaultInjector(FaultConfig(reorder=1.0))
+        shim.apply(record(1))
+        assert [r.seq for r in shim.flush()] == [1]
+        assert shim.flush() == []
+
+    def test_seed_determinism(self):
+        config = FaultConfig(loss=0.3, duplication=0.3, seed=7)
+        a, b = FaultInjector(config), FaultInjector(config)
+        out_a = [len(a.apply(record(i))) for i in range(200)]
+        out_b = [len(b.apply(record(i))) for i in range(200)]
+        assert out_a == out_b
+        assert a.lost == b.lost > 0
+
+    def test_nothing_vanishes_silently(self):
+        """Delivered + lost + held accounts for every offered record."""
+        config = FaultConfig(loss=0.2, duplication=0.2, reorder=0.2,
+                             delay=0.2, seed=11)
+        shim = FaultInjector(config)
+        offered, delivered = 500, 0
+        for i in range(offered):
+            delivered += len(shim.apply(record(i)))
+        delivered += len(shim.flush())
+        assert delivered == offered + shim.duplicated - shim.lost

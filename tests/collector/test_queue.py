@@ -1,0 +1,109 @@
+"""Bounded queue and backpressure-policy tests."""
+
+import pytest
+
+from repro.collector.queue import (
+    BackpressurePolicy,
+    BoundedReportQueue,
+    QueueStats,
+)
+from repro.collector.records import ReportRecord
+
+
+def record(seq, epoch=0, arrival=None):
+    return ReportRecord(
+        qid="q", switch_id="s0", epoch=epoch, ts=0.0, key=(seq,),
+        count=1, seq=seq, arrival_epoch=epoch if arrival is None else arrival,
+    )
+
+
+class TestPolicyValidation:
+    def test_known_policies(self):
+        for policy in BackpressurePolicy.ALL:
+            assert BackpressurePolicy.validate(policy) == policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            BackpressurePolicy.validate("spill-to-disk")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedReportQueue(capacity=0)
+
+
+class TestBlock:
+    def test_admits_past_capacity_with_accounted_stalls(self):
+        q = BoundedReportQueue(capacity=2, policy=BackpressurePolicy.BLOCK)
+        for i in range(5):
+            assert q.push(record(i))
+        assert q.depth == 5
+        assert q.stats.blocked == 3
+        assert q.stats.dropped == 0
+        assert q.stats.accepted == 5
+
+
+class TestDropNewest:
+    def test_tail_drop(self):
+        q = BoundedReportQueue(
+            capacity=2, policy=BackpressurePolicy.DROP_NEWEST
+        )
+        assert q.push(record(0))
+        assert q.push(record(1))
+        assert not q.push(record(2))
+        assert q.depth == 2
+        assert q.stats.dropped_newest == 1
+        assert [r.seq for r in q.drain()] == [0, 1]
+
+
+class TestDropOldest:
+    def test_head_evicted_for_newcomer(self):
+        q = BoundedReportQueue(
+            capacity=2, policy=BackpressurePolicy.DROP_OLDEST
+        )
+        for i in range(4):
+            assert q.push(record(i))
+        assert q.depth == 2
+        assert q.stats.dropped_oldest == 2
+        assert [r.seq for r in q.drain()] == [2, 3]
+
+
+class TestDrain:
+    def test_releases_only_arrived_records(self):
+        q = BoundedReportQueue(capacity=8)
+        q.push(record(0, epoch=0))
+        q.push(record(1, epoch=0, arrival=2))  # delayed in flight
+        released = q.drain(upto_epoch=0)
+        assert [r.seq for r in released] == [0]
+        assert q.pending() == 1
+        assert [r.seq for r in q.drain(upto_epoch=2)] == [1]
+
+    def test_none_drains_everything(self):
+        q = BoundedReportQueue(capacity=8)
+        q.push(record(0, arrival=99))
+        assert len(q.drain()) == 1
+        assert q.pending() == 0
+
+    def test_order_preserved(self):
+        q = BoundedReportQueue(capacity=8)
+        for i in range(5):
+            q.push(record(i))
+        assert [r.seq for r in q.drain(upto_epoch=0)] == list(range(5))
+
+
+class TestStats:
+    def test_accounting_identity(self):
+        q = BoundedReportQueue(
+            capacity=2, policy=BackpressurePolicy.DROP_NEWEST
+        )
+        for i in range(5):
+            q.push(record(i))
+        drained = len(q.drain())
+        s = q.stats
+        assert s.offered == 5
+        assert s.offered == s.accepted + s.dropped_newest
+        assert s.accepted == drained + q.pending()
+        assert s.high_watermark == 2
+
+    def test_dropped_sums_both_kinds(self):
+        s = QueueStats(dropped_newest=2, dropped_oldest=3)
+        assert s.dropped == 5

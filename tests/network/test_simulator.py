@@ -116,6 +116,54 @@ class TestSpOverhead:
         ) == ["s2"]
 
 
+class TestStats:
+    def test_reports_by_switch_is_a_counter(self):
+        from collections import Counter
+
+        dep = build_deployment(linear(1), array_size=256)
+        dep.controller.install_query(q(), PARAMS, path=["s0"])
+        stats = dep.simulator.run(syn_trace(5))
+        assert isinstance(stats.reports_by_switch, Counter)
+        assert stats.reports_by_switch["s0"] == 1
+        # Missing switches read as zero, Counter-style.
+        assert stats.reports_by_switch["s999"] == 0
+
+    def test_reports_total_alias(self):
+        dep = build_deployment(linear(1), array_size=256)
+        dep.controller.install_query(q(), PARAMS, path=["s0"])
+        stats = dep.simulator.run(syn_trace(5))
+        assert stats.reports_total == stats.total_reports == 1
+        assert stats.monitoring_messages == stats.reports_total + stats.deferred
+
+
+class TestStaleDeferred:
+    def test_removed_query_mid_window_is_dropped_not_crashed(self):
+        """Regression: a snapshot entry whose query was removed from the
+        controller's registry while still in flight used to raise
+        ``KeyError`` from ``cpu_start_for``; it must be dropped and
+        accounted instead."""
+        dep = build_deployment(linear(1), num_stages=3, array_size=256)
+        dep.controller.install_query(
+            q(threshold=3), PARAMS, path=["s0"], stages_per_switch=3
+        )
+        assert dep.controller.total_slices("sim.q") >= 2
+        # Simulate the race: the registry entry disappears while switch
+        # rules (and therefore in-flight snapshot entries) remain.
+        del dep.controller._sub_owner["sim.q"]
+        stats = dep.simulator.run(syn_trace(5))
+        assert stats.stale_deferred == 5
+        assert stats.deferred == 0
+
+    def test_no_stale_entries_on_healthy_run(self):
+        dep = build_deployment(linear(1), num_stages=3, array_size=256)
+        dep.controller.install_query(
+            q(threshold=3), PARAMS, path=["s0"], stages_per_switch=3
+        )
+        stats = dep.simulator.run(syn_trace(5))
+        assert stats.stale_deferred == 0
+        assert stats.deferred > 0
+
+
 class TestDeferral:
     def test_short_path_defers_to_analyzer(self):
         # Query needs 2+ switches, path has 1: remainder runs on CPU.

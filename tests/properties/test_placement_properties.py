@@ -1,7 +1,7 @@
 """Property-based tests for Algorithm 2's resilience guarantee."""
 
 import networkx as nx
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.placement import place_slices

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.runtime.channel import ControlChannel
-from repro.runtime.clock import SimClock, epoch_of
+from repro.runtime.clock import SimClock, WindowClock, epoch_of
 
 
 class TestClock:
@@ -72,3 +72,64 @@ class TestChannel:
     def test_negative_timing_rejected(self):
         with pytest.raises(ValueError):
             ControlChannel(per_rule_s=-0.1)
+
+
+class TestChannelLogCap:
+    def test_log_is_capped_with_accounted_evictions(self):
+        channel = ControlChannel(jitter_s=0.0, max_log=3)
+        for rules in range(5):
+            channel.install_delay(rules)
+        assert len(channel.log) == 3
+        assert channel.dropped_log_entries == 2
+        # The newest transactions survive (oldest-first eviction).
+        assert [t.rules for t in channel.log] == [2, 3, 4]
+
+    def test_totals_reflect_surviving_entries_only(self):
+        channel = ControlChannel(jitter_s=0.0, max_log=2)
+        channel.install_delay(1)
+        channel.install_delay(2)
+        channel.install_delay(3)
+        assert channel.total_delay() == pytest.approx(
+            2 * channel.batch_overhead_s + 5 * channel.per_rule_s
+        )
+
+    def test_default_cap_unobtrusive(self):
+        channel = ControlChannel(jitter_s=0.0)
+        channel.install_delay(1)
+        assert channel.dropped_log_entries == 0
+        assert len(channel.log) == 1
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ControlChannel(max_log=0)
+
+
+class TestWindowClock:
+    def test_subscribers_fire_in_order(self):
+        clock = WindowClock(window_ms=100)
+        order = []
+        clock.subscribe(lambda e: order.append(("collector", e)))
+        clock.subscribe(lambda e: order.append(("analyzer", e)))
+        clock.close(0)
+        assert order == [("collector", 0), ("analyzer", 0)]
+        assert clock.epoch == 1
+
+    def test_duplicate_subscription_ignored(self):
+        clock = WindowClock()
+        calls = []
+
+        def cb(epoch):
+            calls.append(epoch)
+
+        clock.subscribe(cb)
+        clock.subscribe(cb)
+        clock.close(0)
+        assert calls == [0]
+
+    def test_epoch_of_uses_window(self):
+        clock = WindowClock(window_ms=100)
+        assert clock.epoch_of(0.25) == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowClock(window_ms=0)

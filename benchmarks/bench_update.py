@@ -1,0 +1,194 @@
+"""Hitless query update vs the remove+install baseline (Figure 11 band).
+
+Newton's headline dynamics claim: a query can be *updated* at runtime in
+milliseconds without interrupting monitoring.  This benchmark drives a
+steady stream of monitored traffic (TCP SYNs matched by Q1) through a
+3-switch path and swaps the query's definition mid-trace two ways:
+
+* **hitless** — one make-before-break transaction through the
+  transactional control plane (``controller.update_query``): the new
+  version is staged under a shadow epoch while the old keeps serving,
+  then one atomic epoch flip;
+* **baseline** — the pre-transactional model: ``remove_query``, then
+  ``install_query`` once the removal's control-channel delay has elapsed.
+  Between the two, matching packets hit no rule.
+
+The **monitoring gap** is the number of matching packets that failed to
+initiate the query at their ingress switch.  Acceptance (ISSUE 3):
+
+* hitless gap == 0 and no packet observes a mixed rule-bank epoch;
+* baseline gap > 0 (the window is real);
+* hitless update latency inside the paper's 5-20 ms band (Figure 11).
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_update.py``) or as
+a script::
+
+    python benchmarks/bench_update.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import build_deployment, linear
+from repro.core.compiler import QueryParams
+from repro.core.library import build_query
+from repro.experiments.common import evaluation_thresholds
+from repro.traffic.generators import assign_hosts, syn_flood
+
+N_PACKETS = 20_000
+SMOKE_PACKETS = 4_000
+DURATION_S = 0.4
+UPDATE_AT_S = 0.2
+N_SWITCHES = 3
+
+#: The paper's Figure 11 query-operation band.
+BAND_LOW_S, BAND_HIGH_S = 0.005, 0.020
+
+PARAMS = QueryParams(cm_depth=2, reduce_registers=1024)
+
+
+def _build(n_packets: int):
+    deployment = build_deployment(linear(N_SWITCHES), array_size=1 << 13)
+    path = [f"s{i}" for i in range(N_SWITCHES)]
+    query = build_query("Q1", evaluation_thresholds())
+    deployment.controller.install_query(query, PARAMS, path=path)
+    trace = assign_hosts(
+        syn_flood(n_packets=n_packets, duration_s=DURATION_S, seed=11),
+        [("h_src0", "h_dst0")],
+    )
+    return deployment, path, trace
+
+
+def measure_hitless(n_packets: int) -> dict:
+    """Update via one make-before-break transaction mid-trace."""
+    deployment, path, trace = _build(n_packets)
+    query = build_query("Q1", evaluation_thresholds())
+    outcome: dict = {}
+
+    def do_update() -> None:
+        result = deployment.controller.update_query(query, PARAMS, path=path)
+        outcome["delay_s"] = result.delay_s
+        outcome["rules_staged"] = result.rules_installed
+        outcome["rules_removed"] = result.rules_removed
+
+    deployment.simulator.at(UPDATE_AT_S, do_update)
+    stats = deployment.simulator.run(trace)
+    outcome.update(
+        matching=stats.packets,
+        initiated=stats.initiated_by_query["Q1"],
+        gap=stats.packets - stats.initiated_by_query["Q1"],
+        mixed_epoch=stats.mixed_rule_epoch_packets,
+    )
+    return outcome
+
+
+def measure_baseline(n_packets: int) -> dict:
+    """The pre-transactional model: remove, wait out the control-channel
+    delay, install — monitoring is down in between."""
+    deployment, path, trace = _build(n_packets)
+    query = build_query("Q1", evaluation_thresholds())
+    outcome: dict = {}
+
+    def do_remove() -> None:
+        removal = deployment.controller.remove_query("Q1")
+
+        def do_install() -> None:
+            install = deployment.controller.install_query(
+                query, PARAMS, path=path
+            )
+            outcome["delay_s"] = removal.delay_s + install.delay_s
+
+        # The query is only back once the install transaction has also
+        # completed on the wire.
+        deployment.simulator.at(
+            UPDATE_AT_S + removal.delay_s + 1e-9, do_install
+        )
+
+    deployment.simulator.at(UPDATE_AT_S, do_remove)
+    stats = deployment.simulator.run(trace)
+    outcome.update(
+        matching=stats.packets,
+        initiated=stats.initiated_by_query["Q1"],
+        gap=stats.packets - stats.initiated_by_query["Q1"],
+        mixed_epoch=stats.mixed_rule_epoch_packets,
+    )
+    return outcome
+
+
+def render(hitless: dict, baseline: dict) -> str:
+    return "\n".join([
+        "Query update mid-trace (Q1 on a 3-switch path):",
+        f"  traffic: {hitless['matching']} matching packets over "
+        f"{DURATION_S * 1e3:.0f} ms, update at {UPDATE_AT_S * 1e3:.0f} ms",
+        f"  hitless (make-before-break transaction):",
+        f"    update latency:  {hitless['delay_s'] * 1e3:.2f} ms "
+        f"(Figure 11 band {BAND_LOW_S * 1e3:.0f}-{BAND_HIGH_S * 1e3:.0f} ms)",
+        f"    monitoring gap:  {hitless['gap']} packets",
+        f"    mixed-epoch:     {hitless['mixed_epoch']} packets",
+        f"  baseline (remove + install):",
+        f"    update latency:  {baseline['delay_s'] * 1e3:.2f} ms",
+        f"    monitoring gap:  {baseline['gap']} packets",
+    ])
+
+
+def check(hitless: dict, baseline: dict) -> list:
+    """Acceptance criteria; returns a list of failure strings."""
+    failures = []
+    if hitless["gap"] != 0:
+        failures.append(
+            f"hitless update lost {hitless['gap']} packets of monitoring"
+        )
+    if hitless["mixed_epoch"] != 0:
+        failures.append(
+            f"{hitless['mixed_epoch']} packets observed a mixed rule set"
+        )
+    if not BAND_LOW_S <= hitless["delay_s"] <= BAND_HIGH_S:
+        failures.append(
+            f"hitless update latency {hitless['delay_s'] * 1e3:.2f} ms "
+            f"outside the {BAND_LOW_S * 1e3:.0f}-{BAND_HIGH_S * 1e3:.0f} ms "
+            f"band"
+        )
+    if baseline["gap"] <= 0:
+        failures.append(
+            "baseline remove+install shows no monitoring gap; the "
+            "comparison is vacuous"
+        )
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# pytest entry point                                                     #
+# --------------------------------------------------------------------- #
+
+def test_hitless_update(show):
+    hitless = measure_hitless(N_PACKETS)
+    baseline = measure_baseline(N_PACKETS)
+    show(render(hitless, baseline))
+    assert not check(hitless, baseline)
+
+
+# --------------------------------------------------------------------- #
+# script entry point (CI smoke job)                                      #
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for CI time budgets")
+    parser.add_argument("--packets", type=int, default=None,
+                        help="matching packets in the trace")
+    args = parser.parse_args(argv)
+    n = args.packets or (SMOKE_PACKETS if args.smoke else N_PACKETS)
+    hitless = measure_hitless(n)
+    baseline = measure_baseline(n)
+    print(render(hitless, baseline))
+    failures = check(hitless, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

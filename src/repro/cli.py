@@ -9,6 +9,7 @@ Everything the repository can do, reachable without writing Python::
     newton-repro experiment fig7           # regenerate a paper artefact
     newton-repro experiment all            # every table and figure
     newton-repro collect-stats             # collection-plane metrics run
+    newton-repro txn-stats                 # control-plane transactions under faults
     newton-repro demo                      # quickstart end-to-end run
 
 (Equivalently ``python -m repro.cli ...``.)
@@ -378,6 +379,100 @@ def cmd_collect_stats(args) -> int:
     return 0
 
 
+def cmd_txn_stats(args) -> int:
+    """Drive query churn through the transactional control plane under a
+    seeded fault schedule and expose the journal + metric registry."""
+    import json as json_module
+
+    from repro import build_deployment, linear
+    from repro.ctrlplane import (
+        FaultPlan,
+        FaultyControlChannel,
+        TransactionAborted,
+        TxnConfig,
+    )
+    from repro.verify import VerificationError
+
+    channel = FaultyControlChannel(
+        fault_plan=FaultPlan(
+            loss_rate=args.loss,
+            timeout_rate=args.timeout,
+            reboot_rate=args.reboot,
+            seed=args.seed,
+        )
+    )
+    deployment = build_deployment(
+        linear(args.switches), array_size=1 << 13, channel=channel,
+        txn_config=TxnConfig(max_attempts=args.max_attempts),
+    )
+    controller = deployment.controller
+    path = [f"s{i}" for i in range(args.switches)]
+    # Small sketches: make-before-break doubles a query's register
+    # occupancy until GC, and the verifier gates on the doubled demand.
+    params = QueryParams(cm_depth=2, reduce_registers=512,
+                         distinct_registers=512)
+    thresholds = evaluation_thresholds()
+
+    # Churn: install the rotation, then update each query in place
+    # ``--updates`` times; every operation is one transaction.
+    rotation = sorted(QUERY_DESCRIPTIONS)[:args.queries]
+    aborted = 0
+    for name in rotation:
+        try:
+            controller.install_query(
+                build_query(name, thresholds), params, path=path
+            )
+        except (TransactionAborted, VerificationError):
+            aborted += 1
+    for round_index in range(args.updates):
+        del round_index
+        for name in rotation:
+            if name not in controller.installed:
+                try:
+                    controller.install_query(
+                        build_query(name, thresholds), params, path=path
+                    )
+                except (TransactionAborted, VerificationError):
+                    aborted += 1
+                continue
+            try:
+                controller.update_query(
+                    build_query(name, thresholds), params, path=path
+                )
+            except (TransactionAborted, VerificationError):
+                aborted += 1
+
+    txn = controller.txn
+    if args.json:
+        print(json_module.dumps(
+            {
+                "epoch": txn.epoch,
+                "aborted_operations": aborted,
+                "faults_injected": channel.faults_injected,
+                "journal": txn.journal.snapshot(),
+                "metrics": txn.registry.snapshot(),
+            },
+            indent=2, default=str,
+        ))
+        return 0
+
+    print(f"ran {len(txn.journal)} transactions over {args.switches} "
+          f"switch(es); committed epoch {txn.epoch}, "
+          f"{aborted} operation(s) aborted")
+    print(f"faults injected: loss={channel.faults_injected['loss']} "
+          f"timeout={channel.faults_injected['timeout']} "
+          f"reboot={channel.faults_injected['reboot']}")
+    staged = sum(s.staged_rule_count for s in deployment.switches.values())
+    retired = sum(s.retired_rule_count for s in deployment.switches.values())
+    print(f"residue after churn: staged={staged} retired={retired} "
+          f"(both must be 0)")
+    print("\ntransaction journal:")
+    print(txn.journal.render())
+    print("\nmetrics registry:")
+    print(txn.registry.render())
+    return 0
+
+
 def cmd_demo(_args) -> int:
     """Inline quickstart: intent -> rules -> traffic -> detections."""
     from repro import build_deployment, caida_like, ip_str, linear, syn_flood
@@ -505,6 +600,31 @@ def build_parser() -> argparse.ArgumentParser:
     collect_parser.add_argument("--json", action="store_true",
                                 help="emit the metrics snapshot as JSON")
     collect_parser.set_defaults(func=cmd_collect_stats)
+
+    txn_parser = sub.add_parser(
+        "txn-stats",
+        help="drive query churn through the transactional control plane "
+             "under seeded faults and print the journal + metrics",
+    )
+    txn_parser.add_argument("--switches", type=int, default=3,
+                            help="linear path length")
+    txn_parser.add_argument("--queries", type=int, default=3,
+                            help="library queries in the churn rotation")
+    txn_parser.add_argument("--updates", type=int, default=3,
+                            help="update rounds over the rotation")
+    txn_parser.add_argument("--loss", type=float, default=0.0,
+                            help="per-message loss probability")
+    txn_parser.add_argument("--timeout", type=float, default=0.0,
+                            help="per-message ack-timeout probability")
+    txn_parser.add_argument("--reboot", type=float, default=0.0,
+                            help="per-message mid-transaction reboot "
+                                 "probability")
+    txn_parser.add_argument("--max-attempts", type=int, default=4,
+                            help="delivery attempts before abort/rollback")
+    txn_parser.add_argument("--seed", type=int, default=7)
+    txn_parser.add_argument("--json", action="store_true",
+                            help="emit journal + metrics as JSON")
+    txn_parser.set_defaults(func=cmd_txn_stats)
 
     sub.add_parser("demo", help="end-to-end quickstart run"
                    ).set_defaults(func=cmd_demo)

@@ -211,6 +211,21 @@ class ReportCollector:
         ]:
             del self._registrations[sub_qid]
 
+    def on_update(self, query, compiled, slices, by_switch) -> None:
+        """Swap a hitlessly updated query's registrations in one step.
+
+        The control plane's epoch flip replaces the rules atomically;
+        mirroring that here (drop old sub-queries, register the new ones
+        in the same call) means no mirrored report ever finds the
+        registry mid-swap.  Reports emitted by the outgoing version that
+        are still in flight decode against the new registration when the
+        sub-query ids coincide, and are dropped (accounted as
+        ``unregistered``) when they do not — same loss-tolerance story as
+        a remove.
+        """
+        self.on_remove(query.qid)
+        self.on_install(query, compiled, slices, by_switch)
+
     def registration(self, sub_qid: str) -> Optional[QueryRegistration]:
         return self._registrations.get(sub_qid)
 

@@ -29,6 +29,7 @@ from repro.core.compiler import (
 from repro.core.placement import PlacementResult, place_slices
 from repro.core.query import QueryLike, flatten
 from repro.core.rules import QuerySlice
+from repro.ctrlplane import SwitchOps, TransactionManager, TxnPlan
 from repro.dataplane.switch import Switch
 from repro.runtime.channel import ControlChannel
 from repro.verify import (
@@ -51,6 +52,10 @@ class InstallResult:
     qid: str
     delay_s: float
     rules_installed: int
+    #: Table entries physically deleted by the operation.  For
+    #: ``remove_query`` the legacy ``rules_installed`` field carries the
+    #: same value for one more release; new code should read this field.
+    rules_removed: int = 0
     #: sub-qid -> number of slices the query was partitioned into.
     slices_per_sub: Dict[str, int] = field(default_factory=dict)
     #: sub-qid -> per-switch slice assignment (network mode only).
@@ -79,11 +84,16 @@ class NewtonController:
         channel: Optional[ControlChannel] = None,
         analyzer: Optional[Analyzer] = None,
         collector=None,
+        txn: Optional[TransactionManager] = None,
     ):
         if not switches:
             raise ValueError("controller needs at least one switch")
         self.switches = dict(switches)
         self.channel = channel or ControlChannel()
+        #: Every rule operation routes through the transactional control
+        #: plane: 2PC across the query's switches with epoch-versioned
+        #: rule banks (see :mod:`repro.ctrlplane`).
+        self.txn = txn or TransactionManager(self.switches, self.channel)
         self.analyzer = analyzer
         #: Collection plane (repro.collector.ReportCollector); its query
         #: registry lives and dies with install/remove operations, and its
@@ -128,6 +138,66 @@ class NewtonController:
         """
         if query.qid in self.installed:
             raise ValueError(f"query {query.qid!r} is already installed")
+        (subqueries, compiled, slices, by_switch, placements) = (
+            self._plan_deployment(
+                query, params, opts, path=path, topology=topology,
+                edge_switches=edge_switches,
+                stages_per_switch=stages_per_switch,
+                placement_method=placement_method,
+            )
+        )
+        report = VerificationReport()
+        gate = (
+            self._verification_gate(compiled, slices, by_switch, report,
+                                    verifier_config)
+            if verify else None
+        )
+        plan = TxnPlan(
+            op="install",
+            qid=query.qid,
+            ops={
+                sid: SwitchOps(stage=tuple(
+                    slices[sub_qid][index] for sub_qid, index in entries
+                ))
+                for sid, entries in by_switch.items()
+            },
+            verify=gate,
+        )
+        result = self.txn.execute(plan)
+
+        record = InstalledQuery(
+            query=query, compiled=compiled, slices=slices, by_switch=by_switch
+        )
+        self.installed[query.qid] = record
+        for sub in subqueries:
+            self._sub_owner[sub.qid] = query.qid
+        if self.analyzer is not None:
+            self.analyzer.register(query, compiled)
+        if self.collector is not None:
+            self.collector.on_install(query, compiled, slices, by_switch)
+
+        return InstallResult(
+            qid=query.qid,
+            delay_s=result.delay_s,
+            rules_installed=result.rules_staged,
+            slices_per_sub={q: len(s) for q, s in slices.items()},
+            placements=placements,
+            diagnostics=report.diagnostics,
+        )
+
+    def _plan_deployment(
+        self,
+        query: QueryLike,
+        params: QueryParams,
+        opts: Optimizations,
+        *,
+        path: Optional[Sequence[object]] = None,
+        topology=None,
+        edge_switches: Optional[Iterable[object]] = None,
+        stages_per_switch: Optional[int] = None,
+        placement_method: str = "auto",
+    ):
+        """Compile, slice, and place a query (no switch is touched)."""
         if (path is None) == (topology is None):
             raise ValueError("give either a path or a topology to deploy on")
 
@@ -184,21 +254,37 @@ class NewtonController:
                     for index in indices:
                         by_switch.setdefault(sid, []).append((sub.qid, index))
 
-        # Static verification before any rule reaches a switch: artifact
-        # passes over the candidate sub-queries (with already-installed
-        # queries as cross-query context), then resource admission per
-        # target switch at its real occupancy.
-        report = VerificationReport()
-        if verify:
+        return subqueries, compiled, slices, by_switch, placements
+
+    def _verification_gate(
+        self,
+        compiled: Dict[str, CompiledQuery],
+        slices: Dict[str, List[QuerySlice]],
+        by_switch: Dict[object, List[Tuple[str, int]]],
+        report: VerificationReport,
+        verifier_config: Optional[VerifierConfig],
+        exclude_qid: Optional[str] = None,
+    ):
+        """Build the transaction's pre-commit verification gate.
+
+        Artifact passes over the candidate sub-queries (with already
+        installed queries as cross-query context), then resource
+        admission per target switch at its real occupancy — which, for
+        an update, still includes the outgoing version: make-before-break
+        genuinely needs both banks resident until GC.  ``exclude_qid``
+        drops the query's own old version from the cross-query context.
+        """
+        def gate() -> None:
             context = [
                 comp
-                for record in self.installed.values()
+                for owner, record in self.installed.items()
+                if owner != exclude_qid
                 for comp in record.compiled.values()
             ]
-            report = verify_queries(
+            report.extend(verify_queries(
                 list(compiled.values()), context=context,
                 config=verifier_config,
-            )
+            ).diagnostics)
             for sid, entries in by_switch.items():
                 model = PipelineModel.of_switch(
                     self.switches[sid], label=f"switch {sid}"
@@ -209,67 +295,28 @@ class NewtonController:
                 ).diagnostics)
             if not report.ok:
                 raise VerificationError(report)
-
-        # Install per switch, rolling back on failure so a rejected query
-        # leaves the network untouched.
-        installed_on: List[Tuple[object, str]] = []
-        per_switch_delay: Dict[object, float] = {}
-        rules_installed = 0
-        try:
-            for sid, entries in by_switch.items():
-                switch = self.switches[sid]
-                rules_this_switch = 0
-                for sub_qid, index in entries:
-                    rules_this_switch += switch.install_slice(
-                        slices[sub_qid][index]
-                    )
-                    installed_on.append((sid, sub_qid))
-                rules_installed += rules_this_switch
-                per_switch_delay[sid] = self.channel.install_delay(
-                    rules_this_switch
-                )
-        except Exception:
-            for sid, sub_qid in installed_on:
-                self.switches[sid].remove_query(sub_qid)
-            raise
-
-        record = InstalledQuery(
-            query=query, compiled=compiled, slices=slices, by_switch=by_switch
-        )
-        self.installed[query.qid] = record
-        for sub in subqueries:
-            self._sub_owner[sub.qid] = query.qid
-        if self.analyzer is not None:
-            self.analyzer.register(query, compiled)
-        if self.collector is not None:
-            self.collector.on_install(query, compiled, slices, by_switch)
-
-        # Switch sessions run in parallel: the operation completes when the
-        # slowest switch acknowledges (Figure 11 measures this).
-        delay = max(per_switch_delay.values(), default=0.0)
-        return InstallResult(
-            qid=query.qid,
-            delay_s=delay,
-            rules_installed=rules_installed,
-            slices_per_sub={q: len(s) for q, s in slices.items()},
-            placements=placements,
-            diagnostics=report.diagnostics,
-        )
+        return gate
 
     def remove_query(self, qid: str) -> InstallResult:
-        """Remove a query's rules everywhere; again purely runtime."""
-        record = self.installed.pop(qid, None)
+        """Remove a query's rules everywhere; again purely runtime.
+
+        Transactionally: the rules are marked to retire, the epoch flips,
+        and garbage collection deletes them — ``delay_s`` covers the full
+        sequence, after which no physical entry remains.
+        """
+        record = self.installed.get(qid)
         if record is None:
             raise KeyError(f"query {qid!r} is not installed")
-        per_switch_delay: Dict[object, float] = {}
-        rules_removed = 0
-        for sid, entries in record.by_switch.items():
-            switch = self.switches[sid]
-            removed = 0
-            for sub_qid in {q for q, _ in entries}:
-                removed += switch.remove_query(sub_qid)
-            rules_removed += removed
-            per_switch_delay[sid] = self.channel.remove_delay(removed)
+        plan = TxnPlan(
+            op="remove",
+            qid=qid,
+            ops={
+                sid: SwitchOps(retire=tuple(sorted({q for q, _ in entries})))
+                for sid, entries in record.by_switch.items()
+            },
+        )
+        result = self.txn.execute(plan)
+        self.installed.pop(qid)
         for sub in flatten(record.query):
             self._sub_owner.pop(sub.qid, None)
         if self.analyzer is not None:
@@ -278,27 +325,81 @@ class NewtonController:
             self.collector.on_remove(qid)
         return InstallResult(
             qid=qid,
-            delay_s=max(per_switch_delay.values(), default=0.0),
-            rules_installed=rules_removed,
+            delay_s=result.delay_s + result.gc_delay_s,
+            rules_installed=result.rules_removed,  # legacy alias
+            rules_removed=result.rules_removed,
         )
 
     def update_query(self, query: QueryLike,
                      params: QueryParams = QueryParams(),
                      opts: Optimizations = Optimizations.all(),
+                     *,
+                     verify: bool = True,
+                     verifier_config: Optional[VerifierConfig] = None,
                      **kwargs) -> InstallResult:
-        """Replace an installed query with a new definition.
+        """Replace an installed query with a new definition, hitlessly.
 
-        Modelled as remove + install; both are rule transactions, so the
-        switch keeps forwarding throughout (unlike Sonata's reboot).
+        One make-before-break transaction: the new version is staged
+        under a shadow epoch while the old one keeps serving, the epoch
+        flips atomically across every switch involved, and only then is
+        the old version garbage-collected — no packet ever sees neither
+        (or both) versions.  If anything fails — verification, staging,
+        the flip — the transaction rolls back and the old version keeps
+        running untouched.
+
+        ``delay_s`` is the visible switchover latency (stage + flip);
+        background GC of the old rules is excluded, as it no longer
+        affects monitoring.
         """
-        removal = self.remove_query(query.qid)
-        install = self.install_query(query, params, opts, **kwargs)
+        old = self.installed.get(query.qid)
+        if old is None:
+            raise KeyError(f"query {query.qid!r} is not installed")
+        (subqueries, compiled, slices, by_switch, placements) = (
+            self._plan_deployment(query, params, opts, **kwargs)
+        )
+        report = VerificationReport()
+        gate = (
+            self._verification_gate(compiled, slices, by_switch, report,
+                                    verifier_config,
+                                    exclude_qid=query.qid)
+            if verify else None
+        )
+        ops: Dict[object, SwitchOps] = {
+            sid: SwitchOps(stage=tuple(
+                slices[sub_qid][index] for sub_qid, index in entries
+            ))
+            for sid, entries in by_switch.items()
+        }
+        for sid, entries in old.by_switch.items():
+            outgoing = tuple(sorted({q for q, _ in entries}))
+            ops[sid] = SwitchOps(
+                stage=ops[sid].stage if sid in ops else (),
+                retire=outgoing,
+            )
+        plan = TxnPlan(op="update", qid=query.qid, ops=ops, verify=gate)
+        result = self.txn.execute(plan)  # raises => old version intact
+
+        for sub in flatten(old.query):
+            self._sub_owner.pop(sub.qid, None)
+        record = InstalledQuery(
+            query=query, compiled=compiled, slices=slices, by_switch=by_switch
+        )
+        self.installed[query.qid] = record
+        for sub in subqueries:
+            self._sub_owner[sub.qid] = query.qid
+        if self.analyzer is not None:
+            self.analyzer.unregister(query.qid)
+            self.analyzer.register(query, compiled)
+        if self.collector is not None:
+            self.collector.on_update(query, compiled, slices, by_switch)
         return InstallResult(
             qid=query.qid,
-            delay_s=removal.delay_s + install.delay_s,
-            rules_installed=install.rules_installed,
-            slices_per_sub=install.slices_per_sub,
-            placements=install.placements,
+            delay_s=result.delay_s,
+            rules_installed=result.rules_staged,
+            rules_removed=result.rules_removed,
+            slices_per_sub={q: len(s) for q, s in slices.items()},
+            placements=placements,
+            diagnostics=report.diagnostics,
         )
 
     # ------------------------------------------------------------------ #
@@ -384,7 +485,14 @@ class NewtonController:
                     continue
                 family = switch.pipeline.hash_family
                 index = probe_index(row, key, family)
-                cells = module.array.read_slice(row.state_key)
+                # Rules are stored under epoch-tagged keys; resolve the
+                # version currently serving packets on this switch.
+                storage_key = switch.pipeline.state_storage_key(
+                    sub_qid, slice_index, row.state_key
+                )
+                if storage_key is None:
+                    continue
+                cells = module.array.read_slice(storage_key)
                 total += int(cells[index % len(cells)])
                 found = True
             if not found:

@@ -1,0 +1,44 @@
+"""Transactional control plane (epoch-versioned rule banks + 2PC).
+
+The controller routes every query operation through this subsystem:
+:class:`TransactionManager` implements two-phase commit across the
+switches a query is sliced onto, :class:`FaultyControlChannel` injects
+seeded loss / timeout / reboot faults for testing it, and
+:class:`TransactionJournal` + the metric registry feed the
+``newton-repro txn-stats`` subcommand.
+"""
+
+from repro.ctrlplane.channel import (
+    ChannelFault,
+    ChannelLoss,
+    ChannelTimeout,
+    FaultPlan,
+    FaultyControlChannel,
+    SwitchRebooted,
+)
+from repro.ctrlplane.journal import JournalEntry, TransactionJournal
+from repro.ctrlplane.txn import (
+    SwitchOps,
+    TransactionAborted,
+    TransactionManager,
+    TxnConfig,
+    TxnPlan,
+    TxnResult,
+)
+
+__all__ = [
+    "ChannelFault",
+    "ChannelLoss",
+    "ChannelTimeout",
+    "SwitchRebooted",
+    "FaultPlan",
+    "FaultyControlChannel",
+    "JournalEntry",
+    "TransactionJournal",
+    "SwitchOps",
+    "TransactionAborted",
+    "TransactionManager",
+    "TxnConfig",
+    "TxnPlan",
+    "TxnResult",
+]

@@ -86,18 +86,25 @@ class ModuleInstance:
 
     # -- rule management (the runtime-reconfigurable surface) ----------- #
 
-    def install(self, spec: ModuleRuleSpec) -> None:
+    def install(self, spec: ModuleRuleSpec,
+                key: Optional[Tuple] = None) -> None:
+        """Install a rule under ``key`` (default: the spec's own key).
+
+        The transactional control plane tags keys with the rule-bank
+        epoch so the old and new versions of a query can be resident
+        simultaneously during a make-before-break update.
+        """
         if spec.module_type is not self.module_type:
             raise ValueError(
                 f"cannot install {spec.module_type.symbol} rule into "
                 f"{self.module_type.symbol} module"
             )
-        self.rules.insert(spec.key, spec)
+        self.rules.insert(key if key is not None else spec.key, spec)
 
-    def remove(self, key: Tuple[str, int]) -> ModuleRuleSpec:
+    def remove(self, key: Tuple) -> ModuleRuleSpec:
         return self.rules.remove(key)
 
-    def lookup(self, key: Tuple[str, int]) -> Optional[ModuleRuleSpec]:
+    def lookup(self, key: Tuple) -> Optional[ModuleRuleSpec]:
         return self.rules.lookup(key)
 
     @property
@@ -107,7 +114,9 @@ class ModuleInstance:
     # -- execution ------------------------------------------------------ #
 
     def execute(self, spec: ModuleRuleSpec, ctx: PhvContext,
-                env: ExecutionEnv) -> None:
+                env: ExecutionEnv, key: Optional[Tuple] = None) -> None:
+        """Run the rule; ``key`` names the storage slot it was installed
+        under (epoch-tagged by the transactional control plane)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -123,7 +132,7 @@ class KeySelectionModule(ModuleInstance):
     module_type = ModuleType.KEY_SELECTION
 
     def execute(self, spec: ModuleRuleSpec, ctx: PhvContext,
-                env: ExecutionEnv) -> None:
+                env: ExecutionEnv, key: Optional[Tuple] = None) -> None:
         config: KConfig = spec.config  # type: ignore[assignment]
         mset = ctx.set(spec.set_id)
         masks = config.mask_map()
@@ -137,7 +146,7 @@ class HashCalculationModule(ModuleInstance):
     module_type = ModuleType.HASH_CALCULATION
 
     def execute(self, spec: ModuleRuleSpec, ctx: PhvContext,
-                env: ExecutionEnv) -> None:
+                env: ExecutionEnv, key: Optional[Tuple] = None) -> None:
         config: HConfig = spec.config  # type: ignore[assignment]
         mset = ctx.set(spec.set_id)
         if config.mode == HashMode.DIRECT:
@@ -158,18 +167,20 @@ class StateBankModule(ModuleInstance):
         super().__init__(instance_id, stage, capacity)
         self.array = RegisterArray(array_size)
 
-    def install(self, spec: ModuleRuleSpec) -> None:
+    def install(self, spec: ModuleRuleSpec,
+                key: Optional[Tuple] = None) -> None:
         config: SConfig = spec.config  # type: ignore[assignment]
-        super().install(spec)
+        storage_key = key if key is not None else spec.key
+        super().install(spec, key=storage_key)
         if not config.passthrough:
             try:
-                self.array.allocate(spec.key, config.slice_size)
+                self.array.allocate(storage_key, config.slice_size)
             except Exception:
                 # Keep rule table and register allocations consistent.
-                self.rules.remove(spec.key)
+                self.rules.remove(storage_key)
                 raise
 
-    def remove(self, key: Tuple[str, int]) -> ModuleRuleSpec:
+    def remove(self, key: Tuple) -> ModuleRuleSpec:
         spec = super().remove(key)
         config: SConfig = spec.config  # type: ignore[assignment]
         if not config.passthrough and self.array.allocation(key) is not None:
@@ -181,7 +192,7 @@ class StateBankModule(ModuleInstance):
         self.array.reset_all()
 
     def execute(self, spec: ModuleRuleSpec, ctx: PhvContext,
-                env: ExecutionEnv) -> None:
+                env: ExecutionEnv, key: Optional[Tuple] = None) -> None:
         config: SConfig = spec.config  # type: ignore[assignment]
         mset = ctx.set(spec.set_id)
         if config.passthrough:
@@ -193,7 +204,8 @@ class StateBankModule(ModuleInstance):
                 f"(query {spec.qid} step {spec.step})"
             )
         old, new = self.array.execute(
-            spec.key, mset.hash_result, config.op, config.operand(env.fields)
+            key if key is not None else spec.key,
+            mset.hash_result, config.op, config.operand(env.fields)
         )
         mset.state_result = old if config.output_old else new
 
@@ -204,7 +216,7 @@ class ResultProcessModule(ModuleInstance):
     module_type = ModuleType.RESULT_PROCESS
 
     def execute(self, spec: ModuleRuleSpec, ctx: PhvContext,
-                env: ExecutionEnv) -> None:
+                env: ExecutionEnv, key: Optional[Tuple] = None) -> None:
         from repro.dataplane.alu import apply_result
 
         config: RConfig = spec.config  # type: ignore[assignment]

@@ -5,6 +5,26 @@ layout, and the installed query slices.  The pipeline executes packets the
 way the paper's Figure 6 walkthrough describes: dispatch, then the query's
 modules in logical order across the stages, then — under cross-switch
 execution — snapshot the results for the next hop (``newton_fin``).
+
+Rule banks are **epoch-versioned** for the transactional control plane
+(:mod:`repro.ctrlplane`):
+
+* ``install_slice`` places rules in the *active* bank (visible at once),
+  preserving the original runtime-install behaviour;
+* ``stage_slice`` places rules in a *shadow* bank tagged with a future
+  rule epoch — physically resident (they consume table capacity and
+  register space, the real cost of make-before-break) but invisible to
+  packets until the epoch flip;
+* ``retire_query`` marks the active version to stop serving at the flip;
+* ``commit_epoch`` is the atomic flip (one counter write);
+* ``rollback_epoch`` / ``abort_staged`` undo a partially applied
+  transaction, restoring the prior bank exactly;
+* ``gc_retired`` physically deletes entries no packet can reach anymore.
+
+Packets are stamped with the ingress switch's rule epoch in their SP
+header; downstream switches serve the stamped bank, so a packet observes
+one consistent rule set end to end even while a multi-switch flip is in
+progress.
 """
 
 from __future__ import annotations
@@ -33,6 +53,9 @@ __all__ = ["NewtonPipeline", "PipelineResult", "TOFINO_DEFAULT_STAGES"]
 
 TOFINO_DEFAULT_STAGES = 12
 
+#: Epoch-tagged storage key of one module rule: (qid, step, rule epoch).
+StorageKey = Tuple[str, int, int]
+
 
 @dataclass
 class PipelineResult:
@@ -42,15 +65,32 @@ class PipelineResult:
     initiated: List[str] = field(default_factory=list)
     continued: List[str] = field(default_factory=list)
     completed: List[str] = field(default_factory=list)
+    #: qid -> rule-bank epoch of the version that served this packet
+    #: (atomicity witness: across a path, each qid must map to one epoch).
+    rule_epochs: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
 class _Installed:
-    """Book-keeping for one installed slice."""
+    """Book-keeping for one installed version of one slice."""
 
     query_slice: QuerySlice
-    placed: Tuple[Tuple[int, ModuleRuleSpec], ...]  # (local stage, spec)
+    #: (local stage, spec, epoch-tagged storage key) per module rule.
+    placed: Tuple[Tuple[int, ModuleRuleSpec, StorageKey], ...]
     init_rules: Tuple[TernaryRule, ...]
+    #: First rule epoch this version serves.
+    epoch_from: int
+    #: Exclusive end of service (None = open); set by ``retire_query``.
+    epoch_until: Optional[int] = None
+
+    def valid_at(self, epoch: int) -> bool:
+        if epoch < self.epoch_from:
+            return False
+        return self.epoch_until is None or epoch < self.epoch_until
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.placed) + len(self.init_rules)
 
 
 class NewtonPipeline:
@@ -80,30 +120,38 @@ class NewtonPipeline:
         #: index registers consistently across hops.
         self.hash_family = hash_family or HashFamily()
         self.report_sink = report_sink
+        #: 100 ms measurement-window counter (register reset cadence).
         self.epoch = 0
-        self._slices: Dict[Tuple[str, int], _Installed] = {}
+        #: Active rule-bank epoch (flipped by the transaction manager).
+        self.rule_epoch = 0
+        #: (qid, slice_index) -> resident versions, oldest first.
+        self._slices: Dict[Tuple[str, int], List[_Installed]] = {}
 
     # ------------------------------------------------------------------ #
     # Rule management                                                    #
     # ------------------------------------------------------------------ #
 
-    def install_slice(self, query_slice: QuerySlice) -> int:
-        """Install a query slice; returns the number of table entries added.
+    def _versions(self, qid: str, slice_index: int) -> List[_Installed]:
+        return self._slices.get((qid, slice_index), [])
 
-        Installation is transactional: a failure (e.g. a full table or an
-        exhausted register array) rolls back everything already inserted,
-        leaving the pipeline untouched — Newton must never wedge a running
-        switch halfway through a query operation.
+    def _version_at(self, qid: str, slice_index: int,
+                    at_epoch: int) -> Optional[_Installed]:
+        for installed in self._versions(qid, slice_index):
+            if installed.valid_at(at_epoch):
+                return installed
+        return None
+
+    def _place(self, query_slice: QuerySlice, epoch_from: int,
+               epoch_until: Optional[int] = None) -> _Installed:
+        """Physically insert a slice's rules tagged with ``epoch_from``.
+
+        Insertion is transactional at the switch level: a failure (full
+        table, exhausted register array) rolls back everything already
+        inserted — Newton must never wedge a running switch halfway
+        through a rule operation.
         """
-        key = (query_slice.qid, query_slice.slice_index)
-        if key in self._slices:
-            raise ValueError(
-                f"slice {query_slice.slice_index} of query "
-                f"{query_slice.qid!r} already installed"
-            )
-        placed: List[Tuple[int, ModuleRuleSpec]] = []
+        placed: List[Tuple[int, ModuleRuleSpec, StorageKey]] = []
         init_rules: List[TernaryRule] = []
-        installed_specs: List[ModuleRuleSpec] = []
         try:
             for spec in sorted(query_slice.specs, key=lambda s: s.step):
                 local_stage = spec.stage - query_slice.stage_base
@@ -113,58 +161,256 @@ class NewtonPipeline:
                         f"layout has no {spec.module_type.symbol} module in "
                         f"stage {local_stage}"
                     )
-                module.install(spec)
-                installed_specs.append(spec)
-                placed.append((local_stage, spec))
+                storage_key: StorageKey = (spec.qid, spec.step, epoch_from)
+                module.install(spec, key=storage_key)
+                placed.append((local_stage, spec, storage_key))
             for entry in query_slice.init_entries:
                 rule = TernaryRule(
                     match=entry.match, priority=entry.priority, action=entry.qid
                 )
-                self.newton_init.insert(rule)
+                self.newton_init.insert(
+                    rule, epoch_from=epoch_from, epoch_until=epoch_until
+                )
                 init_rules.append(rule)
         except Exception:
-            for spec in installed_specs:
-                local_stage = spec.stage - query_slice.stage_base
+            for local_stage, spec, storage_key in placed:
                 module = self.layout.module_at(local_stage, spec.module_type)
                 assert module is not None
-                module.remove(spec.key)
+                module.remove(storage_key)
             for rule in init_rules:
-                self.newton_init.remove(rule)
+                self.newton_init.remove(rule, epoch_from=epoch_from)
             raise
-        self._slices[key] = _Installed(
+        return _Installed(
             query_slice=query_slice,
             placed=tuple(placed),
             init_rules=tuple(init_rules),
+            epoch_from=epoch_from,
+            epoch_until=epoch_until,
         )
-        return len(placed) + len(init_rules)
 
-    def remove_query(self, qid: str) -> int:
-        """Remove every slice of ``qid``; returns table entries removed."""
+    def _unplace(self, installed: _Installed) -> int:
+        """Physically delete one version's rules; returns entries removed."""
         removed = 0
-        for key in [k for k in self._slices if k[0] == qid]:
-            installed = self._slices.pop(key)
-            for local_stage, spec in installed.placed:
-                module = self.layout.module_at(local_stage, spec.module_type)
-                assert module is not None
-                module.remove(spec.key)
-                removed += 1
-            for rule in installed.init_rules:
-                self.newton_init.remove(rule)
-                removed += 1
+        for local_stage, spec, storage_key in installed.placed:
+            module = self.layout.module_at(local_stage, spec.module_type)
+            assert module is not None
+            module.remove(storage_key)
+            removed += 1
+        for rule in installed.init_rules:
+            self.newton_init.remove(rule, epoch_from=installed.epoch_from)
+            removed += 1
+        key = (installed.query_slice.qid, installed.query_slice.slice_index)
+        versions = self._slices.get(key)
+        if versions is not None:
+            versions.remove(installed)
+            if not versions:
+                del self._slices[key]
         return removed
 
-    def hosts_slice(self, qid: str, slice_index: int) -> bool:
-        return (qid, slice_index) in self._slices
+    def install_slice(self, query_slice: QuerySlice) -> int:
+        """Install a slice into the active bank (visible immediately);
+        returns the number of table entries added."""
+        key = (query_slice.qid, query_slice.slice_index)
+        if self._version_at(query_slice.qid, query_slice.slice_index,
+                            self.rule_epoch) is not None:
+            raise ValueError(
+                f"slice {query_slice.slice_index} of query "
+                f"{query_slice.qid!r} already installed"
+            )
+        installed = self._place(query_slice, epoch_from=self.rule_epoch)
+        self._slices.setdefault(key, []).append(installed)
+        return installed.entry_count
+
+    def stage_slice(self, query_slice: QuerySlice, epoch: int) -> int:
+        """Install a slice into the shadow bank of rule epoch ``epoch``.
+
+        The rules are resident (consuming real capacity) but serve no
+        packet until :meth:`commit_epoch` flips to ``epoch``.
+        """
+        if epoch <= self.rule_epoch:
+            raise ValueError(
+                f"stage epoch {epoch} is not in the future "
+                f"(active epoch {self.rule_epoch})"
+            )
+        if self.has_staged(query_slice.qid, query_slice.slice_index, epoch):
+            raise ValueError(
+                f"slice {query_slice.slice_index} of query "
+                f"{query_slice.qid!r} already staged for epoch {epoch}"
+            )
+        installed = self._place(query_slice, epoch_from=epoch)
+        key = (query_slice.qid, query_slice.slice_index)
+        self._slices.setdefault(key, []).append(installed)
+        return installed.entry_count
+
+    def has_staged(self, qid: str, slice_index: int, epoch: int) -> bool:
+        """True iff this exact slice is already staged for ``epoch``
+        (the idempotency probe for retried control messages)."""
+        return any(
+            installed.epoch_from == epoch
+            for installed in self._versions(qid, slice_index)
+        )
+
+    def retire_query(self, qid: str, epoch: int) -> int:
+        """Mark every active version of ``qid`` to stop serving at
+        ``epoch``; returns the number of physical entries newly marked.
+
+        Idempotent: re-marking with the same epoch is a no-op, so a
+        retried control message after an acknowledgement loss is safe.
+        """
+        if epoch <= self.rule_epoch:
+            raise ValueError(
+                f"retire epoch {epoch} is not in the future "
+                f"(active epoch {self.rule_epoch})"
+            )
+        marked = 0
+        for (slice_qid, _), versions in self._slices.items():
+            if slice_qid != qid:
+                continue
+            for installed in versions:
+                if not installed.valid_at(self.rule_epoch):
+                    continue
+                if installed.epoch_until == epoch:
+                    continue
+                installed.epoch_until = epoch
+                for rule in installed.init_rules:
+                    self.newton_init.retire(
+                        rule, epoch, epoch_from=installed.epoch_from
+                    )
+                marked += installed.entry_count
+        return marked
+
+    def commit_epoch(self, epoch: int) -> bool:
+        """Atomically flip the active rule bank to ``epoch``.
+
+        Monotonic and idempotent; returns True iff the epoch advanced.
+        """
+        if epoch <= self.rule_epoch:
+            return False
+        self.rule_epoch = epoch
+        return True
+
+    def rollback_epoch(self, epoch: int) -> bool:
+        """Return to a prior rule epoch (partial-failure recovery).
+
+        Only steps backwards; pair with :meth:`abort_staged` to also drop
+        the now-unreachable shadow bank.
+        """
+        if epoch >= self.rule_epoch:
+            return False
+        self.rule_epoch = epoch
+        return True
+
+    def abort_staged(self) -> int:
+        """Drop every staged (future-epoch) version and clear pending
+        retire marks, restoring the active bank exactly; returns the
+        number of physical entries removed."""
+        removed = 0
+        staged = [
+            installed
+            for versions in list(self._slices.values())
+            for installed in list(versions)
+            if installed.epoch_from > self.rule_epoch
+        ]
+        for installed in staged:
+            removed += self._unplace(installed)
+        for versions in self._slices.values():
+            for installed in versions:
+                if (installed.epoch_until is not None
+                        and installed.epoch_until > self.rule_epoch):
+                    installed.epoch_until = None
+        self.newton_init.unretire(self.rule_epoch)
+        return removed
+
+    def gc_retired(self) -> int:
+        """Physically delete versions retired at or before the active
+        epoch; returns the number of table entries removed."""
+        removed = 0
+        retired = [
+            installed
+            for versions in list(self._slices.values())
+            for installed in list(versions)
+            if installed.epoch_until is not None
+            and installed.epoch_until <= self.rule_epoch
+        ]
+        for installed in retired:
+            removed += self._unplace(installed)
+        return removed
+
+    def remove_query(self, qid: str) -> int:
+        """Remove every resident version of ``qid`` immediately; returns
+        table entries removed.  (The direct, non-transactional path; the
+        transactional controller retires + flips + garbage-collects.)"""
+        removed = 0
+        doomed = [
+            installed
+            for (slice_qid, _), versions in list(self._slices.items())
+            if slice_qid == qid
+            for installed in list(versions)
+        ]
+        for installed in doomed:
+            removed += self._unplace(installed)
+        return removed
+
+    def hosts_slice(self, qid: str, slice_index: int,
+                    at_epoch: Optional[int] = None) -> bool:
+        epoch = self.rule_epoch if at_epoch is None else at_epoch
+        return self._version_at(qid, slice_index, epoch) is not None
 
     def installed_qids(self) -> Tuple[str, ...]:
-        return tuple(sorted({qid for qid, _ in self._slices}))
+        return tuple(sorted({
+            qid for (qid, index), versions in self._slices.items()
+            for installed in versions
+            if installed.valid_at(self.rule_epoch)
+        }))
+
+    def state_storage_key(
+        self, qid: str, slice_index: int, rule_key: Tuple[str, int],
+        at_epoch: Optional[int] = None,
+    ) -> Optional[StorageKey]:
+        """Storage key of the rule ``rule_key`` in the bank serving
+        ``at_epoch`` (default: the active bank) — the epoch-aware handle
+        register readout needs to address the right version's state."""
+        epoch = self.rule_epoch if at_epoch is None else at_epoch
+        installed = self._version_at(qid, slice_index, epoch)
+        if installed is None:
+            return None
+        for _, spec, storage_key in installed.placed:
+            if spec.key == rule_key:
+                return storage_key
+        return None
 
     @property
     def rule_count(self) -> int:
-        """Total table entries currently installed (modules + dispatch)."""
+        """Total physical table entries resident (modules + dispatch),
+        including staged and retired-awaiting-GC banks."""
         return (
-            sum(len(inst.placed) for inst in self._slices.values())
+            sum(
+                len(installed.placed)
+                for versions in self._slices.values()
+                for installed in versions
+            )
             + len(self.newton_init)
+        )
+
+    @property
+    def staged_rule_count(self) -> int:
+        """Physical entries in shadow banks (staged, not yet active)."""
+        return sum(
+            installed.entry_count
+            for versions in self._slices.values()
+            for installed in versions
+            if installed.epoch_from > self.rule_epoch
+        )
+
+    @property
+    def retired_rule_count(self) -> int:
+        """Physical entries retired but not yet garbage-collected."""
+        return sum(
+            installed.entry_count
+            for versions in self._slices.values()
+            for installed in versions
+            if installed.epoch_until is not None
+            and installed.epoch_until <= self.rule_epoch
         )
 
     # ------------------------------------------------------------------ #
@@ -187,9 +433,19 @@ class NewtonPipeline:
         hop.  On hardware, ``newton_init`` matches the ingress port so a
         query only initiates where monitored traffic *enters* the network;
         downstream switches merely continue in-flight queries.
+
+        The ingress switch stamps its active rule epoch into the SP
+        header; downstream switches serve the stamped bank, so the packet
+        observes one consistent rule set even mid-flip.
         """
         result = PipelineResult()
         fields = packet.field_values()
+        if snapshot is not None and ingress_edge:
+            snapshot.rule_epoch = self.rule_epoch
+        if snapshot is not None and snapshot.rule_epoch is not None:
+            at_epoch = snapshot.rule_epoch
+        else:
+            at_epoch = self.rule_epoch
         env = ExecutionEnv(
             fields=fields,
             ts=packet.ts,
@@ -202,12 +458,13 @@ class NewtonPipeline:
         # Continue in-flight queries first (parser decodes SP, §5.1).
         if snapshot is not None:
             for qid, entry in snapshot.items():
-                installed = self._slices.get((qid, entry.cursor))
+                installed = self._version_at(qid, entry.cursor, at_epoch)
                 if installed is None:
                     continue
                 self._run_slice(installed, entry.ctx, env)
                 entry.cursor += 1
                 result.continued.append(qid)
+                result.rule_epochs[qid] = installed.epoch_from
                 if entry.complete or entry.ctx.stopped:
                     snapshot.pop(qid)
                     result.completed.append(qid)
@@ -217,7 +474,7 @@ class NewtonPipeline:
             result.reports = env.reports
             return result
         seen: set = set()
-        for rule in self.newton_init.lookup_all(fields):
+        for rule in self.newton_init.lookup_all(fields, at_epoch=at_epoch):
             qid = rule.action
             if qid in seen:
                 continue
@@ -226,12 +483,13 @@ class NewtonPipeline:
                 continue  # already in flight, do not re-initiate
             if qid in result.continued:
                 continue
-            installed = self._slices.get((qid, 0))
+            installed = self._version_at(qid, 0, at_epoch)
             if installed is None:
                 continue
             ctx = PhvContext()
             self._run_slice(installed, ctx, env)
             result.initiated.append(qid)
+            result.rule_epochs[qid] = installed.epoch_from
             total = installed.query_slice.total_slices
             if total > 1 and not ctx.stopped:
                 if snapshot is None:
@@ -250,12 +508,12 @@ class NewtonPipeline:
 
     def _run_slice(self, installed: _Installed, ctx: PhvContext,
                    env: ExecutionEnv) -> None:
-        for local_stage, spec in installed.placed:
+        for local_stage, spec, storage_key in installed.placed:
             if ctx.stopped:
                 break
             module = self.layout.module_at(local_stage, spec.module_type)
             assert module is not None
-            module.execute(spec, ctx, env)
+            module.execute(spec, ctx, env, key=storage_key)
 
     # ------------------------------------------------------------------ #
     # Windows                                                            #

@@ -99,15 +99,66 @@ class Switch:
     def remove_query(self, qid: str) -> int:
         return self.pipeline.remove_query(qid)
 
+    # -- transactional control plane (epoch-versioned banks) ------------ #
+
+    def stage_slice(self, query_slice: QuerySlice, epoch: int) -> int:
+        """Stage a slice under a shadow rule epoch (make-before-break)."""
+        if not self.newton_enabled:
+            raise RuntimeError(
+                f"switch {self.switch_id!r} does not run Newton "
+                f"(partial deployment)"
+            )
+        return self.pipeline.stage_slice(query_slice, epoch)
+
+    def retire_query(self, qid: str, epoch: int) -> int:
+        """Mark a query's active rules to stop serving at ``epoch``."""
+        return self.pipeline.retire_query(qid, epoch)
+
+    def commit_epoch(self, epoch: int) -> bool:
+        """Atomically flip the active rule bank to ``epoch``."""
+        return self.pipeline.commit_epoch(epoch)
+
+    def rollback_epoch(self, epoch: int) -> bool:
+        """Step the active rule bank back to a prior epoch."""
+        return self.pipeline.rollback_epoch(epoch)
+
+    def abort_staged(self) -> int:
+        """Drop staged banks and pending retire marks (abort path)."""
+        return self.pipeline.abort_staged()
+
+    def gc_retired(self) -> int:
+        """Physically delete retired rules no packet can reach."""
+        return self.pipeline.gc_retired()
+
+    @property
+    def rule_epoch(self) -> int:
+        return self.pipeline.rule_epoch
+
+    @property
+    def staged_rule_count(self) -> int:
+        return self.pipeline.staged_rule_count
+
+    @property
+    def retired_rule_count(self) -> int:
+        return self.pipeline.retired_rule_count
+
     # -- non-runtime path (what Sonata must do) ------------------------- #
 
     def reboot(self, at: float, entries_to_restore: int) -> RebootRecord:
-        """Reload the P4 program; the switch is down while rules restore."""
+        """Reload the P4 program; the switch is down while rules restore.
+
+        A reboot also wipes any *staged* (uncommitted) rule bank — the
+        shadow epoch lives only in the ASIC, so the transaction manager
+        must re-stage after a mid-transaction reboot.  Committed state is
+        restored from the controller's store, which the entry-restore
+        time already charges for.
+        """
         duration = self.reboot_base_s + self.entry_restore_s * entries_to_restore
         record = RebootRecord(
             start=at, duration=duration, entries_restored=entries_to_restore
         )
         self.reboots.append(record)
+        self.pipeline.abort_staged()
         return record
 
     def is_forwarding(self, at: float) -> bool:

@@ -12,17 +12,27 @@ Two table flavours cover everything Newton needs:
 Both enforce a rule-capacity limit (256 rules per module table in the
 paper's evaluation, §6.2), which is what bounds query concurrency in
 Figure 16.
+
+Ternary entries are **epoch-tagged** for the transactional control plane:
+each physical entry carries a ``[epoch_from, epoch_until)`` validity
+interval, so a staged (not yet committed) rule bank and a retired (not
+yet garbage-collected) one can be resident at the same time as the active
+bank.  Lookups filter by the epoch stamped on the packet at its ingress
+switch, which is what makes a multi-switch epoch flip appear atomic to
+the data plane.  Physical capacity counts *every* resident entry — the
+transient double occupancy of make-before-break is real TCAM space.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 
 __all__ = [
     "TableFullError",
     "ExactMatchTable",
     "TernaryRule",
+    "TernaryEntry",
     "TernaryTable",
     "DEFAULT_TABLE_CAPACITY",
 ]
@@ -110,66 +120,133 @@ class TernaryRule(Generic[ActionT]):
         return TernaryRule(match=packed, priority=priority, action=action)
 
 
+@dataclass
+class TernaryEntry(Generic[ActionT]):
+    """One physical TCAM entry: a rule plus its epoch validity interval.
+
+    The entry serves packets stamped with epoch ``e`` iff
+    ``epoch_from <= e`` and (``epoch_until is None or e < epoch_until``).
+    A staged entry has ``epoch_from`` in the future; a retired entry has a
+    finite ``epoch_until`` and is garbage-collected once no packet can be
+    stamped below it.
+    """
+
+    rule: TernaryRule[ActionT]
+    epoch_from: int = 0
+    epoch_until: Optional[int] = None
+    seq: int = field(default=0, compare=False)
+
+    def valid_at(self, epoch: int) -> bool:
+        if epoch < self.epoch_from:
+            return False
+        return self.epoch_until is None or epoch < self.epoch_until
+
+
 class TernaryTable(Generic[ActionT]):
-    """Priority-ordered ternary table (TCAM model).
+    """Priority-ordered ternary table (TCAM model) with epoch-tagged rows.
 
     ``lookup`` returns the single highest-priority match (standard TCAM
     semantics).  ``lookup_all`` returns every matching rule, which is how
     ``newton_init`` dispatches one packet to *several* concurrent queries
     that monitor overlapping traffic (paper §4.1, Concurrency).
+
+    ``at_epoch=None`` (the default) matches against every physical entry,
+    preserving the pre-transactional behaviour for direct users; the
+    pipeline passes the packet's stamped rule epoch so staged and retired
+    banks stay invisible.
     """
 
     def __init__(self, name: str, capacity: int = DEFAULT_TABLE_CAPACITY):
         self.name = name
         self.capacity = capacity
-        self._rules: List[TernaryRule[ActionT]] = []
+        self._entries: List[TernaryEntry[ActionT]] = []
         self._insert_seq = 0
 
     def __len__(self) -> int:
-        return len(self._rules)
+        return len(self._entries)
 
-    def insert(self, rule: TernaryRule[ActionT]) -> None:
-        if len(self._rules) >= self.capacity:
+    def insert(self, rule: TernaryRule[ActionT], *, epoch_from: int = 0,
+               epoch_until: Optional[int] = None) -> None:
+        if len(self._entries) >= self.capacity:
             raise TableFullError(f"table {self.name} full ({self.capacity} rules)")
         self._insert_seq += 1
-        # Stash insertion order on the side for deterministic tie-breaks.
-        self._rules.append(rule)
-        self._rules.sort(
-            key=lambda r: (-r.priority, self._order(r))
+        self._entries.append(
+            TernaryEntry(rule=rule, epoch_from=epoch_from,
+                         epoch_until=epoch_until, seq=self._insert_seq)
         )
+        self._entries.sort(key=lambda e: (-e.rule.priority, e.seq))
 
-    def _order(self, rule: TernaryRule[ActionT]) -> int:
-        # Stable secondary ordering: position in the list is already the
-        # insertion order for equal priorities because sort() is stable.
-        return 0
+    def _find(self, rule: TernaryRule[ActionT],
+              epoch_from: Optional[int]) -> TernaryEntry[ActionT]:
+        for entry in self._entries:
+            if entry.rule == rule and (
+                epoch_from is None or entry.epoch_from == epoch_from
+            ):
+                return entry
+        raise KeyError(f"table {self.name}: rule not present")
 
-    def remove(self, rule: TernaryRule[ActionT]) -> None:
-        try:
-            self._rules.remove(rule)
-        except ValueError:
-            raise KeyError(f"table {self.name}: rule not present") from None
+    def remove(self, rule: TernaryRule[ActionT], *,
+               epoch_from: Optional[int] = None) -> None:
+        """Remove one physical entry.
+
+        Identical rules can be resident under different epoch tags during
+        a make-before-break update; ``epoch_from`` selects the version.
+        """
+        self._entries.remove(self._find(rule, epoch_from))
+
+    def retire(self, rule: TernaryRule[ActionT], until: int, *,
+               epoch_from: Optional[int] = None) -> bool:
+        """Mark an entry to stop serving at epoch ``until``.
+
+        Returns True if the mark was newly placed (idempotent retries of
+        a retire message re-mark without effect).
+        """
+        entry = self._find(rule, epoch_from)
+        already = entry.epoch_until == until
+        entry.epoch_until = until
+        return not already
+
+    def unretire(self, above: int) -> int:
+        """Clear retire marks scheduled after epoch ``above`` (abort path)."""
+        cleared = 0
+        for entry in self._entries:
+            if entry.epoch_until is not None and entry.epoch_until > above:
+                entry.epoch_until = None
+                cleared += 1
+        return cleared
 
     def remove_if(self, predicate) -> int:
         """Remove every rule satisfying ``predicate``; return the count."""
-        before = len(self._rules)
-        self._rules = [r for r in self._rules if not predicate(r)]
-        return before - len(self._rules)
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e.rule)]
+        return before - len(self._entries)
 
-    def lookup(self, fields: Dict[str, int]) -> Optional[TernaryRule[ActionT]]:
-        for rule in self._rules:
-            if rule.matches(fields):
-                return rule
+    def lookup(self, fields: Dict[str, int],
+               at_epoch: Optional[int] = None) -> Optional[TernaryRule[ActionT]]:
+        for entry in self._entries:
+            if at_epoch is not None and not entry.valid_at(at_epoch):
+                continue
+            if entry.rule.matches(fields):
+                return entry.rule
         return None
 
-    def lookup_all(self, fields: Dict[str, int]) -> List[TernaryRule[ActionT]]:
-        return [rule for rule in self._rules if rule.matches(fields)]
+    def lookup_all(self, fields: Dict[str, int],
+                   at_epoch: Optional[int] = None) -> List[TernaryRule[ActionT]]:
+        return [
+            entry.rule for entry in self._entries
+            if (at_epoch is None or entry.valid_at(at_epoch))
+            and entry.rule.matches(fields)
+        ]
 
     def rules(self) -> Tuple[TernaryRule[ActionT], ...]:
-        return tuple(self._rules)
+        return tuple(entry.rule for entry in self._entries)
+
+    def entries(self) -> Tuple[TernaryEntry[ActionT], ...]:
+        return tuple(self._entries)
 
     def clear(self) -> None:
-        self._rules.clear()
+        self._entries.clear()
 
     @property
     def free(self) -> int:
-        return self.capacity - len(self._rules)
+        return self.capacity - len(self._entries)

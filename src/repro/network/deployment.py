@@ -14,6 +14,7 @@ from typing import Dict, Hashable, Optional
 from repro.collector import CollectorConfig, ReportCollector
 from repro.core.analyzer import Analyzer
 from repro.core.controller import NewtonController
+from repro.ctrlplane import TransactionManager, TxnConfig
 from repro.dataplane.hashing import HashFamily
 from repro.dataplane.layout import LayoutKind
 from repro.dataplane.switch import Switch
@@ -54,6 +55,7 @@ def build_deployment(
     ecmp: bool = True,
     newton_switches=None,
     collector_config: Optional[CollectorConfig] = None,
+    txn_config: Optional[TxnConfig] = None,
 ) -> Deployment:
     """Instantiate Newton switches on every topology node and wire them up.
 
@@ -68,6 +70,10 @@ def build_deployment(
 
     ``collector_config`` tunes the collection plane (backpressure policy,
     queue capacity, fault injection, loss reconciliation).
+
+    ``channel`` may be a :class:`~repro.ctrlplane.FaultyControlChannel`
+    to exercise the transactional control plane under seeded faults;
+    ``txn_config`` tunes its retry/backoff policy.
     """
     family = HashFamily(hash_seed)
     clock = WindowClock(window_ms=window_ms)
@@ -92,9 +98,11 @@ def build_deployment(
         for sid in topology.switches()
     }
     router = Router(topology, ecmp=ecmp)
+    channel = channel or ControlChannel()
     controller = NewtonController(
-        switches, channel=channel or ControlChannel(), analyzer=analyzer,
+        switches, channel=channel, analyzer=analyzer,
         collector=collector,
+        txn=TransactionManager(switches, channel, config=txn_config),
     )
     simulator = NetworkSimulator(
         topology,

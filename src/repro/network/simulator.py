@@ -19,9 +19,19 @@ to the collector's ingest path as a first-class record.
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.analyzer import Analyzer
 from repro.core.controller import NewtonController
@@ -57,6 +67,15 @@ class SimulationStats:
     #: Total payload bytes forwarded (for overhead ratios).
     payload_bytes: int = 0
     epochs: int = 0
+    #: Packets that observed different rule-bank epochs for the same query
+    #: across their path — the atomicity violation the transactional
+    #: control plane must keep at zero (every packet sees one consistent
+    #: rule set, even mid-flip).
+    mixed_rule_epoch_packets: int = 0
+    #: Packets that initiated each query at their ingress switch — the
+    #: coverage signal update benchmarks diff against the matching traffic
+    #: to count monitoring-gap packets.
+    initiated_by_query: "Counter[str]" = field(default_factory=Counter)
 
     @property
     def reports_total(self) -> int:
@@ -113,29 +132,60 @@ class NetworkSimulator:
             self.clock.subscribe(analyzer.advance_window)
         self.window_s = self.clock.window_s
         self._epoch = 0
+        #: Control-plane callbacks scheduled against trace time, fired
+        #: just before the first packet at or past their timestamp — how
+        #: experiments inject rule operations mid-trace.
+        self._scheduled: List[Tuple[float, int, Callable[[], None]]] = []
+        self._schedule_seq = 0
 
     # ------------------------------------------------------------------ #
+
+    def at(self, ts: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at trace time ``ts``.
+
+        Callbacks fire in timestamp order (insertion order breaks ties)
+        between packets during :meth:`run` — e.g. a controller
+        ``update_query`` mid-trace to measure monitoring gaps.
+        """
+        heapq.heappush(
+            self._scheduled, (ts, self._schedule_seq, callback)
+        )
+        self._schedule_seq += 1
+
+    def _fire_scheduled(self, now: float) -> None:
+        while self._scheduled and self._scheduled[0][0] <= now:
+            _, _, callback = heapq.heappop(self._scheduled)
+            callback()
 
     def run(self, packets: Iterable[Packet]) -> SimulationStats:
         """Forward a time-ordered packet stream; returns aggregate stats."""
         stats = SimulationStats()
         for packet in packets:
+            self._fire_scheduled(packet.ts)
             self._sync_windows(packet.ts, stats)
             stats.packets += 1
             path = self.router.path_for(packet)
             self._forward(packet, path, stats)
+        self._fire_scheduled(float("inf"))
         self._close_window(stats)
         stats.epochs = self._epoch + 1
         return stats
 
     def _forward(self, packet: Packet, path, stats: SimulationStats) -> None:
         snapshot = SnapshotHeader()
+        seen_epochs: Dict[str, int] = {}
+        mixed = False
         for hop, sid in enumerate(path):
             switch = self.switches[sid]
             result = switch.process(packet, snapshot, ingress_edge=hop == 0)
             if result is None:
                 stats.dropped += 1
                 return
+            for qid, rule_epoch in result.rule_epochs.items():
+                if seen_epochs.setdefault(qid, rule_epoch) != rule_epoch:
+                    mixed = True
+            for qid in result.initiated:
+                stats.initiated_by_query[qid] += 1
             if result.reports:
                 stats.reports_by_switch[sid] += len(result.reports)
                 if self.collector is not None:
@@ -145,6 +195,8 @@ class NetworkSimulator:
                 # The SP header rides the next link (bandwidth accounting).
                 stats.sp_bytes += snapshot.wire_bytes
                 stats.payload_bytes += packet.len
+        if mixed:
+            stats.mixed_rule_epoch_packets += 1
         stats.delivered += 1
         # Egress (newton_fin): strip the header; defer unfinished queries.
         for qid, entry in snapshot.items():

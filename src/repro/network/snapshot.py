@@ -24,6 +24,13 @@ recompute them (that is why the header can stay 12 bytes).  The in-memory
 simulator therefore hands the full :class:`~repro.dataplane.phv.PhvContext`
 to the next hop while the codec below is used to enforce and test the wire
 budget.
+
+The header also carries the **rule-bank epoch** stamped by the ingress
+switch (:attr:`SnapshotHeader.rule_epoch`): downstream switches serve the
+stamped bank, so a packet in flight during a multi-switch epoch flip
+observes one consistent rule set end to end.  On wire the stamp is a
+small modular counter riding in the 2 bytes of headroom the 10-byte
+entry leaves inside the reserved 12.
 """
 
 from __future__ import annotations
@@ -76,6 +83,9 @@ class SnapshotHeader:
 
     def __init__(self) -> None:
         self._entries: Dict[str, SnapshotEntry] = {}
+        #: Rule-bank epoch stamped by the ingress switch (None until the
+        #: packet enters a Newton-enabled switch).
+        self.rule_epoch: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -105,6 +115,7 @@ class SnapshotHeader:
 
     def copy(self) -> "SnapshotHeader":
         clone = SnapshotHeader()
+        clone.rule_epoch = self.rule_epoch
         for qid, entry in self._entries.items():
             clone.put(qid, entry.copy())
         return clone

@@ -8,24 +8,56 @@ paper reports (Figure 11) — e.g. Q1's ~9 rules land near 5 ms.
 
 The same channel also times Sonata's post-reboot rule restores, whose
 per-entry cost is the linear term of Figure 10(b).
+
+Operations are drawn from a fixed vocabulary (:data:`KNOWN_OPERATIONS`)
+covering the transactional control plane's two-phase protocol:
+
+* ``install`` — staging rules into a switch's shadow epoch bank,
+* ``retire``  — marking resident rules for removal at the next flip,
+* ``commit``  — the atomic epoch flip (one register write),
+* ``rollback`` — undoing a flip during partial-failure recovery,
+* ``abort``   — discarding a shadow bank without flipping,
+* ``remove``  — the physical garbage-collection deletes after a flip.
+
+``transact`` and ``total_delay`` reject unknown operation names so typos
+(``"instal"``) fail loudly instead of silently timing — or summing —
+nothing.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional, Tuple, TypeVar
 
 import numpy as np
 
-__all__ = ["ControlChannel", "RuleTransaction"]
+__all__ = [
+    "ControlChannel",
+    "RuleTransaction",
+    "KNOWN_OPERATIONS",
+    "FLIP_OVERHEAD_S",
+]
+
+#: Every operation name a channel will time.  ``transact`` raises
+#: ``ValueError`` for anything else.
+KNOWN_OPERATIONS = frozenset(
+    {"install", "remove", "retire", "commit", "rollback", "abort"}
+)
+
+#: Setup cost of a single-register control message (epoch flip, rollback,
+#: retire mark, abort): one write, no per-rule payload — far below the
+#: per-batch session overhead.
+FLIP_OVERHEAD_S = 0.0003
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
 class RuleTransaction:
     """One timed batch of rule operations."""
 
-    operation: str       # "install" | "remove"
+    operation: str       # member of KNOWN_OPERATIONS
     rules: int
     delay_s: float
 
@@ -61,11 +93,23 @@ class ControlChannel:
             return 0.0
         return float(abs(self._rng.normal(0.0, self.jitter_s)))
 
-    def transact(self, operation: str, rules: int) -> float:
-        """Time one batch of ``rules`` operations; returns the delay."""
+    def transact(self, operation: str, rules: int,
+                 overhead_s: Optional[float] = None) -> float:
+        """Time one batch of ``rules`` operations; returns the delay.
+
+        ``overhead_s`` overrides the per-batch session setup cost — used
+        for single-register messages (epoch flips, retire marks) that do
+        not open a full rule-programming session.
+        """
+        if operation not in KNOWN_OPERATIONS:
+            raise ValueError(
+                f"unknown channel operation {operation!r}; expected one of "
+                f"{sorted(KNOWN_OPERATIONS)}"
+            )
         if rules < 0:
             raise ValueError("rule count must be non-negative")
-        delay = self.batch_overhead_s + self.per_rule_s * rules + self._jitter()
+        overhead = self.batch_overhead_s if overhead_s is None else overhead_s
+        delay = overhead + self.per_rule_s * rules + self._jitter()
         if len(self.log) == self.max_log:
             self.dropped_log_entries += 1  # deque evicts the oldest entry
         self.log.append(
@@ -79,7 +123,41 @@ class ControlChannel:
     def remove_delay(self, rules: int) -> float:
         return self.transact("remove", rules)
 
+    # -- transactional delivery ----------------------------------------- #
+
+    def begin_transaction(self, txn_id: int) -> None:
+        """Hook invoked by the transaction manager at transaction start.
+
+        The base channel is fault-free and keeps one jitter stream; the
+        fault-injectable subclass reseeds its fault source here so every
+        transaction draws a deterministic per-transaction schedule.
+        """
+
+    def send(
+        self,
+        operation: str,
+        rules: int,
+        switch: object = None,
+        apply: Optional[Callable[[], T]] = None,
+        overhead_s: Optional[float] = None,
+        reliable: bool = False,
+    ) -> Tuple[Optional[T], float]:
+        """Deliver one timed control message to ``switch``.
+
+        ``apply`` performs the switch-side effect; the base channel always
+        delivers (``reliable`` is only meaningful for fault-injecting
+        subclasses).  Returns ``(apply result, delay)``.
+        """
+        del switch, reliable  # the fault-free channel ignores both
+        result = apply() if apply is not None else None
+        return result, self.transact(operation, rules, overhead_s=overhead_s)
+
     def total_delay(self, operation: Optional[str] = None) -> float:
+        if operation is not None and operation not in KNOWN_OPERATIONS:
+            raise ValueError(
+                f"unknown channel operation {operation!r}; expected one of "
+                f"{sorted(KNOWN_OPERATIONS)}"
+            )
         return sum(
             t.delay_s for t in self.log
             if operation is None or t.operation == operation

@@ -80,6 +80,45 @@ class TestPathMode:
         assert dep.switch("s0").rule_count == 0
         assert "ctl.q" not in dep.controller.installed
 
+    def test_remove_reports_rules_removed(self):
+        dep = build_deployment(linear(1))
+        install = dep.controller.install_query(q(), PARAMS, path=["s0"])
+        removal = dep.controller.remove_query("ctl.q")
+        assert removal.rules_removed == install.rules_installed
+        # One-release deprecation: removal keeps the legacy field in sync.
+        assert removal.rules_installed == removal.rules_removed
+
+    def test_update_reports_both_directions(self):
+        dep = build_deployment(linear(1))
+        dep.controller.install_query(q(threshold=3), PARAMS, path=["s0"])
+        result = dep.controller.update_query(q(threshold=9), PARAMS,
+                                             path=["s0"])
+        assert result.rules_installed > 0
+        assert result.rules_removed > 0
+
+    def test_failed_update_leaves_query_installed(self):
+        """Regression: update_query used to run remove-then-install, so a
+        failing install left the query gone entirely.  Now the swap is one
+        transaction — a rejected update must leave the old version
+        serving untouched."""
+        dep = build_deployment(linear(1), array_size=1024)
+        tight = QueryParams(cm_depth=2, reduce_registers=768)
+        dep.controller.install_query(q(threshold=3), tight, path=["s0"])
+        rules_before = dep.switch("s0").rule_count
+        with pytest.raises(Exception):
+            dep.controller.update_query(q(threshold=9), tight, path=["s0"])
+        assert "ctl.q" in dep.controller.installed
+        assert dep.switch("s0").rule_count == rules_before
+        # The surviving version still processes traffic.
+        reports = []
+        for i in range(4):
+            res = dep.switch("s0").process(
+                Packet(sip=i + 1, dip=9, proto=6, tcp_flags=2, ts=0.0),
+                snapshot=None,
+            )
+            reports.extend(res.reports)
+        assert len(reports) == 1
+
     def test_unknown_switch_rejected(self):
         dep = build_deployment(linear(1))
         with pytest.raises(KeyError):

@@ -1,0 +1,123 @@
+"""Fault-injectable control channel: semantics and determinism."""
+
+import pytest
+
+from repro.ctrlplane import (
+    ChannelLoss,
+    ChannelTimeout,
+    FaultPlan,
+    FaultyControlChannel,
+    SwitchRebooted,
+)
+
+
+class _StubSwitch:
+    """Just enough switch for the reboot fault's staged-state wipe."""
+
+    def __init__(self):
+        self.aborts = 0
+
+    def abort_staged(self) -> int:
+        self.aborts += 1
+        return 0
+
+
+class TestFaultPlan:
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_rate=-0.1)
+
+    def test_rejects_rates_summing_past_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=0.5, timeout_rate=0.4, reboot_rate=0.2)
+
+    def test_rejects_negative_timeout(self):
+        with pytest.raises(ValueError):
+            FaultPlan(detect_timeout_s=-1.0)
+
+
+class TestFaultSemantics:
+    def test_loss_skips_the_switch_side_effect(self):
+        channel = FaultyControlChannel(FaultPlan(loss_rate=1.0, seed=3))
+        applied = []
+        with pytest.raises(ChannelLoss) as exc:
+            channel.send("install", 5, apply=lambda: applied.append(1))
+        assert not applied, "a lost message must not be applied"
+        assert exc.value.delay_s > 0
+        assert channel.faults_injected["loss"] == 1
+
+    def test_timeout_applies_but_hides_the_ack(self):
+        channel = FaultyControlChannel(FaultPlan(timeout_rate=1.0, seed=3))
+        applied = []
+        with pytest.raises(ChannelTimeout):
+            channel.send("install", 5, apply=lambda: applied.append(1))
+        assert applied == [1], "a timed-out message WAS applied"
+        # The attempt is on the wire, so it is in the transaction log.
+        assert channel.log[-1].operation == "install"
+
+    def test_reboot_wipes_staged_state(self):
+        channel = FaultyControlChannel(FaultPlan(reboot_rate=1.0, seed=3))
+        switch = _StubSwitch()
+        applied = []
+        with pytest.raises(SwitchRebooted):
+            channel.send("install", 5, switch=switch,
+                         apply=lambda: applied.append(1))
+        assert not applied
+        assert switch.aborts == 1
+
+    def test_reliable_bypasses_all_faults(self):
+        channel = FaultyControlChannel(FaultPlan(loss_rate=1.0, seed=3))
+        result, delay = channel.send(
+            "install", 5, apply=lambda: "ok", reliable=True
+        )
+        assert result == "ok"
+        assert delay > 0
+        assert channel.faults_injected["loss"] == 0
+
+    def test_fault_free_plan_always_delivers(self):
+        channel = FaultyControlChannel()
+        for _ in range(50):
+            result, _ = channel.send("install", 1, apply=lambda: "ok")
+            assert result == "ok"
+
+
+class TestDeterminism:
+    def _schedule(self, channel, txn_id, n=20):
+        """Fault-kind sequence for n messages of one transaction."""
+        channel.begin_transaction(txn_id)
+        kinds = []
+        for _ in range(n):
+            try:
+                channel.send("install", 1, apply=lambda: None)
+                kinds.append("ok")
+            except ChannelLoss:
+                kinds.append("loss")
+            except SwitchRebooted:
+                kinds.append("reboot")
+            except ChannelTimeout:
+                kinds.append("timeout")
+        return kinds
+
+    def test_same_seed_and_txn_replays_identically(self):
+        plan = FaultPlan(loss_rate=0.3, timeout_rate=0.2, reboot_rate=0.1,
+                         seed=42)
+        a = self._schedule(FaultyControlChannel(plan), txn_id=7)
+        b = self._schedule(FaultyControlChannel(plan), txn_id=7)
+        assert a == b
+
+    def test_different_txn_ids_draw_different_schedules(self):
+        plan = FaultPlan(loss_rate=0.3, timeout_rate=0.2, reboot_rate=0.1,
+                         seed=42)
+        channel = FaultyControlChannel(plan)
+        a = self._schedule(channel, txn_id=1)
+        b = self._schedule(channel, txn_id=2)
+        assert a != b
+
+    def test_different_seeds_draw_different_schedules(self):
+        a = self._schedule(FaultyControlChannel(FaultPlan(
+            loss_rate=0.4, seed=1)), txn_id=0)
+        b = self._schedule(FaultyControlChannel(FaultPlan(
+            loss_rate=0.4, seed=2)), txn_id=0)
+        assert a != b

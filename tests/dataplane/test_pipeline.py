@@ -109,6 +109,107 @@ class TestRuleManagement:
         assert not result.initiated
 
 
+class TestEpochVersioning:
+    def _staged(self, threshold=1):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        compiled = compile_query(q1(threshold=threshold), small_params(),
+                                 hash_family=pipeline.hash_family)
+        for s in slice_compiled(compiled, pipeline.layout.num_stages):
+            pipeline.stage_slice(s, epoch=1)
+        return pipeline, compiled
+
+    def test_staged_rules_invisible_until_flip(self):
+        pipeline, compiled = self._staged()
+        assert pipeline.staged_rule_count == compiled.rule_count
+        result = pipeline.process(syn(1, 9))
+        assert not result.initiated, "shadow bank must not serve traffic"
+        assert pipeline.commit_epoch(1)
+        result = pipeline.process(syn(2, 9))
+        assert result.initiated == ["p.q1"]
+        assert pipeline.staged_rule_count == 0
+
+    def test_stage_rejects_non_future_epoch(self):
+        pipeline, _ = self._staged()
+        pipeline.commit_epoch(1)
+        compiled = compile_query(q1(threshold=9), small_params(),
+                                 hash_family=pipeline.hash_family)
+        with pytest.raises(ValueError):
+            pipeline.stage_slice(slice_compiled(compiled, 12)[0], epoch=1)
+
+    def test_abort_staged_restores_prior_state(self):
+        pipeline, _ = self._staged()
+        dropped = pipeline.abort_staged()
+        assert dropped > 0
+        assert pipeline.staged_rule_count == 0
+        assert pipeline.rule_count == 0
+        assert pipeline.rule_epoch == 0
+
+    def test_abort_staged_clears_retire_marks(self):
+        """An aborted make-before-break update must also unmark the old
+        version it intended to retire — it keeps serving."""
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1(threshold=1))
+        marked = pipeline.retire_query("p.q1", epoch=1)
+        assert marked > 0
+        pipeline.abort_staged()
+        # The retire mark is gone: flipping to epoch 1 anyway must leave
+        # the old version serving, with nothing awaiting GC.
+        pipeline.commit_epoch(1)
+        assert pipeline.retired_rule_count == 0
+        result = pipeline.process(syn(1, 9))
+        assert result.initiated == ["p.q1"]
+
+    def test_retired_rules_serve_until_gc(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        compiled, _ = install(pipeline, q1(threshold=1))
+        pipeline.retire_query("p.q1", epoch=1)
+        # Still at epoch 0: the retiring version keeps serving.
+        assert pipeline.process(syn(1, 9)).initiated == ["p.q1"]
+        pipeline.commit_epoch(1)
+        assert not pipeline.process(syn(2, 9)).initiated
+        # Physically resident (double occupancy) until GC reclaims it.
+        assert pipeline.rule_count == compiled.rule_count
+        assert pipeline.gc_retired() == compiled.rule_count
+        assert pipeline.rule_count == 0
+
+    def test_rollback_epoch_reactivates_old_bank(self):
+        pipeline = NewtonPipeline(num_stages=12, array_size=256)
+        install(pipeline, q1(threshold=1))
+        pipeline.retire_query("p.q1", epoch=1)
+        pipeline.commit_epoch(1)
+        assert not pipeline.process(syn(1, 9)).initiated
+        pipeline.rollback_epoch(0)
+        assert pipeline.process(syn(2, 9)).initiated == ["p.q1"]
+
+    def test_ingress_stamp_pins_the_serving_epoch(self):
+        """A downstream switch must serve the bank stamped at ingress even
+        if it has already flipped further — per-packet atomicity."""
+        from repro.dataplane.hashing import HashFamily
+
+        family = HashFamily(99)
+        ingress = NewtonPipeline(num_stages=3, array_size=256,
+                                 hash_family=family)
+        egress = NewtonPipeline(num_stages=3, array_size=256,
+                                hash_family=family)
+        compiled = compile_query(q1(threshold=1), small_params(),
+                                 hash_family=family)
+        slices = slice_compiled(compiled, 3)
+        assert len(slices) == 2
+        ingress.install_slice(slices[0])
+        egress.install_slice(slices[1])
+        # Egress flips ahead, retiring its half of the query.
+        egress.retire_query("p.q1", epoch=1)
+        egress.commit_epoch(1)
+        snapshot = SnapshotHeader()
+        result = ingress.process(syn(1, 9), snapshot)
+        assert result.initiated == ["p.q1"]
+        assert snapshot.rule_epoch == 0
+        # The stamp resolves the retired-but-resident epoch-0 bank.
+        downstream = egress.process(syn(1, 9), snapshot,
+                                    ingress_edge=False)
+        assert downstream.reports, "stamped bank must keep serving"
+
+
 class TestCrossSwitch:
     def _chain(self, n, stages, threshold=3):
         from repro.dataplane.hashing import HashFamily

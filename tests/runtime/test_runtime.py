@@ -73,6 +73,21 @@ class TestChannel:
         with pytest.raises(ValueError):
             ControlChannel(per_rule_s=-0.1)
 
+    def test_transact_rejects_unknown_operation(self):
+        """Regression: transact() used to accept any string, silently
+        fragmenting the log vocabulary (e.g. "instal" typos)."""
+        channel = ControlChannel(jitter_s=0.0)
+        with pytest.raises(ValueError, match="unknown channel operation"):
+            channel.transact("reinstall", 3)
+
+    def test_total_delay_rejects_unknown_operation_filter(self):
+        channel = ControlChannel(jitter_s=0.0)
+        channel.install_delay(3)
+        with pytest.raises(ValueError, match="unknown channel operation"):
+            channel.total_delay("instal")
+        # No filter still means "everything".
+        assert channel.total_delay() > 0
+
 
 class TestChannelLogCap:
     def test_log_is_capped_with_accounted_evictions(self):

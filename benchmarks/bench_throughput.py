@@ -1,0 +1,127 @@
+"""Execution-engine throughput benchmark: vectorized vs scalar data plane.
+
+Runs the same monitored workload — a CAIDA-like 1M-packet trace over a
+``linear(3)`` deployment with Q1 (new TCP connections) and Q4 (port
+scan) installed — through both execution engines on fresh deployments,
+asserts that stats and report streams are bit-identical, and measures
+packets per second.  The acceptance bar is a >= 10x vectorized speedup
+on the full workload; ``BENCH_throughput.json`` records the measured
+numbers.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_throughput.py``)
+or as a script::
+
+    python benchmarks/bench_throughput.py [--smoke] [--json [PATH]]
+
+``--smoke`` shrinks the workload for CI time budgets (with a softer
+speedup floor, since short runs amortise batch overheads less); ``--json``
+writes the measurements to ``BENCH_throughput.json`` (or PATH).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.throughput import ThroughputResult, measure_throughput
+
+FULL_PACKETS = 1_000_000
+SMOKE_PACKETS = 50_000
+SWITCHES = 3
+FULL_SPEEDUP_FLOOR = 10.0
+SMOKE_SPEEDUP_FLOOR = 4.0
+
+
+def run(n_packets: int) -> ThroughputResult:
+    return measure_throughput(n_packets=n_packets, switches=SWITCHES)
+
+
+def to_json(result: ThroughputResult) -> dict:
+    return {
+        "workload": {
+            "trace": "caida-like",
+            "topology": f"linear({SWITCHES})",
+            "queries": ["Q1", "Q4"],
+        },
+        "engines": {
+            run.engine: {
+                "packets": run.packets,
+                "seconds": round(run.seconds, 4),
+                "packets_per_sec": round(run.pps, 1),
+                "reports": run.reports,
+                "delivered": run.delivered,
+            }
+            for run in result.runs
+        },
+        "speedup": round(result.speedup, 2),
+        "identical": result.identical,
+    }
+
+
+def render(result: ThroughputResult) -> str:
+    lines = ["Execution-engine throughput "
+             f"(linear({SWITCHES}), Q1+Q4 installed):"]
+    for run in result.runs:
+        lines.append(
+            f"  {run.engine:>7}: {run.packets} packets in "
+            f"{run.seconds:.2f} s ({run.pps / 1e3:.0f}k pkts/s, "
+            f"{run.reports} reports)"
+        )
+    lines.append(f"  speedup: {result.speedup:.2f}x "
+                 f"(identical output: {result.identical})")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# pytest entry point                                                     #
+# --------------------------------------------------------------------- #
+
+def test_engine_throughput(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run(SMOKE_PACKETS), rounds=1, iterations=1,
+    )
+    show(render(result))
+    assert result.identical, "engines disagreed on stats or reports"
+    assert result.speedup >= SMOKE_SPEEDUP_FLOOR, (
+        f"vectorized engine only {result.speedup:.2f}x faster"
+    )
+
+
+# --------------------------------------------------------------------- #
+# script entry point (CI smoke job / BENCH_throughput.json producer)     #
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for CI time budgets")
+    parser.add_argument("--packets", type=int, default=None,
+                        help="trace size (overrides --smoke)")
+    parser.add_argument("--json", nargs="?", const="BENCH_throughput.json",
+                        default=None, metavar="PATH",
+                        help="also write measurements as JSON "
+                             "(default PATH: BENCH_throughput.json)")
+    args = parser.parse_args(argv)
+    n = args.packets or (SMOKE_PACKETS if args.smoke else FULL_PACKETS)
+    result = run(n)
+    print(render(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(to_json(result), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not result.identical:
+        print("FAIL: engines disagreed on stats or reports", file=sys.stderr)
+        return 1
+    floor = SMOKE_SPEEDUP_FLOOR if (args.smoke or args.packets) \
+        else FULL_SPEEDUP_FLOOR
+    if result.speedup < floor:
+        print(f"FAIL: vectorized engine only {result.speedup:.2f}x faster "
+              f"(need >= {floor}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

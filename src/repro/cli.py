@@ -10,7 +10,8 @@ Everything the repository can do, reachable without writing Python::
     newton-repro experiment all            # every table and figure
     newton-repro collect-stats             # collection-plane metrics run
     newton-repro txn-stats                 # control-plane transactions under faults
-    newton-repro demo                      # quickstart end-to-end run
+    newton-repro throughput                # scalar vs vectorized engine pkts/sec
+    newton-repro demo --engine vector      # quickstart end-to-end run
 
 (Equivalently ``python -m repro.cli ...``.)
 """
@@ -473,18 +474,60 @@ def cmd_txn_stats(args) -> int:
     return 0
 
 
-def cmd_demo(_args) -> int:
+def cmd_throughput(args) -> int:
+    """Time the execution engines over one seeded monitored workload."""
+    import json as json_module
+
+    from repro.experiments.throughput import measure_throughput
+
+    result = measure_throughput(
+        n_packets=args.packets, switches=args.switches, seed=args.seed,
+    )
+    if args.json:
+        print(json_module.dumps(
+            {
+                "engines": {
+                    run.engine: {
+                        "packets": run.packets,
+                        "seconds": run.seconds,
+                        "packets_per_sec": run.pps,
+                        "reports": run.reports,
+                    }
+                    for run in result.runs
+                },
+                "speedup": result.speedup,
+                "identical": result.identical,
+            },
+            indent=2,
+        ))
+        return 0 if result.identical else 1
+    rows = [
+        [run.engine, run.packets, f"{run.seconds:.2f}",
+         f"{run.pps / 1e3:.0f}k", run.reports]
+        for run in result.runs
+    ]
+    print(format_table(
+        ["engine", "packets", "seconds", "pkts/s", "reports"], rows
+    ))
+    print(f"speedup: {result.speedup:.2f}x "
+          f"(identical stats+reports: {result.identical})")
+    return 0 if result.identical else 1
+
+
+def cmd_demo(args) -> int:
     """Inline quickstart: intent -> rules -> traffic -> detections."""
     from repro import build_deployment, caida_like, ip_str, linear, syn_flood
     from repro.traffic.generators import assign_hosts
     from repro.traffic.traces import merge_traces
 
     query = build_query("Q1", evaluation_thresholds())
-    deployment = build_deployment(linear(1), array_size=1 << 13)
+    deployment = build_deployment(
+        linear(1), array_size=1 << 13, engine=args.engine
+    )
     result = deployment.controller.install_query(
         query, QueryParams(cm_depth=2, reduce_registers=2048), path=["s0"]
     )
-    print(f"installed Q1 ({result.rules_installed} rules) in "
+    print(f"installed Q1 ({result.rules_staged} rules) in "
           f"{result.delay_s * 1e3:.1f} ms")
     trace = merge_traces([
         caida_like(10_000, duration_s=0.3, seed=5),
@@ -626,8 +669,26 @@ def build_parser() -> argparse.ArgumentParser:
                             help="emit journal + metrics as JSON")
     txn_parser.set_defaults(func=cmd_txn_stats)
 
-    sub.add_parser("demo", help="end-to-end quickstart run"
-                   ).set_defaults(func=cmd_demo)
+    throughput_parser = sub.add_parser(
+        "throughput",
+        help="time the scalar vs vectorized execution engines over one "
+             "monitored workload (and check they agree bit for bit)",
+    )
+    throughput_parser.add_argument("--packets", type=int, default=200_000,
+                                   help="background-trace size")
+    throughput_parser.add_argument("--switches", type=int, default=3,
+                                   help="linear path length")
+    throughput_parser.add_argument("--seed", type=int, default=11)
+    throughput_parser.add_argument("--json", action="store_true",
+                                   help="emit measurements as JSON")
+    throughput_parser.set_defaults(func=cmd_throughput)
+
+    demo_parser = sub.add_parser("demo", help="end-to-end quickstart run")
+    demo_parser.add_argument("--engine", default="scalar",
+                             choices=("scalar", "vector"),
+                             help="packet-execution engine "
+                                  "(default: scalar)")
+    demo_parser.set_defaults(func=cmd_demo)
     return parser
 
 

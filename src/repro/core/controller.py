@@ -15,6 +15,7 @@ Two deployment modes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -51,17 +52,37 @@ class InstallResult:
 
     qid: str
     delay_s: float
-    rules_installed: int
-    #: Table entries physically deleted by the operation.  For
-    #: ``remove_query`` the legacy ``rules_installed`` field carries the
-    #: same value for one more release; new code should read this field.
+    #: Table entries physically added by the operation (installs/updates).
+    rules_staged: int = 0
+    #: Table entries physically deleted by the operation.
     rules_removed: int = 0
+    #: Which operation produced this result: install | update | remove.
+    op: str = "install"
     #: sub-qid -> number of slices the query was partitioned into.
     slices_per_sub: Dict[str, int] = field(default_factory=dict)
     #: sub-qid -> per-switch slice assignment (network mode only).
     placements: Dict[str, PlacementResult] = field(default_factory=dict)
     #: Static-verifier findings (warnings/infos; errors abort the install).
     diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def rules_installed(self) -> int:
+        """Legacy accessor from before remove/update results were split.
+
+        For install/update results it is a plain alias of
+        :attr:`rules_staged`.  On ``remove_query`` results it historically
+        carried the *removed* count; that reading is deprecated — use
+        :attr:`rules_removed`.
+        """
+        if self.op == "remove":
+            warnings.warn(
+                "InstallResult.rules_installed on a remove_query result "
+                "is deprecated; read rules_removed instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.rules_removed
+        return self.rules_staged
 
 
 @dataclass
@@ -179,7 +200,8 @@ class NewtonController:
         return InstallResult(
             qid=query.qid,
             delay_s=result.delay_s,
-            rules_installed=result.rules_staged,
+            rules_staged=result.rules_staged,
+            op="install",
             slices_per_sub={q: len(s) for q, s in slices.items()},
             placements=placements,
             diagnostics=report.diagnostics,
@@ -326,8 +348,8 @@ class NewtonController:
         return InstallResult(
             qid=qid,
             delay_s=result.delay_s + result.gc_delay_s,
-            rules_installed=result.rules_removed,  # legacy alias
             rules_removed=result.rules_removed,
+            op="remove",
         )
 
     def update_query(self, query: QueryLike,
@@ -395,8 +417,9 @@ class NewtonController:
         return InstallResult(
             qid=query.qid,
             delay_s=result.delay_s,
-            rules_installed=result.rules_staged,
+            rules_staged=result.rules_staged,
             rules_removed=result.rules_removed,
+            op="update",
             slices_per_sub={q: len(s) for q, s in slices.items()},
             placements=placements,
             diagnostics=report.diagnostics,

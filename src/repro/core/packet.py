@@ -98,6 +98,35 @@ class Packet:
         for name in GLOBAL_FIELDS.names:
             GLOBAL_FIELDS.get(name).validate(getattr(self, name))
 
+    @classmethod
+    def unchecked(cls, sip: int, dip: int, proto: int, sport: int,
+                  dport: int, tcp_flags: int, len: int, ttl: int,
+                  dns_ancount: int, ts: float,
+                  src_host: object = None,
+                  dst_host: object = None) -> "Packet":
+        """Construct without per-field validation.
+
+        For trusted sources only — the columnar trace representation and
+        the streaming generators, whose values were validated (or
+        synthesised in range) when the columns were built.  Skipping the
+        nine registry validations is what makes bulk materialisation of
+        million-packet traces tolerable.
+        """
+        pkt = cls.__new__(cls)
+        pkt.sip = sip
+        pkt.dip = dip
+        pkt.proto = proto
+        pkt.sport = sport
+        pkt.dport = dport
+        pkt.tcp_flags = tcp_flags
+        pkt.len = len
+        pkt.ttl = ttl
+        pkt.dns_ancount = dns_ancount
+        pkt.ts = ts
+        pkt.src_host = src_host
+        pkt.dst_host = dst_host
+        return pkt
+
     @property
     def five_tuple(self) -> FiveTuple:
         """(sip, dip, proto, sport, dport) — the classic flow key."""

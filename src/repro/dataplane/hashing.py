@@ -12,8 +12,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Dict, Optional
 
-__all__ = ["HashUnit", "HashFamily", "hash_bytes"]
+import numpy as np
+
+__all__ = ["HashUnit", "HashFamily", "hash_bytes", "hash_rows"]
+
+#: Entries per seed kept in a family's bulk memo cache before it is cleared;
+#: bounds memory on arbitrarily long runs while keeping steady-state traces
+#: (whose key population recurs window after window) fully memoised.
+_BULK_CACHE_LIMIT = 1 << 21
 
 
 def hash_bytes(data: bytes, seed: int) -> int:
@@ -26,6 +34,47 @@ def hash_bytes(data: bytes, seed: int) -> int:
         data, digest_size=8, key=seed.to_bytes(8, "big", signed=False)
     ).digest()
     return int.from_bytes(digest, "big")
+
+
+def hash_rows(rows: np.ndarray, seed: int,
+              cache: Optional[Dict[bytes, int]] = None) -> np.ndarray:
+    """Vectorized :func:`hash_bytes` over fixed-width key rows.
+
+    ``rows`` is a ``(n, key_width)`` uint8 matrix where each row is one
+    packed operation key.  Bit-identical to hashing each row's bytes with
+    :func:`hash_bytes`: the digest itself stays a per-key blake2b call, but
+    it runs once per *unique* key (``np.unique`` over the raw rows) and the
+    results are gathered back, which is what makes the vectorized engine's
+    hashing cost scale with distinct flows instead of packets.
+
+    ``cache`` optionally memoises ``key bytes -> hash`` across calls for
+    one seed (see :meth:`HashFamily.bulk_cache`).
+    """
+    n = rows.shape[0]
+    out = np.empty(n, dtype=np.uint64)
+    if n == 0:
+        return out
+    width = rows.shape[1]
+    if width == 0:
+        out.fill(hash_bytes(b"", seed))
+        return out
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    as_void = rows.view(np.dtype((np.void, width))).ravel()
+    uniq, inverse = np.unique(as_void, return_inverse=True)
+    digests = np.empty(len(uniq), dtype=np.uint64)
+    if cache is None:
+        for i, key in enumerate(uniq):
+            digests[i] = hash_bytes(key.tobytes(), seed)
+    else:
+        for i, key in enumerate(uniq):
+            raw = key.tobytes()
+            value = cache.get(raw)
+            if value is None:
+                value = hash_bytes(raw, seed)
+                cache[raw] = value
+            digests[i] = value
+    out[:] = digests[inverse]
+    return out
 
 
 @dataclass(frozen=True)
@@ -47,6 +96,12 @@ class HashUnit:
     def __call__(self, key: bytes) -> int:
         return hash_bytes(key, self.seed) % self.range_size
 
+    def many(self, rows: np.ndarray,
+             cache: Optional[Dict[bytes, int]] = None) -> np.ndarray:
+        """Vectorized ``__call__`` over packed key rows (int64 indices)."""
+        hashed = hash_rows(rows, self.seed, cache)
+        return (hashed % np.uint64(self.range_size)).astype(np.int64)
+
 
 class HashFamily:
     """A family of pairwise-independent-ish hash units sharing a base seed.
@@ -58,6 +113,7 @@ class HashFamily:
 
     def __init__(self, base_seed: int = 0x5EED):
         self.base_seed = base_seed
+        self._bulk_caches: Dict[int, Dict[bytes, int]] = {}
 
     def unit(self, index: int, range_size: int) -> HashUnit:
         """The ``index``-th unit of the family with the given output range."""
@@ -66,6 +122,17 @@ class HashFamily:
         # Golden-ratio stride decorrelates consecutive indices.
         seed = (self.base_seed + index * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
         return HashUnit(seed=seed, range_size=range_size)
+
+    def bulk_cache(self, seed: int) -> Dict[bytes, int]:
+        """Per-seed ``key bytes -> hash`` memo for :func:`hash_rows`.
+
+        Shared by every vectorized hash op using that seed; the contents
+        are a pure function of the seed, so sharing never changes results.
+        """
+        cache = self._bulk_caches.setdefault(seed, {})
+        if len(cache) > _BULK_CACHE_LIMIT:
+            cache.clear()
+        return cache
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, HashFamily) and other.base_seed == self.base_seed

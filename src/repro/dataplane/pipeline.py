@@ -124,6 +124,11 @@ class NewtonPipeline:
         self.epoch = 0
         #: Active rule-bank epoch (flipped by the transaction manager).
         self.rule_epoch = 0
+        #: Monotone counter bumped on every rule mutation (place, unplace,
+        #: retire mark, epoch flip, abort).  Execution engines key their
+        #: compiled rule-program caches on ``(rule_epoch, mutation_seq)``
+        #: so a stale program can never serve a packet.
+        self.mutation_seq = 0
         #: (qid, slice_index) -> resident versions, oldest first.
         self._slices: Dict[Tuple[str, int], List[_Installed]] = {}
 
@@ -219,6 +224,7 @@ class NewtonPipeline:
             )
         installed = self._place(query_slice, epoch_from=self.rule_epoch)
         self._slices.setdefault(key, []).append(installed)
+        self.mutation_seq += 1
         return installed.entry_count
 
     def stage_slice(self, query_slice: QuerySlice, epoch: int) -> int:
@@ -240,6 +246,7 @@ class NewtonPipeline:
         installed = self._place(query_slice, epoch_from=epoch)
         key = (query_slice.qid, query_slice.slice_index)
         self._slices.setdefault(key, []).append(installed)
+        self.mutation_seq += 1
         return installed.entry_count
 
     def has_staged(self, qid: str, slice_index: int, epoch: int) -> bool:
@@ -277,6 +284,8 @@ class NewtonPipeline:
                         rule, epoch, epoch_from=installed.epoch_from
                     )
                 marked += installed.entry_count
+        if marked:
+            self.mutation_seq += 1
         return marked
 
     def commit_epoch(self, epoch: int) -> bool:
@@ -287,6 +296,7 @@ class NewtonPipeline:
         if epoch <= self.rule_epoch:
             return False
         self.rule_epoch = epoch
+        self.mutation_seq += 1
         return True
 
     def rollback_epoch(self, epoch: int) -> bool:
@@ -298,6 +308,7 @@ class NewtonPipeline:
         if epoch >= self.rule_epoch:
             return False
         self.rule_epoch = epoch
+        self.mutation_seq += 1
         return True
 
     def abort_staged(self) -> int:
@@ -319,6 +330,7 @@ class NewtonPipeline:
                         and installed.epoch_until > self.rule_epoch):
                     installed.epoch_until = None
         self.newton_init.unretire(self.rule_epoch)
+        self.mutation_seq += 1
         return removed
 
     def gc_retired(self) -> int:
@@ -350,6 +362,20 @@ class NewtonPipeline:
         for installed in doomed:
             removed += self._unplace(installed)
         return removed
+
+    def version_for(self, qid: str, slice_index: int,
+                    at_epoch: Optional[int] = None) -> Optional[_Installed]:
+        """The installed version of a slice serving ``at_epoch`` (public
+        handle for execution engines compiling rule programs)."""
+        epoch = self.rule_epoch if at_epoch is None else at_epoch
+        return self._version_at(qid, slice_index, epoch)
+
+    def resident_versions(self):
+        """Iterate ``(qid, slice_index, installed)`` over every resident
+        version — active, staged, and retired-awaiting-GC alike."""
+        for (qid, slice_index), versions in self._slices.items():
+            for installed in versions:
+                yield qid, slice_index, installed
 
     def hosts_slice(self, qid: str, slice_index: int,
                     at_epoch: Optional[int] = None) -> bool:

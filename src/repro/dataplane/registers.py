@@ -129,6 +129,84 @@ class RegisterArray:
             self._cells[cell] = min(new_value, REGISTER_MAX)
         return old_value, new_value
 
+    def execute_many(self, owner: Tuple, indices: np.ndarray,
+                     op: StatefulOp,
+                     operands: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch of :meth:`execute` calls with sequential semantics.
+
+        ``indices`` are hash results in packet order; ``operands`` must be
+        non-negative (register values and packet fields always are), which
+        is what lets saturation-at-``REGISTER_MAX`` commute with the
+        grouped scans below.  Returns ``(old_values, new_values)`` per
+        call, bit-identical to executing the loop one packet at a time,
+        and stores each touched register's final value.
+        """
+        alloc = self._allocations.get(owner)
+        if alloc is None:
+            raise AllocationError(f"owner {owner!r} holds no allocation")
+        cells = alloc.offset + (indices % alloc.size)
+        return self._execute_cells(cells, op, operands)
+
+    def _execute_cells(self, cells: np.ndarray, op: StatefulOp,
+                       operands: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(cells)
+        old = np.empty(n, dtype=np.int64)
+        new = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return old, new
+        # Stable sort groups same-cell hits while preserving packet order
+        # inside each group — the order the sequential ALU would see.
+        order = np.argsort(cells, kind="stable")
+        c = cells[order]
+        v = operands[order].astype(np.int64, copy=False)
+        base = self._cells[c]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = c[1:] != c[:-1]
+        ends = np.empty(n, dtype=bool)
+        ends[:-1] = starts[1:]
+        ends[-1] = True
+        if op is StatefulOp.READ:
+            out_old = base
+            out_new = base
+        elif op is StatefulOp.ADD:
+            # Exact: with non-negative operands the sequential
+            # saturate-per-step equals the clipped prefix sum.
+            cum = np.cumsum(v)
+            excl_global = cum - v
+            start_idx = np.maximum.accumulate(
+                np.where(starts, np.arange(n), 0)
+            )
+            excl = excl_global - excl_global[start_idx]
+            out_old = np.minimum(base + excl, REGISTER_MAX)
+            out_new = np.minimum(base + excl + v, REGISTER_MAX)
+            self._cells[c[ends]] = out_new[ends]
+        elif op is StatefulOp.OR or op is StatefulOp.MAX:
+            excl = _segmented_exclusive_scan(v, c, starts, op)
+            if op is StatefulOp.OR:
+                out_old = (base | excl) & REGISTER_MAX
+                out_new = (base | excl | v) & REGISTER_MAX
+            else:
+                out_old = np.minimum(np.maximum(base, excl), REGISTER_MAX)
+                out_new = np.minimum(
+                    np.maximum(out_old, v), REGISTER_MAX
+                )
+            self._cells[c[ends]] = out_new[ends]
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unsupported stateful ALU: {op}")
+        old[order] = out_old
+        new[order] = out_new
+        return old, new
+
+    @property
+    def cells(self) -> np.ndarray:
+        """The live register file (engine-internal bulk access)."""
+        return self._cells
+
+    def dump(self) -> np.ndarray:
+        """Copy of the whole register file (for differential testing)."""
+        return self._cells.copy()
+
     def read_slice(self, owner: Tuple) -> np.ndarray:
         """Copy of ``owner``'s registers (control-plane style readout)."""
         alloc = self._allocations.get(owner)
@@ -149,3 +227,32 @@ class RegisterArray:
     def occupancy(self) -> float:
         """Fraction of registers currently leased (for resource reports)."""
         return 1.0 - self.free_registers() / self.size
+
+
+def _segmented_exclusive_scan(values: np.ndarray, groups: np.ndarray,
+                              starts: np.ndarray,
+                              op: StatefulOp) -> np.ndarray:
+    """Exclusive OR/MAX scan within contiguous equal-``groups`` runs.
+
+    The identity (0) is correct for both ops here because registers and
+    operands are non-negative.  Constant operands (the overwhelmingly
+    common ``+1`` / ``|1`` rules) short-circuit: OR and MAX are
+    idempotent, so the exclusive scan is just "identity at group starts,
+    the constant everywhere else".
+    """
+    n = len(values)
+    if n and bool(np.all(values == values[0])):
+        return np.where(starts, np.int64(0), values)
+    # Shift by one within each group, then Hillis-Steele inclusive scan.
+    # OR/MAX are idempotent, so overlapping windows are harmless.
+    shifted = np.zeros(n, dtype=np.int64)
+    same = ~starts[1:]
+    shifted[1:][same] = values[:-1][same]
+    combine = np.bitwise_or if op is StatefulOp.OR else np.maximum
+    out = shifted
+    d = 1
+    while d < n:
+        same_d = groups[d:] == groups[:-d]
+        out[d:] = np.where(same_d, combine(out[d:], out[:-d]), out[d:])
+        d *= 2
+    return out

@@ -1,0 +1,30 @@
+"""Pluggable packet-execution engines.
+
+The network simulator delegates trace execution to an
+:class:`~repro.engine.base.ExecutionEngine`:
+
+* :class:`~repro.engine.scalar.ScalarEngine` — the per-packet reference
+  path (one ``Switch.process`` call per packet per hop), bit-for-bit the
+  original simulator behaviour;
+* :class:`~repro.engine.vector.VectorizedEngine` — compiles each switch's
+  installed rules into flattened match/action tensors and runs packets in
+  columnar batches, split at window boundaries, scheduled callbacks, and
+  rule-epoch flips so windowing, the collection plane, and the 2PC
+  machinery observe identical semantics.
+
+Both engines produce identical :class:`SimulationStats`, reports, and
+register contents (enforced by ``tests/properties/
+test_engine_equivalence.py``); the vectorized engine is simply faster.
+"""
+
+from repro.engine.base import ENGINES, ExecutionEngine, get_engine
+from repro.engine.scalar import ScalarEngine
+from repro.engine.vector import VectorizedEngine
+
+__all__ = [
+    "ENGINES",
+    "ExecutionEngine",
+    "get_engine",
+    "ScalarEngine",
+    "VectorizedEngine",
+]

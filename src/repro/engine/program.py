@@ -1,0 +1,467 @@
+"""Compiled rule programs for the vectorized engine.
+
+Per switch and per ``(rule_epoch, mutation_seq)``, the installed
+slice-0 versions are flattened into tensor-friendly programs:
+
+* ``newton_init`` dispatch becomes masked equality tests over the packet
+  columns, priority order preserved as the entry index;
+* each query's module sequence becomes a list of op records holding the
+  exact objects the scalar path would touch (register arrays, storage
+  keys, hash units), so both engines mutate the *same* state;
+* R ternary matches become ``(lo, hi)`` range arrays evaluated per entry.
+
+Programs the compiler cannot express with batch semantics (multi-slice
+CQE queries, negative S constants, S executed before any H) mark the
+bundle unsupported; the engine then falls back to the scalar reference
+path for the affected batch, so coverage gaps cost speed, never
+correctness.
+
+One structural fact makes batching sound: the only divergence between
+packets inside one program is the per-packet ``stopped`` flag, and a
+stopped packet never executes another op.  Every packet still active at
+op *i* has therefore executed exactly ops ``0..i-1``, so whether a set's
+hash/state/fields exist is a *static* property of the program position —
+only their values (and the global result, which R actions set
+conditionally) need per-packet arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.fields import GLOBAL_FIELDS
+from repro.core.rules import (
+    HashMode,
+    HConfig,
+    KConfig,
+    MatchSource,
+    OperandSource,
+    RConfig,
+    Report,
+    SConfig,
+)
+from repro.dataplane.alu import REGISTER_MAX, ResultOp
+from repro.dataplane.hashing import HashUnit
+from repro.dataplane.module_types import ModuleType
+from repro.dataplane.pipeline import NewtonPipeline
+from repro.dataplane.registers import RegisterArray
+
+__all__ = [
+    "SwitchPrograms",
+    "RuleProgram",
+    "compile_switch_programs",
+    "execute_program",
+]
+
+
+# --------------------------------------------------------------------- #
+# Compiled op records                                                    #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _KOp:
+    set_id: int
+    #: (field name, mask, byte width) for every selected field, in
+    #: registry (packing) order — mirrors ``GLOBAL_FIELDS.pack``.
+    plan: Tuple[Tuple[str, int, int], ...]
+    key_width: int
+
+
+@dataclass
+class _HOp:
+    set_id: int
+    #: DIRECT mode: column to forward (None if the field is unknown,
+    #: matching ``fields.get(name, 0)``).
+    direct_field: Optional[str] = None
+    direct: bool = False
+    unit: Optional[HashUnit] = None
+    cache: Optional[Dict[bytes, int]] = None
+
+
+@dataclass
+class _SOp:
+    set_id: int
+    passthrough: bool
+    array: Optional[RegisterArray] = None
+    storage_key: Optional[Tuple] = None
+    op: object = None
+    operand_const: Optional[int] = None
+    operand_field: Optional[str] = None
+    output_old: bool = False
+
+
+@dataclass
+class _ROp:
+    set_id: int
+    source: str
+    #: (lo, hi, action) per ternary entry, priority order.
+    entries: Tuple[Tuple[int, int, object], ...]
+    default: object = None
+
+
+@dataclass
+class RuleProgram:
+    """One query's flattened module sequence on one switch."""
+
+    qid: str
+    epoch_from: int
+    ops: Tuple[object, ...]
+    #: Packet columns the ops read (K plans, H direct, S field operands).
+    fields_needed: frozenset = frozenset()
+
+
+@dataclass
+class SwitchPrograms:
+    """Everything the vector engine needs for one switch at one rule state."""
+
+    #: Valid ``newton_init`` entries at the compiled epoch, table order
+    #: (= descending priority, insertion order breaking ties); the entry
+    #: index doubles as the dispatch rank.
+    entries: Tuple[Tuple[str, Tuple[Tuple[str, int, int], ...]], ...]
+    programs: Dict[str, RuleProgram] = field(default_factory=dict)
+    supported: bool = True
+
+
+# --------------------------------------------------------------------- #
+# Compilation                                                            #
+# --------------------------------------------------------------------- #
+
+
+def compile_switch_programs(pipeline: NewtonPipeline) -> SwitchPrograms:
+    """Flatten ``pipeline``'s active bank into batch-executable programs."""
+    at_epoch = pipeline.rule_epoch
+    supported = True
+    for _qid, _idx, installed in pipeline.resident_versions():
+        if installed.query_slice.total_slices > 1:
+            # Multi-slice (CQE) queries continue on downstream hops via
+            # the SP header — out of the batch compiler's scope.
+            supported = False
+    entries = tuple(
+        (entry.rule.action, entry.rule.match)
+        for entry in pipeline.newton_init.entries()
+        if entry.valid_at(at_epoch)
+    )
+    programs: Dict[str, RuleProgram] = {}
+    for qid in dict.fromkeys(action for action, _ in entries):
+        installed = pipeline.version_for(qid, 0, at_epoch)
+        if installed is None:
+            continue
+        program = _compile_program(pipeline, qid, installed)
+        if program is None:
+            supported = False
+            continue
+        programs[qid] = program
+    return SwitchPrograms(entries=entries, programs=programs,
+                          supported=supported)
+
+
+def _compile_program(pipeline: NewtonPipeline, qid: str,
+                     installed) -> Optional[RuleProgram]:
+    ops: List[object] = []
+    needed: set = set()
+    has_hash = [False, False]
+    for local_stage, spec, storage_key in installed.placed:
+        if spec.module_type is ModuleType.KEY_SELECTION:
+            config: KConfig = spec.config
+            plan = []
+            for fld in GLOBAL_FIELDS:
+                mask = config.mask_map().get(fld.name)
+                if mask is None or mask == 0:
+                    continue
+                plan.append((fld.name, mask, fld.byte_width))
+                needed.add(fld.name)
+            ops.append(_KOp(
+                set_id=spec.set_id,
+                plan=tuple(plan),
+                key_width=sum(bw for _, _, bw in plan),
+            ))
+        elif spec.module_type is ModuleType.HASH_CALCULATION:
+            hconfig: HConfig = spec.config
+            if hconfig.mode == HashMode.DIRECT:
+                name = hconfig.direct_field or ""
+                known = name in GLOBAL_FIELDS
+                if known:
+                    needed.add(name)
+                ops.append(_HOp(set_id=spec.set_id, direct=True,
+                                direct_field=name if known else None))
+            else:
+                unit = pipeline.hash_family.unit(
+                    hconfig.seed_index, hconfig.range_size
+                )
+                ops.append(_HOp(
+                    set_id=spec.set_id, unit=unit,
+                    cache=pipeline.hash_family.bulk_cache(unit.seed),
+                ))
+            has_hash[spec.set_id] = True
+        elif spec.module_type is ModuleType.STATE_BANK:
+            sconfig: SConfig = spec.config
+            if sconfig.passthrough:
+                ops.append(_SOp(set_id=spec.set_id, passthrough=True))
+                continue
+            if not has_hash[spec.set_id]:
+                # The scalar path raises at execution time; fall back so
+                # the error surfaces identically.
+                return None
+            if (sconfig.operand_source == OperandSource.CONST
+                    and sconfig.operand_const < 0):
+                # Negative operands break the non-negativity precondition
+                # of RegisterArray.execute_many's grouped scans.
+                return None
+            module = pipeline.layout.module_at(
+                local_stage, ModuleType.STATE_BANK
+            )
+            assert module is not None
+            operand_field = None
+            operand_const: Optional[int] = None
+            if sconfig.operand_source == OperandSource.CONST:
+                operand_const = sconfig.operand_const
+            else:
+                name = sconfig.operand_field or ""
+                if name in GLOBAL_FIELDS:
+                    operand_field = name
+                    needed.add(name)
+                else:
+                    operand_const = 0  # fields.get(name, 0)
+            ops.append(_SOp(
+                set_id=spec.set_id,
+                passthrough=False,
+                array=module.array,
+                storage_key=storage_key,
+                op=sconfig.op,
+                operand_const=operand_const,
+                operand_field=operand_field,
+                output_old=sconfig.output_old,
+            ))
+        elif spec.module_type is ModuleType.RESULT_PROCESS:
+            rconfig: RConfig = spec.config
+            ops.append(_ROp(
+                set_id=spec.set_id,
+                source=rconfig.source,
+                entries=tuple(
+                    (entry.lo, entry.hi, entry.action)
+                    for entry in rconfig.entries
+                ),
+                default=rconfig.default,
+            ))
+        else:  # pragma: no cover - module set is closed
+            return None
+    return RuleProgram(
+        qid=qid,
+        epoch_from=installed.epoch_from,
+        ops=tuple(ops),
+        fields_needed=frozenset(needed),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Batch execution                                                        #
+# --------------------------------------------------------------------- #
+
+
+class _SetState:
+    """Columnar mirror of one ``MetadataSet`` across the batch."""
+
+    __slots__ = ("key", "fields", "hash", "hash_has", "state", "state_has")
+
+    def __init__(self) -> None:
+        self.key: Optional[np.ndarray] = None       # (k, width) uint8
+        self.fields: Optional[List[Tuple[str, np.ndarray]]] = None
+        self.hash: Optional[np.ndarray] = None      # int64
+        self.hash_has = False
+        self.state: Optional[np.ndarray] = None     # int64
+        self.state_has = False
+
+
+def execute_program(
+    program: RuleProgram,
+    cols: Dict[str, np.ndarray],
+    ts: np.ndarray,
+    window_epoch: int,
+    switch_id: object,
+    sink_reports: List[Tuple[int, Report]],
+) -> None:
+    """Run one compiled program over ``k`` packets (in packet order).
+
+    ``cols`` holds the packet columns (only ``program.fields_needed`` is
+    read), ``ts`` the timestamps.  Emitted reports are appended to
+    ``sink_reports`` as ``(row, report)`` in exactly the order the scalar
+    loop would emit them for each packet.
+    """
+    k = len(ts)
+    act = np.ones(k, dtype=bool)
+    global_val = np.zeros(k, dtype=np.int64)
+    global_has = np.zeros(k, dtype=bool)
+    sets = (_SetState(), _SetState())
+
+    for op in program.ops:
+        if not act.any():
+            break
+        st = sets[op.set_id]
+        if isinstance(op, _KOp):
+            st.fields = [
+                (name, cols[name] & mask) for name, mask, _bw in op.plan
+            ]
+            mat = np.empty((k, op.key_width), dtype=np.uint8)
+            offset = 0
+            for name, mask, bw in op.plan:
+                masked = cols[name] & mask
+                for j in range(bw):
+                    mat[:, offset + bw - 1 - j] = (masked >> (8 * j)) & 0xFF
+                offset += bw
+            st.key = mat
+        elif isinstance(op, _HOp):
+            # Always bind a fresh array: an S passthrough may have aliased
+            # the previous hash column as the state column, which must
+            # keep its old values (the scalar path copies by scalar).
+            if op.direct:
+                if op.direct_field is None:
+                    st.hash = np.zeros(k, dtype=np.int64)
+                else:
+                    st.hash = cols[op.direct_field].copy()
+            else:
+                idx = np.flatnonzero(act)
+                if st.key is None:
+                    rows = np.zeros((len(idx), 0), dtype=np.uint8)
+                else:
+                    rows = st.key[idx]
+                assert op.unit is not None
+                values = op.unit.many(rows, op.cache)
+                fresh = (np.zeros(k, dtype=np.int64) if st.hash is None
+                         else st.hash.copy())
+                fresh[idx] = values
+                st.hash = fresh
+            st.hash_has = True
+        elif isinstance(op, _SOp):
+            if op.passthrough:
+                st.state = st.hash
+                st.state_has = st.hash_has
+                continue
+            idx = np.flatnonzero(act)
+            assert st.hash is not None and op.array is not None
+            if op.operand_field is not None:
+                operands = cols[op.operand_field][idx]
+            else:
+                operands = np.full(len(idx), op.operand_const,
+                                   dtype=np.int64)
+            old, new = op.array.execute_many(
+                op.storage_key, st.hash[idx], op.op, operands
+            )
+            fresh = (np.zeros(k, dtype=np.int64) if st.state is None
+                     else st.state.copy())
+            fresh[idx] = old if op.output_old else new
+            st.state = fresh
+            st.state_has = True
+        else:  # _ROp
+            _execute_r(op, st, act, global_val, global_has,
+                       sets, ts, window_epoch, switch_id, program.qid,
+                       sink_reports)
+
+
+def _execute_r(
+    op: _ROp,
+    st: _SetState,
+    act: np.ndarray,
+    global_val: np.ndarray,
+    global_has: np.ndarray,
+    sets: Tuple[_SetState, _SetState],
+    ts: np.ndarray,
+    window_epoch: int,
+    switch_id: object,
+    qid: str,
+    sink_reports: List[Tuple[int, Report]],
+) -> None:
+    k = len(act)
+    if op.source == MatchSource.STATE:
+        value = st.state
+        present = act if st.state_has else np.zeros(k, dtype=bool)
+    else:
+        value = global_val
+        present = act & global_has
+    # First matching entry per packet; -1 = default action.
+    chosen = np.full(k, -1, dtype=np.int64)
+    if value is not None:
+        eligible = present
+        for j, (lo, hi, _action) in enumerate(op.entries):
+            match = eligible & (chosen == -1) & (value >= lo) & (value <= hi)
+            chosen[match] = j
+    stop_rows = np.zeros(k, dtype=bool)
+    for j in range(-1, len(op.entries)):
+        rows = act & (chosen == j)
+        if not rows.any():
+            continue
+        action = op.default if j == -1 else op.entries[j][2]
+        _fold(action.result_op, rows, st, global_val, global_has)
+        if action.report:
+            _emit_rows(rows, qid, sets, global_val, global_has,
+                       ts, window_epoch, switch_id, sink_reports)
+        if action.stop:
+            stop_rows |= rows
+    act &= ~stop_rows
+
+
+def _fold(result_op: ResultOp, rows: np.ndarray, st: _SetState,
+          global_val: np.ndarray, global_has: np.ndarray) -> None:
+    """Vectorized ``apply_result`` over ``rows`` (folds the state result)."""
+    if result_op is ResultOp.NOP or not st.state_has:
+        # apply_result returns the global unchanged when state is None —
+        # for every op, PASS included.
+        return
+    assert st.state is not None
+    state = st.state
+    if result_op is ResultOp.PASS:
+        global_val[rows] = state[rows]
+        global_has[rows] = True
+        return
+    fresh = rows & ~global_has
+    global_val[fresh] = state[fresh]
+    both = rows & global_has
+    if both.any():
+        g = global_val[both]
+        s = state[both]
+        if result_op is ResultOp.ADD:
+            out = np.minimum(g + s, REGISTER_MAX)
+        elif result_op is ResultOp.SUB:
+            out = np.maximum(g - s, 0)
+        elif result_op is ResultOp.MIN:
+            out = np.minimum(g, s)
+        elif result_op is ResultOp.MAX:
+            out = np.maximum(g, s)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unsupported result ALU: {result_op}")
+        global_val[both] = out
+    global_has[rows] = True
+
+
+def _emit_rows(rows: np.ndarray, qid: str,
+               sets: Tuple[_SetState, _SetState],
+               global_val: np.ndarray, global_has: np.ndarray,
+               ts: np.ndarray, window_epoch: int, switch_id: object,
+               sink_reports: List[Tuple[int, Report]]) -> None:
+    for i in np.flatnonzero(rows):
+        payload: Dict[str, object] = {
+            "global_result": int(global_val[i]) if global_has[i] else None
+        }
+        for sid, st in enumerate(sets):
+            payload[f"set{sid}_fields"] = (
+                {name: int(col[i]) for name, col in st.fields}
+                if st.fields is not None else {}
+            )
+            payload[f"set{sid}_hash"] = (
+                int(st.hash[i]) if st.hash_has and st.hash is not None
+                else None
+            )
+            payload[f"set{sid}_state"] = (
+                int(st.state[i]) if st.state_has and st.state is not None
+                else None
+            )
+        sink_reports.append((int(i), Report(
+            qid=qid,
+            switch_id=switch_id,
+            ts=float(ts[i]),
+            epoch=window_epoch,
+            payload=payload,
+        )))

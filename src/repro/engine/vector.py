@@ -1,0 +1,312 @@
+"""Vectorized (columnar batch) execution engine.
+
+Packets run in :class:`~repro.traffic.columnar.ColumnarTrace` batches.
+Each chunk is split into sub-batches at the points where control-plane
+effects can interleave with the data plane:
+
+* a 100 ms window boundary (register reset + collector/analyzer close),
+* a scheduled :meth:`NetworkSimulator.at` callback (which may mutate
+  rules — so a rule-epoch flip also lands on a sub-batch edge).
+
+Inside a sub-batch nothing external can happen, so the per-switch rule
+state is frozen and the compiled rule programs (:mod:`repro.engine.
+program`) run each installed query over whole packet columns at once.
+State-bank updates go through :meth:`RegisterArray.execute_many`, whose
+grouped scans are bit-identical to the sequential ALU, and hashing
+through :func:`~repro.dataplane.hashing.hash_rows`, which memoises per
+unique key — the two hot loops of the scalar path.
+
+Batches whose rule state the compiler cannot express (multi-slice CQE
+queries, negative S constants) fall back to the scalar reference engine
+packet by packet, trading speed, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataplane.hashing import hash_bytes
+from repro.engine.base import ExecutionEngine
+from repro.engine.program import (
+    SwitchPrograms,
+    compile_switch_programs,
+    execute_program,
+)
+from repro.engine.scalar import ScalarEngine
+from repro.network.routing import RoutingError
+from repro.traffic.columnar import (
+    DEFAULT_CHUNK_SIZE,
+    ColumnarTrace,
+    iter_column_chunks,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.rules import Report
+    from repro.network.simulator import NetworkSimulator, SimulationStats
+
+__all__ = ["VectorizedEngine"]
+
+#: Fields of the ECMP flow key, in ``Packet.five_tuple`` order.
+_FIVE_TUPLE = ("sip", "dip", "proto", "sport", "dport")
+
+
+class VectorizedEngine(ExecutionEngine):
+    """Columnar batched execution with scalar fallback."""
+
+    name = "vector"
+
+    def __init__(self, batch_size: int = DEFAULT_CHUNK_SIZE):
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+        self._scalar = ScalarEngine()
+        #: switch id -> ((rule_epoch, mutation_seq), compiled programs)
+        self._programs: Dict[Hashable,
+                             Tuple[Tuple[int, int], SwitchPrograms]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, sim: "NetworkSimulator", packets,
+            stats: "SimulationStats") -> "SimulationStats":
+        window_s = sim.window_s
+        for chunk in iter_column_chunks(packets, self.batch_size):
+            ts = chunk.ts
+            # Same truncation as WindowClock.epoch_of (ts >= 0 in traces;
+            # a negative ts would fail the sorted check either way).
+            epoch_col = (ts / window_s).astype(np.int64)
+            n = len(chunk)
+            pos = 0
+            while pos < n:
+                first_ts = float(ts[pos])
+                sim._fire_scheduled(first_ts)
+                sim._sync_windows(first_ts, stats)
+                sim._now = first_ts
+                end = self._split_at(sim, ts, epoch_col, pos)
+                sub = chunk.slice(pos, end)
+                if self._supported(sim):
+                    self._run_batch(sim, sub, stats)
+                    sim._now = float(ts[end - 1])
+                else:
+                    for i in range(len(sub)):
+                        self._scalar.step(sim, sub.packet_at(i), stats)
+                pos = end
+        sim._fire_scheduled(float("inf"))
+        sim._close_window(stats)
+        stats.epochs = sim._epoch + 1
+        return stats
+
+    def _split_at(self, sim: "NetworkSimulator", ts: np.ndarray,
+                  epoch_col: np.ndarray, pos: int) -> int:
+        """End (exclusive) of the homogeneous sub-batch starting at ``pos``.
+
+        Linear masks instead of ``searchsorted`` on purpose: the scalar
+        loop tolerates timestamps that are unsorted *within* a window
+        (only an epoch regression raises), and the vector engine must
+        accept exactly the same traces.
+        """
+        splits = epoch_col[pos:] != sim._epoch
+        pending = sim._next_scheduled_ts()
+        if pending is not None:
+            splits = splits | (ts[pos:] >= pending)
+        hits = np.flatnonzero(splits)
+        if len(hits) == 0:
+            return len(ts)
+        # splits[0] is always False: the window was just synced to
+        # ts[pos] and every callback at or before it already fired.
+        return pos + int(hits[0])
+
+    # ------------------------------------------------------------------ #
+    # Rule-program compilation (cached per rule state)                   #
+    # ------------------------------------------------------------------ #
+
+    def _programs_for(self, sim: "NetworkSimulator",
+                      sid: Hashable) -> SwitchPrograms:
+        pipeline = sim.switches[sid].pipeline
+        key = (pipeline.rule_epoch, pipeline.mutation_seq)
+        cached = self._programs.get(sid)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        bundle = compile_switch_programs(pipeline)
+        self._programs[sid] = (key, bundle)
+        return bundle
+
+    def _supported(self, sim: "NetworkSimulator") -> bool:
+        for sid, switch in sim.switches.items():
+            if not switch.newton_enabled:
+                continue
+            if not self._programs_for(sim, sid).supported:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Batched forwarding                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _run_batch(self, sim: "NetworkSimulator", batch: ColumnarTrace,
+                   stats: "SimulationStats") -> None:
+        n = len(batch)
+        stats.packets += n
+        len_col = batch.columns["len"]
+        ts = batch.ts
+        # Hop-by-hop forwarding per path group: reboot drops and the
+        # delivered/payload accounting only depend on the path and the
+        # timestamps, never on pipeline state (all programs here are
+        # single-slice, so downstream hops carry an empty SP header and
+        # contribute zero sp_bytes — exactly like the scalar loop).
+        ingress_rows: Dict[Hashable, List[np.ndarray]] = {}
+        for path, rows in self._path_groups(sim, batch):
+            alive = np.ones(len(rows), dtype=bool)
+            for hop, sid in enumerate(path):
+                switch = sim.switches[sid]
+                if switch.reboots:
+                    forwarding = _forwarding_mask(switch, ts[rows])
+                    blocked = alive & ~forwarding
+                    dropped = int(blocked.sum())
+                    if dropped:
+                        switch.dropped_packets += dropped
+                        stats.dropped += dropped
+                        alive &= forwarding
+                if hop == 0 and switch.newton_enabled:
+                    ingress_rows.setdefault(sid, []).append(rows[alive])
+                if hop + 1 < len(path):
+                    stats.payload_bytes += int(len_col[rows[alive]].sum())
+                if not alive.any():
+                    break
+            else:
+                stats.delivered += int(alive.sum())
+        # Ingress pipeline execution, grouped per switch: packets from
+        # different path groups can collide on the same register cells,
+        # so each switch must see its packets in global (row) order.
+        pending: List[Tuple[int, int, Hashable, "Report"]] = []
+        for sid in sorted(ingress_rows, key=str):
+            rows = np.sort(np.concatenate(ingress_rows[sid]))
+            self._run_ingress(sim, sid, batch, rows, stats, pending)
+        self._emit_reports(sim, stats, pending)
+
+    def _path_groups(self, sim: "NetworkSimulator", batch: ColumnarTrace):
+        """Yield ``(path, ascending row indices)`` per forwarding path."""
+        src = batch.src_host_ids
+        dst = batch.dst_host_ids
+        if len(batch.host_table) == 0 or int(min(src.min(), dst.min())) < 0:
+            raise RoutingError(
+                "packet carries no src/dst host; set Packet.src_host/dst_host"
+            )
+        stride = np.int64(len(batch.host_table) + 1)
+        pair = src * stride + dst
+        pair_values, pair_inverse = np.unique(pair, return_inverse=True)
+        router = sim.router
+        for gi in range(len(pair_values)):
+            rows = np.flatnonzero(pair_inverse == gi)
+            src_host = batch.host_table[int(src[rows[0]])]
+            dst_host = batch.host_table[int(dst[rows[0]])]
+            src_switch = sim.topology.attachment(src_host)
+            dst_switch = sim.topology.attachment(dst_host)
+            paths = router.switch_paths(src_switch, dst_switch)
+            if len(paths) == 1 or not router.ecmp:
+                yield paths[0], rows
+                continue
+            flows = np.stack(
+                [batch.columns[f][rows] for f in _FIVE_TUPLE], axis=1
+            )
+            uniq, inverse = np.unique(flows, axis=0, return_inverse=True)
+            choice = np.empty(len(uniq), dtype=np.int64)
+            for k, flow_row in enumerate(uniq):
+                flow = ",".join(str(int(v)) for v in flow_row).encode()
+                choice[k] = hash_bytes(flow, router.seed) % len(paths)
+            per_row = choice[inverse]
+            for pi in range(len(paths)):
+                sel = rows[per_row == pi]
+                if len(sel):
+                    yield paths[pi], sel
+
+    def _run_ingress(self, sim: "NetworkSimulator", sid: Hashable,
+                     batch: ColumnarTrace, rows: np.ndarray,
+                     stats: "SimulationStats",
+                     pending: List[Tuple[int, int, Hashable, "Report"]]) -> None:
+        if len(rows) == 0:
+            return
+        pipeline = sim.switches[sid].pipeline
+        bundle = self._programs_for(sim, sid)
+        if not bundle.entries:
+            return
+        cols = {
+            name: batch.columns[name][rows] for name in batch.columns
+        }
+        m = len(rows)
+        # Dispatch: per qid, the first (highest-priority) matching entry
+        # index — mirrors lookup_all + the ``seen`` qid dedupe.  The index
+        # is also the cross-query report ordering rank.
+        big = np.int64(len(bundle.entries))
+        ranks: Dict[str, np.ndarray] = {}
+        for position, (qid, match) in enumerate(bundle.entries):
+            matched = np.ones(m, dtype=bool)
+            for name, value, mask in match:
+                matched &= (cols[name] & mask) == (value & mask)
+            if not matched.any():
+                continue
+            entry_rank = np.where(matched, np.int64(position), big)
+            rank = ranks.get(qid)
+            if rank is None:
+                ranks[qid] = entry_rank
+            else:
+                np.minimum(rank, entry_rank, out=rank)
+        window_epoch = pipeline.epoch
+        for qid, rank in ranks.items():
+            program = bundle.programs.get(qid)
+            if program is None:
+                continue
+            sel = np.flatnonzero(rank < big)
+            if len(sel) == 0:
+                continue
+            stats.initiated_by_query[qid] += len(sel)
+            program_cols = {
+                name: cols[name][sel] for name in program.fields_needed
+            }
+            reports: List[Tuple[int, "Report"]] = []
+            execute_program(
+                program, program_cols, batch.ts[rows[sel]],
+                window_epoch, pipeline.switch_id, reports,
+            )
+            for local, report in reports:
+                pending.append((
+                    int(rows[sel[local]]), int(rank[sel[local]]),
+                    sid, report,
+                ))
+
+    def _emit_reports(self, sim: "NetworkSimulator",
+                      stats: "SimulationStats",
+                      pending: List[Tuple[int, int, Hashable, "Report"]]) -> None:
+        """Deliver reports in the order the scalar loop would have.
+
+        Sorted by (packet row, dispatch rank); the sort is stable, so
+        multiple reports of one program keep their emission order.  Per
+        packet, all analyzer sinks fire before the collector ingests —
+        same relative order as ``process()`` + the forwarding loop.
+        """
+        pending.sort(key=lambda item: (item[0], item[1]))
+        i = 0
+        total = len(pending)
+        while i < total:
+            j = i
+            row = pending[i][0]
+            while j < total and pending[j][0] == row:
+                j += 1
+            for _row, _rank, sid, report in pending[i:j]:
+                sink = sim.switches[sid].pipeline.report_sink
+                if sink is not None:
+                    sink(report)
+                stats.reports_by_switch[sid] += 1
+            if sim.collector is not None:
+                for _row, _rank, _sid, report in pending[i:j]:
+                    sim.collector.ingest(report)
+            i = j
+
+
+def _forwarding_mask(switch, ts: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`Switch.is_forwarding` over a timestamp column."""
+    mask = np.ones(len(ts), dtype=bool)
+    for record in switch.reboots:
+        mask &= ~((ts >= record.start) & (ts < record.end))
+    return mask

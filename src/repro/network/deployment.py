@@ -56,6 +56,7 @@ def build_deployment(
     newton_switches=None,
     collector_config: Optional[CollectorConfig] = None,
     txn_config: Optional[TxnConfig] = None,
+    engine: str = "scalar",
 ) -> Deployment:
     """Instantiate Newton switches on every topology node and wire them up.
 
@@ -74,6 +75,9 @@ def build_deployment(
     ``channel`` may be a :class:`~repro.ctrlplane.FaultyControlChannel`
     to exercise the transactional control plane under seeded faults;
     ``txn_config`` tunes its retry/backoff policy.
+
+    ``engine`` selects the packet-execution engine (``"scalar"`` or
+    ``"vector"``; see :mod:`repro.engine`).
     """
     family = HashFamily(hash_seed)
     clock = WindowClock(window_ms=window_ms)
@@ -113,6 +117,7 @@ def build_deployment(
         window_ms=window_ms,
         collector=collector,
         clock=clock,
+        engine=engine,
     )
     return Deployment(
         topology=topology,

@@ -6,6 +6,12 @@ its forwarding path, carrying the result snapshot header between switches
 is stripped: completed queries have already reported; incomplete ones are
 deferred to the software analyzer (§5.2).
 
+Packet execution itself is delegated to a pluggable
+:class:`~repro.engine.base.ExecutionEngine` (``engine="scalar"`` for the
+per-packet reference path, ``"vector"`` for the columnar batched one);
+the simulator keeps ownership of scheduling, window synchronisation, and
+component wiring, so both engines observe identical semantics.
+
 The simulator also owns window synchronisation: when a packet's timestamp
 crosses a 100 ms boundary, the shared :class:`~repro.runtime.clock.
 WindowClock` fires (closing the collector's and the analyzer's window —
@@ -31,14 +37,15 @@ from typing import (
     List,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.core.analyzer import Analyzer
 from repro.core.controller import NewtonController
 from repro.core.packet import Packet
 from repro.dataplane.switch import Switch
+from repro.engine.base import ExecutionEngine, get_engine
 from repro.network.routing import Router
-from repro.network.snapshot import SnapshotHeader
 from repro.network.topology import Topology
 from repro.runtime.clock import WindowClock
 
@@ -112,6 +119,7 @@ class NetworkSimulator:
         window_ms: int = 100,
         collector: Optional["ReportCollector"] = None,
         clock: Optional[WindowClock] = None,
+        engine: Union[str, ExecutionEngine, None] = "scalar",
     ):
         missing = [s for s in topology.switches() if s not in switches]
         if missing:
@@ -131,7 +139,12 @@ class NetworkSimulator:
         if analyzer is not None:
             self.clock.subscribe(analyzer.advance_window)
         self.window_s = self.clock.window_s
+        self.engine = get_engine(engine)
         self._epoch = 0
+        #: Current trace time: the timestamp of the last packet handed to
+        #: the engine (``-inf`` before the first).  Guards :meth:`at`
+        #: against scheduling into the past.
+        self._now = float("-inf")
         #: Control-plane callbacks scheduled against trace time, fired
         #: just before the first packet at or past their timestamp — how
         #: experiments inject rule operations mid-trace.
@@ -146,7 +159,18 @@ class NetworkSimulator:
         Callbacks fire in timestamp order (insertion order breaks ties)
         between packets during :meth:`run` — e.g. a controller
         ``update_query`` mid-trace to measure monitoring gaps.
+
+        Scheduling before the current trace time is rejected: the moment
+        has already been executed, so the callback could only fire late —
+        silently, and at a batch-dependent point under the vectorized
+        engine.  (Re-scheduling from inside a callback at the callback's
+        own timestamp remains valid.)
         """
+        if ts < self._now:
+            raise ValueError(
+                f"cannot schedule a callback at trace time {ts}: the "
+                f"trace has already advanced to {self._now}"
+            )
         heapq.heappush(
             self._scheduled, (ts, self._schedule_seq, callback)
         )
@@ -157,64 +181,20 @@ class NetworkSimulator:
             _, _, callback = heapq.heappop(self._scheduled)
             callback()
 
-    def run(self, packets: Iterable[Packet]) -> SimulationStats:
-        """Forward a time-ordered packet stream; returns aggregate stats."""
-        stats = SimulationStats()
-        for packet in packets:
-            self._fire_scheduled(packet.ts)
-            self._sync_windows(packet.ts, stats)
-            stats.packets += 1
-            path = self.router.path_for(packet)
-            self._forward(packet, path, stats)
-        self._fire_scheduled(float("inf"))
-        self._close_window(stats)
-        stats.epochs = self._epoch + 1
-        return stats
+    def _next_scheduled_ts(self) -> Optional[float]:
+        """Timestamp of the earliest pending callback (engines split
+        batches here so callbacks fire between packets, never within)."""
+        return self._scheduled[0][0] if self._scheduled else None
 
-    def _forward(self, packet: Packet, path, stats: SimulationStats) -> None:
-        snapshot = SnapshotHeader()
-        seen_epochs: Dict[str, int] = {}
-        mixed = False
-        for hop, sid in enumerate(path):
-            switch = self.switches[sid]
-            result = switch.process(packet, snapshot, ingress_edge=hop == 0)
-            if result is None:
-                stats.dropped += 1
-                return
-            for qid, rule_epoch in result.rule_epochs.items():
-                if seen_epochs.setdefault(qid, rule_epoch) != rule_epoch:
-                    mixed = True
-            for qid in result.initiated:
-                stats.initiated_by_query[qid] += 1
-            if result.reports:
-                stats.reports_by_switch[sid] += len(result.reports)
-                if self.collector is not None:
-                    for report in result.reports:
-                        self.collector.ingest(report)
-            if hop + 1 < len(path):
-                # The SP header rides the next link (bandwidth accounting).
-                stats.sp_bytes += snapshot.wire_bytes
-                stats.payload_bytes += packet.len
-        if mixed:
-            stats.mixed_rule_epoch_packets += 1
-        stats.delivered += 1
-        # Egress (newton_fin): strip the header; defer unfinished queries.
-        for qid, entry in snapshot.items():
-            snapshot.pop(qid)
-            if entry.ctx.stopped or entry.complete:
-                continue
-            if self.analyzer is not None and self.controller is not None:
-                try:
-                    start = self.controller.cpu_start_for(qid, entry.cursor)
-                except KeyError:
-                    # The query was removed mid-window while this entry
-                    # was still in flight: drop it, never crash the run.
-                    stats.stale_deferred += 1
-                    continue
-                stats.deferred += 1
-                self.analyzer.defer(qid, packet, start)
-            else:
-                stats.deferred += 1
+    def run(self, packets: Iterable[Packet]) -> SimulationStats:
+        """Forward a time-ordered packet stream; returns aggregate stats.
+
+        ``packets`` may be a plain iterable of packets, a ``Trace``, or a
+        :class:`~repro.traffic.columnar.ColumnarTrace`; the configured
+        execution engine consumes whichever representation suits it.
+        """
+        stats = SimulationStats()
+        return self.engine.run(self, packets, stats)
 
     # ------------------------------------------------------------------ #
     # Window synchronisation                                              #

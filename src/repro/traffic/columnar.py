@@ -1,0 +1,212 @@
+"""Columnar (struct-of-arrays) trace representation.
+
+The per-packet simulator pays Python-object costs on every header field of
+every packet.  :class:`ColumnarTrace` stores one numpy array per global
+field instead — the layout the vectorized execution engine consumes
+directly — while staying losslessly convertible to and from ``Packet``
+lists, so both engines can run the same trace.
+
+Hosts (arbitrary hashable edge identifiers) are interned into a small
+``host_table`` and referenced by integer id; ``-1`` means "no host", the
+columnar equivalent of ``Packet.src_host is None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.fields import GLOBAL_FIELDS
+from repro.core.packet import Packet
+from repro.traffic.traces import Trace
+
+__all__ = ["ColumnarTrace", "iter_column_chunks", "DEFAULT_CHUNK_SIZE"]
+
+#: Packets per chunk when batching a stream; large enough to amortise
+#: per-batch numpy overheads, small enough to stay cache- and RAM-friendly.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+_FIELD_NAMES: Tuple[str, ...] = GLOBAL_FIELDS.names
+
+#: Packet sources accepted wherever a trace is expected.
+PacketSource = Union["ColumnarTrace", Trace, Iterable[Packet]]
+
+
+class ColumnarTrace:
+    """A packet trace as one int64 column per global field.
+
+    ``columns`` maps every global-field name to an int64 array; ``ts`` is
+    float64.  Slicing returns views (no copies), which is how the
+    vectorized engine splits batches at window boundaries for free.
+    """
+
+    __slots__ = ("columns", "ts", "src_host_ids", "dst_host_ids",
+                 "host_table", "name")
+
+    def __init__(
+        self,
+        columns: Dict[str, np.ndarray],
+        ts: np.ndarray,
+        src_host_ids: Optional[np.ndarray] = None,
+        dst_host_ids: Optional[np.ndarray] = None,
+        host_table: Tuple[object, ...] = (),
+        name: str = "columnar",
+    ):
+        n = len(ts)
+        missing = [f for f in _FIELD_NAMES if f not in columns]
+        if missing:
+            raise ValueError(f"columnar trace missing columns: {missing}")
+        for fname in _FIELD_NAMES:
+            if len(columns[fname]) != n:
+                raise ValueError(
+                    f"column {fname!r} has {len(columns[fname])} rows, "
+                    f"expected {n}"
+                )
+        self.columns = columns
+        self.ts = ts
+        if src_host_ids is None:
+            src_host_ids = np.full(n, -1, dtype=np.int64)
+        if dst_host_ids is None:
+            dst_host_ids = np.full(n, -1, dtype=np.int64)
+        self.src_host_ids = src_host_ids
+        self.dst_host_ids = dst_host_ids
+        self.host_table = tuple(host_table)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_packets(cls, packets: Iterable[Packet],
+                     name: str = "columnar") -> "ColumnarTrace":
+        """Convert a packet sequence (host objects are interned)."""
+        pkts = packets if isinstance(packets, list) else list(packets)
+        n = len(pkts)
+        columns = {
+            fname: np.empty(n, dtype=np.int64) for fname in _FIELD_NAMES
+        }
+        ts = np.empty(n, dtype=np.float64)
+        src_ids = np.empty(n, dtype=np.int64)
+        dst_ids = np.empty(n, dtype=np.int64)
+        hosts: List[object] = []
+        host_ids: Dict[object, int] = {}
+
+        def intern(host: object) -> int:
+            if host is None:
+                return -1
+            hid = host_ids.get(host)
+            if hid is None:
+                hid = len(hosts)
+                host_ids[host] = hid
+                hosts.append(host)
+            return hid
+
+        views = [columns[fname] for fname in _FIELD_NAMES]
+        for i, pkt in enumerate(pkts):
+            for col, fname in zip(views, _FIELD_NAMES):
+                col[i] = getattr(pkt, fname)
+            ts[i] = pkt.ts
+            src_ids[i] = intern(pkt.src_host)
+            dst_ids[i] = intern(pkt.dst_host)
+        return cls(columns, ts, src_ids, dst_ids, tuple(hosts), name=name)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+        return cls.from_packets(trace.packets, name=trace.name)
+
+    # ------------------------------------------------------------------ #
+    # Access                                                             #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def slice(self, start: int, stop: int) -> "ColumnarTrace":
+        """Zero-copy sub-range (shares the host table and column memory)."""
+        return ColumnarTrace(
+            {f: col[start:stop] for f, col in self.columns.items()},
+            self.ts[start:stop],
+            self.src_host_ids[start:stop],
+            self.dst_host_ids[start:stop],
+            self.host_table,
+            name=self.name,
+        )
+
+    def host_at(self, hid: int) -> object:
+        return None if hid < 0 else self.host_table[hid]
+
+    def packet_at(self, i: int) -> Packet:
+        """Materialise one row as a :class:`Packet`."""
+        cols = self.columns
+        return Packet.unchecked(
+            sip=int(cols["sip"][i]),
+            dip=int(cols["dip"][i]),
+            proto=int(cols["proto"][i]),
+            sport=int(cols["sport"][i]),
+            dport=int(cols["dport"][i]),
+            tcp_flags=int(cols["tcp_flags"][i]),
+            len=int(cols["len"][i]),
+            ttl=int(cols["ttl"][i]),
+            dns_ancount=int(cols["dns_ancount"][i]),
+            ts=float(self.ts[i]),
+            src_host=self.host_at(int(self.src_host_ids[i])),
+            dst_host=self.host_at(int(self.dst_host_ids[i])),
+        )
+
+    def iter_packets(self) -> Iterator[Packet]:
+        for i in range(len(self)):
+            yield self.packet_at(i)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return self.iter_packets()
+
+    def to_packets(self) -> List[Packet]:
+        return list(self.iter_packets())
+
+    def to_trace(self) -> Trace:
+        return Trace(self.to_packets(), name=self.name)
+
+    def with_hosts(self, src_host: object,
+                   dst_host: object) -> "ColumnarTrace":
+        """Copy with every packet pinned to one (src, dst) host pair."""
+        n = len(self)
+        return ColumnarTrace(
+            self.columns,
+            self.ts,
+            np.zeros(n, dtype=np.int64),
+            np.ones(n, dtype=np.int64),
+            (src_host, dst_host),
+            name=f"{self.name}@hosts",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnarTrace {self.name} packets={len(self)}>"
+
+
+def iter_column_chunks(
+    source: PacketSource,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[ColumnarTrace]:
+    """Batch any packet source into :class:`ColumnarTrace` chunks.
+
+    Accepts an existing columnar trace (sliced into views), a
+    :class:`Trace`, or any packet iterable (converted chunk by chunk so
+    lazily generated streams stay flat in memory).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if isinstance(source, ColumnarTrace):
+        for start in range(0, len(source), chunk_size):
+            yield source.slice(start, min(start + chunk_size, len(source)))
+        return
+    packets = source.packets if isinstance(source, Trace) else source
+    buffer: List[Packet] = []
+    for packet in packets:
+        buffer.append(packet)
+        if len(buffer) >= chunk_size:
+            yield ColumnarTrace.from_packets(buffer)
+            buffer = []
+    if buffer:
+        yield ColumnarTrace.from_packets(buffer)

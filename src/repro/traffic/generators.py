@@ -7,30 +7,58 @@ realistic protocol/port mixes, and injectable anomalies matching each of
 the nine queries — with explicit seeds so every experiment is
 reproducible.
 
+Each generator family comes in two shapes:
+
+* the classic list-returning function (``background_traffic``,
+  ``syn_flood``, ...), which builds a :class:`Trace` — kept for every
+  existing call site, bit-identical to the historical output;
+* a lazy ``*_stream`` variant yielding :class:`Packet` objects in
+  timestamp order.  Attack streams draw their per-packet randomness at
+  yield time, so memory stays O(1) in trace length; the background mix is
+  synthesised as numpy columns first (:func:`background_columnar`, the
+  form the vectorized execution engine consumes directly) and packets are
+  materialised one at a time from the columns.
+
 Address plan: benign clients live in 10.1.0.0/16, servers in 10.2.0.0/16,
 attackers in 172.16.0.0/16, scan victims in 10.3.0.0/16.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.packet import Packet, Proto, TcpFlags, ip
+from repro.traffic.columnar import ColumnarTrace
 from repro.traffic.traces import Trace
 
 __all__ = [
     "caida_like",
+    "caida_like_columnar",
+    "caida_like_stream",
     "mawi_like",
+    "mawi_like_columnar",
+    "mawi_like_stream",
     "background_traffic",
+    "background_columnar",
+    "background_stream",
     "syn_flood",
+    "syn_flood_stream",
     "port_scan",
+    "port_scan_stream",
     "udp_flood",
+    "udp_flood_stream",
     "ssh_brute_force",
+    "ssh_brute_force_stream",
     "slowloris",
+    "slowloris_stream",
     "superspreader",
+    "superspreader_stream",
     "dns_orphan_responses",
+    "dns_orphan_responses_stream",
+    "syn_scan_noise",
+    "syn_scan_noise_stream",
     "assign_hosts",
 ]
 
@@ -44,6 +72,9 @@ _SERVICE_PORTS = np.array([80, 443, 22, 25, 53, 123, 8080, 3306, 6881, 179])
 _SERVICE_WEIGHTS = np.array([0.30, 0.34, 0.02, 0.03, 0.08, 0.02, 0.08,
                              0.03, 0.06, 0.04])
 
+_COLUMN_NAMES = ("sip", "dip", "proto", "sport", "dport", "tcp_flags",
+                 "len", "ttl", "dns_ancount")
+
 
 def _spread(rng: np.random.Generator, n: int, duration_s: float,
             start_s: float) -> np.ndarray:
@@ -53,7 +84,7 @@ def _spread(rng: np.random.Generator, n: int, duration_s: float,
     return times
 
 
-def background_traffic(
+def background_columnar(
     n_packets: int,
     duration_s: float = 1.0,
     seed: int = 1,
@@ -64,8 +95,15 @@ def background_traffic(
     dns_fraction: float = 0.05,
     start_s: float = 0.0,
     name: str = "background",
-) -> Trace:
-    """Heavy-tailed benign mix: Zipf flow sizes over client/server pairs."""
+) -> ColumnarTrace:
+    """The benign mix of :func:`background_traffic`, as columns.
+
+    Consumes the seeded random stream in exactly the order the historical
+    packet-list builder did (flow population first, then per flow: arrival
+    times, packet lengths, the DNS answer count), so after the stable
+    timestamp sort the rows are bit-identical to ``background_traffic``
+    with the same arguments — only the representation differs.
+    """
     if n_packets <= 0:
         raise ValueError("n_packets must be positive")
     rng = np.random.default_rng(seed)
@@ -99,7 +137,11 @@ def background_traffic(
     is_udp = rng.random(n_flows) < udp_fraction
     is_dns = rng.random(n_flows) < dns_fraction
 
-    packets: List[Packet] = []
+    syn = int(TcpFlags.SYN)
+    ack = int(TcpFlags.ACK)
+    finack = int(TcpFlags.FIN) | int(TcpFlags.ACK)
+    parts: Dict[str, List[np.ndarray]] = {f: [] for f in _COLUMN_NAMES}
+    ts_parts: List[np.ndarray] = []
     for f in range(n_flows):
         count = sizes[f]
         times = _spread(rng, count, duration_s, start_s)
@@ -112,38 +154,114 @@ def background_traffic(
         sip, dip, sport = int(clients[f]), int(servers[f]), int(sports[f])
         lengths = rng.choice((64, 120, 576, 1500), size=count,
                              p=(0.35, 0.15, 0.15, 0.35))
-        for i in range(count):
-            flags = 0
-            if proto == Proto.TCP:
-                if i == 0:
-                    flags = int(TcpFlags.SYN)
-                elif i == count - 1 and count > 2:
-                    flags = int(TcpFlags.FIN) | int(TcpFlags.ACK)
-                else:
-                    flags = int(TcpFlags.ACK)
-            packets.append(
-                Packet(
-                    sip=sip, dip=dip, proto=proto, sport=sport, dport=dport,
-                    tcp_flags=flags,
-                    len=int(lengths[i]) if i else 64,
-                    ts=float(times[i]),
-                    dns_ancount=0,
-                )
-            )
         # TCP handshakes answer with a SYN-ACK; DNS queries get answers.
-        if proto == Proto.TCP and count >= 2:
-            packets.append(
-                Packet(sip=dip, dip=sip, proto=proto, sport=dport,
-                       dport=sport, tcp_flags=int(TcpFlags.SYNACK), len=64,
-                       ts=float(times[0]) + 1e-4)
-            )
-        if dport == 53 and proto == Proto.UDP:
-            packets.append(
-                Packet(sip=dip, dip=sip, proto=proto, sport=53, dport=sport,
-                       len=220, ts=float(times[0]) + 5e-4,
-                       dns_ancount=int(rng.integers(1, 4)))
-            )
-    return Trace(packets, name=name)
+        tcp_reply = proto == Proto.TCP and count >= 2
+        dns_reply = dport == 53 and proto == Proto.UDP
+        m = count + int(tcp_reply) + int(dns_reply)
+        cols = {cname: np.empty(m, dtype=np.int64)
+                for cname in _COLUMN_NAMES}
+        ts = np.empty(m, dtype=np.float64)
+        cols["sip"][:] = sip
+        cols["dip"][:] = dip
+        cols["proto"][:] = proto
+        cols["sport"][:] = sport
+        cols["dport"][:] = dport
+        cols["ttl"][:] = 64
+        cols["dns_ancount"][:] = 0
+        flags = cols["tcp_flags"]
+        flags[:] = 0
+        if proto == Proto.TCP:
+            flags[:count] = ack
+            flags[0] = syn
+            if count > 2:
+                flags[count - 1] = finack
+        lens = cols["len"]
+        lens[:] = 64  # first packet of every flow is a 64-byte opener
+        if count > 1:
+            lens[1:count] = lengths[1:]
+        ts[:count] = times
+        r = count
+        if tcp_reply:
+            cols["sip"][r] = dip
+            cols["dip"][r] = sip
+            cols["sport"][r] = dport
+            cols["dport"][r] = sport
+            cols["tcp_flags"][r] = int(TcpFlags.SYNACK)
+            cols["len"][r] = 64
+            ts[r] = float(times[0]) + 1e-4
+            r += 1
+        if dns_reply:
+            cols["sip"][r] = dip
+            cols["dip"][r] = sip
+            cols["sport"][r] = 53
+            cols["dport"][r] = sport
+            cols["len"][r] = 220
+            cols["dns_ancount"][r] = int(rng.integers(1, 4))
+            ts[r] = float(times[0]) + 5e-4
+            r += 1
+        for cname in _COLUMN_NAMES:
+            parts[cname].append(cols[cname])
+        ts_parts.append(ts)
+
+    all_ts = np.concatenate(ts_parts)
+    # Stable, like Trace's timestamp sort: flow-append order breaks ties.
+    order = np.argsort(all_ts, kind="stable")
+    columns = {
+        cname: np.concatenate(parts[cname])[order]
+        for cname in _COLUMN_NAMES
+    }
+    return ColumnarTrace(columns, all_ts[order], name=name)
+
+
+def background_stream(
+    n_packets: int,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    n_clients: int = 2000,
+    n_servers: int = 200,
+    zipf_a: float = 1.25,
+    udp_fraction: float = 0.15,
+    dns_fraction: float = 0.05,
+    start_s: float = 0.0,
+    name: str = "background",
+) -> Iterator[Packet]:
+    """Lazily yield the benign background mix in timestamp order.
+
+    The flow schedule is synthesised up front as numpy columns (a few
+    dozen bytes per packet); :class:`Packet` objects — the expensive
+    part — are materialised one at a time as the stream is consumed.
+    """
+    return background_columnar(
+        n_packets, duration_s=duration_s, seed=seed, n_clients=n_clients,
+        n_servers=n_servers, zipf_a=zipf_a, udp_fraction=udp_fraction,
+        dns_fraction=dns_fraction, start_s=start_s, name=name,
+    ).iter_packets()
+
+
+def background_traffic(
+    n_packets: int,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    n_clients: int = 2000,
+    n_servers: int = 200,
+    zipf_a: float = 1.25,
+    udp_fraction: float = 0.15,
+    dns_fraction: float = 0.05,
+    start_s: float = 0.0,
+    name: str = "background",
+) -> Trace:
+    """Heavy-tailed benign mix: Zipf flow sizes over client/server pairs."""
+    return background_columnar(
+        n_packets, duration_s=duration_s, seed=seed, n_clients=n_clients,
+        n_servers=n_servers, zipf_a=zipf_a, udp_fraction=udp_fraction,
+        dns_fraction=dns_fraction, start_s=start_s, name=name,
+    ).to_trace()
+
+
+_CAIDA_PROFILE = dict(n_clients=4000, n_servers=400, zipf_a=1.2,
+                      udp_fraction=0.12, dns_fraction=0.04)
+_MAWI_PROFILE = dict(n_clients=2500, n_servers=250, zipf_a=1.45,
+                     udp_fraction=0.35, dns_fraction=0.12)
 
 
 def caida_like(n_packets: int = 50_000, duration_s: float = 1.0,
@@ -151,8 +269,27 @@ def caida_like(n_packets: int = 50_000, duration_s: float = 1.0,
     """Backbone-style mix: TCP-heavy, strong heavy hitters."""
     return background_traffic(
         n_packets=n_packets, duration_s=duration_s, seed=seed,
-        n_clients=4000, n_servers=400, zipf_a=1.2, udp_fraction=0.12,
-        dns_fraction=0.04, start_s=start_s, name="caida-like",
+        start_s=start_s, name="caida-like", **_CAIDA_PROFILE,
+    )
+
+
+def caida_like_stream(n_packets: int = 50_000, duration_s: float = 1.0,
+                      seed: int = 11,
+                      start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`caida_like`."""
+    return background_stream(
+        n_packets=n_packets, duration_s=duration_s, seed=seed,
+        start_s=start_s, name="caida-like", **_CAIDA_PROFILE,
+    )
+
+
+def caida_like_columnar(n_packets: int = 50_000, duration_s: float = 1.0,
+                        seed: int = 11,
+                        start_s: float = 0.0) -> ColumnarTrace:
+    """:func:`caida_like` as a columnar trace (vector-engine input)."""
+    return background_columnar(
+        n_packets=n_packets, duration_s=duration_s, seed=seed,
+        start_s=start_s, name="caida-like", **_CAIDA_PROFILE,
     )
 
 
@@ -161,87 +298,161 @@ def mawi_like(n_packets: int = 50_000, duration_s: float = 1.0,
     """Trans-Pacific-style mix: more UDP and DNS, flatter flow sizes."""
     return background_traffic(
         n_packets=n_packets, duration_s=duration_s, seed=seed,
-        n_clients=2500, n_servers=250, zipf_a=1.45, udp_fraction=0.35,
-        dns_fraction=0.12, start_s=start_s, name="mawi-like",
+        start_s=start_s, name="mawi-like", **_MAWI_PROFILE,
+    )
+
+
+def mawi_like_stream(n_packets: int = 50_000, duration_s: float = 1.0,
+                     seed: int = 13,
+                     start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`mawi_like`."""
+    return background_stream(
+        n_packets=n_packets, duration_s=duration_s, seed=seed,
+        start_s=start_s, name="mawi-like", **_MAWI_PROFILE,
+    )
+
+
+def mawi_like_columnar(n_packets: int = 50_000, duration_s: float = 1.0,
+                       seed: int = 13,
+                       start_s: float = 0.0) -> ColumnarTrace:
+    """:func:`mawi_like` as a columnar trace (vector-engine input)."""
+    return background_columnar(
+        n_packets=n_packets, duration_s=duration_s, seed=seed,
+        start_s=start_s, name="mawi-like", **_MAWI_PROFILE,
     )
 
 
 # --------------------------------------------------------------------------- #
 # Attack generators (one per detection query)                                 #
 # --------------------------------------------------------------------------- #
+#
+# The streams draw per-packet randomness (ephemeral ports, DNS answer
+# counts) at yield time, in the same order the historical list builders
+# did — so collecting a stream reproduces the list bit for bit, while an
+# uncollected stream holds no packet storage at all.
+
+
+def syn_flood_stream(victim_index: int = 1, n_sources: int = 120,
+                     n_packets: int = 3000, duration_s: float = 1.0,
+                     seed: int = 21,
+                     start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`syn_flood`."""
+    rng = np.random.default_rng(seed)
+    victim = _VICTIM_BASE + victim_index
+    times = _spread(rng, n_packets, duration_s, start_s)
+    sources = _ATTACKER_BASE + rng.integers(0, n_sources, size=n_packets)
+    for i in range(n_packets):
+        yield Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.TCP),
+                     sport=int(rng.integers(1024, 65535)), dport=80,
+                     tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
 
 
 def syn_flood(victim_index: int = 1, n_sources: int = 120,
               n_packets: int = 3000, duration_s: float = 1.0,
               seed: int = 21, start_s: float = 0.0) -> Trace:
     """Q1/Q6: many half-open SYNs towards one victim, few ACKs back."""
+    return Trace(list(syn_flood_stream(
+        victim_index, n_sources, n_packets, duration_s, seed, start_s,
+    )), name="syn-flood", assume_sorted=True)
+
+
+def port_scan_stream(scanner_index: int = 1, victim_index: int = 7,
+                     n_ports: int = 400, duration_s: float = 1.0,
+                     seed: int = 23,
+                     start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`port_scan`."""
     rng = np.random.default_rng(seed)
+    scanner = _ATTACKER_BASE + 0x1000 + scanner_index
     victim = _VICTIM_BASE + victim_index
-    times = _spread(rng, n_packets, duration_s, start_s)
-    sources = _ATTACKER_BASE + rng.integers(0, n_sources, size=n_packets)
-    packets = [
-        Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.TCP),
-               sport=int(rng.integers(1024, 65535)), dport=80,
-               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
-        for i in range(n_packets)
-    ]
-    return Trace(packets, name="syn-flood")
+    times = _spread(rng, n_ports, duration_s, start_s)
+    ports = rng.permutation(np.arange(1, 1 + max(n_ports, 1)))[:n_ports]
+    for i in range(n_ports):
+        yield Packet(sip=scanner, dip=victim, proto=int(Proto.TCP),
+                     sport=int(rng.integers(1024, 65535)),
+                     dport=int(ports[i]),
+                     tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
 
 
 def port_scan(scanner_index: int = 1, victim_index: int = 7,
               n_ports: int = 400, duration_s: float = 1.0,
               seed: int = 23, start_s: float = 0.0) -> Trace:
     """Q4: one source probing many destination ports."""
+    return Trace(list(port_scan_stream(
+        scanner_index, victim_index, n_ports, duration_s, seed, start_s,
+    )), name="port-scan", assume_sorted=True)
+
+
+def udp_flood_stream(victim_index: int = 3, n_sources: int = 300,
+                     n_packets: int = 3000, duration_s: float = 1.0,
+                     seed: int = 29,
+                     start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`udp_flood`."""
     rng = np.random.default_rng(seed)
-    scanner = _ATTACKER_BASE + 0x1000 + scanner_index
     victim = _VICTIM_BASE + victim_index
-    times = _spread(rng, n_ports, duration_s, start_s)
-    ports = rng.permutation(np.arange(1, 1 + max(n_ports, 1)))[:n_ports]
-    packets = [
-        Packet(sip=scanner, dip=victim, proto=int(Proto.TCP),
-               sport=int(rng.integers(1024, 65535)), dport=int(ports[i]),
-               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
-        for i in range(n_ports)
-    ]
-    return Trace(packets, name="port-scan")
+    times = _spread(rng, n_packets, duration_s, start_s)
+    sources = _ATTACKER_BASE + 0x2000 + rng.integers(0, n_sources,
+                                                     size=n_packets)
+    for i in range(n_packets):
+        yield Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.UDP),
+                     sport=int(rng.integers(1024, 65535)), dport=53,
+                     len=512, ts=float(times[i]))
 
 
 def udp_flood(victim_index: int = 3, n_sources: int = 300,
               n_packets: int = 3000, duration_s: float = 1.0,
               seed: int = 29, start_s: float = 0.0) -> Trace:
     """Q5: UDP DDoS — many sources hammering one destination."""
+    return Trace(list(udp_flood_stream(
+        victim_index, n_sources, n_packets, duration_s, seed, start_s,
+    )), name="udp-flood", assume_sorted=True)
+
+
+def ssh_brute_force_stream(victim_index: int = 5, n_attempts: int = 300,
+                           n_sources: int = 60, duration_s: float = 1.0,
+                           seed: int = 31,
+                           start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`ssh_brute_force`."""
     rng = np.random.default_rng(seed)
     victim = _VICTIM_BASE + victim_index
-    times = _spread(rng, n_packets, duration_s, start_s)
-    sources = _ATTACKER_BASE + 0x2000 + rng.integers(0, n_sources,
-                                                     size=n_packets)
-    packets = [
-        Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.UDP),
-               sport=int(rng.integers(1024, 65535)), dport=53,
-               len=512, ts=float(times[i]))
-        for i in range(n_packets)
-    ]
-    return Trace(packets, name="udp-flood")
+    times = _spread(rng, n_attempts, duration_s, start_s)
+    sources = _ATTACKER_BASE + 0x3000 + rng.integers(0, n_sources,
+                                                     size=n_attempts)
+    for i in range(n_attempts):
+        yield Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.TCP),
+                     sport=int(rng.integers(1024, 65535)), dport=22,
+                     tcp_flags=int(TcpFlags.PSH) | int(TcpFlags.ACK),
+                     len=112,  # the fixed-size login attempt signature
+                     ts=float(times[i]))
 
 
 def ssh_brute_force(victim_index: int = 5, n_attempts: int = 300,
                     n_sources: int = 60, duration_s: float = 1.0,
                     seed: int = 31, start_s: float = 0.0) -> Trace:
     """Q2: repeated fixed-size SSH login attempts against one server."""
+    return Trace(list(ssh_brute_force_stream(
+        victim_index, n_attempts, n_sources, duration_s, seed, start_s,
+    )), name="ssh-brute", assume_sorted=True)
+
+
+def slowloris_stream(victim_index: int = 9, n_connections: int = 150,
+                     packets_per_connection: int = 5,
+                     duration_s: float = 1.0, seed: int = 37,
+                     start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`slowloris`."""
     rng = np.random.default_rng(seed)
     victim = _VICTIM_BASE + victim_index
-    times = _spread(rng, n_attempts, duration_s, start_s)
-    sources = _ATTACKER_BASE + 0x3000 + rng.integers(0, n_sources,
-                                                     size=n_attempts)
-    packets = [
-        Packet(sip=int(sources[i]), dip=victim, proto=int(Proto.TCP),
-               sport=int(rng.integers(1024, 65535)), dport=22,
-               tcp_flags=int(TcpFlags.PSH) | int(TcpFlags.ACK),
-               len=112,  # the fixed-size login attempt signature
-               ts=float(times[i]))
-        for i in range(n_attempts)
-    ]
-    return Trace(packets, name="ssh-brute")
+    attacker = _ATTACKER_BASE + 0x4000
+    total = n_connections * packets_per_connection
+    times = _spread(rng, total, duration_s, start_s)
+    for i in range(total):
+        conn = i % n_connections
+        sport = 10_000 + conn  # one ephemeral port per held-open connection
+        first = i < n_connections
+        yield Packet(sip=attacker, dip=victim, proto=int(Proto.TCP),
+                     sport=sport, dport=80,
+                     tcp_flags=int(TcpFlags.SYN if first else TcpFlags.ACK),
+                     len=64 if first else 70,
+                     ts=float(times[i]))
 
 
 def slowloris(victim_index: int = 9, n_connections: int = 150,
@@ -253,41 +464,51 @@ def slowloris(victim_index: int = 9, n_connections: int = 150,
     the victim accumulates many connections and noticeable total bytes but
     a pathologically small bytes-per-connection ratio.
     """
+    return Trace(list(slowloris_stream(
+        victim_index, n_connections, packets_per_connection, duration_s,
+        seed, start_s,
+    )), name="slowloris", assume_sorted=True)
+
+
+def superspreader_stream(source_index: int = 2, n_destinations: int = 500,
+                         duration_s: float = 1.0, seed: int = 41,
+                         start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`superspreader`."""
     rng = np.random.default_rng(seed)
-    victim = _VICTIM_BASE + victim_index
-    attacker = _ATTACKER_BASE + 0x4000
-    total = n_connections * packets_per_connection
-    times = _spread(rng, total, duration_s, start_s)
-    packets = []
-    for i in range(total):
-        conn = i % n_connections
-        sport = 10_000 + conn  # one ephemeral port per held-open connection
-        first = i < n_connections
-        packets.append(
-            Packet(sip=attacker, dip=victim, proto=int(Proto.TCP),
-                   sport=sport, dport=80,
-                   tcp_flags=int(TcpFlags.SYN if first else TcpFlags.ACK),
-                   len=64 if first else 70,
-                   ts=float(times[i]))
-        )
-    return Trace(packets, name="slowloris")
+    source = _ATTACKER_BASE + 0x5000 + source_index
+    times = _spread(rng, n_destinations, duration_s, start_s)
+    dests = _VICTIM_BASE + 0x100 + rng.permutation(n_destinations)
+    for i in range(n_destinations):
+        yield Packet(sip=source, dip=int(dests[i]), proto=int(Proto.TCP),
+                     sport=int(rng.integers(1024, 65535)), dport=80,
+                     tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
 
 
 def superspreader(source_index: int = 2, n_destinations: int = 500,
                   duration_s: float = 1.0, seed: int = 41,
                   start_s: float = 0.0) -> Trace:
     """Q3: one source contacting very many distinct destinations."""
+    return Trace(list(superspreader_stream(
+        source_index, n_destinations, duration_s, seed, start_s,
+    )), name="superspreader", assume_sorted=True)
+
+
+def dns_orphan_responses_stream(n_victims: int = 4,
+                                answers_per_victim: int = 12,
+                                duration_s: float = 1.0, seed: int = 43,
+                                start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`dns_orphan_responses`."""
     rng = np.random.default_rng(seed)
-    source = _ATTACKER_BASE + 0x5000 + source_index
-    times = _spread(rng, n_destinations, duration_s, start_s)
-    dests = _VICTIM_BASE + 0x100 + rng.permutation(n_destinations)
-    packets = [
-        Packet(sip=source, dip=int(dests[i]), proto=int(Proto.TCP),
-               sport=int(rng.integers(1024, 65535)), dport=80,
-               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
-        for i in range(n_destinations)
-    ]
-    return Trace(packets, name="superspreader")
+    n_resolvers = max(4, answers_per_victim)
+    total = n_victims * answers_per_victim
+    times = _spread(rng, total, duration_s, start_s)
+    for i in range(total):
+        victim = _VICTIM_BASE + 0x800 + (i % n_victims)
+        resolver = _SERVER_BASE + 0x90 + (i // n_victims) % n_resolvers
+        yield Packet(sip=int(resolver), dip=victim, proto=int(Proto.UDP),
+                     sport=53, dport=int(rng.integers(1024, 65535)),
+                     len=300, dns_ancount=int(rng.integers(1, 6)),
+                     ts=float(times[i]))
 
 
 def dns_orphan_responses(n_victims: int = 4, answers_per_victim: int = 12,
@@ -298,21 +519,25 @@ def dns_orphan_responses(n_victims: int = 4, answers_per_victim: int = 12,
     The classic reflection/C2 beacon pattern: resolvers answer queries the
     victim (or spoofer) sent, and no TCP follow-up ever appears.
     """
+    return Trace(list(dns_orphan_responses_stream(
+        n_victims, answers_per_victim, duration_s, seed, start_s,
+    )), name="dns-orphans", assume_sorted=True)
+
+
+def syn_scan_noise_stream(n_packets: int = 5000, n_destinations: int = 4000,
+                          n_sources: int = 2000, duration_s: float = 1.0,
+                          seed: int = 47,
+                          start_s: float = 0.0) -> Iterator[Packet]:
+    """Lazy packet stream of :func:`syn_scan_noise`."""
     rng = np.random.default_rng(seed)
-    n_resolvers = max(4, answers_per_victim)
-    total = n_victims * answers_per_victim
-    times = _spread(rng, total, duration_s, start_s)
-    packets = []
-    for i in range(total):
-        victim = _VICTIM_BASE + 0x800 + (i % n_victims)
-        resolver = _SERVER_BASE + 0x90 + (i // n_victims) % n_resolvers
-        packets.append(
-            Packet(sip=int(resolver), dip=victim, proto=int(Proto.UDP),
-                   sport=53, dport=int(rng.integers(1024, 65535)),
-                   len=300, dns_ancount=int(rng.integers(1, 6)),
-                   ts=float(times[i]))
-        )
-    return Trace(packets, name="dns-orphans")
+    times = _spread(rng, n_packets, duration_s, start_s)
+    sips = _CLIENT_BASE + 0x8000 + rng.integers(0, n_sources, size=n_packets)
+    dips = _SERVER_BASE + 0x8000 + rng.integers(0, n_destinations,
+                                                size=n_packets)
+    for i in range(n_packets):
+        yield Packet(sip=int(sips[i]), dip=int(dips[i]), proto=int(Proto.TCP),
+                     sport=int(rng.integers(1024, 65535)), dport=80,
+                     tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
 
 
 def syn_scan_noise(n_packets: int = 5000, n_destinations: int = 4000,
@@ -324,18 +549,9 @@ def syn_scan_noise(n_packets: int = 5000, n_destinations: int = 4000,
     loads Q1's Count-Min rows and makes register size matter — the
     pressure the Figure 14 accuracy sweep needs.
     """
-    rng = np.random.default_rng(seed)
-    times = _spread(rng, n_packets, duration_s, start_s)
-    sips = _CLIENT_BASE + 0x8000 + rng.integers(0, n_sources, size=n_packets)
-    dips = _SERVER_BASE + 0x8000 + rng.integers(0, n_destinations,
-                                                size=n_packets)
-    packets = [
-        Packet(sip=int(sips[i]), dip=int(dips[i]), proto=int(Proto.TCP),
-               sport=int(rng.integers(1024, 65535)), dport=80,
-               tcp_flags=int(TcpFlags.SYN), len=64, ts=float(times[i]))
-        for i in range(n_packets)
-    ]
-    return Trace(packets, name="syn-noise")
+    return Trace(list(syn_scan_noise_stream(
+        n_packets, n_destinations, n_sources, duration_s, seed, start_s,
+    )), name="syn-noise", assume_sorted=True)
 
 
 def assign_hosts(trace: Trace, host_pairs: Sequence[Tuple[object, object]],

@@ -1,0 +1,58 @@
+"""InstallResult op-specific fields and the legacy ``rules_installed``
+alias deprecation."""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.core.compiler import QueryParams
+from repro.core.library import build_query
+from repro.experiments.common import evaluation_thresholds
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+
+PARAMS = QueryParams(cm_depth=2, reduce_registers=1024)
+
+
+def deploy():
+    deployment = build_deployment(linear(3))
+    result = deployment.controller.install_query(
+        build_query("Q1", evaluation_thresholds()), PARAMS,
+        path=["s0", "s1", "s2"],
+    )
+    return deployment, result
+
+
+class TestInstallResultAlias:
+    def test_install_alias_is_silent(self):
+        _, result = deploy()
+        assert result.op == "install"
+        assert result.rules_staged > 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.rules_installed == result.rules_staged
+
+    def test_remove_alias_warns_and_maps_to_removed(self):
+        deployment, installed = deploy()
+        result = deployment.controller.remove_query(installed.qid)
+        assert result.op == "remove"
+        assert result.rules_removed > 0
+        assert result.rules_staged == 0
+        with pytest.deprecated_call(match="rules_removed instead"):
+            assert result.rules_installed == result.rules_removed
+
+    def test_update_reports_both_directions(self):
+        deployment, _ = deploy()
+        result = deployment.controller.update_query(
+            build_query(
+                "Q1", replace(evaluation_thresholds(), new_tcp_conns=9)
+            ),
+            PARAMS, path=["s0", "s1", "s2"],
+        )
+        assert result.op == "update"
+        assert result.rules_staged > 0
+        assert result.rules_removed > 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.rules_installed == result.rules_staged

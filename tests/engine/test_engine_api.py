@@ -1,0 +1,57 @@
+"""Engine registry and wiring tests."""
+
+import pytest
+
+from repro.engine import (
+    ENGINES,
+    ExecutionEngine,
+    ScalarEngine,
+    VectorizedEngine,
+    get_engine,
+)
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+
+
+class TestGetEngine:
+    def test_none_means_scalar(self):
+        assert isinstance(get_engine(None), ScalarEngine)
+
+    def test_by_name(self):
+        assert isinstance(get_engine("scalar"), ScalarEngine)
+        assert isinstance(get_engine("vector"), VectorizedEngine)
+
+    def test_instance_passthrough(self):
+        engine = VectorizedEngine(batch_size=8)
+        assert get_engine(engine) is engine
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            get_engine("quantum")
+
+    def test_registry_holds_both_builtins(self):
+        get_engine("scalar")  # ensure lazy registration happened
+        assert {"scalar", "vector"} <= set(ENGINES)
+        for cls in ENGINES.values():
+            assert issubclass(cls, ExecutionEngine)
+
+
+class TestVectorizedConfig:
+    @pytest.mark.parametrize("bad", [0, -4])
+    def test_batch_size_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="batch size"):
+            VectorizedEngine(batch_size=bad)
+
+    def test_engine_names(self):
+        assert ScalarEngine().name == "scalar"
+        assert VectorizedEngine().name == "vector"
+
+
+class TestDeploymentWiring:
+    def test_default_is_scalar(self):
+        deployment = build_deployment(linear(1))
+        assert isinstance(deployment.simulator.engine, ScalarEngine)
+
+    def test_vector_selected_by_name(self):
+        deployment = build_deployment(linear(1), engine="vector")
+        assert isinstance(deployment.simulator.engine, VectorizedEngine)

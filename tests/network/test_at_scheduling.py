@@ -1,0 +1,55 @@
+"""``NetworkSimulator.at`` scheduling semantics."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.traffic.traces import Trace
+
+
+def make_trace(n=20, dt=0.01):
+    return Trace(
+        [Packet(sip=i, dip=99, ts=i * dt, src_host="h_src0",
+                dst_host="h_dst0") for i in range(n)],
+        assume_sorted=True,
+    )
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+class TestAtScheduling:
+    def test_callbacks_fire_in_timestamp_order(self, engine):
+        deployment = build_deployment(linear(2), engine=engine)
+        fired = []
+        deployment.simulator.at(0.15, lambda: fired.append("late"))
+        deployment.simulator.at(0.05, lambda: fired.append("early"))
+        deployment.simulator.run(make_trace())
+        assert fired == ["early", "late"]
+
+    def test_past_time_rejected_mid_run(self, engine):
+        """Once the trace has advanced, scheduling behind it raises: the
+        moment was already executed, so the callback could only fire
+        late (and at a batch-dependent point under the vector engine)."""
+        deployment = build_deployment(linear(2), engine=engine)
+
+        def rewind():
+            with pytest.raises(ValueError, match="already advanced"):
+                deployment.simulator.at(0.02, lambda: None)
+            # at-or-after the current time is still fine
+            deployment.simulator.at(0.1, lambda: None)
+
+        deployment.simulator.at(0.1, rewind)
+        deployment.simulator.run(make_trace())
+
+    def test_past_time_rejected_before_second_run(self, engine):
+        deployment = build_deployment(linear(2), engine=engine)
+        deployment.simulator.run(make_trace())
+        with pytest.raises(ValueError, match="already advanced"):
+            deployment.simulator.at(0.0, lambda: None)
+
+    def test_schedule_at_zero_before_any_run_ok(self, engine):
+        deployment = build_deployment(linear(2), engine=engine)
+        fired = []
+        deployment.simulator.at(0.0, lambda: fired.append(True))
+        deployment.simulator.run(make_trace())
+        assert fired == [True]

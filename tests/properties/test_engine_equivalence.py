@@ -1,0 +1,210 @@
+"""Differential properties: the vectorized engine is bit-identical to the
+scalar reference engine.
+
+Every test runs one seeded workload through two fresh deployments — one
+per engine — and compares the full observable outcome: simulation stats,
+the per-switch report stream (payloads included, in emission order), and
+the final register dumps of every state bank.  Scenarios cover the
+places where batching could plausibly diverge: window boundaries inside
+a batch, a mid-trace ``update_query`` scheduled through ``at()`` (a
+rule-epoch flip that must land on a sub-batch edge), reboot drop
+windows, and multi-slice CQE installs (which the vectorized engine must
+hand back to the scalar path wholesale).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.compiler import QueryParams, compile_query
+from repro.core.library import build_query
+from repro.engine import VectorizedEngine
+from repro.experiments.common import evaluation_thresholds
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.traffic.generators import (
+    assign_hosts,
+    caida_like,
+    mawi_like,
+    port_scan,
+    syn_flood,
+)
+from repro.traffic.traces import merge_traces
+
+PARAMS = QueryParams(cm_depth=2, reduce_registers=2048,
+                     distinct_registers=2048)
+
+
+def thresholds():
+    """Low enough that the small test traces actually produce reports."""
+    return replace(evaluation_thresholds(), new_tcp_conns=3, port_scan=4)
+
+
+def workload(n_packets=6000, duration_s=0.5, seed=3):
+    """Multi-window benign mix plus Q1/Q4 anomalies, on one host pair."""
+    trace = merge_traces([
+        caida_like(n_packets, duration_s=duration_s, seed=seed),
+        syn_flood(n_packets=max(n_packets // 10, 200),
+                  duration_s=duration_s, seed=seed + 1),
+        port_scan(n_ports=400, duration_s=duration_s, seed=seed + 2),
+    ])
+    return assign_hosts(trace, [("h_src0", "h_dst0")])
+
+
+def record_reports(deployment):
+    """Wrap every switch's report sink; returns the recording list."""
+    recorded = []
+
+    def wrap(sid, inner):
+        def sink(report):
+            recorded.append((
+                str(sid), report.qid, float(report.ts), int(report.epoch),
+                tuple(sorted(report.payload.items())),
+            ))
+            if inner is not None:
+                inner(report)
+        return sink
+
+    for sid, switch in deployment.switches.items():
+        switch.pipeline.report_sink = wrap(sid, switch.pipeline.report_sink)
+    return recorded
+
+
+def signature(stats, recorded):
+    return (
+        stats.packets, stats.delivered, stats.dropped,
+        dict(stats.reports_by_switch), stats.deferred,
+        stats.stale_deferred, stats.sp_bytes, stats.payload_bytes,
+        stats.epochs, stats.mixed_rule_epoch_packets,
+        dict(stats.initiated_by_query), tuple(recorded),
+    )
+
+
+def register_dumps(deployment):
+    return {
+        str(sid): tuple(
+            tuple(bank.array.dump().tolist())
+            for bank in switch.pipeline.layout.state_banks()
+        )
+        for sid, switch in deployment.switches.items()
+    }
+
+
+def run_engine(engine, trace, queries=("Q1", "Q4"), switches=3,
+               schedule=None, **deploy_kw):
+    deployment = build_deployment(
+        linear(switches), array_size=1 << 13, engine=engine, **deploy_kw
+    )
+    path = [f"s{i}" for i in range(switches)]
+    for name in queries:
+        deployment.controller.install_query(
+            build_query(name, thresholds()), PARAMS, path=path
+        )
+    recorded = record_reports(deployment)
+    if schedule is not None:
+        schedule(deployment)
+    stats = deployment.simulator.run(trace)
+    return signature(stats, recorded), register_dumps(deployment), stats
+
+
+def assert_equivalent(trace, vector_engine="vector", **kw):
+    """Run both engines over ``trace``; everything observable must match."""
+    scalar_sig, scalar_regs, scalar_stats = run_engine("scalar", trace, **kw)
+    vector_sig, vector_regs, vector_stats = run_engine(
+        vector_engine, trace, **kw
+    )
+    assert vector_sig == scalar_sig
+    assert vector_regs == scalar_regs
+    return scalar_stats
+
+
+class TestEquivalence:
+    def test_multiwindow_background_with_attacks(self):
+        stats = assert_equivalent(workload())
+        assert stats.reports_total > 0  # the comparison is not vacuous
+        assert stats.epochs > 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 9])
+    def test_seed_sweep_mawi(self, seed):
+        trace = assign_hosts(
+            merge_traces([
+                mawi_like(3000, duration_s=0.35, seed=seed),
+                syn_flood(n_packets=300, duration_s=0.35, seed=seed + 50),
+            ]),
+            [("h_src0", "h_dst0")],
+        )
+        stats = assert_equivalent(trace, queries=("Q1",))
+        assert stats.reports_total > 0
+
+    def test_single_switch(self):
+        stats = assert_equivalent(workload(3000), switches=1)
+        assert stats.reports_total > 0
+
+    def test_window_straddling_small_batches(self):
+        """A tiny batch size forces sub-batches to straddle every window
+        boundary and split repeatedly inside windows."""
+        stats = assert_equivalent(
+            workload(2500), vector_engine=VectorizedEngine(batch_size=17)
+        )
+        assert stats.epochs > 1
+
+    def test_midtrace_update_query_rule_epoch_flip(self):
+        """``update_query`` scheduled via ``at()`` mid-trace: the rule
+        bank flips epoch between two packets, and both engines must put
+        the flip at exactly the same point in the stream."""
+        fired = []
+
+        def schedule(deployment):
+            def flip():
+                deployment.controller.update_query(
+                    build_query(
+                        "Q1",
+                        replace(evaluation_thresholds(), new_tcp_conns=8),
+                    ),
+                    PARAMS, path=["s0", "s1", "s2"],
+                )
+                fired.append(True)
+            deployment.simulator.at(0.23, flip)
+
+        stats = assert_equivalent(workload(), schedule=schedule)
+        assert len(fired) == 2  # once per engine
+        assert stats.reports_total > 0
+
+    def test_reboot_drop_window(self):
+        """A switch reboot mid-trace drops packets in both engines at the
+        same timestamps."""
+        def schedule(deployment):
+            deployment.switch("s1").reboot(at=0.2, entries_to_restore=500)
+
+        stats = assert_equivalent(workload(), schedule=schedule)
+        assert stats.dropped > 0
+        assert stats.delivered > 0
+
+    def test_multislice_cqe_falls_back_to_scalar(self):
+        """A query sliced across the path (total_slices > 1) is outside
+        the compiled-program subset; the vectorized engine must detect it
+        and defer whole batches to the scalar path — same stats, same SP
+        byte accounting, same deferred count."""
+        query = build_query("Q1", thresholds())
+        probe = compile_query(query, PARAMS)
+        stages = -(-probe.num_stages // 3)
+
+        def run(engine):
+            deployment = build_deployment(
+                linear(3), num_stages=stages, array_size=1 << 13,
+                engine=engine,
+            )
+            deployment.controller.install_query(
+                query, PARAMS, path=["s0", "s1", "s2"],
+                stages_per_switch=stages,
+            )
+            recorded = record_reports(deployment)
+            stats = deployment.simulator.run(workload(3000))
+            return signature(stats, recorded), register_dumps(deployment), \
+                stats
+
+        scalar_sig, scalar_regs, scalar_stats = run("scalar")
+        vector_sig, vector_regs, _ = run("vector")
+        assert vector_sig == scalar_sig
+        assert vector_regs == scalar_regs
+        assert scalar_stats.sp_bytes > 0  # the install really is sliced

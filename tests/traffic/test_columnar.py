@@ -1,0 +1,96 @@
+"""Columnar trace representation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.packet import Packet
+from repro.traffic.columnar import (
+    DEFAULT_CHUNK_SIZE,
+    ColumnarTrace,
+    iter_column_chunks,
+)
+from repro.traffic.generators import caida_like
+from repro.traffic.traces import Trace
+
+
+def sample_packets():
+    return [
+        Packet(sip=10, dip=20, proto=6, sport=1000, dport=80, tcp_flags=2,
+               len=64, ts=0.01, src_host="hA", dst_host="hB"),
+        Packet(sip=11, dip=21, proto=17, sport=53, dport=5353, len=220,
+               dns_ancount=2, ts=0.02),
+        Packet(sip=12, dip=22, proto=6, sport=1001, dport=443,
+               tcp_flags=16, len=1500, ts=0.03, src_host="hB",
+               dst_host="hA"),
+    ]
+
+
+def as_tuple(p):
+    return (p.sip, p.dip, p.proto, p.sport, p.dport, p.tcp_flags, p.len,
+            p.ttl, p.dns_ancount, p.ts, p.src_host, p.dst_host)
+
+
+class TestRoundTrip:
+    def test_packets_roundtrip_losslessly(self):
+        packets = sample_packets()
+        trace = ColumnarTrace.from_packets(packets)
+        assert len(trace) == 3
+        back = trace.to_packets()
+        assert [as_tuple(a) for a in back] == [as_tuple(b) for b in packets]
+
+    def test_host_interning(self):
+        trace = ColumnarTrace.from_packets(sample_packets())
+        assert set(trace.host_table) == {"hA", "hB"}
+        assert int(trace.src_host_ids[1]) == -1  # None host
+        assert trace.host_at(-1) is None
+
+    def test_generated_trace_roundtrip(self):
+        trace = caida_like(2000, duration_s=0.1)
+        columnar = ColumnarTrace.from_trace(trace)
+        assert [as_tuple(p) for p in columnar.iter_packets()] == \
+            [as_tuple(p) for p in trace]
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            ColumnarTrace({"sip": np.zeros(1, dtype=np.int64)},
+                          np.zeros(1))
+
+
+class TestSlicing:
+    def test_slice_is_a_view(self):
+        trace = ColumnarTrace.from_packets(sample_packets())
+        window = trace.slice(1, 3)
+        assert len(window) == 2
+        assert window.columns["sip"].base is not None  # a view, no copy
+        assert as_tuple(window.packet_at(0)) == \
+            as_tuple(trace.packet_at(1))
+
+    def test_with_hosts(self):
+        trace = ColumnarTrace.from_packets(sample_packets())
+        pinned = trace.with_hosts("src", "dst")
+        assert all(p.src_host == "src" and p.dst_host == "dst"
+                   for p in pinned.iter_packets())
+
+
+class TestChunking:
+    def test_columnar_source_sliced(self):
+        trace = ColumnarTrace.from_packets(
+            [Packet(sip=i, ts=i * 0.001) for i in range(10)]
+        )
+        chunks = list(iter_column_chunks(trace, chunk_size=4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert int(chunks[2].columns["sip"][0]) == 8
+
+    def test_iterable_source_buffered(self):
+        packets = (Packet(sip=i, ts=i * 0.001) for i in range(7))
+        chunks = list(iter_column_chunks(packets, chunk_size=3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+
+    def test_trace_source(self):
+        trace = Trace([Packet(sip=i, ts=i * 0.001) for i in range(5)])
+        chunks = list(iter_column_chunks(trace, chunk_size=DEFAULT_CHUNK_SIZE))
+        assert [len(c) for c in chunks] == [5]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_column_chunks([], chunk_size=0))

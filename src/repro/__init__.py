@@ -34,6 +34,13 @@ from repro.network.deployment import Deployment, build_deployment
 from repro.network.routing import Router
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology, fat_tree, isp_backbone, linear
+from repro.resilience import (
+    CoverageTracker,
+    FailureDetector,
+    FaultPlan,
+    RecoveryManager,
+    ResilienceConfig,
+)
 from repro.traffic.generators import (
     assign_hosts,
     caida_like,
@@ -53,7 +60,10 @@ __all__ = [
     "CmpOp",
     "CompiledQuery",
     "CompositeQuery",
+    "CoverageTracker",
     "Deployment",
+    "FailureDetector",
+    "FaultPlan",
     "FieldPredicate",
     "GroundTruthEngine",
     "KeyExpr",
@@ -66,6 +76,8 @@ __all__ = [
     "Query",
     "QueryParams",
     "QueryThresholds",
+    "RecoveryManager",
+    "ResilienceConfig",
     "Router",
     "Switch",
     "TcpFlags",

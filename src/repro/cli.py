@@ -11,6 +11,7 @@ Everything the repository can do, reachable without writing Python::
     newton-repro collect-stats             # collection-plane metrics run
     newton-repro txn-stats                 # control-plane transactions under faults
     newton-repro throughput                # scalar vs vectorized engine pkts/sec
+    newton-repro chaos --fault-plan p.json # fault injection + recovery report
     newton-repro demo --engine vector      # quickstart end-to-end run
 
 (Equivalently ``python -m repro.cli ...``.)
@@ -541,6 +542,90 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a monitored deployment under a declarative fault plan and
+    report detection latency, recovery actions, and per-query coverage."""
+    import json as json_module
+
+    from repro import build_deployment, linear
+    from repro.resilience import FaultPlan, crash
+    from repro.traffic.generators import assign_hosts, caida_like
+
+    if args.fault_plan:
+        with open(args.fault_plan) as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        # Standard crash scenario: the first path switch fails partway
+        # through the trace and comes back empty.
+        plan = FaultPlan(
+            events=(crash("s0", at=0.2, down_for=0.15),), seed=args.seed,
+        )
+    deployment = build_deployment(
+        linear(args.switches), array_size=1 << 13, engine=args.engine,
+        faults=plan,
+    )
+    path = [f"s{i}" for i in range(args.switches)]
+    params = QueryParams(cm_depth=2, reduce_registers=2048)
+    query = build_query(args.query, evaluation_thresholds())
+    deployment.controller.install_query(query, params, path=path)
+    trace = caida_like(args.packets, duration_s=args.duration,
+                       seed=args.seed)
+    deployment.simulator.run(
+        assign_hosts(trace, [("h_src0", "h_dst0")])
+    )
+    recovery = deployment.recovery
+    detector = deployment.detector
+    summary = recovery.summary()
+    if args.json:
+        print(json_module.dumps(
+            {
+                "plan": plan.to_dict(),
+                "health": {
+                    str(sid): health.state
+                    for sid, health in detector.health_map().items()
+                },
+                "transitions": [
+                    {"switch": str(t.switch_id), "from": t.old,
+                     "to": t.new, "epoch": t.epoch, "at_s": t.at_s}
+                    for t in detector.transitions
+                ],
+                "incidents": [
+                    {"switch": str(r.switch_id), "action": r.action,
+                     "queries": list(r.qids),
+                     "detect_latency_s": r.detect_latency_s,
+                     "reinstall_delay_s": r.reinstall_delay_s,
+                     "windows_impaired": r.windows_impaired}
+                    for r in recovery.records
+                ],
+                "summary": summary,
+                "gaps": [
+                    {"qid": g.qid, "epoch": g.epoch, "reason": g.reason,
+                     "switch": None if g.switch is None else str(g.switch)}
+                    for g in recovery.coverage.gaps()
+                ],
+            },
+            indent=2,
+        ))
+        return 0 if not summary["degraded"] else 1
+    print(f"fault plan: {len(plan.events)} event(s), seed {plan.seed}")
+    for t in detector.transitions:
+        print(f"  window {t.epoch}: switch {t.switch_id} "
+              f"{t.old} -> {t.new}")
+    for r in recovery.records:
+        print(f"recovered {', '.join(r.qids)} via {r.action} on "
+              f"{r.switch_id}: detected in {r.detect_latency_s * 1e3:.0f} ms,"
+              f" re-staged in {r.reinstall_delay_s * 1e3:.1f} ms, "
+              f"{r.windows_impaired} window(s) impaired")
+    for qid, digest in summary["coverage"].items():
+        print(f"coverage {qid}: {digest['coverage']:.0%} "
+              f"({digest['windows_full']}/{digest['windows_total']} windows"
+              f" full, {digest['gap_windows']} gap(s))")
+    if summary["degraded"]:
+        print(f"degraded queries: {', '.join(summary['degraded'])}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="newton-repro",
@@ -682,6 +767,29 @@ def build_parser() -> argparse.ArgumentParser:
     throughput_parser.add_argument("--json", action="store_true",
                                    help="emit measurements as JSON")
     throughput_parser.set_defaults(func=cmd_throughput)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a monitored deployment under a declarative fault plan "
+             "and print detection/recovery/coverage (exit 1 on degraded "
+             "queries)",
+    )
+    chaos_parser.add_argument("--fault-plan", metavar="FILE",
+                              help="JSON FaultPlan; default: crash s0 at "
+                                   "t=0.2s for 150 ms")
+    chaos_parser.add_argument("--query", default="Q1",
+                              choices=sorted(QUERY_DESCRIPTIONS))
+    chaos_parser.add_argument("--switches", type=int, default=3,
+                              help="linear path length")
+    chaos_parser.add_argument("--packets", type=int, default=20_000)
+    chaos_parser.add_argument("--duration", type=float, default=1.0,
+                              help="trace duration in seconds")
+    chaos_parser.add_argument("--engine", default="scalar",
+                              choices=("scalar", "vector"))
+    chaos_parser.add_argument("--seed", type=int, default=7)
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the full chaos report as JSON")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     demo_parser = sub.add_parser("demo", help="end-to-end quickstart run")
     demo_parser.add_argument("--engine", default="scalar",

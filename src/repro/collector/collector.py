@@ -282,12 +282,24 @@ class ReportCollector:
         if not accepted:
             self._window_dropped += 1
             self._c_dropped.inc(
-                reason="queue-full", switch=record.switch_id
+                reason="queue-full", switch=record.switch_id, qid=top_qid
             )
         if stats.dropped_oldest > dropped_old_before:
+            # Attribute the eviction to the *evicted* record's query —
+            # it may belong to a different query than the incoming one,
+            # and per-query drop counts feed degraded-mode coverage.
+            evicted = queue.last_evicted
+            evicted_reg = (
+                self._registrations.get(evicted.qid) if evicted else None
+            )
+            evicted_top = (
+                evicted_reg.top_qid if evicted_reg is not None
+                else (evicted.qid if evicted is not None else top_qid)
+            )
             self._window_dropped += 1
             self._c_dropped.inc(
-                reason="evicted-oldest", switch=record.switch_id
+                reason="evicted-oldest", switch=record.switch_id,
+                qid=evicted_top,
             )
         if stats.blocked > blocked_before:
             self._c_blocked.inc(switch=record.switch_id)

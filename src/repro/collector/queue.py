@@ -82,6 +82,11 @@ class BoundedReportQueue:
         self.policy = BackpressurePolicy.validate(policy)
         self.stats = QueueStats()
         self._items: Deque[ReportRecord] = deque()
+        #: The record most recently evicted under ``drop-oldest`` — the
+        #: collector reads it right after :meth:`push` so the drop can be
+        #: attributed to the *evicted* record's query, not just the
+        #: switch (degraded-mode coverage math needs per-query counts).
+        self.last_evicted: Optional[ReportRecord] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -104,7 +109,7 @@ class BoundedReportQueue:
                 stats.dropped_newest += 1
                 return False
             if self.policy == BackpressurePolicy.DROP_OLDEST:
-                self._items.popleft()
+                self.last_evicted = self._items.popleft()
                 stats.dropped_oldest += 1
             else:  # BLOCK: admit after an accounted stall
                 stats.blocked += 1

@@ -27,7 +27,7 @@ from repro.core.compiler import (
     compile_query,
     slice_compiled,
 )
-from repro.core.placement import PlacementResult, place_slices
+from repro.core.placement import PlacementError, PlacementResult, place_slices
 from repro.core.query import QueryLike, flatten
 from repro.core.rules import QuerySlice
 from repro.ctrlplane import SwitchOps, TransactionManager, TxnPlan
@@ -94,6 +94,13 @@ class InstalledQuery:
     slices: Dict[str, List[QuerySlice]]
     #: switch id -> installed (sub_qid, slice_index) pairs.
     by_switch: Dict[object, List[Tuple[str, int]]]
+    #: Compilation inputs, kept so the query can be re-planned (recovery
+    #: re-placement after a switch death needs the full deployment
+    #: context, not just where the slices landed).
+    params: QueryParams = field(default_factory=QueryParams)
+    opts: Optimizations = field(default_factory=Optimizations.all)
+    #: Deployment kwargs as given (path=... or topology=... etc.).
+    deploy: Dict[str, object] = field(default_factory=dict)
 
 
 class NewtonController:
@@ -159,6 +166,13 @@ class NewtonController:
         """
         if query.qid in self.installed:
             raise ValueError(f"query {query.qid!r} is already installed")
+        if edge_switches is not None:
+            edge_switches = tuple(edge_switches)
+        deploy = self._deploy_spec(
+            path=path, topology=topology, edge_switches=edge_switches,
+            stages_per_switch=stages_per_switch,
+            placement_method=placement_method,
+        )
         (subqueries, compiled, slices, by_switch, placements) = (
             self._plan_deployment(
                 query, params, opts, path=path, topology=topology,
@@ -187,7 +201,8 @@ class NewtonController:
         result = self.txn.execute(plan)
 
         record = InstalledQuery(
-            query=query, compiled=compiled, slices=slices, by_switch=by_switch
+            query=query, compiled=compiled, slices=slices,
+            by_switch=by_switch, params=params, opts=opts, deploy=deploy,
         )
         self.installed[query.qid] = record
         for sub in subqueries:
@@ -207,6 +222,13 @@ class NewtonController:
             diagnostics=report.diagnostics,
         )
 
+    @staticmethod
+    def _deploy_spec(**kwargs) -> Dict[str, object]:
+        """Normalize deployment kwargs for the installed record (drops
+        defaults so the stored spec round-trips through update_query)."""
+        return {k: v for k, v in kwargs.items()
+                if v is not None and v != "auto" and v != ()}
+
     def _plan_deployment(
         self,
         query: QueryLike,
@@ -218,10 +240,19 @@ class NewtonController:
         edge_switches: Optional[Iterable[object]] = None,
         stages_per_switch: Optional[int] = None,
         placement_method: str = "auto",
+        exclude_switches: Iterable[object] = (),
     ):
-        """Compile, slice, and place a query (no switch is touched)."""
+        """Compile, slice, and place a query (no switch is touched).
+
+        ``exclude_switches`` removes switches from network-mode placement
+        entirely (dead devices during recovery re-placement); path mode
+        expects the caller to prune the path itself.
+        """
         if (path is None) == (topology is None):
             raise ValueError("give either a path or a topology to deploy on")
+        excluded = set(exclude_switches)
+        if path is not None and excluded and any(s in excluded for s in path):
+            raise ValueError("excluded switch present in explicit path")
 
         subqueries = flatten(query)
         targets = list(path) if path is not None else list(self.switches)
@@ -252,16 +283,21 @@ class NewtonController:
                     )
         else:
             assert topology is not None
-            edges = list(edge_switches or topology.edge_switches)
+            edges = [
+                e for e in (edge_switches or topology.edge_switches)
+                if e not in excluded
+            ]
             neighbor_map = {
-                s: list(topology.neighbors(s)) for s in topology.switches()
+                s: [n for n in topology.neighbors(s) if n not in excluded]
+                for s in topology.switches() if s not in excluded
             }
             # Partial deployment (§7): legacy switches forward but cannot
             # host slices; placement traverses them without advancing the
             # slice depth, mirroring the cursor's behaviour on the wire.
             transit = [
                 sid for sid in topology.switches()
-                if not getattr(self.switches[sid], "newton_enabled", True)
+                if sid not in excluded
+                and not getattr(self.switches[sid], "newton_enabled", True)
             ]
             for sub in subqueries:
                 result = place_slices(
@@ -404,7 +440,9 @@ class NewtonController:
         for sub in flatten(old.query):
             self._sub_owner.pop(sub.qid, None)
         record = InstalledQuery(
-            query=query, compiled=compiled, slices=slices, by_switch=by_switch
+            query=query, compiled=compiled, slices=slices,
+            by_switch=by_switch, params=params, opts=opts,
+            deploy=self._deploy_spec(**kwargs),
         )
         self.installed[query.qid] = record
         for sub in subqueries:
@@ -424,6 +462,95 @@ class NewtonController:
             placements=placements,
             diagnostics=report.diagnostics,
         )
+
+    # ------------------------------------------------------------------ #
+    # Recovery (driven by repro.resilience)                               #
+    # ------------------------------------------------------------------ #
+
+    def queries_on(self, sid: object) -> List[str]:
+        """Queries with at least one slice placed on switch ``sid``."""
+        return sorted(
+            qid for qid, record in self.installed.items()
+            if record.by_switch.get(sid)
+        )
+
+    def recover_switch(self, sid: object):
+        """Re-stage every slice this controller placed on ``sid`` that
+        the switch no longer hosts (it crashed and came back empty).
+
+        One transaction over the single participant: the lost slices are
+        staged under a fresh epoch and flipped in — the placement record
+        is unchanged, the switch simply hosts its share again.  Returns
+        the :class:`~repro.ctrlplane.TxnResult`, or ``None`` when
+        nothing was missing.  Raises
+        :class:`~repro.ctrlplane.TransactionAborted` if the control
+        channel defeats the retry budget; the caller retries later.
+        """
+        switch = self.switches.get(sid)
+        if switch is None:
+            raise KeyError(f"unknown switch {sid!r}")
+        stage: List[QuerySlice] = []
+        qids: List[str] = []
+        for qid in self.queries_on(sid):
+            record = self.installed[qid]
+            missing = [
+                record.slices[sub_qid][index]
+                for sub_qid, index in record.by_switch[sid]
+                if not switch.pipeline.hosts_slice(sub_qid, index)
+            ]
+            if missing:
+                qids.append(qid)
+                stage.extend(missing)
+        if not stage:
+            # Nothing to re-stage, but a wiped switch still carries a
+            # stale epoch stamp — beacon it back in sync so ingress
+            # stamps match fleet-wide.
+            self.txn.resync_epoch(sid)
+            return None
+        plan = TxnPlan(
+            op="recover",
+            qid="+".join(qids),
+            ops={sid: SwitchOps(stage=tuple(stage))},
+        )
+        return self.txn.execute(plan)
+
+    def replace_query(self, qid: str,
+                      exclude: Iterable[object]) -> InstallResult:
+        """Re-place an installed query off the (dead) ``exclude`` switches.
+
+        Re-plans the query on the surviving deployment context recorded
+        at install time and runs it as one hitless update — the same
+        make-before-break transaction as :meth:`update_query`, so the
+        surviving copies keep serving until the flip.  Raises
+        :class:`~repro.core.placement.PlacementError` when no surviving
+        switch can host the query.
+        """
+        record = self.installed.get(qid)
+        if record is None:
+            raise KeyError(f"query {qid!r} is not installed")
+        excluded = set(exclude)
+        deploy = dict(record.deploy)
+        if "path" in deploy:
+            survivors = tuple(
+                s for s in deploy["path"] if s not in excluded  # type: ignore[union-attr]
+            )
+            if not survivors:
+                raise PlacementError(
+                    f"no surviving path switch can host query {qid!r}"
+                )
+            deploy["path"] = survivors
+        elif "topology" in deploy:
+            already = set(deploy.get("exclude_switches", ()))  # type: ignore[arg-type]
+            deploy["exclude_switches"] = tuple(
+                sorted(already | excluded, key=str)
+            )
+        else:
+            raise PlacementError(
+                f"query {qid!r} has no recorded deployment context to "
+                f"re-place from"
+            )
+        return self.update_query(record.query, record.params, record.opts,
+                                 **deploy)
 
     # ------------------------------------------------------------------ #
     # Runtime support                                                     #

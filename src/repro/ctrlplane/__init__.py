@@ -17,6 +17,10 @@ from repro.ctrlplane.channel import (
     SwitchRebooted,
 )
 from repro.ctrlplane.journal import JournalEntry, TransactionJournal
+
+#: Disambiguating alias: ``repro.resilience.FaultPlan`` is the unified
+#: declarative fault schedule; this one only shapes the control channel.
+ChannelFaultPlan = FaultPlan
 from repro.ctrlplane.txn import (
     SwitchOps,
     TransactionAborted,
@@ -28,6 +32,7 @@ from repro.ctrlplane.txn import (
 
 __all__ = [
     "ChannelFault",
+    "ChannelFaultPlan",
     "ChannelLoss",
     "ChannelTimeout",
     "SwitchRebooted",

@@ -279,6 +279,22 @@ class TransactionManager:
                 overhead_s=FLIP_OVERHEAD_S, reliable=True,
             )
 
+    def resync_epoch(self, sid: object) -> float:
+        """Re-send the epoch beacon to one switch whose counter lags the
+        committed epoch (a crash wiped it to zero).  Needed when the
+        restarted switch hosts no slices — no recovery transaction will
+        run, so nothing else would ever re-advance its epoch stamp.
+        Returns the beacon delay (0.0 when already in sync)."""
+        switch = self.switches[sid]
+        if switch.rule_epoch >= self.epoch:
+            return 0.0
+        _, sent = self.channel.send(
+            "commit", 0, switch=switch,
+            apply=lambda s=switch: s.commit_epoch(self.epoch),
+            overhead_s=FLIP_OVERHEAD_S, reliable=True,
+        )
+        return sent
+
     # ------------------------------------------------------------------ #
     # The transaction                                                    #
     # ------------------------------------------------------------------ #

@@ -348,6 +348,23 @@ class NewtonPipeline:
             removed += self._unplace(installed)
         return removed
 
+    def wipe(self) -> int:
+        """ASIC crash: every resident bank — active, staged, retired —
+        and all register allocations are lost; returns entries removed.
+
+        The rule epoch resets to 0 (the restarted ASIC knows nothing of
+        the control plane's epoch sequence); the next commit or beacon
+        re-synchronizes it.  Recovery must re-stage from the controller's
+        placement records (:mod:`repro.resilience`).
+        """
+        removed = 0
+        for versions in list(self._slices.values()):
+            for installed in list(versions):
+                removed += self._unplace(installed)
+        self.rule_epoch = 0
+        self.mutation_seq += 1
+        return removed
+
     def remove_query(self, qid: str) -> int:
         """Remove every resident version of ``qid`` immediately; returns
         table entries removed.  (The direct, non-transactional path; the

@@ -224,6 +224,26 @@ class RegisterArray:
     def reset_all(self) -> None:
         self._cells[:] = 0
 
+    def corrupt(self, fraction: float, rng) -> int:
+        """Overwrite a seeded ``fraction`` of each allocation's cells
+        with random values (fault injection); returns cells corrupted.
+
+        ``rng`` is a :class:`random.Random`-like source, so the damage
+        is deterministic per seed — the chaos suite depends on that.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("corruption fraction outside [0, 1]")
+        corrupted = 0
+        for alloc in self._allocations.values():
+            hits = int(round(alloc.size * fraction))
+            if hits <= 0:
+                continue
+            cells = rng.sample(range(alloc.offset, alloc.end), hits)
+            for cell in cells:
+                self._cells[cell] = rng.randrange(0, REGISTER_MAX + 1)
+            corrupted += hits
+        return corrupted
+
     def occupancy(self) -> float:
         """Fraction of registers currently leased (for resource reports)."""
         return 1.0 - self.free_registers() / self.size

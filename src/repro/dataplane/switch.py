@@ -10,6 +10,8 @@ forwards nothing.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -25,7 +27,13 @@ from repro.dataplane.pipeline import (
 from repro.dataplane.tables import DEFAULT_TABLE_CAPACITY
 from repro.network.snapshot import SnapshotHeader
 
-__all__ = ["Switch", "RebootRecord", "DEFAULT_REBOOT_BASE_S", "DEFAULT_ENTRY_RESTORE_S"]
+__all__ = [
+    "Switch",
+    "RebootRecord",
+    "CrashRecord",
+    "DEFAULT_REBOOT_BASE_S",
+    "DEFAULT_ENTRY_RESTORE_S",
+]
 
 #: Fixed cost of reloading a P4 program into the ASIC (observed ~seconds on
 #: Tofino; calibrated so switch.p4-scale restores reproduce the paper's
@@ -44,6 +52,25 @@ class RebootRecord:
     start: float
     duration: float
     entries_restored: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class CrashRecord:
+    """One unplanned failure: the ASIC loses rules *and* register state.
+
+    Unlike a planned :class:`RebootRecord` (committed rules are restored
+    from the controller's store as part of the outage), a crash leaves
+    the switch empty — the resilience plane must detect it and re-stage
+    the lost query slices.  ``duration`` is ``inf`` for a switch that
+    never comes back on its own.
+    """
+
+    start: float
+    duration: float
 
     @property
     def end(self) -> float:
@@ -83,7 +110,18 @@ class Switch:
         self.reboot_base_s = reboot_base_s
         self.entry_restore_s = entry_restore_s
         self.reboots: List[RebootRecord] = []
+        self.crashes: List[CrashRecord] = []
         self.dropped_packets = 0
+        #: Incarnation number: bumped on every crash so a heartbeat can
+        #: tell "came back from a crash with empty banks" apart from "was
+        #: merely unreachable" (the generation-number trick).
+        self.boot_id = 0
+        #: Merged, sorted, non-overlapping outage intervals.  Liveness
+        #: checks consult these (most-recent interval first) instead of
+        #: scanning the full reboot history, keeping ``is_forwarding``
+        #: O(1) on the hot path no matter how many outages accumulated.
+        self._outage_starts: List[float] = []
+        self._outage_ends: List[float] = []
 
     # -- runtime-reconfigurable path (Newton) --------------------------- #
 
@@ -158,12 +196,90 @@ class Switch:
             start=at, duration=duration, entries_restored=entries_to_restore
         )
         self.reboots.append(record)
+        self._note_outage(at, record.end)
         self.pipeline.abort_staged()
         return record
 
+    def crash(self, at: float, down_for: Optional[float] = None) -> CrashRecord:
+        """Unplanned failure at ``at``: rules and registers are lost.
+
+        The switch stops forwarding for ``down_for`` seconds (forever
+        when ``None``) and comes back — if it comes back — with a bumped
+        :attr:`boot_id` and an empty pipeline.  Nothing here re-installs
+        anything; that is the resilience plane's job
+        (:mod:`repro.resilience`).
+        """
+        duration = math.inf if down_for is None else float(down_for)
+        record = CrashRecord(start=at, duration=duration)
+        self.crashes.append(record)
+        self._note_outage(at, record.end)
+        self.boot_id += 1
+        self.pipeline.wipe()
+        return record
+
+    def _note_outage(self, start: float, end: float) -> None:
+        """Fold one outage window into the merged interval list."""
+        starts, ends = self._outage_starts, self._outage_ends
+        i = bisect_right(starts, start)
+        while i > 0 and ends[i - 1] >= start:
+            i -= 1
+        j = i
+        while j < len(starts) and starts[j] <= end:
+            j += 1
+        if i < j:
+            start = min(start, starts[i])
+            end = max(end, ends[j - 1])
+        starts[i:j] = [start]
+        ends[i:j] = [end]
+
+    @property
+    def has_outage(self) -> bool:
+        """True iff any reboot/crash outage was ever recorded."""
+        return bool(self._outage_ends)
+
+    def outage_intervals(self) -> List[tuple]:
+        """Merged, sorted (start, end) outage windows (engines vectorize
+        over these instead of the raw reboot history)."""
+        return list(zip(self._outage_starts, self._outage_ends))
+
     def is_forwarding(self, at: float) -> bool:
-        """False while any reboot's outage window covers ``at``."""
-        return not any(r.start <= at < r.end for r in self.reboots)
+        """False while a reboot/crash outage window covers ``at``.
+
+        O(1) against the most-recent outage (the hot path for monotone
+        packet timestamps), O(log n) over the merged history otherwise —
+        never a scan of :attr:`reboots`.
+        """
+        ends = self._outage_ends
+        if not ends:
+            return True
+        if at >= ends[-1]:
+            return True
+        if at >= self._outage_starts[-1]:
+            return False
+        i = bisect_right(self._outage_starts, at, hi=len(ends) - 1) - 1
+        return i < 0 or at >= ends[i]
+
+    # alias: the resilience plane's liveness probes read better this way
+    is_alive = is_forwarding
+
+    def heartbeat(self, at: float) -> Optional[int]:
+        """Liveness probe: ``None`` while down, else the current boot id.
+
+        A changed boot id between two beats tells the failure detector
+        the switch restarted (crash) even if no window close fell inside
+        the outage itself.
+        """
+        if not self.is_forwarding(at):
+            return None
+        return self.boot_id
+
+    def corrupt_registers(self, fraction: float, rng) -> int:
+        """Overwrite a seeded fraction of allocated register cells with
+        garbage (models SEU/bit-rot faults); returns cells corrupted."""
+        corrupted = 0
+        for bank in self.pipeline.layout.state_banks():
+            corrupted += bank.array.corrupt(fraction, rng)
+        return corrupted
 
     # -- data path ------------------------------------------------------ #
 

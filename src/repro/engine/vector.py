@@ -160,7 +160,7 @@ class VectorizedEngine(ExecutionEngine):
             alive = np.ones(len(rows), dtype=bool)
             for hop, sid in enumerate(path):
                 switch = sim.switches[sid]
-                if switch.reboots:
+                if switch.has_outage:
                     forwarding = _forwarding_mask(switch, ts[rows])
                     blocked = alive & ~forwarding
                     dropped = int(blocked.sum())
@@ -305,8 +305,17 @@ class VectorizedEngine(ExecutionEngine):
 
 
 def _forwarding_mask(switch, ts: np.ndarray) -> np.ndarray:
-    """Vectorized :meth:`Switch.is_forwarding` over a timestamp column."""
-    mask = np.ones(len(ts), dtype=bool)
-    for record in switch.reboots:
-        mask &= ~((ts >= record.start) & (ts < record.end))
-    return mask
+    """Vectorized :meth:`Switch.is_forwarding` over a timestamp column.
+
+    Searches the switch's merged outage intervals (same structure the
+    scalar path bisects) — O(log n) per batch, never a scan of the raw
+    reboot history.
+    """
+    intervals = switch.outage_intervals()
+    if not intervals:
+        return np.ones(len(ts), dtype=bool)
+    starts = np.array([s for s, _ in intervals])
+    ends = np.array([e for _, e in intervals])
+    idx = np.searchsorted(starts, ts, side="right") - 1
+    inside = (idx >= 0) & (ts < ends[np.clip(idx, 0, len(ends) - 1)])
+    return ~inside

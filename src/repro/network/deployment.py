@@ -8,7 +8,7 @@ focused on the experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, Hashable, Optional
 
 from repro.collector import CollectorConfig, ReportCollector
@@ -21,6 +21,13 @@ from repro.dataplane.switch import Switch
 from repro.network.routing import Router
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology
+from repro.resilience import (
+    CoverageTracker,
+    FailureDetector,
+    FaultPlan,
+    RecoveryManager,
+    ResilienceConfig,
+)
 from repro.runtime.channel import ControlChannel
 from repro.runtime.clock import WindowClock
 
@@ -39,6 +46,11 @@ class Deployment:
     simulator: NetworkSimulator
     collector: ReportCollector
     clock: WindowClock
+    #: Resilience plane; populated when ``faults`` or ``resilience`` is
+    #: passed to :func:`build_deployment`, else ``None``.
+    detector: Optional[FailureDetector] = None
+    recovery: Optional[RecoveryManager] = None
+    faults: Optional[FaultPlan] = None
 
     def switch(self, switch_id: Hashable) -> Switch:
         return self.switches[switch_id]
@@ -57,6 +69,8 @@ def build_deployment(
     collector_config: Optional[CollectorConfig] = None,
     txn_config: Optional[TxnConfig] = None,
     engine: str = "scalar",
+    faults: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Deployment:
     """Instantiate Newton switches on every topology node and wire them up.
 
@@ -78,10 +92,25 @@ def build_deployment(
 
     ``engine`` selects the packet-execution engine (``"scalar"`` or
     ``"vector"``; see :mod:`repro.engine`).
+
+    ``faults`` takes a declarative :class:`~repro.resilience.FaultPlan`:
+    its report-loss events merge into the collector config, its control
+    events replace ``channel`` with a faulty one (unless an explicit
+    channel was passed), and its timed switch events are armed on the
+    simulator.  Passing ``faults`` or ``resilience`` also stands up the
+    resilience plane (failure detector + recovery manager, subscribed to
+    window closes after the collector and analyzer).
     """
     family = HashFamily(hash_seed)
     clock = WindowClock(window_ms=window_ms)
     analyzer = Analyzer(window_ms=window_ms)
+    if faults is not None:
+        report_faults = faults.collector_faults()
+        if report_faults is not None:
+            base = collector_config or CollectorConfig()
+            collector_config = dc_replace(base, faults=report_faults)
+        if channel is None:
+            channel = faults.build_channel()
     collector = ReportCollector(config=collector_config)
     collector.analyzer = analyzer
     enabled = (
@@ -119,6 +148,26 @@ def build_deployment(
         clock=clock,
         engine=engine,
     )
+    detector = recovery = None
+    if faults is not None or resilience is not None:
+        cfg = resilience or ResilienceConfig()
+        # Subscribed after the simulator wires collector + analyzer so a
+        # window is collected and graded before recovery reacts to it.
+        detector = FailureDetector(
+            switches, clock, config=cfg.detector,
+            registry=collector.metrics,
+        )
+        recovery = RecoveryManager(
+            controller, detector, clock,
+            coverage=CoverageTracker(registry=collector.metrics),
+            config=cfg.recovery, registry=collector.metrics,
+        )
+        clock.subscribe(detector.on_window_close)
+        clock.subscribe(recovery.on_window_close)
+        if faults is not None:
+            faults.schedule(
+                simulator, switches, on_corrupt=recovery.note_corruption
+            )
     return Deployment(
         topology=topology,
         switches=switches,
@@ -128,4 +177,7 @@ def build_deployment(
         simulator=simulator,
         collector=collector,
         clock=clock,
+        detector=detector,
+        recovery=recovery,
+        faults=faults,
     )

@@ -1,0 +1,145 @@
+"""Degraded-mode accounting: who missed what, and for how long.
+
+Every window close the recovery manager grades each installed query:
+*full* when every switch hosting its slices was healthy through the
+window, otherwise a *gap* — an epoch-stamped :class:`GapRecord` keyed
+``(qid, epoch)``, the same key the collector's per-window results use,
+so downstream consumers can merge coverage against answers directly.
+
+The tracker keeps per-query ``coverage`` gauges (fraction of windows
+fully monitored), a ``recovery_windows`` histogram (how many windows a
+query spent impaired per incident), and the bounded gap-record log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, Optional, Tuple
+
+from repro.collector.metrics import MetricsRegistry
+
+__all__ = ["GapRecord", "CoverageTracker", "RECOVERY_WINDOW_BUCKETS"]
+
+#: Histogram buckets for windows-to-recover (1 window = one 100 ms beat).
+RECOVERY_WINDOW_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Bound on retained gap records (counts are exact regardless).
+MAX_GAP_RECORDS = 4096
+
+
+@dataclass(frozen=True)
+class GapRecord:
+    """One window a query was not fully monitored."""
+
+    qid: str
+    epoch: int
+    #: switch-down | recovering | degraded | register-corruption | ...
+    reason: str
+    switch: Optional[Hashable] = None
+
+
+class CoverageTracker:
+    """Per-query window coverage and gap accounting."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        self._windows_total: Dict[str, int] = {}
+        self._windows_full: Dict[str, int] = {}
+        self._gap_counts: Dict[str, int] = {}
+        self._gaps: Deque[GapRecord] = deque(maxlen=MAX_GAP_RECORDS)
+        #: qid -> reason for queries that could not be recovered.
+        self._degraded: Dict[str, str] = {}
+        m = self.registry
+        self._g_coverage = m.gauge(
+            "resilience_query_coverage",
+            "fraction of windows fully monitored, per query",
+        )
+        self._c_gaps = m.counter(
+            "resilience_gap_windows_total",
+            "windows with impaired monitoring, per query and reason",
+        )
+        self._h_recovery = m.histogram(
+            "resilience_recovery_windows", RECOVERY_WINDOW_BUCKETS,
+            "windows from fault to full recovery, per incident",
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def observe_window(self, qid: str, epoch: int, full: bool,
+                       reason: str = "", switch: Optional[Hashable] = None,
+                       ) -> None:
+        """Grade one closed window for one query."""
+        self._windows_total[qid] = self._windows_total.get(qid, 0) + 1
+        if full:
+            self._windows_full[qid] = self._windows_full.get(qid, 0) + 1
+        else:
+            self.note_gap(qid, epoch, reason or "gap", switch)
+        self._g_coverage.set(self.coverage(qid), qid=qid)
+
+    def note_gap(self, qid: str, epoch: int, reason: str,
+                 switch: Optional[Hashable] = None) -> None:
+        """Record an epoch-stamped coverage gap (outside window grading,
+        e.g. register corruption detected mid-window)."""
+        self._gaps.append(GapRecord(qid=qid, epoch=epoch, reason=reason,
+                                    switch=switch))
+        self._gap_counts[qid] = self._gap_counts.get(qid, 0) + 1
+        self._c_gaps.inc(qid=qid, reason=reason)
+
+    def note_recovery(self, windows: int) -> None:
+        """One incident healed after ``windows`` impaired windows."""
+        self._h_recovery.observe(windows)
+
+    def mark_degraded(self, qid: str, reason: str) -> None:
+        """The query could not be (fully) recovered; it runs degraded."""
+        self._degraded[qid] = reason
+
+    def clear_degraded(self, qid: str) -> None:
+        self._degraded.pop(qid, None)
+
+    # ------------------------------------------------------------------ #
+
+    def coverage(self, qid: str) -> float:
+        """Fraction of observed windows fully monitored (1.0 if none)."""
+        total = self._windows_total.get(qid, 0)
+        if total == 0:
+            return 1.0
+        return self._windows_full.get(qid, 0) / total
+
+    def windows(self, qid: str) -> Tuple[int, int]:
+        """(full, total) window counts for ``qid``."""
+        return (self._windows_full.get(qid, 0),
+                self._windows_total.get(qid, 0))
+
+    def gap_count(self, qid: str) -> int:
+        return self._gap_counts.get(qid, 0)
+
+    def gaps(self, qid: Optional[str] = None) -> Tuple[GapRecord, ...]:
+        if qid is None:
+            return tuple(self._gaps)
+        return tuple(g for g in self._gaps if g.qid == qid)
+
+    def gap_epochs(self, qid: str) -> Tuple[int, ...]:
+        """Epochs with impaired monitoring — keyed like collector
+        results, so consumers can merge coverage with answers."""
+        return tuple(sorted({g.epoch for g in self._gaps if g.qid == qid}))
+
+    def is_degraded(self, qid: str) -> bool:
+        return qid in self._degraded
+
+    def degraded(self) -> Dict[str, str]:
+        return dict(self._degraded)
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-query coverage digest (CLI / benchmark output)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for qid in sorted(self._windows_total):
+            full, total = self.windows(qid)
+            out[qid] = {
+                "coverage": round(self.coverage(qid), 4),
+                "windows_full": full,
+                "windows_total": total,
+                "gap_windows": self.gap_count(qid),
+                "degraded": self._degraded.get(qid),
+            }
+        return out

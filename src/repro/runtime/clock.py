@@ -72,6 +72,11 @@ class WindowClock:
     def epoch_of(self, ts: float) -> int:
         return epoch_of(ts, self.window_s)
 
+    def close_time(self, epoch: int) -> float:
+        """Trace time at which ``epoch`` closes (its exclusive end) —
+        the instant heartbeat probes and window grading refer to."""
+        return (epoch + 1) * self.window_s
+
     def close(self, epoch: int) -> None:
         """Notify every subscriber that ``epoch`` just closed."""
         for callback in self._subscribers:

@@ -95,6 +95,43 @@ class TestBackpressureAccounting:
         assert collector.results(QID)[0] == {(8,): 3}
         assert_balanced(collector)
 
+    def test_drop_newest_attributed_to_query(self):
+        collector = make_collector(
+            queue_capacity=1, policy=BackpressurePolicy.DROP_NEWEST
+        )
+        collector.ingest(report(9))
+        collector.ingest(report(8))
+        counter = collector.metrics.counter(
+            "collector_reports_dropped_total"
+        )
+        assert counter.value(reason="queue-full", switch="s0",
+                             qid=TOP) == 1
+
+    def test_drop_oldest_attributed_to_evicted_query(self):
+        """The eviction must count against the query whose report was
+        lost, not the query whose arrival caused it (they can differ)."""
+        collector = make_collector(
+            queue_capacity=1, policy=BackpressurePolicy.DROP_OLDEST
+        )
+        other = "p.sub"
+        collector._registrations[other] = QueryRegistration(
+            qid=other, top_qid="p", key_fields=("dip",), result_set=1,
+            cpu_start=2, num_primitives=2, tail=(),
+        )
+        victim = Report(qid=other, switch_id="s0", ts=0.0, epoch=0,
+                        payload={"set1_fields": {"dip": 7},
+                                 "global_result": 1})
+        collector.ingest(victim)
+        collector.ingest(report(8))  # evicts the 'p' report
+        counter = collector.metrics.counter(
+            "collector_reports_dropped_total"
+        )
+        assert counter.value(reason="evicted-oldest", switch="s0",
+                             qid="p") == 1
+        assert counter.value(reason="evicted-oldest", switch="s0",
+                             qid=TOP) == 0
+        assert_balanced(collector)
+
     def test_block_never_drops(self):
         collector = make_collector(queue_capacity=1)
         for dip in range(10):

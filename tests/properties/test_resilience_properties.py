@@ -1,0 +1,207 @@
+"""Property tests: no silent loss under ANY seeded fault plan.
+
+ISSUE 5 acceptance: across 200+ seeded FaultPlans mixing switch crashes,
+planned reboots, control-message loss, and report loss, every installed
+query must end the run either
+
+* **fully recovered** — every switch in its placement record hosts its
+  slices, no staged residue, fleet-wide epoch agreement — within the
+  windows the trace provides, or
+* **explicitly degraded** — ``CoverageTracker.is_degraded`` with a
+  recorded reason.
+
+And in both cases the impaired windows are visible: coverage < 1.0 with
+epoch-stamped gap records.  Silent loss (impaired monitoring with a
+clean coverage ledger) fails the sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.core.compiler import QueryParams
+from repro.core.packet import Packet
+from repro.core.query import Query
+from repro.ctrlplane import TransactionAborted
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.resilience import (
+    FaultPlan,
+    RecoveryConfig,
+    ResilienceConfig,
+    SwitchState,
+    control_faults,
+    crash,
+    reboot,
+    report_faults,
+)
+from repro.traffic.traces import Trace
+from repro.verify import VerificationError
+
+N_SEEDS = 200
+N_SWITCHES = 3
+PARAMS = QueryParams(cm_depth=2, bf_hashes=2,
+                     reduce_registers=128, distinct_registers=128)
+
+#: Trace long enough that any fault injected in the first 0.35 s has
+#: >= 6 windows of detection + recovery headroom before it ends.
+TRACE_END_S = 1.3
+
+
+def syn_query():
+    return (
+        Query("rzp.q")
+        .filter(proto=6, tcp_flags=2)
+        .map("dip")
+        .reduce("dip")
+        .where(ge=2)
+    )
+
+
+def trace():
+    return Trace([
+        Packet(sip=100 + (i % 4), dip=9, proto=6, tcp_flags=2,
+               sport=5000 + i, ts=i * 0.01,
+               src_host="h_src0", dst_host="h_dst0")
+        for i in range(int(TRACE_END_S / 0.01))
+    ])
+
+
+def random_plan(seed):
+    """Seeded mix of crashes, reboots, control loss, and report loss.
+
+    All timed faults land in [0.05, 0.35] so recovery has bounded-window
+    headroom; crash outages are shorter than the replacement threshold
+    or permanent (exercising re-placement and degradation).
+    """
+    rng = random.Random(seed)
+    events = []
+    for _ in range(rng.randint(1, 3)):
+        victim = f"s{rng.randrange(N_SWITCHES)}"
+        at = rng.uniform(0.05, 0.35)
+        kind = rng.random()
+        if kind < 0.6:
+            down_for = rng.choice([rng.uniform(0.05, 0.3), None])
+            events.append(crash(victim, at, down_for=down_for))
+        else:
+            events.append(reboot(victim, at, entries=rng.randrange(50)))
+    if rng.random() < 0.4:
+        events.append(control_faults(loss=rng.uniform(0, 0.15),
+                                     timeout=rng.uniform(0, 0.1)))
+    if rng.random() < 0.4:
+        events.append(report_faults(loss=rng.uniform(0, 0.3)))
+    return FaultPlan(events=tuple(events), seed=seed)
+
+
+def run_seed(seed):
+    plan = random_plan(seed)
+    dep = build_deployment(
+        linear(N_SWITCHES), faults=plan,
+        resilience=ResilienceConfig(
+            recovery=RecoveryConfig(replace_after_windows=3),
+        ),
+    )
+    try:
+        dep.controller.install_query(
+            syn_query(), PARAMS, path=["s0", "s1", "s2"]
+        )
+    except (TransactionAborted, VerificationError):
+        return dep, plan, False  # control faults defeated the install
+    dep.simulator.run(trace())
+    return dep, plan, True
+
+
+def assert_recovered_or_degraded(dep, label):
+    coverage = dep.recovery.coverage
+    qid = "rzp.q"
+    assert qid in dep.controller.installed, (
+        f"{label}: recovery dropped the installed query"
+    )
+    record = dep.controller.installed[qid]
+    # Planned reboots outlast the trace (5 s restore): a switch may
+    # legitimately still be DOWN at trace end with recovery pending.
+    pending = any(
+        dep.detector.state_of(sid) != SwitchState.ALIVE
+        for sid in record.by_switch
+    )
+    if coverage.is_degraded(qid):
+        assert coverage.degraded()[qid], (
+            f"{label}: degraded without a recorded reason"
+        )
+    elif not pending:
+        # Fully recovered: placement record and pipelines must agree.
+        for sid, entries in record.by_switch.items():
+            pipeline = dep.switches[sid].pipeline
+            for sub_qid, index in entries:
+                assert pipeline.hosts_slice(sub_qid, index), (
+                    f"{label}: slice ({sub_qid}, {index}) missing on "
+                    f"{sid} after recovery"
+                )
+        for sid, switch in dep.switches.items():
+            assert switch.staged_rule_count == 0, (
+                f"{label}: staged residue on {sid}"
+            )
+        # A switch that never came back keeps its stale epoch stamp;
+        # every reachable switch must agree.
+        epochs = {
+            s.rule_epoch for sid, s in dep.switches.items()
+            if dep.detector.state_of(sid) == SwitchState.ALIVE
+        }
+        assert len(epochs) <= 1, (
+            f"{label}: epoch skew across live switches: {epochs}"
+        )
+    # No silent loss: any impaired window must be on the ledger.
+    full, total = coverage.windows(qid)
+    assert total > 0, f"{label}: no windows were ever graded"
+    assert full + coverage.gap_count(qid) >= total, (
+        f"{label}: {total - full} impaired windows but only "
+        f"{coverage.gap_count(qid)} gap records"
+    )
+    had_outage = any(
+        dep.switches[sid].has_outage for sid in record.by_switch
+    )
+    if had_outage:
+        assert coverage.gap_count(qid) > 0, (
+            f"{label}: a hosting switch went down yet coverage shows "
+            f"no gap — silent loss"
+        )
+        assert coverage.gap_epochs(qid), (
+            f"{label}: gaps lost their epoch stamps"
+        )
+
+
+class TestNoSilentLoss:
+    def test_200_seeded_fault_plans(self):
+        ran = recovered = degraded = 0
+        actions = set()
+        for seed in range(N_SEEDS):
+            dep, plan, installed = run_seed(seed)
+            if not installed:
+                continue
+            ran += 1
+            label = f"seed {seed} ({[e.kind for e in plan.events]})"
+            assert_recovered_or_degraded(dep, label)
+            if dep.recovery.coverage.is_degraded("rzp.q"):
+                degraded += 1
+            if dep.recovery.records:
+                recovered += 1
+                actions.update(r.action for r in dep.recovery.records)
+        # The sweep must exercise every outcome to mean anything.
+        assert ran >= N_SEEDS * 0.8, "control faults starved the sweep"
+        assert recovered > 0, "no seed ever recovered a switch"
+        assert degraded > 0, "no seed ever degraded explicitly"
+        assert "reinstall" in actions, "no crash/restart was re-installed"
+        assert "replace" in actions, "no permanent loss was re-placed"
+
+    @pytest.mark.parametrize("seed", [3, 17, 42])
+    def test_gap_epochs_merge_with_collector_results(self, seed):
+        """Gap records key (qid, epoch) exactly like per-window answers:
+        a consumer can line them up without translation."""
+        dep, plan, installed = run_seed(seed)
+        if not installed:
+            pytest.skip("install aborted under control faults")
+        coverage = dep.recovery.coverage
+        gap_epochs = set(coverage.gap_epochs("rzp.q"))
+        graded = coverage.windows("rzp.q")[1]
+        # Every gap epoch lies inside the graded window range.
+        assert all(0 <= e <= graded + 1 for e in gap_epochs)

@@ -154,3 +154,94 @@ class TestAtomicityUnderFaults:
         assert stats.initiated_by_query["prop.q"] == stats.packets, (
             f"monitoring gap during a {outcome['state']} update"
         )
+
+
+class TestUpdateDuringRecovery:
+    """ISSUE 5 satellite: an ``update_query`` racing switch recovery must
+    land on exactly one epoch — the update's — with no epoch skew, no
+    staged/retired residue, and no packet observing a mixed rule set.
+    Swept over 200 seeded (crash time, update time) interleavings."""
+
+    N_SEEDS = 200
+
+    @staticmethod
+    def recovery_deploy():
+        from repro.resilience import FaultPlan, crash
+
+        return build_deployment(
+            linear(N_SWITCHES),
+            faults=FaultPlan(),  # stands up detector + recovery
+        )
+
+    @staticmethod
+    def traffic(seed):
+        return syn_burst(300, seed=seed)
+
+    def run_interleaving(self, seed):
+        import random as random_module
+
+        rng = random_module.Random(seed)
+        dep = self.recovery_deploy()
+        dep.controller.install_query(q(3), PARAMS, path=["s0", "s1", "s2"])
+        victim = rng.choice(["s0", "s1", "s2"])
+        crash_at = rng.uniform(0.005, 0.02)
+        down_for = rng.uniform(0.05, 0.3)
+        # The update lands anywhere across the crash/detect/recover span.
+        update_at = rng.uniform(0.005, 0.045)
+        switch = dep.switches[victim]
+        dep.simulator.at(crash_at, lambda: switch.crash(crash_at,
+                                                        down_for=down_for))
+        outcome = {}
+
+        def update():
+            try:
+                dep.controller.update_query(
+                    q(9), PARAMS, path=["s0", "s1", "s2"]
+                )
+                outcome["state"] = "committed"
+            except TransactionAborted:
+                outcome["state"] = "rolled-back"
+
+        dep.simulator.at(update_at, update)
+        # 0.05 s of traffic, then idle windows so detection + recovery
+        # complete inside the trace.
+        trace = self.traffic(seed)
+        from repro.core.packet import Packet
+        from repro.traffic.traces import Trace, merge_traces
+        tail = Trace([Packet(sip=1, dip=2, ts=0.05 + i * 0.1,
+                             src_host="h_src0", dst_host="h_dst0")
+                      for i in range(8)])
+        stats = dep.simulator.run(merge_traces([trace, tail]))
+        return dep, stats, outcome
+
+    def test_200_seeded_recovery_interleavings(self):
+        committed = 0
+        for seed in range(self.N_SEEDS):
+            dep, stats, outcome = self.run_interleaving(seed)
+            label = f"seed {seed} ({outcome['state']})"
+            assert_atomic(dep, label)
+            assert stats.mixed_rule_epoch_packets == 0, label
+            # Exactly one update transaction ever ran, and if it
+            # committed it did so at exactly one epoch.
+            updates = [e for e in dep.controller.txn.journal.snapshot()
+                       if e["op"] == "update"]
+            assert len(updates) == 1, label
+            if outcome["state"] == "committed":
+                committed += 1
+                assert updates[0]["state"] == "committed", label
+                epochs = {s.rule_epoch for s in dep.switches.values()}
+                assert epochs == {dep.controller.txn.epoch}, label
+            # Recovery must never leave the query silently impaired:
+            # healthy again, or an explicit degraded/coverage record.
+            coverage = dep.recovery.coverage
+            qid = "prop.q"
+            if not coverage.is_degraded(qid):
+                record = dep.controller.installed[qid]
+                for sid, entries in record.by_switch.items():
+                    pipeline = dep.switches[sid].pipeline
+                    for sub_qid, index in entries:
+                        assert pipeline.hosts_slice(sub_qid, index), (
+                            f"{label}: ({sub_qid},{index}) not resident "
+                            f"on {sid} after recovery"
+                        )
+        assert committed > 0, "no interleaving ever committed the update"

@@ -1,0 +1,154 @@
+"""Failure-detector state machine (ALIVE -> SUSPECT -> DOWN -> ...)."""
+
+import pytest
+
+from repro.collector.metrics import MetricsRegistry
+from repro.resilience.health import (
+    DetectorConfig,
+    FailureDetector,
+    SwitchState,
+)
+from repro.runtime.clock import WindowClock
+
+
+class FakeSwitch:
+    """Heartbeat stub: scriptable liveness + boot id."""
+
+    def __init__(self):
+        self.alive = True
+        self.boot_id = 0
+
+    def heartbeat(self, at):
+        del at
+        return self.boot_id if self.alive else None
+
+
+def make_detector(n=1, **cfg):
+    switches = {f"s{i}": FakeSwitch() for i in range(n)}
+    detector = FailureDetector(
+        switches, WindowClock(window_ms=100),
+        config=DetectorConfig(**cfg) if cfg else None,
+        registry=MetricsRegistry(),
+    )
+    return detector, switches
+
+
+class TestConfig:
+    def test_rejects_zero_suspect_threshold(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(suspect_after=0)
+
+    def test_rejects_down_before_suspect(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(suspect_after=3, down_after=2)
+
+
+class TestStateMachine:
+    def test_healthy_switch_stays_alive(self):
+        detector, _ = make_detector()
+        for epoch in range(5):
+            detector.on_window_close(epoch)
+        assert detector.state_of("s0") == SwitchState.ALIVE
+        assert detector.transitions == []
+
+    def test_misses_escalate_suspect_then_down(self):
+        detector, switches = make_detector(suspect_after=1, down_after=3)
+        switches["s0"].alive = False
+        detector.on_window_close(0)
+        assert detector.state_of("s0") == SwitchState.SUSPECT
+        detector.on_window_close(1)
+        assert detector.state_of("s0") == SwitchState.SUSPECT
+        detector.on_window_close(2)
+        assert detector.state_of("s0") == SwitchState.DOWN
+        health = detector.health("s0")
+        assert health.down_since_epoch == 2
+        assert health.down_at_s == pytest.approx(0.3)
+        assert not health.restarted
+
+    def test_phi_normalised_to_down_threshold(self):
+        detector, switches = make_detector(suspect_after=1, down_after=4)
+        switches["s0"].alive = False
+        cfg = detector.config
+        assert detector.health("s0").phi(cfg) == 0.0
+        detector.on_window_close(0)
+        assert detector.health("s0").phi(cfg) == pytest.approx(0.25)
+        for epoch in range(1, 4):
+            detector.on_window_close(epoch)
+        assert detector.health("s0").phi(cfg) == 1.0
+
+    def test_same_boot_id_return_recovers_to_alive(self):
+        """A planned reboot keeps committed state: the switch goes
+        straight back to ALIVE, no recovery needed."""
+        detector, switches = make_detector(down_after=2)
+        switches["s0"].alive = False
+        detector.on_window_close(0)
+        detector.on_window_close(1)
+        assert detector.state_of("s0") == SwitchState.DOWN
+        switches["s0"].alive = True
+        detector.on_window_close(2)
+        health = detector.health("s0")
+        assert health.state == SwitchState.ALIVE
+        assert not health.restarted
+        assert health.down_since_epoch is None
+
+    def test_boot_id_change_is_immediate_down_with_restart_flag(self):
+        """A crash shorter than the miss threshold is still caught: the
+        returning beat carries a new boot id (banks were wiped)."""
+        detector, switches = make_detector(down_after=5)
+        detector.on_window_close(0)
+        switches["s0"].boot_id += 1  # crashed and restarted between beats
+        detector.on_window_close(1)
+        health = detector.health("s0")
+        assert health.state == SwitchState.DOWN
+        assert health.restarted
+        assert health.down_since_epoch == 1
+
+    def test_transitions_fire_listeners_in_order(self):
+        detector, switches = make_detector(suspect_after=1, down_after=2)
+        seen = []
+        detector.subscribe(lambda t: seen.append((t.old, t.new, t.epoch)))
+        switches["s0"].alive = False
+        detector.on_window_close(0)
+        detector.on_window_close(1)
+        assert seen == [
+            (SwitchState.ALIVE, SwitchState.SUSPECT, 0),
+            (SwitchState.SUSPECT, SwitchState.DOWN, 1),
+        ]
+
+    def test_recovering_with_missed_beat_falls_back_to_down(self):
+        detector, switches = make_detector(down_after=1)
+        switches["s0"].alive = False
+        detector.on_window_close(0)
+        detector.mark_recovering("s0", 0)
+        assert detector.state_of("s0") == SwitchState.RECOVERING
+        detector.on_window_close(1)
+        assert detector.state_of("s0") == SwitchState.DOWN
+
+    def test_mark_alive_clears_incident_state(self):
+        detector, switches = make_detector(down_after=1)
+        switches["s0"].boot_id = 3
+        detector.on_window_close(0)
+        assert detector.health("s0").restarted
+        detector.mark_alive("s0", 0)
+        health = detector.health("s0")
+        assert health.state == SwitchState.ALIVE
+        assert not health.restarted
+        assert health.misses == 0
+
+    def test_per_switch_isolation(self):
+        detector, switches = make_detector(n=3, down_after=1)
+        switches["s1"].alive = False
+        detector.on_window_close(0)
+        assert detector.state_of("s0") == SwitchState.ALIVE
+        assert detector.state_of("s1") == SwitchState.DOWN
+        assert detector.state_of("s2") == SwitchState.ALIVE
+
+    def test_miss_counter_metric(self):
+        detector, switches = make_detector(down_after=3)
+        switches["s0"].alive = False
+        for epoch in range(3):
+            detector.on_window_close(epoch)
+        counter = detector.registry.counter(
+            "resilience_heartbeat_misses_total"
+        )
+        assert counter.value(switch="s0") == 3

@@ -6,6 +6,7 @@ Everything the repository can do, reachable without writing Python::
     newton-repro compile Q4                # rules/stages a query compiles to
     newton-repro lint --all                # static verification of the library
     newton-repro lint Q6 Q8 --joint        # cross-query checks of a set
+    newton-repro analyze Q1 Q2 Q3          # fleet-level deployment analysis
     newton-repro experiment fig7           # regenerate a paper artefact
     newton-repro experiment all            # every table and figure
     newton-repro collect-stats             # collection-plane metrics run
@@ -253,8 +254,17 @@ def _lint_targets(
 
 
 def cmd_lint(args) -> int:
-    """Statically verify compiled query programs; exit 1 on errors."""
-    from repro.verify import PipelineModel, VerifierConfig, verify_queries
+    """Statically verify compiled query programs.
+
+    Exit contract (shared with ``analyze``): 0 clean, 1 warnings only,
+    2 errors (``--werror`` promotes warnings to errors).
+    """
+    from repro.verify import (
+        PipelineModel,
+        VerifierConfig,
+        exit_code,
+        verify_queries,
+    )
 
     names = list(args.targets)
     if args.all:
@@ -284,7 +294,9 @@ def cmd_lint(args) -> int:
     if args.joint:
         units = [("joint", [q for _, qs in units for q in qs])]
 
-    failed = False
+    as_json = args.json or args.format == "json"
+    worst = 0
+    json_diags: List[dict] = []
     for label, queries in units:
         compiled = [
             compile_query(sub, params, opts)
@@ -292,14 +304,87 @@ def cmd_lint(args) -> int:
             for sub in flatten(query)
         ]
         report = verify_queries(compiled, model=model, config=config)
-        if args.json:
-            print(report.to_json())
+        if as_json:
+            json_diags.extend(d.as_dict() for d in report.sorted())
         else:
             print(f"== {label}")
             print(report.render())
-        if not report.ok or (args.werror and report.warnings):
-            failed = True
-    return 1 if failed else 0
+        worst = max(worst, exit_code(report, werror=args.werror))
+    if as_json:
+        import json as json_mod
+
+        print(json_mod.dumps(json_diags, indent=2))
+    return worst
+
+
+def cmd_analyze(args) -> int:
+    """Fleet-level static analysis of a deployed query set.
+
+    Builds a linear deployment, installs the named queries, and runs
+    the whole-deployment analyzer (NV4xx interference, NV6xx epoch
+    safety, NV7xx accuracy budgets, plus the joint per-query passes).
+    Queries the install-time gate rejects are reported as skipped and
+    the analysis continues over what was admitted.  Exit contract:
+    0 clean, 1 warnings only, 2 errors.
+    """
+    from repro.network.deployment import build_deployment
+    from repro.network.topology import linear
+    from repro.verify import (
+        FleetConfig,
+        VerifierConfig,
+        analyze_deployment,
+        exit_code,
+    )
+
+    names = list(args.queries) or ["Q1", "Q2", "Q3"]
+    params = QueryParams(
+        cm_depth=args.cm_depth,
+        bf_hashes=args.bf_hashes,
+        reduce_registers=args.reduce_registers,
+        distinct_registers=args.distinct_registers,
+    )
+    dep = build_deployment(
+        linear(args.switches),
+        num_stages=args.stages,
+        table_capacity=args.table_capacity,
+        array_size=args.array_size,
+    )
+    path = [f"s{i}" for i in range(args.switches)]
+    thresholds = evaluation_thresholds()
+    skipped: List[Tuple[str, str]] = []
+    for name in names:
+        try:
+            dep.controller.install_query(
+                build_query(name, thresholds), params, path=path
+            )
+        except Exception as exc:  # gate rejection, resource exhaustion
+            skipped.append((name, f"{type(exc).__name__}: {exc}"))
+    compiled = {
+        sub_qid: comp
+        for record in dep.controller.installed.values()
+        for sub_qid, comp in record.compiled.items()
+    }
+    config = FleetConfig(
+        expected_flows=args.expected_flows or None,
+        suppress=tuple(args.suppress),
+        verifier=VerifierConfig(suppress=tuple(args.suppress)),
+    )
+    report = analyze_deployment(
+        dep.switches,
+        compiled=compiled,
+        committed_epoch=dep.controller.txn.epoch,
+        config=config,
+    )
+    for name, reason in skipped:
+        print(f"analyze: skipped {name}: {reason}", file=sys.stderr)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        installed = ", ".join(sorted(compiled)) or "(none)"
+        print(f"== fleet: {len(dep.switches)} switches, "
+              f"queries {installed}")
+        print(report.render())
+    return exit_code(report, werror=args.werror)
 
 
 def cmd_experiment(args) -> int:
@@ -670,7 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--werror", action="store_true",
                              help="treat warnings as errors for the exit code")
     lint_parser.add_argument("--json", action="store_true",
-                             help="emit diagnostics as JSON")
+                             help="emit diagnostics as JSON "
+                                  "(alias for --format json)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text",
+                             help="output format (default text)")
     lint_parser.add_argument("--suppress", action="append", default=[],
                              metavar="CODE",
                              help="drop a diagnostic code (repeatable)")
@@ -685,6 +774,39 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--table-capacity", type=int, default=256)
     lint_parser.add_argument("--array-size", type=int, default=4096)
     lint_parser.set_defaults(func=cmd_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="fleet-level static analysis of a deployed query set "
+             "(exit 0 clean / 1 warnings / 2 errors)",
+    )
+    analyze_parser.add_argument(
+        "queries", nargs="*",
+        help="library query names to install (default: Q1 Q2 Q3)",
+    )
+    analyze_parser.add_argument("--switches", type=int, default=3,
+                                help="linear topology length (default 3)")
+    analyze_parser.add_argument("--expected-flows", type=int, default=10000,
+                                help="declared flow cardinality for the "
+                                     "NV7xx accuracy budget (0 disables)")
+    analyze_parser.add_argument("--format", choices=("text", "json"),
+                                default="text",
+                                help="output format (default text)")
+    analyze_parser.add_argument("--werror", action="store_true",
+                                help="treat warnings as errors for the "
+                                     "exit code")
+    analyze_parser.add_argument("--suppress", action="append", default=[],
+                                metavar="CODE",
+                                help="drop a diagnostic code (repeatable)")
+    analyze_parser.add_argument("--cm-depth", type=int, default=2)
+    analyze_parser.add_argument("--bf-hashes", type=int, default=3)
+    analyze_parser.add_argument("--reduce-registers", type=int, default=2048)
+    analyze_parser.add_argument("--distinct-registers", type=int,
+                                default=2048)
+    analyze_parser.add_argument("--stages", type=int, default=12)
+    analyze_parser.add_argument("--table-capacity", type=int, default=256)
+    analyze_parser.add_argument("--array-size", type=int, default=4096)
+    analyze_parser.set_defaults(func=cmd_analyze)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"

@@ -153,6 +153,11 @@ class TransactionManager:
         self.epoch = max(
             (s.rule_epoch for s in switches.values()), default=0
         )
+        #: Gate every transaction on the fleet analyzer's NV6xx staging
+        #: pass: statically prove the double-occupancy window fits each
+        #: target switch before 2PC touches the data plane.  Disable to
+        #: fall back to failing (and rolling back) at the allocator.
+        self.epoch_gate = True
         self._txn_counter = 0
         reg = self.registry
         self._m_txns = reg.counter(
@@ -315,6 +320,26 @@ class TransactionManager:
                 self._finish(plan, txn_id, target, "aborted",
                              error=f"verification: {exc}")
                 raise
+
+        # Phase 0b: the fleet analyzer's NV6xx staging gate — prove the
+        # make-before-break double-occupancy window fits every target
+        # switch, or abort with the prior epoch fully intact.
+        if self.epoch_gate:
+            from repro.verify import VerificationError
+            from repro.verify.fleet import check_staging_plan
+
+            staging = {
+                sid: ops.stage for sid, ops in plan.ops.items() if ops.stage
+            }
+            if staging:
+                report = check_staging_plan(
+                    self.switches, staging, target_epoch=target
+                )
+                if not report.ok:
+                    exc = VerificationError(report)
+                    self._finish(plan, txn_id, target, "aborted",
+                                 error=f"epoch gate: {exc}")
+                    raise exc
 
         self.channel.begin_transaction(txn_id)
         delays: Dict[object, float] = {}

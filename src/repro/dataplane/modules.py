@@ -10,7 +10,7 @@ what makes Newton queries reconfigurable at runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.fields import GLOBAL_FIELDS
 from repro.core.rules import (
@@ -28,6 +28,9 @@ from repro.dataplane.module_types import ModuleType
 from repro.dataplane.phv import PhvContext
 from repro.dataplane.registers import RegisterArray
 from repro.dataplane.tables import DEFAULT_TABLE_CAPACITY, ExactMatchTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.sanitizer import Sanitizer
 
 __all__ = [
     "ExecutionEnv",
@@ -56,6 +59,11 @@ class ExecutionEnv:
     report_sink: Optional[Callable[[Report], None]] = None
     #: Monitoring messages emitted while executing this packet.
     reports: List[Report] = field(default_factory=list)
+    #: Runtime invariant checker (observe-only; ``None`` when disabled).
+    sanitizer: Optional["Sanitizer"] = None
+    #: Per-packet hash-unit usage, lazily created by the sanitizer:
+    #: (seed, range, packed key) -> query ids that hashed it.
+    hash_seen: Optional[Dict[Tuple[int, int, bytes], Set[str]]] = None
 
     def emit(self, qid: str, ctx: PhvContext) -> None:
         report = Report(
@@ -154,6 +162,8 @@ class HashCalculationModule(ModuleInstance):
         else:
             unit = env.hash_family.unit(config.seed_index, config.range_size)
             mset.hash_result = unit(mset.oper_keys)
+            if env.sanitizer is not None:
+                env.sanitizer.note_hash(env, spec.qid, unit, mset.oper_keys)
 
 
 class StateBankModule(ModuleInstance):
@@ -203,6 +213,19 @@ class StateBankModule(ModuleInstance):
                 f"S module executed before H produced a hash result "
                 f"(query {spec.qid} step {spec.step})"
             )
+        if env.sanitizer is not None:
+            alloc = self.array.allocation(key if key is not None
+                                          else spec.key)
+            if alloc is not None and not 0 <= mset.hash_result < alloc.size:
+                env.sanitizer.record(
+                    "register-oob",
+                    (
+                        f"S index {mset.hash_result} outside the "
+                        f"{alloc.size}-register slice (step {spec.step}); "
+                        f"the array wraps it by modulo"
+                    ),
+                    switch=env.switch_id, qid=spec.qid,
+                )
         old, new = self.array.execute(
             key if key is not None else spec.key,
             mset.hash_result, config.op, config.operand(env.fields)

@@ -120,6 +120,9 @@ class NewtonPipeline:
         #: index registers consistently across hops.
         self.hash_family = hash_family or HashFamily()
         self.report_sink = report_sink
+        #: Runtime invariant checker threaded into every packet's
+        #: execution env (observe-only; ``None`` when sanitizing is off).
+        self.sanitizer = None
         #: 100 ms measurement-window counter (register reset cadence).
         self.epoch = 0
         #: Active rule-bank epoch (flipped by the transaction manager).
@@ -496,6 +499,7 @@ class NewtonPipeline:
             switch_id=self.switch_id,
             hash_family=self.hash_family,
             report_sink=self.report_sink,
+            sanitizer=self.sanitizer,
         )
 
         # Continue in-flight queries first (parser decodes SP, §5.1).

@@ -283,6 +283,8 @@ def execute_program(
     window_epoch: int,
     switch_id: object,
     sink_reports: List[Tuple[int, Report]],
+    sanitizer=None,
+    hash_trace=None,
 ) -> None:
     """Run one compiled program over ``k`` packets (in packet order).
 
@@ -290,6 +292,11 @@ def execute_program(
     read), ``ts`` the timestamps.  Emitted reports are appended to
     ``sink_reports`` as ``(row, report)`` in exactly the order the scalar
     loop would emit them for each packet.
+
+    ``sanitizer`` enables observe-only invariant checks; ``hash_trace``
+    (a list) additionally collects ``((seed, range), local rows, key
+    rows)`` per hash op so the caller can run the cross-program
+    collision check over a whole batch.
     """
     k = len(ts)
     act = np.ones(k, dtype=bool)
@@ -330,6 +337,10 @@ def execute_program(
                     rows = st.key[idx]
                 assert op.unit is not None
                 values = op.unit.many(rows, op.cache)
+                if hash_trace is not None:
+                    hash_trace.append(
+                        ((op.unit.seed, op.unit.range_size), idx, rows)
+                    )
                 fresh = (np.zeros(k, dtype=np.int64) if st.hash is None
                          else st.hash.copy())
                 fresh[idx] = values
@@ -342,6 +353,21 @@ def execute_program(
                 continue
             idx = np.flatnonzero(act)
             assert st.hash is not None and op.array is not None
+            if sanitizer is not None:
+                alloc = op.array.allocation(op.storage_key)
+                if alloc is not None and len(idx):
+                    h = st.hash[idx]
+                    bad = int(((h < 0) | (h >= alloc.size)).sum())
+                    if bad:
+                        sanitizer.record(
+                            "register-oob",
+                            (
+                                f"S index outside the {alloc.size}-"
+                                f"register slice; the array wraps it by "
+                                f"modulo"
+                            ),
+                            switch=switch_id, qid=program.qid, count=bad,
+                        )
             if op.operand_field is not None:
                 operands = cols[op.operand_field][idx]
             else:

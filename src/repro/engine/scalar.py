@@ -74,6 +74,15 @@ class ScalarEngine(ExecutionEngine):
                 stats.payload_bytes += packet.len
         if mixed:
             stats.mixed_rule_epoch_packets += 1
+            if sim.sanitizer is not None:
+                sim.sanitizer.record(
+                    "mixed-epoch",
+                    (
+                        f"packet at ts={packet.ts:.6f} executed under "
+                        f"different rule-bank epochs along its path "
+                        f"{list(path)}"
+                    ),
+                )
         stats.delivered += 1
         # Egress (newton_fin): strip the header; defer unfinished queries.
         for qid, entry in snapshot.items():

@@ -253,6 +253,10 @@ class VectorizedEngine(ExecutionEngine):
             else:
                 np.minimum(rank, entry_rank, out=rank)
         window_epoch = pipeline.epoch
+        sanitizer = sim.sanitizer
+        # (hash unit, key width) -> qid -> [(global row | key bytes) rows].
+        hash_groups: Dict[Tuple[Tuple[int, int], int],
+                          Dict[str, List[np.ndarray]]] = {}
         for qid, rank in ranks.items():
             program = bundle.programs.get(qid)
             if program is None:
@@ -265,15 +269,34 @@ class VectorizedEngine(ExecutionEngine):
                 name: cols[name][sel] for name in program.fields_needed
             }
             reports: List[Tuple[int, "Report"]] = []
+            hash_trace: Optional[List] = (
+                [] if sanitizer is not None else None
+            )
             execute_program(
                 program, program_cols, batch.ts[rows[sel]],
                 window_epoch, pipeline.switch_id, reports,
+                sanitizer=sanitizer, hash_trace=hash_trace,
             )
+            if hash_trace:
+                global_rows = rows[sel]
+                for unit_key, local_idx, key_rows in hash_trace:
+                    # Pack (global row, key bytes) side by side so the
+                    # collision scan can dedupe and intersect in one
+                    # np.unique pass per query pair.
+                    combo = np.concatenate(
+                        [global_rows[local_idx].reshape(-1, 1),
+                         key_rows.astype(np.int64)], axis=1,
+                    )
+                    hash_groups.setdefault(
+                        (unit_key, key_rows.shape[1]), {}
+                    ).setdefault(qid, []).append(combo)
             for local, report in reports:
                 pending.append((
                     int(rows[sel[local]]), int(rank[sel[local]]),
                     sid, report,
                 ))
+        if sanitizer is not None and hash_groups:
+            _check_hash_collisions(sanitizer, sid, hash_groups)
 
     def _emit_reports(self, sim: "NetworkSimulator",
                       stats: "SimulationStats",
@@ -319,3 +342,44 @@ def _forwarding_mask(switch, ts: np.ndarray) -> np.ndarray:
     idx = np.searchsorted(starts, ts, side="right") - 1
     inside = (idx >= 0) & (ts < ends[np.clip(idx, 0, len(ends) - 1)])
     return ~inside
+
+
+def _check_hash_collisions(
+    sanitizer,
+    sid: Hashable,
+    hash_groups: Dict[Tuple[Tuple[int, int], int],
+                      Dict[str, List[np.ndarray]]],
+) -> None:
+    """Cross-query hash-unit collision scan over one ingress batch.
+
+    Mirrors the scalar sanitizer exactly: for each physical unit, two
+    queries collide on a packet when both hashed the *same key bytes*
+    through it.  Each per-query matrix is deduped, so a common
+    ``(row, key)`` appears exactly twice in the concatenated pair and
+    the hit count equals the scalar per-packet pair count.
+    """
+    for (unit_key, _width), per_qid in hash_groups.items():
+        if len(per_qid) < 2:
+            continue
+        mats = {
+            qid: np.unique(np.concatenate(chunks), axis=0)
+            for qid, chunks in per_qid.items()
+        }
+        qids = sorted(mats)
+        for i, qa in enumerate(qids):
+            for qb in qids[i + 1:]:
+                both = np.concatenate([mats[qa], mats[qb]])
+                _uniq, counts = np.unique(both, axis=0, return_counts=True)
+                hits = int((counts == 2).sum())
+                if hits:
+                    seed, range_size = unit_key
+                    sanitizer.record(
+                        "hash-collision",
+                        (
+                            f"queries [{qa!r}] and {qb!r} hashed the "
+                            f"same key through hash unit "
+                            f"(seed={seed:#x}, range={range_size}) in "
+                            f"one batch"
+                        ),
+                        switch=sid, qid=qb, count=hits,
+                    )

@@ -8,6 +8,7 @@ focused on the experiment.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, Hashable, Optional
 
@@ -30,8 +31,15 @@ from repro.resilience import (
 )
 from repro.runtime.channel import ControlChannel
 from repro.runtime.clock import WindowClock
+from repro.runtime.sanitizer import Sanitizer
 
-__all__ = ["Deployment", "build_deployment"]
+__all__ = ["Deployment", "build_deployment", "sanitize_enabled"]
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``NEWTON_SANITIZE`` asks for runtime invariant checks."""
+    value = os.environ.get("NEWTON_SANITIZE", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
 @dataclass
@@ -51,6 +59,8 @@ class Deployment:
     detector: Optional[FailureDetector] = None
     recovery: Optional[RecoveryManager] = None
     faults: Optional[FaultPlan] = None
+    #: Runtime invariant checker; set when sanitizing is on, else ``None``.
+    sanitizer: Optional[Sanitizer] = None
 
     def switch(self, switch_id: Hashable) -> Switch:
         return self.switches[switch_id]
@@ -71,6 +81,7 @@ def build_deployment(
     engine: str = "scalar",
     faults: Optional[FaultPlan] = None,
     resilience: Optional[ResilienceConfig] = None,
+    sanitize: Optional[bool] = None,
 ) -> Deployment:
     """Instantiate Newton switches on every topology node and wire them up.
 
@@ -92,6 +103,12 @@ def build_deployment(
 
     ``engine`` selects the packet-execution engine (``"scalar"`` or
     ``"vector"``; see :mod:`repro.engine`).
+
+    ``sanitize`` enables the runtime invariant sanitizer
+    (:mod:`repro.runtime.sanitizer`) on every switch and the simulator;
+    ``None`` (the default) defers to the ``NEWTON_SANITIZE`` environment
+    variable.  Sanitized runs are bit-identical to unsanitized ones —
+    violations accumulate on :attr:`Deployment.sanitizer` only.
 
     ``faults`` takes a declarative :class:`~repro.resilience.FaultPlan`:
     its report-loss events merge into the collector config, its control
@@ -130,6 +147,12 @@ def build_deployment(
         )
         for sid in topology.switches()
     }
+    if sanitize is None:
+        sanitize = sanitize_enabled()
+    sanitizer = Sanitizer() if sanitize else None
+    if sanitizer is not None:
+        for switch in switches.values():
+            switch.pipeline.sanitizer = sanitizer
     router = Router(topology, ecmp=ecmp)
     channel = channel or ControlChannel()
     controller = NewtonController(
@@ -147,6 +170,7 @@ def build_deployment(
         collector=collector,
         clock=clock,
         engine=engine,
+        sanitizer=sanitizer,
     )
     detector = recovery = None
     if faults is not None or resilience is not None:
@@ -180,4 +204,5 @@ def build_deployment(
         detector=detector,
         recovery=recovery,
         faults=faults,
+        sanitizer=sanitizer,
     )

@@ -51,6 +51,7 @@ from repro.runtime.clock import WindowClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.collector import ReportCollector
+    from repro.runtime.sanitizer import Sanitizer
 
 __all__ = ["NetworkSimulator", "SimulationStats"]
 
@@ -120,6 +121,7 @@ class NetworkSimulator:
         collector: Optional["ReportCollector"] = None,
         clock: Optional[WindowClock] = None,
         engine: Union[str, ExecutionEngine, None] = "scalar",
+        sanitizer: Optional["Sanitizer"] = None,
     ):
         missing = [s for s in topology.switches() if s not in switches]
         if missing:
@@ -140,6 +142,8 @@ class NetworkSimulator:
             self.clock.subscribe(analyzer.advance_window)
         self.window_s = self.clock.window_s
         self.engine = get_engine(engine)
+        #: Runtime invariant checker (observe-only; ``None`` = disabled).
+        self.sanitizer = sanitizer
         self._epoch = 0
         #: Current trace time: the timestamp of the last packet handed to
         #: the engine (``-inf`` before the first).  Guards :meth:`at`
@@ -194,7 +198,10 @@ class NetworkSimulator:
         execution engine consumes whichever representation suits it.
         """
         stats = SimulationStats()
-        return self.engine.run(self, packets, stats)
+        result = self.engine.run(self, packets, stats)
+        if self.sanitizer is not None:
+            self.sanitizer.check_coverage(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # Window synchronisation                                              #

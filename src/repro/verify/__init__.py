@@ -13,9 +13,21 @@ instead of corrupting monitoring silently at runtime.  Five passes:
 4. sketch-parameter sanity (``NV3xx``, :mod:`repro.verify.sketch`),
 5. dead-rule elimination hints (``NV5xx``, :mod:`repro.verify.deadrules`).
 
+:mod:`repro.verify.fleet` extends the per-query passes to the whole
+deployment: cross-query interference (``NV4xx``), epoch-transition
+safety (``NV6xx``) and accuracy budgeting (``NV7xx``) over every
+resident rule bank — the backend of ``newton-repro analyze`` and the
+transaction manager's staging gate.
+
 All codes are documented in ``docs/static-analysis.md``.
 """
 
+from repro.verify.fleet import (
+    FleetConfig,
+    analyze_deployment,
+    check_staging_plan,
+    exit_code,
+)
 from repro.verify.diagnostics import (
     Diagnostic,
     Location,
@@ -38,6 +50,10 @@ from repro.verify.verifier import (
 )
 
 __all__ = [
+    "FleetConfig",
+    "analyze_deployment",
+    "check_staging_plan",
+    "exit_code",
     "Diagnostic",
     "Location",
     "Severity",

@@ -13,7 +13,12 @@ Code blocks are grouped by pass:
 * ``NV1xx`` — container dependency and compact-layout soundness (Figure 4)
 * ``NV2xx`` — resource admission (stage capacity, registers, stage budget)
 * ``NV3xx`` — sketch-parameter sanity (Count-Min, Bloom, hash seeds)
+* ``NV4xx`` — fleet-level cross-query interference (occupancy policy,
+  shared hash units, dispatch starvation)
 * ``NV5xx`` — dead-rule elimination hints
+* ``NV6xx`` — epoch-transition safety (2PC staging windows, staged-bank
+  layout, epoch hygiene)
+* ``NV7xx`` — accuracy budgeting against a declared flow cardinality
 
 Codes are part of the public surface: tests pin them, operators suppress
 them, and docs explain them.  Never renumber; retire codes by leaving the

@@ -1,0 +1,141 @@
+"""Whole-deployment analysis: every fleet pass, one report.
+
+:func:`analyze_deployment` is the static entry point — it snapshots
+every switch into a :class:`~repro.verify.fleet.model.SwitchView`, runs
+the NV4xx interference, NV6xx epoch-safety and NV7xx accuracy passes,
+and (when the compiled artifacts are supplied) re-runs the per-query
+verifier over the *joint* installed set so cross-query findings the
+install-time gate scoped per-candidate resurface fleet-wide.
+
+:func:`check_staging_plan` is the transactional entry point — the
+:class:`~repro.ctrlplane.txn.TransactionManager` calls it between
+verification and 2PC prepare to statically prove the staging window fits
+double occupancy on every target switch (NV601/NV602 as errors).
+
+:func:`exit_code` fixes the CLI contract both ``lint`` and ``analyze``
+print machine-readable reports under: ``0`` clean, ``1`` warnings only,
+``2`` errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.compiler import CompiledQuery
+from repro.core.rules import QuerySlice
+from repro.verify.diagnostics import Diagnostic, VerificationReport
+from repro.verify.fleet.accuracy import DEFAULT_CM_LOAD, check_accuracy_budget
+from repro.verify.fleet.epochs import (
+    check_epoch_hygiene,
+    check_prospective_staging,
+    check_staged_bank_layout,
+    check_staging_plan_view,
+)
+from repro.verify.fleet.interference import (
+    check_dispatch_starvation,
+    check_fleet_occupancy,
+    check_hash_unit_sharing,
+)
+from repro.verify.fleet.model import SwitchView
+from repro.verify.program import PipelineModel
+from repro.verify.sketch import DEFAULT_MAX_FPR
+from repro.verify.verifier import VerifierConfig, verify_queries
+
+__all__ = ["FleetConfig", "analyze_deployment", "check_staging_plan",
+           "exit_code"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Workload declaration, policy envelope, and per-code suppression."""
+
+    #: Declared expected flow cardinality; ``None`` skips NV7xx.
+    expected_flows: Optional[int] = None
+    cm_load: float = DEFAULT_CM_LOAD
+    max_fpr: float = DEFAULT_MAX_FPR
+    #: Diagnostic codes to drop from reports (e.g. ``("NV402",)``).
+    suppress: Tuple[str, ...] = ()
+    #: Optional budget envelope for NV401 occupancy auditing.
+    policy: Optional[PipelineModel] = None
+    #: Configuration for the embedded per-query verifier re-run.
+    verifier: VerifierConfig = field(default_factory=VerifierConfig)
+
+    def filter(self, found: Iterable[Diagnostic]) -> List[Diagnostic]:
+        return [d for d in found if d.code not in self.suppress]
+
+
+def analyze_deployment(
+    switches: Mapping[object, object],
+    compiled: Optional[Mapping[str, CompiledQuery]] = None,
+    committed_epoch: Optional[int] = None,
+    config: Optional[FleetConfig] = None,
+) -> VerificationReport:
+    """Run every fleet pass over a live (or snapshotted) deployment.
+
+    ``switches`` maps switch id to switch (or bare pipeline); ``compiled``
+    optionally maps sub-query id to its compiled artifact (enabling the
+    NV7xx accuracy passes and the joint per-query re-verification);
+    ``committed_epoch`` is the control plane's committed transaction
+    epoch, used for NV603 skew detection.
+    """
+    config = config or FleetConfig()
+    report = VerificationReport()
+
+    for switch in switches.values():
+        view = SwitchView.of_switch(switch)
+        report.extend(config.filter(
+            check_fleet_occupancy(view, config.policy)
+        ))
+        report.extend(config.filter(check_hash_unit_sharing(view)))
+        report.extend(config.filter(check_dispatch_starvation(view)))
+        report.extend(config.filter(check_prospective_staging(view)))
+        report.extend(config.filter(check_staged_bank_layout(view)))
+        report.extend(config.filter(
+            check_epoch_hygiene(view, committed_epoch)
+        ))
+
+    if compiled:
+        artifacts = list(compiled.values())
+        joint = verify_queries(artifacts, config=config.verifier)
+        report.extend(config.filter(joint.diagnostics))
+        if config.expected_flows is not None:
+            report.extend(config.filter(check_accuracy_budget(
+                artifacts,
+                expected_flows=config.expected_flows,
+                cm_load=config.cm_load,
+                max_fpr=config.max_fpr,
+            )))
+    return report
+
+
+def check_staging_plan(
+    switches: Mapping[object, object],
+    plan: Mapping[object, Sequence[QuerySlice]],
+    target_epoch: Optional[int] = None,
+) -> VerificationReport:
+    """Statically prove a transaction's staging windows fit (NV6xx).
+
+    ``plan`` maps switch id to the query slices the transaction intends
+    to stage there.  Every finding is an ERROR: the transaction would
+    fail mid-prepare and roll back, so the gate refuses it up front.
+    """
+    report = VerificationReport()
+    for sid, slices in plan.items():
+        if not slices:
+            continue
+        switch = switches[sid]
+        view = SwitchView.of_switch(switch)
+        report.extend(
+            check_staging_plan_view(view, list(slices), target_epoch)
+        )
+    return report
+
+
+def exit_code(report: VerificationReport, werror: bool = False) -> int:
+    """The documented CLI contract: 0 clean, 1 warnings only, 2 errors."""
+    if report.errors or (werror and report.warnings):
+        return 2
+    if report.warnings:
+        return 1
+    return 0

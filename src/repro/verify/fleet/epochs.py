@@ -1,0 +1,330 @@
+"""Epoch-transition safety (codes NV601–NV603).
+
+Make-before-break updates stage a complete new rule bank *next to* the
+live one (double occupancy) and only then flip the epoch.  That is the
+window where a deployment that fits steady-state can still wedge: the
+staged bank may not fit beside the live bank, or may be internally
+ill-formed in ways per-query verification never sees because it checks
+global stages, not the concrete residue on one switch.
+
+* **NV601** — staging-window double occupancy.  Two forms share the
+  code: :func:`check_staging_plan` proves a *concrete* transaction's
+  staged slices fit the free registers / table rows / ``newton_init``
+  capacity of every target switch (ERROR — the transaction would die
+  mid-flight and roll back); :func:`check_prospective_staging` asks,
+  for every active bank, whether a make-before-break re-stage of that
+  bank would fit beside today's residents (WARNING — the deployment is
+  one routine update away from a staging failure).
+* **NV602** — a staged bank violates Figure-4 layout (module ordering /
+  same-stage dependency rules) while co-resident with the live epoch:
+  the dependency pass re-run over the staged residue.
+* **NV603** — epoch hygiene: staged banks stranded past the committed
+  transaction epoch, retired residue the garbage collector never
+  reclaimed, or a switch whose rule epoch disagrees with the
+  controller's committed epoch.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.compiler import CompiledQuery, Optimizations, QueryParams
+from repro.core.rules import ModuleRuleSpec, QuerySlice, SConfig
+from repro.dataplane.module_types import ModuleType
+from repro.verify.dependencies import check_dependencies
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.fleet.model import ACTIVE, RETIRED, STAGED, SwitchView
+from repro.verify.program import PipelineModel
+from repro.verify.resources import check_resources
+
+__all__ = [
+    "check_staging_plan_view",
+    "check_prospective_staging",
+    "check_staged_bank_layout",
+    "check_epoch_hygiene",
+]
+
+
+def _pseudo_compiled(qid: str, specs: Sequence[ModuleRuleSpec],
+                     stage_base: int) -> CompiledQuery:
+    """Rebuild a minimal compiled artifact from placed specs.
+
+    The dependency pass reads spec ordering, stages, set ids and module
+    types — all preserved in the placed rules — so a reconstructed
+    artifact is a faithful input for Figure-4 layout checking.
+    """
+    ordered = tuple(sorted(specs, key=lambda s: s.step))
+    num_stages = (
+        max(s.stage for s in ordered) - stage_base + 1 if ordered else 0
+    )
+    num_primitives = (
+        max(s.primitive_index for s in ordered) + 1 if ordered else 0
+    )
+    return CompiledQuery(
+        qid=qid,
+        specs=ordered,
+        init_entries=(),
+        num_stages=num_stages,
+        num_primitives=num_primitives,
+        params=QueryParams(),
+        optimizations=Optimizations.all(),
+    )
+
+
+def check_staged_bank_layout(view: SwitchView) -> List[Diagnostic]:
+    """NV602: Figure-4 dependency re-check over every staged bank."""
+    out: List[Diagnostic] = []
+    for bank in view.banks_with_status(STAGED):
+        specs = tuple(rule.spec for rule in bank.rules)
+        if not specs:
+            continue
+        pseudo = _pseudo_compiled(bank.qid, specs, stage_base=0)
+        for found in check_dependencies(pseudo):
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="NV602",
+                message=(
+                    f"staged bank (slice {bank.slice_index}, epoch "
+                    f"{bank.epoch_from}) violates module layout while "
+                    f"co-resident with the live epoch: {found.message}"
+                ),
+                location=Location(qid=bank.qid, step=found.location.step,
+                                  switch=view.switch_id),
+            ))
+    return out
+
+
+def _occupancy_model(view: SwitchView, label: str) -> PipelineModel:
+    """A :class:`PipelineModel` pre-seeded with all-resident occupancy."""
+    rules_used: Dict[Tuple[int, ModuleType], int] = dict(
+        view.resident_rule_counts()
+    )
+    registers_used: Dict[int, int] = dict(view.resident_register_demand())
+    return PipelineModel(
+        num_stages=view.num_stages,
+        table_capacity=view.table_capacity,
+        array_size=view.array_size,
+        rules_used=rules_used,
+        registers_used=registers_used,
+        label=label,
+    )
+
+
+def check_prospective_staging(view: SwitchView) -> List[Diagnostic]:
+    """NV601 (warning form): can every active bank still be re-staged?
+
+    Simulates the double-occupancy window of a routine make-before-break
+    update of each active bank — its own rules staged *on top of* every
+    resident bank — and flags the banks that no longer fit.
+    """
+    out: List[Diagnostic] = []
+    model = _occupancy_model(view, label=f"switch {view.switch_id}")
+    for bank in view.banks_with_status(ACTIVE):
+        if not bank.rules:
+            continue
+        for found in check_resources(list(bank.rules), model,
+                                     switch=view.switch_id):
+            out.append(Diagnostic(
+                severity=Severity.WARNING,
+                code="NV601",
+                message=(
+                    f"a make-before-break update of query {bank.qid!r} "
+                    f"would not fit its double-occupancy staging window: "
+                    f"{found.message}"
+                ),
+                location=Location(qid=bank.qid, step=found.location.step,
+                                  stage=found.location.stage,
+                                  switch=view.switch_id),
+            ))
+        if bank.init_count > view.dispatch_free:
+            out.append(Diagnostic(
+                severity=Severity.WARNING,
+                code="NV601",
+                message=(
+                    f"a make-before-break update of query {bank.qid!r} "
+                    f"needs {bank.init_count} staged newton_init "
+                    f"entries but only {view.dispatch_free} TCAM rows "
+                    f"are free"
+                ),
+                location=Location(qid=bank.qid, switch=view.switch_id),
+            ))
+    return out
+
+
+def check_staging_plan_view(
+    view: SwitchView,
+    slices: Sequence[QuerySlice],
+    target_epoch: Optional[int] = None,
+) -> List[Diagnostic]:
+    """NV601 (error form) + NV602 for one concrete staging plan.
+
+    Proves the transaction's staged slices fit this switch's *free*
+    capacity — registers per stage array, rows per (stage, module) table,
+    and ``newton_init`` TCAM rows — before the 2PC prepare phase touches
+    the data plane.  Slices already staged at ``target_epoch`` (idempotent
+    retries) are skipped.
+    """
+    out: List[Diagnostic] = []
+    staged_at_target = {
+        (bank.qid, bank.slice_index)
+        for bank in view.banks_with_status(STAGED)
+        if target_epoch is None or bank.epoch_from == target_epoch
+    }
+    fresh = [
+        qs for qs in slices
+        if (qs.qid, qs.slice_index) not in staged_at_target
+    ]
+    if not fresh:
+        return out
+
+    resident_registers = view.resident_register_demand()
+    resident_rules = view.resident_rule_counts()
+
+    register_demand: Dict[int, int] = defaultdict(int)
+    rule_demand: Dict[Tuple[int, ModuleType], int] = defaultdict(int)
+    init_demand = 0
+    owners: Dict[int, Set[str]] = defaultdict(set)
+    for qs in fresh:
+        init_demand += len(qs.init_entries)
+        for spec in qs.specs:
+            local_stage = spec.stage - qs.stage_base
+            rule_demand[(local_stage, spec.module_type)] += 1
+            config = spec.config
+            if (spec.module_type is ModuleType.STATE_BANK
+                    and isinstance(config, SConfig)
+                    and not config.passthrough):
+                register_demand[local_stage] += config.slice_size
+                owners[local_stage].add(qs.qid)
+
+    for stage in sorted(register_demand):
+        free = view.array_size - resident_registers.get(stage, 0)
+        if register_demand[stage] > free:
+            qids = ", ".join(sorted(owners[stage]))
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="NV601",
+                message=(
+                    f"staging window does not fit: stage {stage} has "
+                    f"{free} free registers but the staged bank(s) "
+                    f"[{qids}] lease {register_demand[stage]} — the "
+                    f"double-occupancy make-before-break window "
+                    f"over-subscribes the state bank"
+                ),
+                location=Location(stage=stage, switch=view.switch_id),
+            ))
+
+    for (stage, mtype), count in sorted(
+        rule_demand.items(), key=lambda kv: (kv[0][0], kv[0][1].symbol)
+    ):
+        # One physical module instance per slot multiplexes at most
+        # ``table_capacity`` rules; the staged rows must fit beside the
+        # resident ones for the duration of the double-occupancy window.
+        resident = resident_rules.get((stage, mtype), 0)
+        if resident + count > view.table_capacity:
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="NV601",
+                message=(
+                    f"staging window does not fit: stage {stage} "
+                    f"{mtype.symbol} table holds {resident} resident "
+                    f"rules and the staged bank adds {count}, exceeding "
+                    f"the {view.table_capacity}-row instance during "
+                    f"double occupancy"
+                ),
+                location=Location(stage=stage, switch=view.switch_id),
+            ))
+
+    if init_demand > view.dispatch_free:
+        out.append(Diagnostic(
+            severity=Severity.ERROR,
+            code="NV601",
+            message=(
+                f"staging window does not fit: newton_init has "
+                f"{view.dispatch_free} free TCAM rows but the staged "
+                f"bank(s) add {init_demand} dispatch entries"
+            ),
+            location=Location(switch=view.switch_id),
+        ))
+
+    for qs in fresh:
+        pseudo = _pseudo_compiled(qs.qid, qs.specs, stage_base=0)
+        for found in check_dependencies(pseudo):
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="NV602",
+                message=(
+                    f"staged slice {qs.slice_index} violates module "
+                    f"layout: {found.message}"
+                ),
+                location=Location(qid=qs.qid, step=found.location.step,
+                                  switch=view.switch_id),
+            ))
+    return out
+
+
+def check_epoch_hygiene(
+    view: SwitchView, committed_epoch: Optional[int] = None
+) -> List[Diagnostic]:
+    """NV603: stranded staged banks, un-collected residue, epoch skew."""
+    out: List[Diagnostic] = []
+
+    if committed_epoch is not None and view.rule_epoch != committed_epoch:
+        out.append(Diagnostic(
+            severity=Severity.WARNING,
+            code="NV603",
+            message=(
+                f"switch rule epoch {view.rule_epoch} disagrees with the "
+                f"controller's committed epoch {committed_epoch}; the "
+                f"switch serves a different rule-bank generation than "
+                f"the control plane believes"
+            ),
+            location=Location(switch=view.switch_id),
+        ))
+
+    future_epochs = sorted({
+        bank.epoch_from for bank in view.banks_with_status(STAGED)
+    })
+    if len(future_epochs) > 1:
+        out.append(Diagnostic(
+            severity=Severity.WARNING,
+            code="NV603",
+            message=(
+                f"staged banks target {len(future_epochs)} distinct "
+                f"future epochs {future_epochs}; at most one transaction "
+                f"should be in flight per switch"
+            ),
+            location=Location(switch=view.switch_id),
+        ))
+    if committed_epoch is not None:
+        for bank in view.banks_with_status(STAGED):
+            if bank.epoch_from <= committed_epoch:
+                out.append(Diagnostic(
+                    severity=Severity.WARNING,
+                    code="NV603",
+                    message=(
+                        f"staged bank (slice {bank.slice_index}) targets "
+                        f"epoch {bank.epoch_from} which has already "
+                        f"committed; the transaction that staged it "
+                        f"never completed or aborted cleanly"
+                    ),
+                    location=Location(qid=bank.qid, switch=view.switch_id),
+                ))
+
+    retired = view.banks_with_status(RETIRED)
+    if retired:
+        residue = sum(
+            len(bank.rules) + bank.init_count for bank in retired
+        )
+        qids = ", ".join(sorted({bank.qid for bank in retired}))
+        out.append(Diagnostic(
+            severity=Severity.WARNING,
+            code="NV603",
+            message=(
+                f"{len(retired)} retired bank(s) [{qids}] still hold "
+                f"{residue} table row(s) past their epoch_until; the "
+                f"garbage collector has not reclaimed them"
+            ),
+            location=Location(switch=view.switch_id),
+        ))
+    return out

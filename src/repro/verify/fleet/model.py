@@ -1,0 +1,222 @@
+"""The fleet analyzer's view of a deployed switch.
+
+Per-query verification (:mod:`repro.verify.verifier`) sees compiled
+artifacts *before* they reach a switch.  The fleet analyzer instead
+snapshots what is *actually resident*: every rule bank — active, staged
+(a 2PC make-before-break window in flight) and retired (awaiting garbage
+collection) — plus the physical ``newton_init`` TCAM with its priority /
+insertion-order arbitration state.  Whole-deployment passes (NV4xx
+interference, NV6xx epoch safety) run over these views, never over the
+live switch objects, so analysis cannot mutate the data plane.
+
+Bank status is classified against the switch's committed rule epoch:
+
+* ``staged``  — ``epoch_from`` is in the future (serves no packet yet),
+* ``retired`` — ``epoch_until`` has passed (serves no packet any more),
+* ``active``  — everything else (the bank packets execute today).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.rules import HashMode, HConfig, NewtonInitEntry, SConfig
+from repro.dataplane.module_types import ModuleType
+from repro.verify.program import RuleView
+
+__all__ = [
+    "BankStatus",
+    "BankView",
+    "DispatchView",
+    "SwitchView",
+    "DeploymentModel",
+]
+
+_Match = Tuple[Tuple[str, int, int], ...]
+
+#: Bank lifecycle states relative to the switch's committed rule epoch.
+ACTIVE = "active"
+STAGED = "staged"
+RETIRED = "retired"
+
+BankStatus = str
+
+
+def _classify(epoch_from: int, epoch_until: Optional[int],
+              rule_epoch: int) -> BankStatus:
+    if epoch_from > rule_epoch:
+        return STAGED
+    if epoch_until is not None and epoch_until <= rule_epoch:
+        return RETIRED
+    return ACTIVE
+
+
+@dataclass(frozen=True)
+class BankView:
+    """One resident rule bank: a (query, slice) at one epoch interval."""
+
+    qid: str
+    slice_index: int
+    epoch_from: int
+    epoch_until: Optional[int]
+    status: BankStatus
+    #: Placed module rules at *local* (physical) stages on this switch.
+    rules: Tuple[RuleView, ...]
+    #: ``newton_init`` entries this bank owns on this switch.
+    init_count: int
+
+    @property
+    def resident(self) -> bool:
+        """Whether the bank can still serve (or come to serve) packets."""
+        return self.status != RETIRED
+
+    def register_demand(self) -> Dict[int, int]:
+        """Registers leased per local stage by this bank's stateful rules."""
+        demand: Dict[int, int] = defaultdict(int)
+        for view in self.rules:
+            config = view.spec.config
+            if (view.module_type is ModuleType.STATE_BANK
+                    and isinstance(config, SConfig)
+                    and not config.passthrough):
+                demand[view.stage] += config.slice_size
+        return dict(demand)
+
+    def hash_signatures(self) -> Tuple[Tuple[int, int], ...]:
+        """``(seed_index, range_size)`` of every HASH-mode H rule.
+
+        Two banks sharing a signature drive the *same physical*
+        :class:`~repro.dataplane.hashing.HashUnit` on this switch.
+        """
+        out: List[Tuple[int, int]] = []
+        for view in self.rules:
+            config = view.spec.config
+            if (view.module_type is ModuleType.HASH_CALCULATION
+                    and isinstance(config, HConfig)
+                    and config.mode == HashMode.HASH):
+                out.append((config.seed_index, config.range_size))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class DispatchView:
+    """One physical ``newton_init`` TCAM entry with arbitration state."""
+
+    qid: str
+    match: _Match
+    priority: int
+    #: Insertion order — the deterministic tie-breaker at equal priority.
+    seq: int
+    status: BankStatus
+
+    def beats(self, other: "DispatchView") -> bool:
+        """Whether this entry wins single-winner TCAM arbitration."""
+        if self.priority != other.priority:
+            return self.priority > other.priority
+        return self.seq < other.seq
+
+
+@dataclass(frozen=True)
+class SwitchView:
+    """Immutable snapshot of one switch's resident state."""
+
+    switch_id: object
+    num_stages: int
+    table_capacity: int
+    array_size: int
+    rule_epoch: int
+    banks: Tuple[BankView, ...]
+    dispatch: Tuple[DispatchView, ...]
+
+    @staticmethod
+    def of_switch(switch: object) -> "SwitchView":
+        """Snapshot a simulated switch (or a bare pipeline)."""
+        pipeline = getattr(switch, "pipeline", switch)
+        layout = pipeline.layout
+        rule_epoch = int(pipeline.rule_epoch)
+
+        banks: List[BankView] = []
+        for qid, slice_index, installed in pipeline.resident_versions():
+            rules = tuple(
+                RuleView(qid=spec.qid, stage=local_stage,
+                         module_type=spec.module_type, spec=spec)
+                for local_stage, spec, _key in installed.placed
+            )
+            banks.append(BankView(
+                qid=str(qid),
+                slice_index=int(slice_index),
+                epoch_from=int(installed.epoch_from),
+                epoch_until=installed.epoch_until,
+                status=_classify(installed.epoch_from,
+                                 installed.epoch_until, rule_epoch),
+                rules=rules,
+                init_count=len(installed.init_rules),
+            ))
+
+        dispatch = tuple(
+            DispatchView(
+                qid=str(entry.rule.action),
+                match=entry.rule.match,
+                priority=int(entry.rule.priority),
+                seq=int(entry.seq),
+                status=_classify(entry.epoch_from, entry.epoch_until,
+                                 rule_epoch),
+            )
+            for entry in pipeline.newton_init.entries()
+        )
+
+        return SwitchView(
+            switch_id=pipeline.switch_id,
+            num_stages=int(layout.num_stages),
+            table_capacity=int(layout.table_capacity),
+            array_size=int(layout.array_size),
+            rule_epoch=rule_epoch,
+            banks=tuple(banks),
+            dispatch=dispatch,
+        )
+
+    def banks_with_status(self, *statuses: BankStatus) -> Tuple[BankView, ...]:
+        wanted = set(statuses)
+        return tuple(b for b in self.banks if b.status in wanted)
+
+    def dispatch_of(self, qid: str,
+                    resident_only: bool = True) -> Tuple[DispatchView, ...]:
+        return tuple(
+            d for d in self.dispatch
+            if d.qid == qid and (not resident_only or d.status != RETIRED)
+        )
+
+    def resident_register_demand(self) -> Dict[int, int]:
+        """Registers leased per stage across *every* resident bank."""
+        demand: Dict[int, int] = defaultdict(int)
+        for bank in self.banks:
+            for stage, registers in bank.register_demand().items():
+                demand[stage] += registers
+        return dict(demand)
+
+    def resident_rule_counts(self) -> Dict[Tuple[int, ModuleType], int]:
+        """Module rules resident per (stage, module type) slot."""
+        counts: Dict[Tuple[int, ModuleType], int] = defaultdict(int)
+        for bank in self.banks:
+            for view in bank.rules:
+                counts[(view.stage, view.module_type)] += 1
+        return dict(counts)
+
+    @property
+    def dispatch_free(self) -> int:
+        return self.table_capacity - len(self.dispatch)
+
+
+@dataclass(frozen=True)
+class DeploymentModel:
+    """The whole fleet: one view per switch plus controller-side context."""
+
+    switches: Tuple[SwitchView, ...]
+    #: Compiled artifacts by sub-query id, when the controller shares them.
+    compiled: Tuple[Tuple[str, object], ...] = ()
+    #: The control plane's committed transaction epoch, when known.
+    committed_epoch: Optional[int] = None
+
+    def __iter__(self) -> Iterator[SwitchView]:
+        return iter(self.switches)

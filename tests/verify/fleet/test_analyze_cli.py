@@ -1,0 +1,61 @@
+"""`newton-repro analyze` CLI: families, formats, and the exit contract."""
+
+import json
+
+from repro.cli import main
+
+
+class TestAnalyzeFamilies:
+    def test_default_deployment_reports_all_three_families(self, capsys):
+        # Q1+Q2+Q3 on linear(3) with modest registers: NV7xx accuracy
+        # errors, NV402 interference and NV601 staging warnings — the
+        # acceptance scenario for the fleet analyzer.
+        assert main(["analyze"]) == 2
+        out = capsys.readouterr().out
+        assert "NV402" in out or "NV403" in out  # NV4xx interference
+        assert "NV601" in out                    # NV6xx epoch safety
+        assert "NV70" in out                     # NV7xx accuracy
+
+    def test_rejected_queries_reported_as_skipped(self, capsys):
+        main(["analyze"])
+        err = capsys.readouterr().err
+        assert "skipped Q3" in err
+
+
+class TestAnalyzeExitContract:
+    def test_clean_deployment_exits_zero(self):
+        assert main([
+            "analyze", "Q1", "--switches", "1",
+            "--array-size", "65536", "--expected-flows", "0",
+        ]) == 0
+
+    def test_warnings_exit_one(self):
+        assert main([
+            "analyze", "--expected-flows", "0",
+            "--suppress", "NV702", "--suppress", "NV703",
+        ]) == 1
+
+    def test_werror_promotes_to_two(self):
+        assert main([
+            "analyze", "--expected-flows", "0", "--werror",
+            "--suppress", "NV702", "--suppress", "NV703",
+        ]) == 2
+
+    def test_errors_exit_two(self):
+        assert main(["analyze"]) == 2
+
+    def test_suppress_drops_codes(self, capsys):
+        main(["analyze", "--suppress", "NV402"])
+        assert "NV402" not in capsys.readouterr().out
+
+
+class TestAnalyzeJson:
+    def test_json_is_machine_readable_with_stable_codes(self, capsys):
+        assert main(["analyze", "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload}
+        assert codes & {"NV402", "NV403"}
+        assert "NV601" in codes
+        assert codes & {"NV701", "NV702", "NV703"}
+        sample = payload[0]
+        assert {"code", "severity", "message"} <= set(sample)

@@ -9,20 +9,22 @@ from repro.cli import main
 
 
 class TestLintExitCodes:
+    """The documented contract: 0 clean, 1 warnings only, 2 errors."""
+
     def test_clean_catalog_exits_zero(self, capsys):
         assert main(["lint", "--all"]) == 0
         out = capsys.readouterr().out
         assert "== Q1" in out
 
-    def test_warnings_exit_zero_by_default(self, capsys):
-        assert main(["lint", "Q1", "--cm-depth", "1"]) == 0
+    def test_warnings_exit_one(self, capsys):
+        assert main(["lint", "Q1", "--cm-depth", "1"]) == 1
         assert "NV302" in capsys.readouterr().out
 
-    def test_werror_promotes_warnings(self):
-        assert main(["lint", "Q1", "--cm-depth", "1", "--werror"]) == 1
+    def test_werror_promotes_warnings_to_two(self):
+        assert main(["lint", "Q1", "--cm-depth", "1", "--werror"]) == 2
 
-    def test_errors_exit_nonzero_naming_the_code(self, capsys):
-        assert main(["lint", "Q1", "--array-size", "64"]) == 1
+    def test_errors_exit_two_naming_the_code(self, capsys):
+        assert main(["lint", "Q1", "--array-size", "64"]) == 2
         assert "NV203" in capsys.readouterr().out
 
     def test_suppress_drops_the_code(self):
@@ -30,8 +32,10 @@ class TestLintExitCodes:
             "lint", "Q1", "--array-size", "64", "--suppress", "NV203",
         ]) == 0
 
-    def test_joint_catalog_exits_zero(self):
-        assert main(["lint", "--all", "--joint"]) == 0
+    def test_joint_catalog_warns_on_shared_seeds(self):
+        # Co-installing the whole library shares hash seeds (NV304):
+        # warnings only, exit 1.
+        assert main(["lint", "--all", "--joint"]) == 1
 
 
 class TestLintTargets:
@@ -66,7 +70,8 @@ class TestLintTargets:
             QUERIES = [q("u.a"), q("u.b")]
             """
         ))
-        assert main(["lint", str(path)]) == 0
+        # The pair shares hash seeds within its unit (NV304 warnings).
+        assert main(["lint", str(path)]) == 1
 
     def test_file_without_query_rejected(self, tmp_path):
         path = tmp_path / "empty.py"
@@ -85,7 +90,15 @@ class TestLintTargets:
 
 class TestLintJson:
     def test_json_output_is_structured(self, capsys):
-        assert main(["lint", "Q1", "--array-size", "64", "--json"]) == 1
+        assert main(["lint", "Q1", "--array-size", "64", "--json"]) == 2
         payload = json.loads(capsys.readouterr().out)
         codes = {d["code"] for d in payload}
         assert "NV203" in codes
+
+    def test_format_json_spans_units(self, capsys):
+        # --format json merges every unit into one parseable document.
+        assert main([
+            "lint", "Q1", "Q4", "--array-size", "64", "--format", "json",
+        ]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert {d["code"] for d in payload} >= {"NV203"}

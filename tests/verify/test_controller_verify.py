@@ -34,10 +34,22 @@ class TestInstallGate:
         assert dep.switch("s0").rule_count == 0
         assert "ctl.q" not in dep.controller.installed
 
-    def test_verify_false_opts_out(self):
-        # With the gate off the install reaches the data plane and dies on
-        # the allocator instead (and is rolled back there).
+    def test_verify_false_still_hits_the_epoch_gate(self):
+        # verify=False skips the per-query verifier, but the transaction
+        # manager's NV601 staging gate still proves the staging window
+        # fits before 2PC touches the data plane.
         dep = build_deployment(linear(1), array_size=64)
+        with pytest.raises(VerificationError) as exc:
+            dep.controller.install_query(syn_query(), QueryParams(),
+                                         path=["s0"], verify=False)
+        assert "NV601" in exc.value.report.codes()
+        assert dep.switch("s0").rule_count == 0
+
+    def test_epoch_gate_off_dies_at_the_allocator(self):
+        # With both gates off the install reaches the data plane and dies
+        # on the allocator instead (and is rolled back there).
+        dep = build_deployment(linear(1), array_size=64)
+        dep.controller.txn.epoch_gate = False
         with pytest.raises(AllocationError):
             dep.controller.install_query(syn_query(), QueryParams(),
                                          path=["s0"], verify=False)
@@ -90,3 +102,21 @@ class TestJointAdmission:
         result = dep.controller.install_query(syn_query("ctl.b"), SMALL,
                                               path=["s0"])
         assert result.rules_installed > 0
+
+class TestUpdateGate:
+    def test_update_query_re_runs_the_verifier_gate(self):
+        # Regression: updates go through the same verification gate as
+        # installs — an over-subscribing update is rejected with NV203
+        # and the old program stays fully resident.
+        dep = build_deployment(linear(1), array_size=256)
+        dep.controller.install_query(syn_query(), SMALL, path=["s0"])
+        resident_rules = dep.switch("s0").rule_count
+
+        huge = QueryParams(cm_depth=2, reduce_registers=100_000,
+                           distinct_registers=128)
+        with pytest.raises(VerificationError) as exc:
+            dep.controller.update_query(syn_query(threshold=99), huge,
+                                        path=["s0"])
+        assert "NV203" in exc.value.report.codes()
+        assert dep.switch("s0").rule_count == resident_rules
+        assert "ctl.q" in dep.controller.installed

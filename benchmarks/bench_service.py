@@ -1,0 +1,323 @@
+"""Service-plane benchmark: sustained ingest and install-to-first-report.
+
+Replays one pre-generated background trace two ways on identical
+``linear(3)`` vector-engine deployments:
+
+* **batch** — one ``simulator.run(trace)`` call (the PR-4 engine path);
+* **service** — the live operations plane: a :class:`NewtonService`
+  ticking the same trace window by window from a
+  :class:`ReplaySource`, with the HTTP API up and N concurrent SSE
+  subscribers consuming the per-window report feed, and Q1 installed
+  over HTTP *while traffic flows*.
+
+Measures sustained ingest (packets per second spent inside the ingest
+path) against the batch baseline — the acceptance bar is >= 80% of
+batch throughput — plus the install-to-first-streamed-report latency
+under load.  ``BENCH_service.json`` records the numbers.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_service.py``) or
+as a script::
+
+    python benchmarks/bench_service.py [--smoke] [--json [PATH]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+
+from repro.core.library import build_query
+from repro.experiments.common import evaluation_thresholds
+from repro.network.deployment import build_deployment
+from repro.network.topology import linear
+from repro.service import (
+    NewtonService,
+    ReplaySource,
+    ServiceClient,
+    ServiceConfig,
+    ServiceHTTP,
+)
+from repro.traffic.generators import background_columnar
+
+FULL_PACKETS = 500_000
+FULL_DURATION_S = 5.0
+SMOKE_PACKETS = 100_000
+SMOKE_DURATION_S = 1.0
+FULL_SUBSCRIBERS = 8
+SMOKE_SUBSCRIBERS = 2
+SWITCHES = 3
+SEED = 11
+RATIO_FLOOR = 0.8
+
+
+def prepare_trace(n_packets: int, duration_s: float):
+    return background_columnar(
+        n_packets, duration_s=duration_s, seed=SEED,
+    ).with_hosts("h_src0", "h_dst0")
+
+
+def service_config() -> ServiceConfig:
+    return ServiceConfig(switches=SWITCHES, engine="vector", rate=0.0)
+
+
+def batch_baseline(trace) -> dict:
+    """The same trace through one plain batch run (no service layer)."""
+    config = service_config()
+    dep = build_deployment(
+        linear(SWITCHES),
+        num_stages=config.num_stages,
+        table_capacity=config.table_capacity,
+        array_size=config.array_size,
+        window_ms=config.window_ms,
+        engine="vector",
+    )
+    dep.controller.install_query(
+        build_query("Q1", evaluation_thresholds()), config.params,
+        path=[f"s{i}" for i in range(SWITCHES)],
+    )
+    started = time.perf_counter()
+    stats = dep.simulator.run(trace)
+    seconds = time.perf_counter() - started
+    return {
+        "packets": stats.packets,
+        "seconds": round(seconds, 4),
+        "packets_per_sec": round(stats.packets / seconds, 1),
+    }
+
+
+def service_run(trace, subscribers: int, windows_target: int) -> dict:
+    """The same trace through the live service under N SSE subscribers.
+
+    Loops the replay (the service free-runs much faster than one trace
+    pass) and stops after ``windows_target`` windows, so the install
+    lands mid-run instead of racing source exhaustion.
+    """
+    service = NewtonService(ReplaySource(trace, loop=True), service_config())
+    http_api = ServiceHTTP(service, port=0)
+    loop = asyncio.new_event_loop()
+
+    def loop_main() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    loop_thread = threading.Thread(target=loop_main, daemon=True)
+    loop_thread.start()
+
+    async def boot() -> None:
+        await http_api.start()
+
+    asyncio.run_coroutine_threadsafe(boot(), loop).result(timeout=30)
+    url = http_api.url
+
+    first_report = {}
+    windows_seen = [0] * subscribers
+
+    def consume(index: int) -> None:
+        client = ServiceClient(url, timeout=120)
+        for event in client.stream():
+            if event.get("type") != "window":
+                continue
+            windows_seen[index] += 1
+            if "Q1" in event.get("queries", {}) and "at" not in first_report:
+                first_report["at"] = time.perf_counter()
+
+    consumers = [
+        threading.Thread(target=consume, args=(i,), daemon=True)
+        for i in range(subscribers)
+    ]
+    for thread in consumers:
+        thread.start()
+    # Let every stream attach before traffic starts.
+    deadline = time.time() + 10
+    while (service.feed.subscriber_count < subscribers
+           and time.time() < deadline):
+        time.sleep(0.01)
+
+    async def start_ingest() -> None:
+        service.start()
+
+    wall_started = time.perf_counter()
+    asyncio.run_coroutine_threadsafe(start_ingest(), loop).result(timeout=30)
+
+    # Install Q1 over HTTP while traffic is flowing, a few windows in.
+    client = ServiceClient(url, timeout=120)
+    while service.deployment.simulator.epoch < 2 and not service.stopping:
+        time.sleep(0.005)
+    install_sent = time.perf_counter()
+    install = client.install({"query": "Q1"})
+    # Sustained ingest is measured over the post-install segment so every
+    # counted window does the same per-packet work as the batch baseline.
+    packets_before = service.total_packets
+    ingest_before = service.ingest_seconds
+
+    while service._c_windows.total < windows_target and not service.stopping:
+        time.sleep(0.02)
+    loop.call_soon_threadsafe(service.request_stop)
+    summary = asyncio.run_coroutine_threadsafe(
+        service.shutdown(), loop
+    ).result(timeout=120)
+    wall_seconds = time.perf_counter() - wall_started
+    for thread in consumers:
+        thread.join(timeout=30)
+    asyncio.run_coroutine_threadsafe(http_api.stop(), loop).result(timeout=30)
+    loop.call_soon_threadsafe(loop.stop)
+    loop_thread.join(timeout=30)
+
+    latency = (
+        first_report["at"] - install_sent if "at" in first_report else None
+    )
+    sustained_packets = service.total_packets - packets_before
+    sustained_seconds = service.ingest_seconds - ingest_before
+    ingest_pps = (
+        sustained_packets / sustained_seconds if sustained_seconds else 0.0
+    )
+    return {
+        "packets": service.total_packets,
+        "sustained_packets": sustained_packets,
+        "windows": summary["windows"],
+        "ingest_seconds": round(sustained_seconds, 4),
+        "total_ingest_seconds": round(service.ingest_seconds, 4),
+        "wall_seconds": round(wall_seconds, 4),
+        "packets_per_sec": round(ingest_pps, 1),
+        "wall_packets_per_sec": round(
+            service.total_packets / wall_seconds, 1
+        ),
+        "subscribers": subscribers,
+        "windows_streamed_per_subscriber": windows_seen,
+        "install_delay_s": install["delay_s"],
+        "install_to_first_report_s": (
+            None if latency is None else round(latency, 4)
+        ),
+        "mixed_epoch_packets": summary["mixed_epoch_packets"],
+        "staged_residue": summary["staged_residue"],
+    }
+
+
+def run(n_packets: int, duration_s: float, subscribers: int) -> dict:
+    trace = prepare_trace(n_packets, duration_s)
+    batch = batch_baseline(trace)
+    # Two full passes over the trace keeps the install well inside the run.
+    windows_target = 2 * max(1, round(duration_s / 0.1))
+    service = service_run(trace, subscribers, windows_target)
+    ratio = (
+        service["packets_per_sec"] / batch["packets_per_sec"]
+        if batch["packets_per_sec"] else 0.0
+    )
+    return {
+        "workload": {
+            "trace": "background-columnar",
+            "packets": n_packets,
+            "duration_s": duration_s,
+            "topology": f"linear({SWITCHES})",
+            "engine": "vector",
+            "window_ms": 100,
+        },
+        "batch": batch,
+        "service": service,
+        "sustained_ingest_ratio": round(ratio, 3),
+    }
+
+
+def render(result: dict) -> str:
+    batch, service = result["batch"], result["service"]
+    lines = [
+        f"Service-plane benchmark ({result['workload']['packets']} packets,"
+        f" {service['subscribers']} subscriber(s)):",
+        f"  batch   : {batch['packets']} packets in {batch['seconds']:.2f} s"
+        f" ({batch['packets_per_sec'] / 1e3:.0f}k pkts/s)",
+        f"  service : {service['sustained_packets']} packets in "
+        f"{service['ingest_seconds']:.2f} s post-install ingest "
+        f"({service['packets_per_sec'] / 1e3:.0f}k pkts/s sustained, "
+        f"{service['wall_packets_per_sec'] / 1e3:.0f}k wall) over "
+        f"{service['windows']} windows",
+        f"  sustained-ingest ratio: {result['sustained_ingest_ratio']:.2f}"
+        f" (floor {RATIO_FLOOR})",
+        f"  install->first streamed report: "
+        f"{service['install_to_first_report_s']} s",
+        f"  mixed-epoch packets: {service['mixed_epoch_packets']} "
+        f"(must be 0); staged residue: {service['staged_residue']}",
+    ]
+    return "\n".join(lines)
+
+
+def check(result: dict) -> list:
+    failures = []
+    service = result["service"]
+    if result["sustained_ingest_ratio"] < RATIO_FLOOR:
+        failures.append(
+            f"sustained ingest only {result['sustained_ingest_ratio']:.2f}x"
+            f" of batch throughput (need >= {RATIO_FLOOR})"
+        )
+    if service["mixed_epoch_packets"] != 0:
+        failures.append(
+            f"{service['mixed_epoch_packets']} packets observed a mixed "
+            f"rule epoch during the live install"
+        )
+    if service["install_to_first_report_s"] is None:
+        failures.append("no streamed window report followed the install")
+    if service["staged_residue"] != 0:
+        failures.append("shutdown left staged rules behind")
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# pytest entry point                                                     #
+# --------------------------------------------------------------------- #
+
+def test_service_sustained_ingest(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run(SMOKE_PACKETS, SMOKE_DURATION_S, SMOKE_SUBSCRIBERS),
+        rounds=1, iterations=1,
+    )
+    show(render(result))
+    failures = check(result)
+    assert not failures, "; ".join(failures)
+
+
+# --------------------------------------------------------------------- #
+# script entry point (CI smoke job / BENCH_service.json producer)        #
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for CI time budgets")
+    parser.add_argument("--packets", type=int, default=None,
+                        help="trace size (overrides --smoke)")
+    parser.add_argument("--subscribers", type=int, default=None,
+                        help="concurrent SSE subscribers")
+    parser.add_argument("--json", nargs="?", const="BENCH_service.json",
+                        default=None, metavar="PATH",
+                        help="also write measurements as JSON "
+                             "(default PATH: BENCH_service.json)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        packets, duration = SMOKE_PACKETS, SMOKE_DURATION_S
+        subscribers = SMOKE_SUBSCRIBERS
+    else:
+        packets, duration = FULL_PACKETS, FULL_DURATION_S
+        subscribers = FULL_SUBSCRIBERS
+    if args.packets:
+        duration = duration * args.packets / packets
+        packets = args.packets
+    if args.subscribers is not None:
+        subscribers = args.subscribers
+    result = run(packets, duration, subscribers)
+    print(render(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

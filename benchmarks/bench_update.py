@@ -70,7 +70,7 @@ def measure_hitless(n_packets: int) -> dict:
     def do_update() -> None:
         result = deployment.controller.update_query(query, PARAMS, path=path)
         outcome["delay_s"] = result.delay_s
-        outcome["rules_staged"] = result.rules_installed
+        outcome["rules_staged"] = result.rules_staged
         outcome["rules_removed"] = result.rules_removed
 
     deployment.simulator.at(UPDATE_AT_S, do_update)

@@ -57,9 +57,9 @@ def main() -> None:
     placement = result.placements["wide.q1"]
     print(
         f"Q1 compiled into {result.slices_per_sub['wide.q1']} slices; "
-        f"Algorithm 2 placed {result.rules_installed} rules on "
+        f"Algorithm 2 placed {result.rules_staged} rules on "
         f"{placement.switches_used} switches "
-        f"({result.rules_installed / topology.num_switches:.1f} per switch)"
+        f"({result.rules_staged / topology.num_switches:.1f} per switch)"
     )
 
     src, dst = "h_Los_Angeles_0", "h_New_York_0"

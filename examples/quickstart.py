@@ -45,7 +45,7 @@ def main() -> None:
         query, params, path=["s0"]
     )
     print(
-        f"installed {result.rules_installed} table rules in "
+        f"installed {result.rules_staged} table rules in "
         f"{result.delay_s * 1e3:.1f} ms — forwarding never stopped"
     )
 

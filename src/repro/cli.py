@@ -14,6 +14,8 @@ Everything the repository can do, reachable without writing Python::
     newton-repro throughput                # scalar vs vectorized engine pkts/sec
     newton-repro chaos --fault-plan p.json # fault injection + recovery report
     newton-repro demo --engine vector      # quickstart end-to-end run
+    newton-repro serve --port 8181         # long-running service + HTTP API
+    newton-repro metrics                   # Prometheus text exposition
 
 (Equivalently ``python -m repro.cli ...``.)
 """
@@ -711,6 +713,101 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the live operations plane: a long-running service driving a
+    deployment from a seeded generator (or a TCP packet feed), with query
+    CRUD, streaming reports, coverage, and metrics over HTTP."""
+    import asyncio
+    import signal
+
+    from repro.service import (
+        GeneratorSource,
+        NewtonService,
+        ServiceConfig,
+        ServiceHTTP,
+        SocketSource,
+    )
+
+    if args.source == "generator":
+        source = GeneratorSource(
+            pps=args.pps, seed=args.seed, max_windows=args.max_windows,
+        )
+    else:
+        source = SocketSource(host=args.host, port=args.feed_port)
+    config = ServiceConfig(
+        switches=args.switches,
+        window_ms=args.window_ms,
+        engine=args.engine,
+        array_size=args.array_size,
+        rate=args.rate,
+    )
+    service = NewtonService(source, config)
+    for name in args.queries:
+        payload = service.install({"query": name})
+        print(f"installed {name}: {payload['rules_staged']} rules in "
+              f"{payload['delay_s'] * 1e3:.1f} ms", flush=True)
+
+    async def run_service():
+        http_api = ServiceHTTP(service, host=args.host, port=args.port)
+        port = await http_api.start()
+        if isinstance(source, SocketSource):
+            feed_port = await source.start()
+            print(f"packet feed listening on {args.host}:{feed_port}",
+                  flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(f"serving on http://{args.host}:{port} "
+              f"(engine={config.engine}, window={config.window_ms} ms, "
+              f"rate={config.rate or 'free-run'})", flush=True)
+        await service.start()
+        summary = await service.shutdown()
+        await http_api.stop()
+        return summary
+
+    summary = asyncio.run(run_service())
+    print(f"shutdown: committed epoch {summary['committed_epoch']}, "
+          f"rule epochs {summary['rule_epochs']}, "
+          f"staged residue {summary['staged_residue']}, "
+          f"retired residue {summary['retired_residue']}, "
+          f"{summary['windows']} windows, "
+          f"{summary['packets']} packets, "
+          f"{summary['mixed_epoch_packets']} mixed-epoch packets",
+          flush=True)
+    clean = (summary["staged_residue"] == 0
+             and summary["retired_residue"] == 0
+             and summary["mixed_epoch_packets"] == 0
+             and len(summary["rule_epochs"]) == 1)
+    return 0 if clean else 1
+
+
+def cmd_metrics(args) -> int:
+    """Print the labelled metrics registry in Prometheus text format —
+    scraped from a running service (``--url``) or rendered from a short
+    seeded local run."""
+    if args.url:
+        from repro.service.client import ServiceClient
+
+        print(ServiceClient(args.url).metrics(), end="")
+        return 0
+    from repro.service import GeneratorSource, NewtonService, ServiceConfig
+
+    service = NewtonService(
+        GeneratorSource(pps=args.pps, seed=args.seed,
+                        max_windows=args.windows),
+        ServiceConfig(switches=args.switches, engine=args.engine),
+    )
+    service.install({"query": args.query})
+    while service.tick() is not None:
+        pass
+    service.drain()
+    print(service.metrics_text(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="newton-repro",
@@ -912,6 +1009,60 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the full chaos report as JSON")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-lived monitoring service with query CRUD, "
+             "streaming reports, and metrics over HTTP",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8181,
+                              help="HTTP API port (0 = ephemeral)")
+    serve_parser.add_argument("--source", default="generator",
+                              choices=("generator", "socket"),
+                              help="traffic source: seeded generator or a "
+                                   "line-delimited-JSON TCP packet feed")
+    serve_parser.add_argument("--feed-port", type=int, default=0,
+                              help="TCP port of the --source socket feed "
+                                   "(0 = ephemeral)")
+    serve_parser.add_argument("--pps", type=int, default=20_000,
+                              help="generator packets per second of trace "
+                                   "time")
+    serve_parser.add_argument("--max-windows", type=int, default=0,
+                              help="stop after N windows (0 = run forever)")
+    serve_parser.add_argument("--queries", nargs="*", default=[],
+                              choices=sorted(QUERY_DESCRIPTIONS),
+                              help="queries to install at startup")
+    serve_parser.add_argument("--switches", type=int, default=3,
+                              help="linear path length")
+    serve_parser.add_argument("--window-ms", type=int, default=100)
+    serve_parser.add_argument("--engine", default="vector",
+                              choices=("scalar", "vector"))
+    serve_parser.add_argument("--array-size", type=int, default=1 << 13)
+    serve_parser.add_argument("--rate", type=float, default=1.0,
+                              help="real-time pacing factor "
+                                   "(0 = free-running)")
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.set_defaults(func=cmd_serve)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="Prometheus text exposition: scrape a running service "
+             "(--url) or render a short seeded local run",
+    )
+    metrics_parser.add_argument("--url", default="",
+                                help="base URL of a running service "
+                                     "(e.g. http://127.0.0.1:8181)")
+    metrics_parser.add_argument("--query", default="Q1",
+                                choices=sorted(QUERY_DESCRIPTIONS))
+    metrics_parser.add_argument("--windows", type=int, default=5,
+                                help="windows to tick for the local run")
+    metrics_parser.add_argument("--pps", type=int, default=5_000)
+    metrics_parser.add_argument("--switches", type=int, default=3)
+    metrics_parser.add_argument("--engine", default="vector",
+                                choices=("scalar", "vector"))
+    metrics_parser.add_argument("--seed", type=int, default=7)
+    metrics_parser.set_defaults(func=cmd_metrics)
 
     demo_parser = sub.add_parser("demo", help="end-to-end quickstart run")
     demo_parser.add_argument("--engine", default="scalar",

@@ -432,6 +432,19 @@ class ReportCollector:
                 out[epoch] = dict(bucket)
         return out
 
+    def prune_results(self, before_epoch: int) -> int:
+        """Discard per-window answers for epochs ``< before_epoch``.
+
+        Batch experiments keep every window's answer around for the final
+        report; a long-running service drains each window as it closes and
+        must prune what it has already published, or ``_results`` grows
+        with uptime.  Returns the number of (qid, epoch) buckets dropped.
+        """
+        stale = [k for k in self._results if k[1] < before_epoch]
+        for key in stale:
+            del self._results[key]
+        return len(stale)
+
     def merged_results(self, sub_qid: str) -> Dict[int, Dict[Key, int]]:
         """Collector answers composed with the analyzer's deferred-CPU
         results: one per-window answer per query (max-merge, the same

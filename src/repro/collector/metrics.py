@@ -21,13 +21,14 @@ Design points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Sample",
     "DEPTH_BUCKETS",
     "BATCH_BUCKETS",
     "LATENCY_BUCKETS_S",
@@ -58,6 +59,22 @@ def _render_labels(pairs: LabelPairs) -> str:
         return ""
     inner = ",".join(f'{k}="{v}"' for k, v in pairs)
     return "{" + inner + "}"
+
+
+class Sample(NamedTuple):
+    """One exposition-ready series value.
+
+    Histograms expand into their Prometheus family members: one
+    ``<name>_bucket`` sample per bound (cumulative, ``le``-labelled,
+    including ``+Inf``) plus ``<name>_count`` and ``<name>_sum``.
+    """
+
+    name: str
+    labels: LabelPairs
+    value: float
+
+    def labels_map(self) -> Dict[str, str]:
+        return dict(self.labels)
 
 
 @dataclass
@@ -206,41 +223,154 @@ class MetricsRegistry:
     # -- exposition ----------------------------------------------------- #
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-serialisable view of every series."""
+        """JSON-serialisable view of every series.
+
+        Iteration order is stable: metric names sorted alphabetically
+        (counters, then gauges, then histograms are interleaved by name),
+        and each metric's series sorted by its label pairs — two
+        registries holding the same values snapshot identically.
+        """
         out: Dict[str, Dict[str, object]] = {}
-        for counter in self._counters.values():
-            out[counter.name] = {
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            series = counter.series()
+            out[name] = {
                 "type": "counter",
                 "help": counter.help,
                 "series": {
-                    _render_labels(k) or "_": v
-                    for k, v in counter.series().items()
+                    _render_labels(k) or "_": series[k]
+                    for k in sorted(series)
                 },
             }
-        for gauge in self._gauges.values():
-            out[gauge.name] = {
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            series = gauge.series()
+            out[name] = {
                 "type": "gauge",
                 "help": gauge.help,
                 "series": {
-                    _render_labels(k) or "_": v
-                    for k, v in gauge.series().items()
+                    _render_labels(k) or "_": series[k]
+                    for k in sorted(series)
                 },
             }
-        for histogram in self._histograms.values():
-            out[histogram.name] = {
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            hseries = histogram.series()
+            out[name] = {
                 "type": "histogram",
                 "help": histogram.help,
                 "buckets": list(histogram.buckets),
                 "series": {
                     _render_labels(k) or "_": {
-                        "counts": list(s.counts),
-                        "total": s.total,
-                        "sum": s.sum,
+                        "counts": list(hseries[k].counts),
+                        "total": hseries[k].total,
+                        "sum": hseries[k].sum,
                     }
-                    for k, s in histogram.series().items()
+                    for k in sorted(hseries)
                 },
             }
         return out
+
+    def samples(self) -> Iterator[Sample]:
+        """Every series as ``(name, labels, value)`` in a stable order.
+
+        Names sort alphabetically and label sets sort within a name, so
+        iterating twice over an unchanged registry yields the identical
+        sequence — the contract both the Prometheus renderer and the
+        service's ``/metrics`` endpoint rely on.  Histogram buckets are
+        *cumulative* (each ``le`` bound counts every observation at or
+        below it), matching Prometheus semantics rather than the
+        per-bin counts :meth:`snapshot` exposes.
+        """
+        for name in sorted(self._counters):
+            series = self._counters[name].series()
+            for pairs in sorted(series):
+                yield Sample(name, pairs, float(series[pairs]))
+        for name in sorted(self._gauges):
+            series = self._gauges[name].series()
+            for pairs in sorted(series):
+                yield Sample(name, pairs, float(series[pairs]))
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            hseries = histogram.series()
+            bounds = [f"{b:g}" for b in histogram.buckets] + ["+Inf"]
+            for pairs in sorted(hseries):
+                entry = hseries[pairs]
+                running = 0
+                for bound, count in zip(bounds, entry.counts):
+                    running += count
+                    yield Sample(
+                        f"{name}_bucket", pairs + (("le", bound),),
+                        float(running),
+                    )
+                yield Sample(f"{name}_count", pairs, float(entry.total))
+                yield Sample(f"{name}_sum", pairs, float(entry.sum))
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Differs from :meth:`render` (the operator-console view) in the
+        ways a real scraper cares about: histogram buckets are cumulative,
+        every metric carries ``# HELP``/``# TYPE`` headers, label values
+        escape backslashes/quotes/newlines, and the body ends with a
+        trailing newline as the format requires.
+        """
+        lines: List[str] = []
+
+        def esc_help(text: str) -> str:
+            return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+        def esc_label(value: str) -> str:
+            return (value.replace("\\", "\\\\").replace('"', '\\"')
+                    .replace("\n", "\\n"))
+
+        def fmt(value: float) -> str:
+            if value == int(value) and abs(value) < 1e15:
+                return str(int(value))
+            return repr(value)
+
+        def labelstr(pairs: LabelPairs) -> str:
+            if not pairs:
+                return ""
+            inner = ",".join(f'{k}="{esc_label(v)}"' for k, v in pairs)
+            return "{" + inner + "}"
+
+        def header(name: str, kind: str, help_text: str) -> None:
+            if help_text:
+                lines.append(f"# HELP {name} {esc_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            header(name, "counter", counter.help)
+            series = counter.series()
+            for pairs in sorted(series):
+                lines.append(f"{name}{labelstr(pairs)} {fmt(series[pairs])}")
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            header(name, "gauge", gauge.help)
+            series = gauge.series()
+            for pairs in sorted(series):
+                lines.append(f"{name}{labelstr(pairs)} {fmt(series[pairs])}")
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            header(name, "histogram", histogram.help)
+            hseries = histogram.series()
+            bounds = [f"{b:g}" for b in histogram.buckets] + ["+Inf"]
+            for pairs in sorted(hseries):
+                entry = hseries[pairs]
+                running = 0
+                for bound, count in zip(bounds, entry.counts):
+                    running += count
+                    label = labelstr(pairs + (("le", bound),))
+                    lines.append(f"{name}_bucket{label} {running}")
+                lines.append(
+                    f"{name}_count{labelstr(pairs)} {entry.total}"
+                )
+                lines.append(
+                    f"{name}_sum{labelstr(pairs)} {fmt(entry.sum)}"
+                )
+        return "\n".join(lines) + "\n"
 
     def render(self) -> str:
         """Stable text exposition (sorted names, sorted label sets)."""

@@ -206,6 +206,17 @@ class Analyzer:
         """Monitoring messages received (mirrored reports + deferrals)."""
         return len(self.reports) + self.deferred_packets
 
+    def prune(self, before_epoch: int) -> int:
+        """Discard windowed results and raw reports older than
+        ``before_epoch`` — required for long-running drivers, which would
+        otherwise accumulate every window's state for the whole uptime.
+        Returns the number of (qid, epoch) buckets dropped."""
+        stale = [k for k in self._results if k[1] < before_epoch]
+        for key in stale:
+            del self._results[key]
+        self.reports = [r for r in self.reports if r.epoch >= before_epoch]
+        return len(stale)
+
     def reset(self) -> None:
         self._results.clear()
         self._deferred_states.clear()

@@ -15,7 +15,6 @@ Two deployment modes:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -64,25 +63,6 @@ class InstallResult:
     placements: Dict[str, PlacementResult] = field(default_factory=dict)
     #: Static-verifier findings (warnings/infos; errors abort the install).
     diagnostics: List[Diagnostic] = field(default_factory=list)
-
-    @property
-    def rules_installed(self) -> int:
-        """Legacy accessor from before remove/update results were split.
-
-        For install/update results it is a plain alias of
-        :attr:`rules_staged`.  On ``remove_query`` results it historically
-        carried the *removed* count; that reading is deprecated — use
-        :attr:`rules_removed`.
-        """
-        if self.op == "remove":
-            warnings.warn(
-                "InstallResult.rules_installed on a remove_query result "
-                "is deprecated; read rules_removed instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return self.rules_removed
-        return self.rules_staged
 
 
 @dataclass

@@ -1,0 +1,146 @@
+"""A small synchronous client for the service API (stdlib only).
+
+Used by the tests, the benchmark, and ``newton-repro metrics --url``;
+also a reference for how to talk to the API from anything that can
+speak HTTP.  Streaming consumes the ``/stream`` SSE feed as an
+iterator of decoded events.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional
+from urllib.parse import urlencode, urlsplit
+
+__all__ = ["ServiceAPIError", "ServiceClient"]
+
+
+class ServiceAPIError(Exception):
+    """A non-2xx API response, with the decoded JSON body attached."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+    @property
+    def diagnostics(self) -> list:
+        """NV diagnostics of an admission rejection (may be empty)."""
+        return list(self.payload.get("diagnostics", []))
+
+
+class ServiceClient:
+    """Talks to one running :class:`~repro.service.NewtonService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"need an http://host:port URL, got "
+                             f"{base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ----------------------------------------------------------------- #
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status == 200 and path == "/metrics":
+                return {"text": raw.decode()}
+            decoded = json.loads(raw.decode()) if raw else {}
+            if response.status >= 400:
+                raise ServiceAPIError(response.status, decoded)
+            return decoded
+        finally:
+            conn.close()
+
+    # ----------------------------------------------------------------- #
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def queries(self) -> Dict[str, Any]:
+        return self._request("GET", "/queries")
+
+    def install(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/queries", body=spec)
+
+    def update(self, qid: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("PUT", f"/queries/{qid}", body=spec)
+
+    def remove(self, qid: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/queries/{qid}")
+
+    def reports(self, qid: Optional[str] = None,
+                limit: int = 0) -> Dict[str, Any]:
+        params = {}
+        if qid:
+            params["qid"] = qid
+        if limit:
+            params["limit"] = str(limit)
+        suffix = f"?{urlencode(params)}" if params else ""
+        return self._request("GET", f"/reports{suffix}")
+
+    def coverage(self) -> Dict[str, Any]:
+        return self._request("GET", "/coverage")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")["text"]
+
+    def stream(self, qid: Optional[str] = None,
+               max_events: int = 0,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Consume the SSE feed; yields decoded events until the stream
+        ends, ``max_events`` is reached, or a read times out."""
+        suffix = f"?{urlencode({'qid': qid})}" if qid else ""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            conn.request("GET", f"/stream{suffix}")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServiceAPIError(
+                    response.status,
+                    json.loads(raw.decode()) if raw else {},
+                )
+            yielded = 0
+            data_lines: list = []
+            ended = False
+            while not ended:
+                line = response.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").rstrip("\r\n")
+                if text.startswith("event: end"):
+                    ended = True
+                    continue
+                if text.startswith("data:"):
+                    data_lines.append(text[5:].lstrip())
+                    continue
+                if text == "" and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event
+                    yielded += 1
+                    if max_events and yielded >= max_events:
+                        return
+        finally:
+            conn.close()

@@ -1,0 +1,161 @@
+"""Per-window report fan-out.
+
+The service publishes one event per closed window; the
+:class:`SubscriptionManager` fans each event out to every live
+subscriber and keeps a bounded history ring for ``GET /reports``.
+
+Subscriber queues mirror the collection plane's bounded-queue story: a
+fixed capacity with **drop-oldest** backpressure, so a slow consumer
+falls behind on old windows instead of stalling the ingest loop or
+growing memory without bound — and every drop is accounted in the shared
+metrics registry, never silent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.collector.metrics import MetricsRegistry
+
+__all__ = ["Subscription", "SubscriptionManager"]
+
+
+class Subscription:
+    """One streaming consumer's bounded event queue."""
+
+    def __init__(self, manager: "SubscriptionManager", sub_id: int,
+                 max_queue: int, qid: Optional[str] = None):
+        self._manager = manager
+        self.sub_id = sub_id
+        self.qid = qid
+        self.max_queue = max_queue
+        self.dropped = 0
+        self.delivered = 0
+        self.closed = False
+        self._queue: Deque[Dict[str, object]] = deque()
+        # Created lazily on first await: constructing an asyncio.Event
+        # off-loop binds the wrong (or no) loop on Python 3.9.
+        self._wakeup: Optional[asyncio.Event] = None
+
+    def _offer(self, event: Dict[str, object]) -> None:
+        if self.closed:
+            return
+        if self.qid is not None and event.get("type") == "window":
+            if self.qid not in event.get("queries", {}):
+                return
+        if len(self._queue) >= self.max_queue:
+            self._queue.popleft()
+            self.dropped += 1
+            self._manager.count_drop()
+        self._queue.append(event)
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def pop_pending(self) -> List[Dict[str, object]]:
+        """Drain everything queued right now (non-blocking)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        self.delivered += len(drained)
+        return drained
+
+    async def next_event(self) -> Optional[Dict[str, object]]:
+        """The next event, or ``None`` once closed and drained."""
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        while True:
+            if self._queue:
+                self.delivered += 1
+                return self._queue.popleft()
+            if self.closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def close(self) -> None:
+        self.closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def unsubscribe(self) -> None:
+        self._manager.unsubscribe(self)
+
+
+class SubscriptionManager:
+    """Fans window events out to bounded per-client queues + a history
+    ring (the non-streaming ``GET /reports`` view)."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 max_queue: int = 64, history: int = 256):
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self.default_max_queue = max_queue
+        self.registry = registry or MetricsRegistry()
+        self._subs: Dict[int, Subscription] = {}
+        self._next_id = 0
+        self._history: Deque[Dict[str, object]] = deque(maxlen=history)
+        self.closed = False
+        self._c_published = self.registry.counter(
+            "feed_events_published_total",
+            "window events published to the fan-out",
+        )
+        self._c_dropped = self.registry.counter(
+            "feed_events_dropped_total",
+            "events evicted from slow subscribers (drop-oldest)",
+        )
+        self._g_subscribers = self.registry.gauge(
+            "feed_subscribers", "live streaming subscriptions"
+        )
+
+    def count_drop(self) -> None:
+        self._c_dropped.inc()
+
+    def subscribe(self, qid: Optional[str] = None,
+                  max_queue: Optional[int] = None) -> Subscription:
+        if self.closed:
+            raise RuntimeError("feed is shut down")
+        sub = Subscription(
+            self, self._next_id,
+            max_queue or self.default_max_queue, qid=qid,
+        )
+        self._next_id += 1
+        self._subs[sub.sub_id] = sub
+        self._g_subscribers.set(len(self._subs))
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.close()
+        self._subs.pop(sub.sub_id, None)
+        self._g_subscribers.set(len(self._subs))
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    def publish(self, event: Dict[str, object]) -> None:
+        self._c_published.inc()
+        if event.get("type") == "window":
+            self._history.append(event)
+        for sub in list(self._subs.values()):
+            sub._offer(event)
+
+    def history(self, qid: Optional[str] = None,
+                limit: int = 0) -> List[Dict[str, object]]:
+        """Most recent window events, oldest first."""
+        events = [
+            e for e in self._history
+            if qid is None or qid in e.get("queries", {})
+        ]
+        if limit and limit > 0:
+            events = events[-limit:]
+        return events
+
+    def close_all(self) -> None:
+        """Shut the feed down: wake and close every subscriber so their
+        streams terminate instead of waiting forever."""
+        self.closed = True
+        for sub in list(self._subs.values()):
+            sub.close()
+        self._subs.clear()
+        self._g_subscribers.set(0)

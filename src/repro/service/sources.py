@@ -1,0 +1,244 @@
+"""Pluggable trace sources for the ingestion loop.
+
+A source hands the service exactly one window's worth of packets at a
+time, paced by the shared :class:`~repro.runtime.clock.WindowClock`
+epoch: ``window(epoch, window_s)`` returns a
+:class:`~repro.traffic.columnar.ColumnarTrace` whose timestamps fall in
+``[epoch * window_s, (epoch + 1) * window_s)``, an *empty* trace for an
+idle window, or ``None`` once the source is exhausted (which stops the
+service's ingest loop).
+
+Three families:
+
+* :class:`ReplaySource` — replays a recorded trace, sliced at window
+  boundaries (zero-copy), optionally looping forever by time-shifting
+  each pass.
+* :class:`GeneratorSource` — synthesises one seeded background-traffic
+  window at a time; runs forever and is the default for ``serve``.
+* :class:`PushSource` / :class:`SocketSource` — packets pushed in from
+  outside (tests, or a line-delimited-JSON TCP feed); whatever arrived
+  since the last tick is stamped into the current window.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.traffic.columnar import ColumnarTrace
+from repro.traffic.generators import background_columnar
+
+__all__ = [
+    "TraceSource",
+    "ReplaySource",
+    "GeneratorSource",
+    "PushSource",
+    "SocketSource",
+    "packet_from_record",
+]
+
+
+class TraceSource:
+    """Interface of an ingestion source (one window per call)."""
+
+    def window(self, epoch: int,
+               window_s: float) -> Optional[ColumnarTrace]:
+        """Packets of ``[epoch*window_s, (epoch+1)*window_s)``; ``None``
+        when the source has nothing left to offer, ever."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (sockets, buffers)."""
+
+
+class ReplaySource(TraceSource):
+    """Replays a recorded :class:`ColumnarTrace` window by window.
+
+    Slices are zero-copy views cut at window boundaries with a binary
+    search on the (sorted) timestamp column.  With ``loop=True`` the
+    trace restarts after its last window, time-shifted forward so the
+    stream stays monotonic — a pcap on repeat.
+    """
+
+    def __init__(self, trace: ColumnarTrace, loop: bool = False):
+        if len(trace) == 0:
+            raise ValueError("cannot replay an empty trace")
+        if np.any(np.diff(trace.ts) < 0):
+            raise ValueError("replay trace must be sorted by timestamp")
+        self.trace = trace
+        self.loop = loop
+
+    def _cycle_windows(self, window_s: float) -> int:
+        last = float(self.trace.ts[-1])
+        return max(1, int(math.floor(last / window_s)) + 1)
+
+    def window(self, epoch: int,
+               window_s: float) -> Optional[ColumnarTrace]:
+        cycle = self._cycle_windows(window_s)
+        if not self.loop and epoch >= cycle:
+            return None
+        pass_index, local_epoch = divmod(epoch, cycle)
+        ts = self.trace.ts
+        start = int(np.searchsorted(ts, local_epoch * window_s, "left"))
+        stop = int(np.searchsorted(ts, (local_epoch + 1) * window_s, "left"))
+        chunk = self.trace.slice(start, stop)
+        if pass_index == 0:
+            return chunk
+        shift = pass_index * cycle * window_s
+        return ColumnarTrace(
+            dict(chunk.columns), chunk.ts + shift,
+            chunk.src_host_ids, chunk.dst_host_ids, chunk.host_table,
+            name=f"{self.trace.name}#loop{pass_index}",
+        )
+
+
+class GeneratorSource(TraceSource):
+    """Seeded live traffic: one synthetic background window per tick.
+
+    Deterministic per window (seed varies with the epoch), so a service
+    run is reproducible end to end.  Runs forever unless ``max_windows``
+    bounds it.
+    """
+
+    def __init__(
+        self,
+        pps: int = 20_000,
+        seed: int = 7,
+        hosts: Tuple[object, object] = ("h_src0", "h_dst0"),
+        max_windows: int = 0,
+    ):
+        if pps <= 0:
+            raise ValueError("pps must be positive")
+        self.pps = pps
+        self.seed = seed
+        self.hosts = hosts
+        self.max_windows = max_windows
+
+    def window(self, epoch: int,
+               window_s: float) -> Optional[ColumnarTrace]:
+        if self.max_windows and epoch >= self.max_windows:
+            return None
+        n = max(1, int(round(self.pps * window_s)))
+        trace = background_columnar(
+            n, duration_s=window_s, seed=self.seed + epoch,
+            start_s=epoch * window_s, name=f"live-w{epoch}",
+        ).with_hosts(*self.hosts)
+        # The generator may land a row exactly on the closing boundary;
+        # the window owns [start, end), so trim it.
+        end = (epoch + 1) * window_s
+        stop = int(np.searchsorted(trace.ts, end, "left"))
+        return trace.slice(0, stop) if stop < len(trace) else trace
+
+
+def packet_from_record(record: Dict[str, object]) -> Packet:
+    """Build a :class:`Packet` from a JSON-ish field map.
+
+    Unknown keys are rejected (a feeder typo should not silently monitor
+    the wrong field); hosts default to the canonical edge pair.
+    """
+    allowed = {"sip", "dip", "proto", "sport", "dport", "tcp_flags",
+               "len", "ttl", "dns_ancount", "ts", "src_host", "dst_host"}
+    unknown = set(record) - allowed
+    if unknown:
+        raise ValueError(f"unknown packet fields: {sorted(unknown)}")
+    fields = dict(record)
+    fields.setdefault("src_host", "h_src0")
+    fields.setdefault("dst_host", "h_dst0")
+    return Packet(**fields)  # type: ignore[arg-type]
+
+
+class PushSource(TraceSource):
+    """Packets pushed from outside, drained one window at a time.
+
+    Thread-safe: feeders call :meth:`offer` from any thread; the service
+    drains on its loop.  Pushed packets carry no meaningful trace time of
+    their own, so the drain stamps them evenly across the window being
+    built — arrival order is preserved.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: List[Packet] = []
+        self._closed = False
+
+    def offer(self, packet: Packet) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("source is closed")
+            self._pending.append(packet)
+
+    def offer_record(self, record: Dict[str, object]) -> None:
+        self.offer(packet_from_record(record))
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def window(self, epoch: int,
+               window_s: float) -> Optional[ColumnarTrace]:
+        with self._lock:
+            if self._closed and not self._pending:
+                return None
+            drained, self._pending = self._pending, []
+        start = epoch * window_s
+        step = window_s / (len(drained) + 1)
+        for i, pkt in enumerate(drained):
+            pkt.ts = start + (i + 1) * step
+        return ColumnarTrace.from_packets(drained, name=f"push-w{epoch}")
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+
+class SocketSource(PushSource):
+    """A TCP feed of line-delimited JSON packet records.
+
+    The service starts the listener on its own event loop
+    (:meth:`start`); each accepted connection streams one JSON object per
+    line (the fields of :func:`packet_from_record`).  Malformed lines are
+    counted and skipped, never fatal.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        super().__init__()
+        self.host = host
+        self.port = port
+        self.bad_lines = 0
+        self._server = None
+
+    async def start(self) -> int:
+        import asyncio
+
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    self.offer_record(json.loads(text))
+                except (ValueError, TypeError):
+                    self.bad_lines += 1
+        finally:
+            writer.close()
+
+    def close(self) -> None:
+        super().close()
+        if self._server is not None:
+            self._server.close()
+            self._server = None

@@ -28,9 +28,9 @@ class TestPathMode:
     def test_install_and_remove(self):
         dep = build_deployment(linear(1))
         result = dep.controller.install_query(q(), PARAMS, path=["s0"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
         assert result.delay_s > 0
-        assert dep.switch("s0").rule_count == result.rules_installed
+        assert dep.switch("s0").rule_count == result.rules_staged
         removal = dep.controller.remove_query("ctl.q")
         assert dep.switch("s0").rule_count == 0
         assert removal.delay_s > 0
@@ -84,16 +84,14 @@ class TestPathMode:
         dep = build_deployment(linear(1))
         install = dep.controller.install_query(q(), PARAMS, path=["s0"])
         removal = dep.controller.remove_query("ctl.q")
-        assert removal.rules_removed == install.rules_installed
-        # One-release deprecation: removal keeps the legacy field in sync.
-        assert removal.rules_installed == removal.rules_removed
+        assert removal.rules_removed == install.rules_staged
 
     def test_update_reports_both_directions(self):
         dep = build_deployment(linear(1))
         dep.controller.install_query(q(threshold=3), PARAMS, path=["s0"])
         result = dep.controller.update_query(q(threshold=9), PARAMS,
                                              path=["s0"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
         assert result.rules_removed > 0
 
     def test_failed_update_leaves_query_installed(self):
@@ -156,7 +154,7 @@ class TestNetworkMode:
         assert set(result.slices_per_sub) == {"Q7.syn", "Q7.fin"}
         removal = dep.controller.remove_query("Q7")
         assert dep.controller.rule_count() == 0
-        assert removal.rules_installed > 0
+        assert removal.rules_removed > 0
 
     def test_advance_window_touches_all_switches(self):
         topo = linear(3)

@@ -80,7 +80,6 @@ class TestCommitPath:
         before = dep.controller.rule_count()
         removal = dep.controller.remove_query("txn.q")
         assert removal.rules_removed == before
-        assert removal.rules_installed == before  # legacy alias
         assert dep.controller.rule_count() == 0
         for switch in dep.switches.values():
             assert switch.retired_rule_count == 0
@@ -99,10 +98,10 @@ class TestCommitPath:
                                              path=["s0"])
         txn = dep.controller.txn
         assert [e.op for e in txn.journal.entries()] == ["install", "update"]
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
         assert result.rules_removed > 0
         # Same definition size: the swap is rule-count neutral after GC.
-        assert dep.switch("s0").rule_count == result.rules_installed
+        assert dep.switch("s0").rule_count == result.rules_staged
         assert dep.switch("s0").staged_rule_count == 0
 
 
@@ -116,7 +115,7 @@ class TestFaultTolerance:
         dep.controller.install_query(q(), PARAMS, path=["s0", "s1", "s2"])
         result = dep.controller.update_query(q(threshold=9), PARAMS,
                                              path=["s0", "s1", "s2"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
         assert {s.rule_epoch for s in dep.switches.values()} == {2}
         retries = dep.controller.txn.registry.counter("txn_retries_total")
         assert retries.total > 0, "the fault schedule must have bitten"
@@ -216,4 +215,4 @@ class TestConfigValidation:
     def test_plain_channel_still_works(self):
         dep = deploy(channel=ControlChannel())
         result = dep.controller.install_query(q(), PARAMS, path=["s0"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0

@@ -114,7 +114,7 @@ class TestIspFailover:
             edge_switches=["Los Angeles"], stages_per_switch=4,
         )
         before = deployment.controller.rule_count()
-        assert before == result.rules_installed
+        assert before == result.rules_staged
         deployment.simulator.run(
             Trace(syn_stream("h_Los_Angeles_0", "h_Miami_0", 10))
         )

@@ -1,0 +1,117 @@
+"""Report fan-out: bounded queues, drop-oldest accounting, shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.collector.metrics import MetricsRegistry
+from repro.service.feed import SubscriptionManager
+
+
+def window_event(epoch, queries=()):
+    return {"type": "window", "epoch": epoch,
+            "queries": {qid: {} for qid in queries}}
+
+
+class TestDropOldest:
+    def test_slow_subscriber_keeps_newest_events(self):
+        registry = MetricsRegistry()
+        feed = SubscriptionManager(registry=registry, max_queue=4)
+        sub = feed.subscribe()
+        for epoch in range(10):
+            feed.publish(window_event(epoch))
+        drained = sub.pop_pending()
+        assert [e["epoch"] for e in drained] == [6, 7, 8, 9]
+        assert sub.dropped == 6
+        # Never silent: every eviction lands in the shared registry.
+        assert registry.counter("feed_events_dropped_total").total == 6
+        assert registry.counter("feed_events_published_total").total == 10
+
+    def test_per_subscriber_queue_override(self):
+        feed = SubscriptionManager(max_queue=64)
+        sub = feed.subscribe(max_queue=2)
+        for epoch in range(5):
+            feed.publish(window_event(epoch))
+        assert [e["epoch"] for e in sub.pop_pending()] == [3, 4]
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            SubscriptionManager(max_queue=0)
+
+
+class TestQidFilter:
+    def test_window_events_filtered_by_query(self):
+        feed = SubscriptionManager()
+        sub = feed.subscribe(qid="Q1")
+        feed.publish(window_event(0, queries=["Q2"]))
+        feed.publish(window_event(1, queries=["Q1", "Q2"]))
+        assert [e["epoch"] for e in sub.pop_pending()] == [1]
+
+    def test_control_events_always_delivered(self):
+        feed = SubscriptionManager()
+        sub = feed.subscribe(qid="Q1")
+        feed.publish({"type": "query", "op": "remove", "qid": "Q2"})
+        feed.publish({"type": "shutdown"})
+        assert [e["type"] for e in sub.pop_pending()] == ["query", "shutdown"]
+
+
+class TestHistory:
+    def test_ring_keeps_the_last_n_windows(self):
+        feed = SubscriptionManager(history=3)
+        for epoch in range(6):
+            feed.publish(window_event(epoch))
+        assert [e["epoch"] for e in feed.history()] == [3, 4, 5]
+        assert [e["epoch"] for e in feed.history(limit=2)] == [4, 5]
+
+    def test_history_filters_by_qid_and_skips_control_events(self):
+        feed = SubscriptionManager()
+        feed.publish(window_event(0, queries=["Q1"]))
+        feed.publish({"type": "query", "op": "install", "qid": "Q1"})
+        feed.publish(window_event(1, queries=["Q2"]))
+        assert [e["epoch"] for e in feed.history(qid="Q1")] == [0]
+        assert [e["epoch"] for e in feed.history()] == [0, 1]
+
+
+class TestLifecycle:
+    def test_unsubscribe_updates_gauge(self):
+        registry = MetricsRegistry()
+        feed = SubscriptionManager(registry=registry)
+        sub = feed.subscribe()
+        assert feed.subscriber_count == 1
+        assert registry.gauge("feed_subscribers").value() == 1
+        sub.unsubscribe()
+        assert feed.subscriber_count == 0
+        assert registry.gauge("feed_subscribers").value() == 0
+        feed.publish(window_event(0))
+        assert sub.pop_pending() == []
+
+    def test_subscribe_after_shutdown_refused(self):
+        feed = SubscriptionManager()
+        feed.close_all()
+        with pytest.raises(RuntimeError):
+            feed.subscribe()
+
+    def test_close_all_wakes_a_blocked_consumer(self):
+        async def scenario():
+            feed = SubscriptionManager()
+            sub = feed.subscribe()
+            waiter = asyncio.get_running_loop().create_task(sub.next_event())
+            await asyncio.sleep(0)  # let the consumer block on the queue
+            feed.close_all()
+            return await asyncio.wait_for(waiter, timeout=5)
+
+        assert asyncio.run(scenario()) is None
+
+    def test_closed_subscriber_drains_queued_events_first(self):
+        async def scenario():
+            feed = SubscriptionManager()
+            sub = feed.subscribe()
+            feed.publish(window_event(0))
+            feed.close_all()
+            first = await sub.next_event()
+            second = await sub.next_event()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["epoch"] == 0
+        assert second is None

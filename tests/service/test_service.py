@@ -1,0 +1,214 @@
+"""NewtonService in-process: ticks, CRUD, admission, pruning."""
+
+import pytest
+
+from repro.core.query import flatten
+from repro.service import GeneratorSource, NewtonService, ServiceConfig
+from repro.service.service import ServiceError, query_from_spec
+
+PPS = 2000
+
+
+def make_service(**overrides) -> NewtonService:
+    config = ServiceConfig(switches=2, **overrides)
+    return NewtonService(GeneratorSource(pps=PPS, seed=9), config)
+
+
+class TestQuerySpecs:
+    def test_library_spec_builds_the_named_intent(self):
+        query = query_from_spec({"query": "Q1"})
+        assert query.qid == "Q1"
+
+    def test_threshold_overrides_applied(self):
+        query = query_from_spec(
+            {"query": "Q1", "thresholds": {"new_tcp_conns": 3}}
+        )
+        assert query.qid == "Q1"
+
+    def test_unknown_library_name_rejected(self):
+        with pytest.raises(ServiceError) as exc:
+            query_from_spec({"query": "Q99"})
+        assert exc.value.status == 400
+        assert "choices" in exc.value.payload
+
+    def test_unknown_threshold_rejected(self):
+        with pytest.raises(ServiceError) as exc:
+            query_from_spec({"query": "Q1", "thresholds": {"nope": 1}})
+        assert exc.value.status == 400
+
+    def test_pipeline_spec_builds_a_custom_query(self):
+        query = query_from_spec({
+            "qid": "custom.syn",
+            "pipeline": [
+                {"op": "filter", "eq": {"proto": 6, "tcp_flags": 2}},
+                {"op": "map", "keys": ["dip"]},
+                {"op": "reduce", "keys": ["dip"]},
+                {"op": "where", "ge": 5},
+            ],
+        })
+        assert query.qid == "custom.syn"
+
+    def test_bad_pipeline_op_rejected(self):
+        with pytest.raises(ServiceError) as exc:
+            query_from_spec({
+                "qid": "x", "pipeline": [{"op": "join", "keys": ["dip"]}],
+            })
+        assert exc.value.status == 400
+
+    def test_spec_needs_query_or_pipeline(self):
+        with pytest.raises(ServiceError) as exc:
+            query_from_spec({})
+        assert exc.value.status == 400
+
+
+class TestCrud:
+    def test_install_reports_commit_and_publishes(self):
+        service = make_service()
+        sub = service.feed.subscribe()
+        payload = service.install({"query": "Q1"})
+        assert payload["qid"] == "Q1"
+        assert payload["rules_staged"] > 0
+        assert payload["committed_epoch"] == service.deployment.controller.txn.epoch >= 1
+        assert "Q1" in service.deployment.controller.installed
+        events = sub.pop_pending()
+        assert [e["op"] for e in events] == ["install"]
+        assert service.registry.counter("service_ops_total").value(
+            op="install", outcome="ok") == 1
+
+    def test_duplicate_install_conflicts(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        with pytest.raises(ServiceError) as exc:
+            service.install({"query": "Q1"})
+        assert exc.value.status == 409
+
+    def test_remove_unknown_is_404(self):
+        service = make_service()
+        with pytest.raises(ServiceError) as exc:
+            service.remove("Q7")
+        assert exc.value.status == 404
+
+    def test_update_spec_must_match_url_qid(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        with pytest.raises(ServiceError) as exc:
+            service.update("Q1", {"query": "Q2"})
+        assert exc.value.status == 400
+
+    def test_oversubscribed_params_rejected_with_diagnostics(self):
+        service = make_service()
+        with pytest.raises(ServiceError) as exc:
+            service.install({
+                "query": "Q1", "params": {"reduce_registers": 10_000_000},
+            })
+        assert exc.value.status == 422
+        codes = {d["code"] for d in exc.value.payload["diagnostics"]}
+        assert codes & {"NV203", "NV601"}
+        assert "Q1" not in service.deployment.controller.installed
+        # Rejected cleanly: nothing staged anywhere.
+        assert all(s.staged_rule_count == 0
+                   for s in service.deployment.switches.values())
+
+    def test_fleet_accuracy_gate_rolls_the_install_back(self):
+        # Declaring a flow population far beyond the sketch width turns
+        # the fleet analyzer's accuracy budget into an admission error;
+        # the freshly committed query must be rolled back out.
+        service = make_service(expected_flows=1_000_000)
+        with pytest.raises(ServiceError) as exc:
+            service.install({"query": "Q1"})
+        assert exc.value.status == 422
+        assert any(d["code"].startswith("NV7")
+                   for d in exc.value.payload["diagnostics"])
+        assert "Q1" not in service.deployment.controller.installed
+        assert service.registry.counter("service_ops_total").value(
+            op="install", outcome="rejected-fleet") == 1
+
+    def test_ops_refused_while_stopping(self):
+        service = make_service()
+        service.request_stop()
+        with pytest.raises(ServiceError) as exc:
+            service.install({"query": "Q1"})
+        assert exc.value.status == 503
+
+
+class TestIngest:
+    def test_tick_publishes_one_window_event(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        sub = service.feed.subscribe()
+        event = service.tick()
+        assert event["type"] == "window"
+        assert event["epoch"] == 0
+        assert event["packets"] > 0
+        assert event["mixed_epoch_packets"] == 0
+        assert "Q1" in event["queries"]
+        assert sub.pop_pending() == [event]
+        assert service.deployment.simulator.epoch == 1
+
+    def test_results_surface_in_window_events(self):
+        service = make_service()
+        # Tiny threshold so background SYNs trip Q1 within one window.
+        service.install({
+            "query": "Q1", "thresholds": {"new_tcp_conns": 1},
+        })
+        hits = 0
+        for _ in range(5):
+            event = service.tick()
+            q1 = event["queries"]["Q1"]
+            hits += sum(len(r) for r in q1["results"].values())
+        assert hits > 0
+
+    def test_reports_view_tracks_history(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        for _ in range(4):
+            service.tick()
+        view = service.reports(limit=2)
+        assert [e["epoch"] for e in view["reports"]] == [2, 3]
+        assert view["window_epoch"] == 4
+
+    def test_source_exhaustion_stops_cleanly(self):
+        service = NewtonService(
+            GeneratorSource(pps=500, max_windows=2),
+            ServiceConfig(switches=1),
+        )
+        assert service.tick() is not None
+        assert service.tick() is not None
+        assert service.tick() is None
+        assert service.exhausted
+
+    def test_pruning_bounds_retained_state(self):
+        service = make_service(prune_lateness=2)
+        service.install({
+            "query": "Q1", "thresholds": {"new_tcp_conns": 1},
+        })
+        for _ in range(8):
+            service.tick()
+        # Windows below the lateness horizon are gone from the collector.
+        collector = service.deployment.collector
+        record = service.deployment.controller.installed["Q1"]
+        for sub in flatten(record.query):
+            epochs = collector.merged_results(sub.qid)
+            assert all(e >= 8 - 1 - 2 for e in epochs)
+        assert all(r.epoch >= 8 - 1 - 2
+                   for r in service.deployment.analyzer.reports)
+
+    def test_health_summarises_the_run(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        service.tick()
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["windows"] == 1
+        assert health["packets"] > 0
+        assert health["queries"] == ["Q1"]
+
+    def test_metrics_text_is_prometheus(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        service.tick()
+        text = service.metrics_text()
+        assert text.endswith("\n")
+        assert "# TYPE service_windows_total counter" in text
+        assert "service_windows_total 1" in text
+        assert 'service_ops_total{op="install",outcome="ok"} 1' in text

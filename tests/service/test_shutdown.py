@@ -1,0 +1,129 @@
+"""Shutdown drains: no staged residue, no hung streams, clean SIGTERM.
+
+Control operations run synchronously on the event loop, so a stop
+request can only interleave at an operation boundary — shutdown must
+always find the rule banks on a single committed epoch.  The subprocess
+test drives the real ``newton-repro serve`` process through a
+SIGTERM-mid-run and checks the exit status that CI relies on.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.service import GeneratorSource, NewtonService, ServiceConfig
+
+
+def make_service(**overrides):
+    return NewtonService(
+        GeneratorSource(pps=1000, seed=6),
+        ServiceConfig(switches=2, **overrides),
+    )
+
+
+class TestDrain:
+    def test_drain_leaves_a_committed_control_plane(self):
+        service = make_service()
+        service.install({"query": "Q1"})
+        service.install({"query": "Q4"})
+        for _ in range(3):
+            service.tick()
+        service.remove("Q4")
+        summary = service.drain()
+        assert summary["staged_residue"] == 0
+        assert summary["retired_residue"] == 0
+        assert len(summary["rule_epochs"]) == 1
+        assert summary["rule_epochs"] == [summary["committed_epoch"]]
+        assert summary["windows"] == 3
+        assert summary["mixed_epoch_packets"] == 0
+
+    def test_drain_publishes_shutdown_and_closes_streams(self):
+        service = make_service()
+        sub = service.feed.subscribe()
+        service.drain()
+        events = sub.pop_pending()
+        assert [e["type"] for e in events] == ["shutdown"]
+        assert service.feed.closed
+        assert sub.closed
+
+    def test_drain_is_idempotent(self):
+        service = make_service()
+        first = service.drain()
+        assert service.drain() == first
+
+    def test_shutdown_mid_ingest_waits_for_the_window_in_flight(self):
+        async def scenario():
+            service = make_service()
+            service.install({"query": "Q1"})
+            sub = service.feed.subscribe()
+            service.start()
+            # Let a few windows through, then stop mid-run.
+            while service.health()["windows"] < 3:
+                await asyncio.sleep(0)
+            summary = await service.shutdown()
+            return service, sub, summary
+
+        service, sub, summary = asyncio.run(scenario())
+        assert service.stopped
+        assert summary["staged_residue"] == 0
+        assert summary["mixed_epoch_packets"] == 0
+        events = sub.pop_pending()
+        # Whole windows only, then the final shutdown marker: the loop
+        # never abandons a half-ingested window.
+        assert events[-1]["type"] == "shutdown"
+        window_epochs = [e["epoch"] for e in events
+                        if e["type"] == "window"]
+        assert window_epochs == list(range(len(window_epochs)))
+
+    def test_blocked_stream_terminates_on_shutdown(self):
+        async def scenario():
+            service = make_service()
+            sub = service.feed.subscribe()
+            waiter = asyncio.get_running_loop().create_task(
+                sub.next_event()
+            )
+            await asyncio.sleep(0)
+            await service.shutdown()
+            event = await asyncio.wait_for(waiter, timeout=5)
+            assert event["type"] == "shutdown"
+            return await asyncio.wait_for(sub.next_event(), timeout=5)
+
+        assert asyncio.run(scenario()) is None
+
+
+class TestServeSigterm:
+    def test_sigterm_mid_run_exits_clean(self, tmp_path):
+        """Regression: SIGTERM while serving (and mid-2PC if it lands
+        there) must drain and exit 0 with a committed control plane."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.abspath("src"),
+                          env.get("PYTHONPATH", "")])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--pps", "2000", "--queries", "Q1", "Q4",
+             "--seed", "3"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            for _ in range(10):  # preinstall lines print first
+                line = proc.stdout.readline()
+                if "serving on http://" in line:
+                    break
+            assert "serving on http://" in line
+            time.sleep(0.5)  # let it serve a few hundred windows
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, output
+        assert "shutdown:" in output
+        assert "staged residue 0" in output
+        assert "0 mixed-epoch packets" in output

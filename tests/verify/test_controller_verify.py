@@ -61,13 +61,13 @@ class TestInstallGate:
                              distinct_registers=128)
         result = dep.controller.install_query(syn_query(), params,
                                               path=["s0"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
         assert "NV302" in {d.code for d in result.diagnostics}
 
     def test_clean_install_reports_no_diagnostics(self):
         dep = build_deployment(linear(1), array_size=256)
         result = dep.controller.install_query(syn_query(), SMALL, path=["s0"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
         assert result.diagnostics == []
 
 
@@ -80,7 +80,7 @@ class TestJointAdmission:
                                array_size=1 << 16)
         first = dep.controller.install_query(syn_query("ctl.a"), SMALL,
                                              path=["s0"])
-        assert first.rules_installed > 0
+        assert first.rules_staged > 0
         resident_rules = dep.switch("s0").rule_count
 
         with pytest.raises(VerificationError) as exc:
@@ -101,7 +101,7 @@ class TestJointAdmission:
                                array_size=1 << 16)
         result = dep.controller.install_query(syn_query("ctl.b"), SMALL,
                                               path=["s0"])
-        assert result.rules_installed > 0
+        assert result.rules_staged > 0
 
 class TestUpdateGate:
     def test_update_query_re_runs_the_verifier_gate(self):

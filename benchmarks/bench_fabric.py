@@ -1,0 +1,441 @@
+"""Fabric-plane scaling benchmark: multiprocess sharding vs one process.
+
+Runs a 17-query monitoring fleet (the paper's nine evaluation queries
+plus eight auxiliary aggregations) over a CAIDA-like trace on a
+``fat_tree(4)`` deployment, once single-process and once per worker
+count through :class:`~repro.fabric.ShardedDeployment`, and measures
+the *critical path* — the max per-worker busy CPU time, i.e. the time
+the slowest shard computes — against the single-worker critical path.
+Every sharded run's merged stats and canonical report stream must be
+bit-identical to the single-process baseline; a seeded sweep then
+re-checks merged-vs-unsharded identity across many small traces.
+
+Queries are placed with calibrated per-query weights (LPT greedy via
+descending-weight install order) *and* key-affinity pinning: queries
+that aggregate over the same key columns are co-located so they share
+the hash family's memoised per-seed key caches.  Scattering them
+instead repeats that hashing on every shard, which inflates the summed
+busy time and caps the speedup well below the parallelism.
+
+Timings are CPU time (``process_time``) per worker, so the speedup
+measures work division, not the host's core count — on a single-core
+runner the wall clock won't drop 3x, but the per-shard compute does,
+and that is the quantity the fabric plane exists to divide.  The
+acceptance bar is >= 3x at 4 workers on the full workload;
+``BENCH_fabric.json`` records the measured numbers.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_fabric.py``)
+or as a script::
+
+    python benchmarks/bench_fabric.py [--smoke] [--workers N] [--json [PATH]]
+
+``--smoke`` shrinks the workload and drops to 2 workers for CI time
+budgets (identity is still asserted; the speedup floor only applies to
+the full run, since short runs amortise per-shard fixed costs less);
+``--json`` writes the measurements to ``BENCH_fabric.json`` (or PATH).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import QueryParams
+from repro.core.packet import Proto, TcpFlags
+from repro.core.query import Query, QueryLike
+from repro.core.rules import Report
+from repro.experiments.common import evaluation_queries, workload
+from repro.fabric import ShardedDeployment
+from repro.fabric.merge import ReportSig, canonical_reports
+from repro.network.deployment import build_deployment
+from repro.network.topology import fat_tree
+from repro.traffic.columnar import ColumnarTrace
+from repro.traffic.generators import assign_hosts
+
+FULL_PACKETS = 120_000
+SMOKE_PACKETS = 20_000
+FULL_WORKERS: Tuple[int, ...] = (1, 2, 4)
+SMOKE_WORKERS: Tuple[int, ...] = (1, 2)
+#: CPU-time measurements on a contended runner jitter by ~20%; each
+#: worker count is measured this many times and the minimum kept.
+FULL_REPEATS = 3
+SMOKE_REPEATS = 1
+FULL_SWEEP_SEEDS = 50
+SMOKE_SWEEP_SEEDS = 3
+SWEEP_PACKETS = 5_000
+FULL_SPEEDUP_FLOOR = 3.0
+
+PARAMS = QueryParams(cm_depth=2, reduce_registers=2048,
+                     distinct_registers=2048)
+#: Cross-pod host pairs of ``fat_tree(4)`` — traffic exercises ECMP.
+PAIRS = [("hp0e0n0", "hp2e0n0"), ("hp1e0n0", "hp3e0n0"),
+         ("hp0e1n0", "hp3e1n0"), ("hp2e1n0", "hp1e1n0")]
+
+#: Calibrated per-query engine cost (seconds of busy CPU on the full
+#: workload, measured single-shard).  Feeds the partitioner's LPT
+#: placement; only the ratios matter.
+WEIGHTS = {
+    "Q1": 0.05, "Q2": 0.09, "Q3": 0.52, "Q4": 0.56, "Q5": 0.16,
+    "Q6": 0.36, "Q7": 0.19, "Q8": 0.79, "Q9": 0.14,
+    "A1.flowpairs": 0.34, "A2.dstbytes": 0.18, "A3.dnsamp": 0.03,
+    "A4.victimfan": 0.59, "A5.flows": 0.77, "A6.syntargets": 0.11,
+    "A7.srcbytes": 0.30, "A8.udpfan": 0.20,
+}
+
+#: Key-affinity placement for 4 shards: each group aggregates over a
+#: shared key family (group 0: ``dip``-keyed + Q8's join inputs,
+#: group 1: wide flow keys + ``sip`` sums, group 2: ``sip``-keyed
+#: scans, group 3: ``dip,sport`` fans + Q6/Q7 joins), so co-located
+#: queries reuse the hash units' memoised unique-key digests.  Group
+#: weight sums (1.14 / 1.41 / 1.35 / 1.48) stay near-balanced.  For
+#: W < 4 the groups fold as ``shard % W``.
+_SHARD_GROUPS = (
+    ("Q8", "A2.dstbytes", "A3.dnsamp", "Q1", "Q2"),
+    ("A5.flows", "A8.udpfan", "Q9", "A7.srcbytes"),
+    ("Q4", "Q3", "A6.syntargets", "Q5"),
+    ("A4.victimfan", "Q6", "A1.flowpairs", "Q7"),
+)
+SHARD_MAP = {qid: shard for shard, group in enumerate(_SHARD_GROUPS)
+             for qid in group}
+
+
+def aux_queries() -> List[Query]:
+    """Eight auxiliary aggregations alongside the evaluation nine.
+
+    Volume sums, fan-out/fan-in cardinalities, and flow counting over
+    the same key columns the paper's queries use — the fleet a single
+    monitoring tenant would realistically run, and enough independent
+    work for four shards to divide.
+    """
+    return [
+        Query("A1.flowpairs").map("sip", "dip")
+            .reduce("sip", "dip").where(ge=200),
+        Query("A2.dstbytes").map("dip")
+            .reduce("dip", func="sum").where(ge=200_000),
+        Query("A3.dnsamp").filter(proto=Proto.UDP, sport=53)
+            .map("dip").reduce("dip", func="sum").where(ge=50_000),
+        Query("A4.victimfan").filter(proto=Proto.TCP)
+            .map("dip", "sport").distinct("dip", "sport")
+            .map("dip").reduce("dip").where(ge=40),
+        Query("A5.flows").map("sip", "dip", "sport", "dport")
+            .distinct("sip", "dip", "sport", "dport")
+            .map("sip").reduce("sip").where(ge=60),
+        Query("A6.syntargets").filter(proto=Proto.TCP,
+                                      tcp_flags=TcpFlags.SYN)
+            .map("dip", "dport").reduce("dip", "dport").where(ge=30),
+        Query("A7.srcbytes").map("sip")
+            .reduce("sip", func="sum").where(ge=200_000),
+        Query("A8.udpfan").filter(proto=Proto.UDP)
+            .map("dport", "sip").distinct("dport", "sip")
+            .map("dport").reduce("dport").where(ge=50),
+    ]
+
+
+def fleet() -> List[QueryLike]:
+    """The 17-query workload, in descending-weight (LPT) install order."""
+    qs = list(evaluation_queries().values()) + aux_queries()
+    return sorted(qs, key=lambda q: -WEIGHTS[q.qid])
+
+
+def _deploy_kwargs() -> dict:
+    return dict(num_stages=12, table_capacity=512, array_size=1 << 16,
+                window_ms=100, engine="vector")
+
+
+def _make_trace(n_packets: int, seed: int,
+                duration_s: float = 0.5) -> ColumnarTrace:
+    pkts = list(assign_hosts(
+        workload("caida", n_packets, duration_s, seed=seed), PAIRS))
+    return ColumnarTrace.from_packets(pkts)
+
+
+def _record(deployment) -> List[ReportSig]:
+    recorded: List[ReportSig] = []
+    for sid, switch in deployment.switches.items():
+        def wrap(sid: object,
+                 inner: Optional[Callable[[Report], None]]):
+            def sink(report: Report) -> None:
+                recorded.append((str(sid), report.qid, float(report.ts),
+                                 int(report.epoch),
+                                 tuple(sorted(report.payload.items()))))
+                if inner is not None:
+                    inner(report)
+            return sink
+        switch.pipeline.report_sink = wrap(sid,
+                                           switch.pipeline.report_sink)
+    return recorded
+
+
+@dataclass
+class WorkerRun:
+    """Best-of-N timing of one worker count over the workload."""
+
+    workers: int
+    packets: int
+    #: Max per-worker busy CPU seconds, minimum over repeats.
+    critical_s: float
+    #: Per-worker busy seconds of the best repeat.
+    busy_s: Tuple[float, ...]
+    reports: int
+    #: Every repeat's merged stats + canonical reports matched baseline.
+    identical: bool
+
+    @property
+    def pps(self) -> float:
+        if self.critical_s <= 0:  # pragma: no cover - sub-tick clock
+            return float("inf")
+        return self.packets / self.critical_s
+
+
+@dataclass
+class FabricResult:
+    """All worker-count runs plus identity checks."""
+
+    runs: List[WorkerRun]
+    baseline_cpu_s: float
+    #: Critical-path speedup of the largest worker count over 1 worker.
+    speedup: float
+    identical: bool
+    sweep_seeds: int
+    sweep_violations: int
+
+    def run_for(self, workers: int) -> WorkerRun:
+        for run in self.runs:
+            if run.workers == workers:
+                return run
+        raise KeyError(workers)
+
+
+def _register_dumps(deployment) -> Dict[str, Tuple]:
+    return {
+        str(sid): tuple(
+            tuple(bank.array.dump().tolist())
+            for bank in switch.pipeline.layout.state_banks()
+        )
+        for sid, switch in deployment.switches.items()
+    }
+
+
+def _baseline(topo, trace: ColumnarTrace, queries: Sequence[QueryLike],
+              dump_registers: bool = False):
+    deployment = build_deployment(topo, **_deploy_kwargs())
+    for query in queries:
+        deployment.controller.install_query(query, PARAMS, topology=topo)
+    recorded = _record(deployment)
+    start = time.process_time()
+    stats = deployment.simulator.run(trace)
+    cpu = time.process_time() - start
+    sig = canonical_reports([recorded])
+    key = (stats.packets, stats.delivered, stats.dropped,
+           stats.payload_bytes)
+    dumps = _register_dumps(deployment) if dump_registers else None
+    return cpu, sig, key, dumps
+
+
+def run(n_packets: int,
+        workers: Sequence[int] = FULL_WORKERS,
+        repeats: int = FULL_REPEATS,
+        sweep_seeds: int = FULL_SWEEP_SEEDS) -> FabricResult:
+    """Measure the sharded fabric against one process; verify identity.
+
+    The trace is synthesised once and shared; every run (baseline and
+    each repeat of each worker count) gets a fresh deployment so
+    register state never leaks between runs.
+    """
+    topo = fat_tree(4)
+    queries = fleet()
+    trace = _make_trace(n_packets, seed=11)
+    base_cpu, base_sig, base_key, _ = _baseline(topo, trace, queries)
+
+    runs: List[WorkerRun] = []
+    for w in workers:
+        best: Optional[float] = None
+        best_busy: Tuple[float, ...] = ()
+        identical = True
+        packets = 0
+        for _ in range(max(repeats, 1)):
+            with ShardedDeployment(topo, workers=w, inline=False,
+                                   **_deploy_kwargs()) as sd:
+                for query in queries:
+                    sd.install_query(
+                        query, PARAMS, weight=WEIGHTS[query.qid],
+                        owner=SHARD_MAP[query.qid] % w, topology=topo,
+                    )
+                stats = sd.run(trace)
+                crit = sd.critical_path_s
+                busy = tuple(sd.worker_busy_s)
+                key = (stats.packets, stats.delivered, stats.dropped,
+                       stats.payload_bytes)
+                identical &= (sd.reports == base_sig and key == base_key)
+                packets = stats.packets
+            if best is None or crit < best:
+                best, best_busy = crit, busy
+        runs.append(WorkerRun(
+            workers=w, packets=packets, critical_s=best or 0.0,
+            busy_s=best_busy, reports=len(base_sig), identical=identical,
+        ))
+
+    violations = sweep(sweep_seeds)
+    top = max(runs, key=lambda r: r.workers)
+    one = next((r for r in runs if r.workers == 1), None)
+    speedup = (one.critical_s / top.critical_s
+               if one is not None and top.workers > 1 and top.critical_s > 0
+               else 1.0)
+    return FabricResult(
+        runs=runs, baseline_cpu_s=base_cpu, speedup=speedup,
+        identical=all(r.identical for r in runs),
+        sweep_seeds=sweep_seeds,
+        sweep_violations=violations,
+    )
+
+
+def sweep(seeds: int, workers: int = 4) -> int:
+    """Merged-vs-unsharded identity over many seeded small traces.
+
+    Returns the number of seeds whose merged sharded run differed from
+    the fresh single-process run on stats, canonical reports, or the
+    merged register dumps of every state bank.  Runs the shards
+    inline — identity does not depend on the process boundary, and
+    inline keeps a 50-seed sweep affordable.
+    """
+    topo = fat_tree(4)
+    queries = fleet()
+    violations = 0
+    for seed in range(seeds):
+        trace = _make_trace(SWEEP_PACKETS, seed=100 + seed,
+                            duration_s=0.3)
+        _, base_sig, base_key, base_dumps = _baseline(
+            topo, trace, queries, dump_registers=True)
+        with ShardedDeployment(topo, workers=workers, inline=True,
+                               **_deploy_kwargs()) as sd:
+            for query in queries:
+                sd.install_query(query, PARAMS, topology=topo)
+            stats = sd.run(trace)
+            key = (stats.packets, stats.delivered, stats.dropped,
+                   stats.payload_bytes)
+            if (sd.reports != base_sig or key != base_key
+                    or sd.register_dumps() != base_dumps):
+                violations += 1
+    return violations
+
+
+def to_json(result: FabricResult, n_packets: int) -> dict:
+    return {
+        "workload": {
+            "trace": "caida-like",
+            "topology": "fat_tree(4)",
+            "packets": n_packets,
+            "queries": sorted(q.qid for q in fleet()),
+        },
+        "workers": {
+            str(run.workers): {
+                "packets": run.packets,
+                "critical_path_s": round(run.critical_s, 4),
+                "packets_per_sec": round(run.pps, 1),
+                "per_worker_busy_s": [round(b, 4) for b in run.busy_s],
+                "identical": run.identical,
+            }
+            for run in result.runs
+        },
+        "baseline_cpu_s": round(result.baseline_cpu_s, 4),
+        "speedup": round(result.speedup, 2),
+        "identical": result.identical,
+        "sweep": {
+            "seeds": result.sweep_seeds,
+            "violations": result.sweep_violations,
+        },
+    }
+
+
+def render(result: FabricResult) -> str:
+    lines = ["Fabric-plane scaling (fat_tree(4), "
+             f"{len(fleet())} queries installed):"]
+    for run in result.runs:
+        busy = ", ".join(f"{b:.2f}" for b in run.busy_s)
+        lines.append(
+            f"  W={run.workers}: critical path {run.critical_s:.3f} s "
+            f"({run.pps / 1e3:.0f}k pkts/s, busy [{busy}])"
+        )
+    lines.append(
+        f"  speedup: {result.speedup:.2f}x "
+        f"(bit-identical merge: {result.identical}; sweep "
+        f"{result.sweep_seeds} seeds, "
+        f"{result.sweep_violations} violations)"
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# pytest entry point                                                     #
+# --------------------------------------------------------------------- #
+
+def test_fabric_scaling(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run(SMOKE_PACKETS, workers=SMOKE_WORKERS,
+                    repeats=SMOKE_REPEATS,
+                    sweep_seeds=SMOKE_SWEEP_SEEDS),
+        rounds=1, iterations=1,
+    )
+    show(render(result))
+    assert result.identical, "sharded merge disagreed with baseline"
+    assert result.sweep_violations == 0, (
+        f"{result.sweep_violations} sweep seeds broke bit-identity"
+    )
+
+
+# --------------------------------------------------------------------- #
+# script entry point (CI smoke job / BENCH_fabric.json producer)         #
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for CI time budgets")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="largest worker count to measure "
+                             "(compared against 1 worker)")
+    parser.add_argument("--packets", type=int, default=None,
+                        help="trace size (overrides --smoke)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="identity-sweep seed count")
+    parser.add_argument("--json", nargs="?", const="BENCH_fabric.json",
+                        default=None, metavar="PATH",
+                        help="also write measurements as JSON "
+                             "(default PATH: BENCH_fabric.json)")
+    args = parser.parse_args(argv)
+    reduced = args.smoke or args.packets
+    n = args.packets or (SMOKE_PACKETS if args.smoke else FULL_PACKETS)
+    workers = SMOKE_WORKERS if args.smoke else FULL_WORKERS
+    if args.workers:
+        workers = tuple(sorted({1, args.workers}))
+    repeats = SMOKE_REPEATS if reduced else FULL_REPEATS
+    seeds = args.seeds if args.seeds is not None else (
+        SMOKE_SWEEP_SEEDS if reduced else FULL_SWEEP_SEEDS)
+    result = run(n, workers=workers, repeats=repeats, sweep_seeds=seeds)
+    print(render(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(to_json(result, n), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not result.identical:
+        print("FAIL: sharded merge disagreed with baseline",
+              file=sys.stderr)
+        return 1
+    if result.sweep_violations:
+        print(f"FAIL: {result.sweep_violations} sweep seeds broke "
+              f"bit-identity", file=sys.stderr)
+        return 1
+    if not reduced and result.speedup < FULL_SPEEDUP_FLOOR:
+        print(f"FAIL: {max(workers)} workers only {result.speedup:.2f}x "
+              f"over 1 (need >= {FULL_SPEEDUP_FLOOR}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -570,6 +570,7 @@ def cmd_throughput(args) -> int:
 
     result = measure_throughput(
         n_packets=args.packets, switches=args.switches, seed=args.seed,
+        workers=args.workers,
     )
     if args.json:
         print(json_module.dumps(
@@ -741,7 +742,27 @@ def cmd_serve(args) -> int:
         array_size=args.array_size,
         rate=args.rate,
     )
-    service = NewtonService(source, config)
+    sharded = None
+    if args.workers > 1:
+        # Fabric plane: the ShardedDeployment duck-types Deployment, so
+        # the service's CRUD/tick/prune paths drive it unchanged.
+        from repro.fabric import ShardedDeployment
+        from repro.network.topology import linear
+        from repro.resilience import ResilienceConfig
+
+        sharded = ShardedDeployment(
+            linear(config.switches),
+            workers=args.workers,
+            record_reports=False,
+            num_stages=config.num_stages,
+            table_capacity=config.table_capacity,
+            array_size=config.array_size,
+            window_ms=config.window_ms,
+            engine=config.engine,
+            resilience=ResilienceConfig(),
+        )
+        print(f"fabric plane: {args.workers} shard workers", flush=True)
+    service = NewtonService(source, config, deployment=sharded)
     for name in args.queries:
         payload = service.install({"query": name})
         print(f"installed {name}: {payload['rules_staged']} rules in "
@@ -768,7 +789,11 @@ def cmd_serve(args) -> int:
         await http_api.stop()
         return summary
 
-    summary = asyncio.run(run_service())
+    try:
+        summary = asyncio.run(run_service())
+    finally:
+        if sharded is not None:
+            sharded.close()
     print(f"shutdown: committed epoch {summary['committed_epoch']}, "
           f"rule epochs {summary['rule_epochs']}, "
           f"staged residue {summary['staged_residue']}, "
@@ -983,6 +1008,10 @@ def build_parser() -> argparse.ArgumentParser:
     throughput_parser.add_argument("--switches", type=int, default=3,
                                    help="linear path length")
     throughput_parser.add_argument("--seed", type=int, default=11)
+    throughput_parser.add_argument("--workers", type=int, default=1,
+                                   help="also run the sharded fabric "
+                                        "plane across N worker processes "
+                                        "(default 1 = off)")
     throughput_parser.add_argument("--json", action="store_true",
                                    help="emit measurements as JSON")
     throughput_parser.set_defaults(func=cmd_throughput)
@@ -1035,6 +1064,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="queries to install at startup")
     serve_parser.add_argument("--switches", type=int, default=3,
                               help="linear path length")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="run the data plane sharded across N "
+                                   "worker processes (default 1 = "
+                                   "single-process)")
     serve_parser.add_argument("--window-ms", type=int, default=100)
     serve_parser.add_argument("--engine", default="vector",
                               choices=("scalar", "vector"))

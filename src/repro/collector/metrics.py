@@ -101,6 +101,12 @@ class Counter:
     def series(self) -> Dict[LabelPairs, int]:
         return dict(self._series)
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in: per-label-set sums (label-safe —
+        series that exist only on one side carry over unchanged)."""
+        for key, value in other._series.items():
+            self._series[key] = self._series.get(key, 0) + value
+
 
 @dataclass
 class Gauge:
@@ -118,6 +124,13 @@ class Gauge:
 
     def series(self) -> Dict[LabelPairs, float]:
         return dict(self._series)
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: the incoming observation is newer, so a
+        label-set collision resolves last-write-wins (gauges are
+        point-in-time values — summing them would fabricate a reading
+        neither side ever observed)."""
+        self._series.update(other._series)
 
 
 @dataclass
@@ -178,6 +191,31 @@ class Histogram:
     def series(self) -> Dict[LabelPairs, _HistogramSeries]:
         return dict(self._series)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in: per-label-set bin/total/sum sums.
+
+        Only meaningful between histograms declared over the same bucket
+        bounds — merging different binnings would silently misfile
+        observations, so that is an error, not a best-effort.
+        """
+        if tuple(other.buckets) != tuple(self.buckets):
+            raise ValueError(
+                f"histogram {self.name!r} bucket bounds differ: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for key, theirs in other._series.items():
+            mine = self._series.get(key)
+            if mine is None:
+                self._series[key] = _HistogramSeries(
+                    counts=list(theirs.counts),
+                    total=theirs.total,
+                    sum=theirs.sum,
+                )
+                continue
+            mine.counts = [a + b for a, b in zip(mine.counts, theirs.counts)]
+            mine.total += theirs.total
+            mine.sum += theirs.sum
+
 
 class MetricsRegistry:
     """Named registry of the collector's counters/gauges/histograms."""
@@ -219,6 +257,57 @@ class MetricsRegistry:
                 or name in self._histograms):
             raise ValueError(f"metric {name!r} already registered "
                              f"with a different type")
+
+    # -- aggregation ---------------------------------------------------- #
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, in place.
+
+        Per metric name: counters sum per label set, histograms sum their
+        bins/count/sum per label set (bucket bounds must match), gauges
+        take the incoming value on a label-set collision (last write
+        wins).  Metrics present only in ``other`` are declared here with
+        ``other``'s help text.  A name registered with different *types*
+        on the two sides raises :class:`ValueError` before anything is
+        modified, so a failed merge never leaves this registry half
+        updated.  Returns ``self`` so per-shard registries chain:
+        ``merged.merge(a).merge(b)``.
+        """
+        for name in other._counters:
+            if name in self._gauges or name in self._histograms:
+                raise ValueError(
+                    f"metric {name!r} is a counter in the incoming "
+                    f"registry but not in this one"
+                )
+        for name in other._gauges:
+            if name in self._counters or name in self._histograms:
+                raise ValueError(
+                    f"metric {name!r} is a gauge in the incoming "
+                    f"registry but not in this one"
+                )
+        for name, theirs in other._histograms.items():
+            if name in self._counters or name in self._gauges:
+                raise ValueError(
+                    f"metric {name!r} is a histogram in the incoming "
+                    f"registry but not in this one"
+                )
+            mine = self._histograms.get(name)
+            if mine is not None and tuple(mine.buckets) != tuple(
+                theirs.buckets
+            ):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ: "
+                    f"{mine.buckets} vs {theirs.buckets}"
+                )
+        for name, their_counter in other._counters.items():
+            self.counter(name, their_counter.help).merge(their_counter)
+        for name, their_gauge in other._gauges.items():
+            self.gauge(name, their_gauge.help).merge(their_gauge)
+        for name, their_histogram in other._histograms.items():
+            self.histogram(
+                name, their_histogram.buckets, their_histogram.help
+            ).merge(their_histogram)
+        return self
 
     # -- exposition ----------------------------------------------------- #
 

@@ -173,6 +173,82 @@ def _q5(th: QueryThresholds) -> Query:
     )
 
 
+# Composite joins are module-level callable dataclasses (not closures) so
+# every library query pickles — the fabric plane fans installed queries
+# out to shard worker processes by serialising the query object itself.
+
+
+@dataclass(frozen=True)
+class _SynFloodJoin:
+    """Q6: victims where #syn + #synack - 2*#ack exceeds the threshold."""
+
+    syn_flood: int
+
+    def __call__(
+        self, results: Dict[str, Dict[Tuple[int, ...], int]]
+    ) -> List[int]:
+        syns = results.get("Q6.syn", {})
+        synacks = results.get("Q6.synack", {})
+        acks = results.get("Q6.ack", {})
+        victims = []
+        for key, n_syn in syns.items():
+            score = n_syn + synacks.get(key, 0) - 2 * acks.get(key, 0)
+            if score > self.syn_flood:
+                victims.append(key[0])
+        return sorted(victims)
+
+
+@dataclass(frozen=True)
+class _CompletedConnsJoin:
+    """Q7: hosts seeing both SYNs and FINs."""
+
+    def __call__(
+        self, results: Dict[str, Dict[Tuple[int, ...], int]]
+    ) -> List[int]:
+        syns = results.get("Q7.syn", {})
+        fins = results.get("Q7.fin", {})
+        return sorted(key[0] for key in syns if key in fins)
+
+
+@dataclass(frozen=True)
+class _SlowlorisJoin:
+    """Q8: many connections per server but few bytes each."""
+
+    slowloris_ratio: int
+
+    def __call__(
+        self, results: Dict[str, Dict[Tuple[int, ...], int]]
+    ) -> List[int]:
+        n_conns = results.get("Q8.conns", {})
+        n_bytes = results.get("Q8.bytes", {})
+        victims = []
+        for key, conn_count in n_conns.items():
+            total = n_bytes.get(key)
+            if total is None:
+                continue
+            if conn_count and total // conn_count < self.slowloris_ratio:
+                victims.append(key[0])
+        return sorted(victims)
+
+
+@dataclass(frozen=True)
+class _DnsOrphanJoin:
+    """Q9: hosts receiving DNS answers that never open TCP connections."""
+
+    dns_tcp: int
+
+    def __call__(
+        self, results: Dict[str, Dict[Tuple[int, ...], int]]
+    ) -> List[int]:
+        resolved = results.get("Q9.dns", {})
+        connected = results.get("Q9.tcp", {})
+        return sorted(
+            key[0]
+            for key, count in resolved.items()
+            if count >= self.dns_tcp and key not in connected
+        )
+
+
 def _q6(th: QueryThresholds) -> CompositeQuery:
     """SYN flood victims: #syn + #synack - 2*#ack exceeds the threshold."""
     syn = (
@@ -197,22 +273,11 @@ def _q6(th: QueryThresholds) -> CompositeQuery:
         .where(ge=th.syn_flood_sub)
     )
 
-    def join(results: Dict[str, Dict[Tuple[int, ...], int]]) -> List[int]:
-        syns = results.get("Q6.syn", {})
-        synacks = results.get("Q6.synack", {})
-        acks = results.get("Q6.ack", {})
-        victims = []
-        for key, n_syn in syns.items():
-            score = n_syn + synacks.get(key, 0) - 2 * acks.get(key, 0)
-            if score > th.syn_flood:
-                victims.append(key[0])
-        return sorted(victims)
-
     return CompositeQuery(
         qid="Q6",
         description=QUERY_DESCRIPTIONS["Q6"],
         subqueries=(syn, synack, ack),
-        join=join,
+        join=_SynFloodJoin(th.syn_flood),
     )
 
 
@@ -237,16 +302,11 @@ def _q7(th: QueryThresholds) -> CompositeQuery:
         .where(ge=th.completed_conns)
     )
 
-    def join(results: Dict[str, Dict[Tuple[int, ...], int]]) -> List[int]:
-        syns = results.get("Q7.syn", {})
-        fins = results.get("Q7.fin", {})
-        return sorted(key[0] for key in syns if key in fins)
-
     return CompositeQuery(
         qid="Q7",
         description=QUERY_DESCRIPTIONS["Q7"],
         subqueries=(syn, fin),
-        join=join,
+        join=_CompletedConnsJoin(),
     )
 
 
@@ -269,23 +329,11 @@ def _q8(th: QueryThresholds) -> CompositeQuery:
         .where(ge=th.slowloris_bytes)
     )
 
-    def join(results: Dict[str, Dict[Tuple[int, ...], int]]) -> List[int]:
-        n_conns = results.get("Q8.conns", {})
-        n_bytes = results.get("Q8.bytes", {})
-        victims = []
-        for key, conn_count in n_conns.items():
-            total = n_bytes.get(key)
-            if total is None:
-                continue
-            if conn_count and total // conn_count < th.slowloris_ratio:
-                victims.append(key[0])
-        return sorted(victims)
-
     return CompositeQuery(
         qid="Q8",
         description=QUERY_DESCRIPTIONS["Q8"],
         subqueries=(conns, byts),
-        join=join,
+        join=_SlowlorisJoin(th.slowloris_ratio),
         overlapping_subs=True,  # both sub-queries watch all TCP traffic
     )
 
@@ -313,20 +361,11 @@ def _q9(th: QueryThresholds) -> CompositeQuery:
         .where(ge=th.dns_tcp_conns)
     )
 
-    def join(results: Dict[str, Dict[Tuple[int, ...], int]]) -> List[int]:
-        resolved = results.get("Q9.dns", {})
-        connected = results.get("Q9.tcp", {})
-        return sorted(
-            key[0]
-            for key, count in resolved.items()
-            if count >= th.dns_tcp and key not in connected
-        )
-
     return CompositeQuery(
         qid="Q9",
         description=QUERY_DESCRIPTIONS["Q9"],
         subqueries=(dns, tcp),
-        join=join,
+        join=_DnsOrphanJoin(th.dns_tcp),
     )
 
 

@@ -30,7 +30,7 @@ progress.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.packet import Packet
 from repro.core.rules import ModuleRuleSpec, QuerySlice, Report
@@ -132,6 +132,13 @@ class NewtonPipeline:
         #: compiled rule-program caches on ``(rule_epoch, mutation_seq)``
         #: so a stale program can never serve a packet.
         self.mutation_seq = 0
+        #: Shard execution filter (fabric plane): when set, ``newton_init``
+        #: only dispatches the listed sub-query ids — the rules stay
+        #: resident (placement, epochs, and admission are identical on
+        #: every shard replica) but non-owned queries never initiate, so
+        #: their registers, reports, and SP entries stay untouched here
+        #: and live solely on the owning shard.  ``None`` = own everything.
+        self.query_filter: Optional[FrozenSet[str]] = None
         #: (qid, slice_index) -> resident versions, oldest first.
         self._slices: Dict[Tuple[str, int], List[_Installed]] = {}
 
@@ -523,6 +530,9 @@ class NewtonPipeline:
         seen: set = set()
         for rule in self.newton_init.lookup_all(fields, at_epoch=at_epoch):
             qid = rule.action
+            if (self.query_filter is not None
+                    and qid not in self.query_filter):
+                continue
             if qid in seen:
                 continue
             seen.add(qid)

@@ -53,6 +53,11 @@ class RegisterArray:
         self.size = size
         self._cells = np.zeros(size, dtype=np.int64)
         self._allocations: Dict[Tuple, Allocation] = {}
+        #: Whether any cell may be non-zero.  Every mutating path sets
+        #: it; :meth:`reset_all` clears it and skips the zeroing sweep
+        #: for untouched arrays — on window rollover only the banks that
+        #: actually saw traffic pay for their reset.
+        self._dirty = False
 
     # ------------------------------------------------------------------ #
     # Allocation management                                              #
@@ -127,6 +132,7 @@ class RegisterArray:
         new_value = apply_stateful(op, old_value, operand)
         if op is not StatefulOp.READ:
             self._cells[cell] = min(new_value, REGISTER_MAX)
+            self._dirty = True
         return old_value, new_value
 
     def execute_many(self, owner: Tuple, indices: np.ndarray,
@@ -170,6 +176,7 @@ class RegisterArray:
             out_old = base
             out_new = base
         elif op is StatefulOp.ADD:
+            self._dirty = True
             # Exact: with non-negative operands the sequential
             # saturate-per-step equals the clipped prefix sum.
             cum = np.cumsum(v)
@@ -182,6 +189,7 @@ class RegisterArray:
             out_new = np.minimum(base + excl + v, REGISTER_MAX)
             self._cells[c[ends]] = out_new[ends]
         elif op is StatefulOp.OR or op is StatefulOp.MAX:
+            self._dirty = True
             excl = _segmented_exclusive_scan(v, c, starts, op)
             if op is StatefulOp.OR:
                 out_old = (base | excl) & REGISTER_MAX
@@ -222,7 +230,10 @@ class RegisterArray:
         self._cells[alloc.offset:alloc.end] = 0
 
     def reset_all(self) -> None:
+        if not self._dirty:
+            return
         self._cells[:] = 0
+        self._dirty = False
 
     def corrupt(self, fraction: float, rng) -> int:
         """Overwrite a seeded ``fraction`` of each allocation's cells
@@ -242,6 +253,8 @@ class RegisterArray:
             for cell in cells:
                 self._cells[cell] = rng.randrange(0, REGISTER_MAX + 1)
             corrupted += hits
+        if corrupted:
+            self._dirty = True
         return corrupted
 
     def occupancy(self) -> float:

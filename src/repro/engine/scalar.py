@@ -43,12 +43,18 @@ class ScalarEngine(ExecutionEngine):
         sim._fire_scheduled(packet.ts)
         sim._sync_windows(packet.ts, stats)
         sim._now = packet.ts
-        stats.packets += 1
+        # Under the fabric plane every shard replica executes every
+        # packet (each filtered to its owned queries), but only the
+        # packet's flow-hash primary shard counts the per-packet stats —
+        # that keeps the merged stats sums exactly-once.
+        primary = sim.shard is None or sim.shard.owns_packet(packet)
+        if primary:
+            stats.packets += 1
         path = sim.router.path_for(packet)
-        self._forward(sim, packet, path, stats)
+        self._forward(sim, packet, path, stats, primary)
 
     def _forward(self, sim: "NetworkSimulator", packet: Packet, path,
-                 stats: "SimulationStats") -> None:
+                 stats: "SimulationStats", primary: bool = True) -> None:
         snapshot = SnapshotHeader()
         seen_epochs: Dict[str, int] = {}
         mixed = False
@@ -56,7 +62,8 @@ class ScalarEngine(ExecutionEngine):
             switch = sim.switches[sid]
             result = switch.process(packet, snapshot, ingress_edge=hop == 0)
             if result is None:
-                stats.dropped += 1
+                if primary:
+                    stats.dropped += 1
                 return
             for qid, rule_epoch in result.rule_epochs.items():
                 if seen_epochs.setdefault(qid, rule_epoch) != rule_epoch:
@@ -70,8 +77,11 @@ class ScalarEngine(ExecutionEngine):
                         sim.collector.ingest(report)
             if hop + 1 < len(path):
                 # The SP header rides the next link (bandwidth accounting).
+                # SP bytes are per owned snapshot entry (they sum exactly
+                # across shards); payload is per packet, primary-only.
                 stats.sp_bytes += snapshot.wire_bytes
-                stats.payload_bytes += packet.len
+                if primary:
+                    stats.payload_bytes += packet.len
         if mixed:
             stats.mixed_rule_epoch_packets += 1
             if sim.sanitizer is not None:
@@ -83,7 +93,8 @@ class ScalarEngine(ExecutionEngine):
                         f"{list(path)}"
                     ),
                 )
-        stats.delivered += 1
+        if primary:
+            stats.delivered += 1
         # Egress (newton_fin): strip the header; defer unfinished queries.
         for qid, entry in snapshot.items():
             snapshot.pop(qid)

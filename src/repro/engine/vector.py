@@ -65,6 +65,12 @@ class VectorizedEngine(ExecutionEngine):
         #: switch id -> ((rule_epoch, mutation_seq), compiled programs)
         self._programs: Dict[Hashable,
                              Tuple[Tuple[int, int], SwitchPrograms]] = {}
+        #: (src switch, dst switch, seed, fanout) -> {flow bytes: path
+        #: index}.  ECMP choices are pure functions of the flow key, so
+        #: they are memoised across batches (and windows) — the string
+        #: hash below otherwise dominates routing on high-fanout
+        #: topologies.
+        self._ecmp_choices: Dict[Tuple, Dict[bytes, int]] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -147,16 +153,35 @@ class VectorizedEngine(ExecutionEngine):
     def _run_batch(self, sim: "NetworkSimulator", batch: ColumnarTrace,
                    stats: "SimulationStats") -> None:
         n = len(batch)
-        stats.packets += n
+        # Fabric-plane primary mask: rows whose per-packet stats this
+        # shard owns (``None`` outside sharded runs = own every row).
+        # Execution covers every row, but all per-hop accounting
+        # (drops / delivery / payload bytes) is primary-only, and every
+        # program here is single-slice and ingress-executed (that is
+        # what ``_supported`` guarantees), so non-primary rows never
+        # need the path walk at all — only their ingress switch.  The
+        # ECMP machinery therefore runs on this shard's ~1/W primary
+        # slice, which is what makes sharded routing cost scale.
+        primary: Optional[np.ndarray] = (
+            None if sim.shard is None else sim.shard.owned_mask(batch)
+        )
+        stats.packets += n if primary is None else int(primary.sum())
         len_col = batch.columns["len"]
         ts = batch.ts
+        ingress_rows: Dict[Hashable, List[np.ndarray]] = {}
+        if primary is None:
+            walk = None
+        else:
+            walk = np.flatnonzero(primary)
+            self._collect_ingress(
+                sim, batch, np.flatnonzero(~primary), ingress_rows
+            )
         # Hop-by-hop forwarding per path group: reboot drops and the
         # delivered/payload accounting only depend on the path and the
         # timestamps, never on pipeline state (all programs here are
         # single-slice, so downstream hops carry an empty SP header and
         # contribute zero sp_bytes — exactly like the scalar loop).
-        ingress_rows: Dict[Hashable, List[np.ndarray]] = {}
-        for path, rows in self._path_groups(sim, batch):
+        for path, rows in self._path_groups(sim, batch, walk):
             alive = np.ones(len(rows), dtype=bool)
             for hop, sid in enumerate(path):
                 switch = sim.switches[sid]
@@ -165,6 +190,9 @@ class VectorizedEngine(ExecutionEngine):
                     blocked = alive & ~forwarding
                     dropped = int(blocked.sum())
                     if dropped:
+                        # Sharded: per-switch drop counters hold this
+                        # shard's primary rows only (they sum to the
+                        # single-process counts across the fabric).
                         switch.dropped_packets += dropped
                         stats.dropped += dropped
                         alive &= forwarding
@@ -185,10 +213,50 @@ class VectorizedEngine(ExecutionEngine):
             self._run_ingress(sim, sid, batch, rows, stats, pending)
         self._emit_reports(sim, stats, pending)
 
-    def _path_groups(self, sim: "NetworkSimulator", batch: ColumnarTrace):
-        """Yield ``(path, ascending row indices)`` per forwarding path."""
+    def _collect_ingress(self, sim: "NetworkSimulator", batch: ColumnarTrace,
+                         rows: np.ndarray,
+                         ingress_rows: Dict[Hashable, List[np.ndarray]]) -> None:
+        """Route ``rows`` to their ingress switch only (no path walk).
+
+        Sharded runs use this for non-primary rows: their pipelines must
+        still execute at the ingress edge (owned-query state is keyed by
+        flow, not by primary shard), but all downstream accounting
+        belongs to the primary shard, so the full forwarding walk — and
+        with it the ECMP machinery — is skipped.
+        """
+        if len(rows) == 0:
+            return
+        src = batch.src_host_ids
+        if len(batch.host_table) == 0 or int(src[rows].min()) < 0:
+            raise RoutingError(
+                "packet carries no src/dst host; set Packet.src_host/dst_host"
+            )
+        ts = batch.ts
+        hosts, inverse = np.unique(src[rows], return_inverse=True)
+        for hi in range(len(hosts)):
+            sel = rows[inverse == hi]
+            sid = sim.topology.attachment(batch.host_table[int(hosts[hi])])
+            switch = sim.switches[sid]
+            if switch.has_outage:
+                sel = sel[_forwarding_mask(switch, ts[sel])]
+            if switch.newton_enabled and len(sel):
+                ingress_rows.setdefault(sid, []).append(sel)
+
+    def _path_groups(self, sim: "NetworkSimulator", batch: ColumnarTrace,
+                     subset: Optional[np.ndarray] = None):
+        """Yield ``(path, ascending row indices)`` per forwarding path.
+
+        ``subset`` restricts the walk to those batch rows (sharded runs
+        route only their primary slice); yielded indices are always
+        batch-global.
+        """
         src = batch.src_host_ids
         dst = batch.dst_host_ids
+        if subset is not None:
+            if len(subset) == 0:
+                return
+            src = src[subset]
+            dst = dst[subset]
         if len(batch.host_table) == 0 or int(min(src.min(), dst.min())) < 0:
             raise RoutingError(
                 "packet carries no src/dst host; set Packet.src_host/dst_host"
@@ -198,9 +266,10 @@ class VectorizedEngine(ExecutionEngine):
         pair_values, pair_inverse = np.unique(pair, return_inverse=True)
         router = sim.router
         for gi in range(len(pair_values)):
-            rows = np.flatnonzero(pair_inverse == gi)
-            src_host = batch.host_table[int(src[rows[0]])]
-            dst_host = batch.host_table[int(dst[rows[0]])]
+            local = np.flatnonzero(pair_inverse == gi)
+            rows = local if subset is None else subset[local]
+            src_host = batch.host_table[int(src[local[0]])]
+            dst_host = batch.host_table[int(dst[local[0]])]
             src_switch = sim.topology.attachment(src_host)
             dst_switch = sim.topology.attachment(dst_host)
             paths = router.switch_paths(src_switch, dst_switch)
@@ -212,9 +281,17 @@ class VectorizedEngine(ExecutionEngine):
             )
             uniq, inverse = np.unique(flows, axis=0, return_inverse=True)
             choice = np.empty(len(uniq), dtype=np.int64)
+            cache = self._ecmp_choices.setdefault(
+                (src_switch, dst_switch, router.seed, len(paths)), {}
+            )
             for k, flow_row in enumerate(uniq):
-                flow = ",".join(str(int(v)) for v in flow_row).encode()
-                choice[k] = hash_bytes(flow, router.seed) % len(paths)
+                key = flow_row.tobytes()
+                picked = cache.get(key)
+                if picked is None:
+                    flow = ",".join(str(int(v)) for v in flow_row).encode()
+                    picked = hash_bytes(flow, router.seed) % len(paths)
+                    cache[key] = picked
+                choice[k] = picked
             per_row = choice[inverse]
             for pi in range(len(paths)):
                 sel = rows[per_row == pi]
@@ -240,7 +317,13 @@ class VectorizedEngine(ExecutionEngine):
         # is also the cross-query report ordering rank.
         big = np.int64(len(bundle.entries))
         ranks: Dict[str, np.ndarray] = {}
+        owned_queries = pipeline.query_filter
         for position, (qid, match) in enumerate(bundle.entries):
+            # Shard execution filter: non-owned queries never dispatch
+            # here (``enumerate`` keeps the owned entries' ranks — and
+            # therefore the cross-query report order — unchanged).
+            if owned_queries is not None and qid not in owned_queries:
+                continue
             matched = np.ones(m, dtype=bool)
             for name, value, mask in match:
                 matched &= (cols[name] & mask) == (value & mask)

@@ -138,16 +138,25 @@ def measure_throughput(
     duration_s: float = 1.0,
     engines: Sequence[str] = ("scalar", "vector"),
     queries: Sequence[str] = ("Q1", "Q4"),
+    workers: int = 1,
 ) -> ThroughputResult:
     """Time each engine over one seeded workload; verify they agree.
 
     The trace is synthesised once (columns) and shared; each engine gets
     a fresh deployment so register state never leaks between runs.
+
+    ``workers > 1`` adds a sharded-fabric run (labelled ``fabric:Nw``)
+    over the same workload: the vectorized engine split across N worker
+    processes, timed by its parallel critical path (max per-worker busy
+    CPU seconds — the quantity sharding divides), with the merged stats
+    and canonically ordered reports checked against the single-process
+    engines.
     """
     trace = _workload(n_packets, duration_s, seed)
 
     runs: List[EngineRun] = []
     signatures: Dict[str, Tuple] = {}
+    canonical_sigs: Dict[str, Tuple] = {}
     for engine in engines:
         deployment = build_deployment(
             linear(switches), array_size=1 << 13, engine=engine
@@ -167,13 +176,56 @@ def measure_throughput(
             reports=stats.reports_total, delivered=stats.delivered,
         ))
         signatures[engine] = _signature(stats, recorded)
+        canonical_sigs[engine] = _canonical_signature(stats, recorded)
 
+    # Raw emission order must agree between the single-process engines;
+    # the fabric's only ordering freedom is between different queries'
+    # reports, so it is compared in the canonical order (see
+    # repro.fabric.merge.canonical_reports).
     reference = next(iter(signatures.values()))
     identical = all(sig == reference for sig in signatures.values())
+    if workers > 1:
+        run, canonical = _measure_fabric(trace, switches, queries, workers)
+        runs.append(run)
+        canonical_reference = next(iter(canonical_sigs.values()), None)
+        if canonical_reference is not None:
+            identical = identical and canonical == canonical_reference
     speedup = 1.0
-    if "scalar" in signatures and len(signatures) > 1:
+    if "scalar" in signatures and len(runs) > 1:
         baseline = next(r for r in runs if r.engine == "scalar").pps
         speedup = max(
             r.pps for r in runs if r.engine != "scalar"
         ) / baseline
     return ThroughputResult(runs=runs, speedup=speedup, identical=identical)
+
+
+def _canonical_signature(stats, reports: Sequence[_ReportSig]) -> Tuple:
+    from repro.fabric.merge import canonical_reports
+
+    return _signature(stats, list(canonical_reports([reports])))
+
+
+def _measure_fabric(trace: ColumnarTrace, switches: int,
+                    queries: Sequence[str],
+                    workers: int) -> Tuple[EngineRun, Tuple]:
+    """One sharded-fabric run; returns its timing + canonical signature."""
+    from repro.fabric import ShardedDeployment
+
+    path = [f"s{i}" for i in range(switches)]
+    params = QueryParams(cm_depth=2, reduce_registers=2048)
+    thresholds = evaluation_thresholds()
+    with ShardedDeployment(
+        linear(switches), workers=workers, array_size=1 << 13,
+        engine="vector",
+    ) as sharded:
+        for name in queries:
+            sharded.install_query(
+                build_query(name, thresholds), params, path=path
+            )
+        stats = sharded.run(trace)
+        run = EngineRun(
+            engine=f"fabric:{workers}w", packets=stats.packets,
+            seconds=sharded.critical_path_s,
+            reports=stats.reports_total, delivered=stats.delivered,
+        )
+        return run, _signature(stats, list(sharded.reports))

@@ -1,0 +1,198 @@
+"""Deterministic partitioners of the fabric plane.
+
+Two orthogonal assignments make sharded execution exactly-once:
+
+* :class:`QueryPartitioner` — every installed query (all of its
+  sub-queries together) is *owned* by exactly one shard.  Each shard
+  replica installs every query (placement, epochs, and the vectorized
+  engine's fallback decisions stay identical to single-process
+  execution) but only *executes* its owned queries, via the pipelines'
+  ``query_filter``; a query's registers, reports, snapshot entries, and
+  deferred work therefore exist on exactly one shard.
+
+* :class:`FlowHashPartitioner` — every packet has exactly one *primary*
+  shard, chosen by a seeded 64-bit mix of its 5-tuple.  All replicas
+  forward every packet (their owned queries need the full stream), but
+  only the primary shard counts the per-packet statistics (packets /
+  delivered / dropped / payload bytes), so the merged
+  :class:`~repro.network.simulator.SimulationStats` sums are exact.
+
+Both are pure functions of their seeds: the scalar (`shard_of_packet`)
+and vectorized (`shard_column`) paths of the flow partitioner are
+bit-identical, and the query partitioner is deterministic per
+(seed, install order) — a worker replaying the same op stream reaches
+the same ownership map as the parent that computed it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.core.query import QueryLike, flatten
+from repro.dataplane.hashing import hash_bytes
+from repro.traffic.columnar import ColumnarTrace
+
+__all__ = ["FlowHashPartitioner", "QueryPartitioner", "ShardContext",
+           "owned_sub_qids"]
+
+_MASK = (1 << 64) - 1
+_PHI = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+#: 5-tuple fields feeding the flow hash, in mixing order.
+_FLOW_FIELDS: Tuple[str, ...] = ("sip", "dip", "proto", "sport", "dport")
+
+
+def _mix64(z: int) -> int:
+    """One splitmix64 finalisation round (python-int path)."""
+    z = (z + _PHI) & _MASK
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK
+    return z ^ (z >> 31)
+
+
+class FlowHashPartitioner:
+    """Seeded 5-tuple → shard assignment, identical scalar and columnar.
+
+    The mix chains one splitmix64 finalisation per field, so flows (not
+    packets) map to shards: every packet of a flow lands on the same
+    primary shard, and the assignment is a pure function of
+    ``(seed, shards)`` — stable across processes and runs.
+    """
+
+    __slots__ = ("seed", "shards")
+
+    def __init__(self, seed: int, shards: int):
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.seed = seed & _MASK
+        self.shards = shards
+
+    def shard_of_packet(self, packet: Packet) -> int:
+        """Primary shard of one packet (the scalar engine's path)."""
+        h = self.seed
+        for fname in _FLOW_FIELDS:
+            h = _mix64(h ^ (int(getattr(packet, fname)) & _MASK))
+        return h % self.shards
+
+    def shard_column(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Primary shard per row (the vectorized engine's path).
+
+        Bit-identical to :meth:`shard_of_packet` row by row: the same
+        splitmix64 chain evaluated in uint64 numpy arithmetic.
+        """
+        n = len(columns[_FLOW_FIELDS[0]])
+        h = np.full(n, self.seed, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for fname in _FLOW_FIELDS:
+                z = h ^ columns[fname].astype(np.uint64)
+                z = z + np.uint64(_PHI)
+                z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+                z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+                h = z ^ (z >> np.uint64(31))
+            return (h % np.uint64(self.shards)).astype(np.int64)
+
+
+class ShardContext:
+    """One shard's identity, consulted by both engines via ``sim.shard``."""
+
+    __slots__ = ("partitioner", "index")
+
+    def __init__(self, partitioner: FlowHashPartitioner, index: int):
+        if not 0 <= index < partitioner.shards:
+            raise ValueError(
+                f"shard index {index} outside [0, {partitioner.shards})"
+            )
+        self.partitioner = partitioner
+        self.index = index
+
+    def owns_packet(self, packet: Packet) -> bool:
+        return self.partitioner.shard_of_packet(packet) == self.index
+
+    def owned_mask(self, batch: ColumnarTrace) -> np.ndarray:
+        return self.partitioner.shard_column(batch.columns) == self.index
+
+
+class QueryPartitioner:
+    """Least-loaded assignment of whole queries to shards.
+
+    The default load unit is the number of sub-queries (a composite
+    weighs as many units as it has data-plane chains); ties break on a
+    seeded hash of the query id so the assignment is deterministic per
+    (seed, install order) yet balanced — e.g. eight single-chain
+    queries on four shards land 2/2/2/2.  Callers with a better cost
+    model pass an explicit ``weight`` (e.g. calibrated per-query engine
+    cost); installing in descending weight order then makes the greedy
+    choice equivalent to LPT scheduling.
+    """
+
+    __slots__ = ("shards", "seed", "_loads", "_owners", "_weights")
+
+    def __init__(self, shards: int, seed: int = 0xA55):
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.shards = shards
+        self.seed = seed
+        self._loads: List[float] = [0.0] * shards
+        self._owners: Dict[str, int] = {}
+        self._weights: Dict[str, float] = {}
+
+    def _tiebreak(self, qid: str, shard: int) -> int:
+        return hash_bytes(qid.encode("utf-8"), (self.seed ^ shard) & _MASK)
+
+    def assign(self, query: QueryLike,
+               weight: Optional[float] = None,
+               owner: Optional[int] = None) -> int:
+        """Assign (and record) the owner shard of a new query.
+
+        ``owner`` pins the query to a specific shard, bypassing the
+        least-loaded choice (load accounting still applies).  Pinning is
+        how cost- and affinity-aware planners place queries: co-locating
+        queries that aggregate over the same key columns lets them share
+        the engines' memoised key-hash work, which a purely load-based
+        assignment would scatter.
+        """
+        qid = query.qid
+        if qid in self._owners:
+            raise ValueError(f"query {qid!r} already assigned")
+        if weight is None:
+            weight = float(len(list(flatten(query))))
+        elif weight <= 0:
+            raise ValueError(f"query weight must be positive, got {weight}")
+        if owner is None:
+            owner = min(
+                range(self.shards),
+                key=lambda s: (self._loads[s], self._tiebreak(qid, s)),
+            )
+        elif not 0 <= owner < self.shards:
+            raise ValueError(
+                f"pinned owner {owner} outside [0, {self.shards})"
+            )
+        self._owners[qid] = owner
+        self._weights[qid] = float(weight)
+        self._loads[owner] += float(weight)
+        return owner
+
+    def release(self, qid: str) -> int:
+        """Forget a removed query; returns the shard that owned it."""
+        owner = self._owners.pop(qid)
+        self._loads[owner] -= self._weights.pop(qid)
+        return owner
+
+    def owner_of(self, qid: str) -> int:
+        return self._owners[qid]
+
+    def loads(self) -> Tuple[float, ...]:
+        return tuple(self._loads)
+
+    def owners(self) -> Dict[str, int]:
+        return dict(self._owners)
+
+
+def owned_sub_qids(query: QueryLike) -> Tuple[str, ...]:
+    """The sub-query ids a shard executes when it owns ``query``."""
+    return tuple(sub.qid for sub in flatten(query))

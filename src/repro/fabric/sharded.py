@@ -1,0 +1,530 @@
+"""The sharded fabric deployment: N shard replicas behind one facade.
+
+``ShardedDeployment`` mirrors :func:`~repro.network.deployment.
+build_deployment` but executes traffic across a pool of shard workers —
+in-process (``inline=True``, no IPC; used by the differential sweeps) or
+as a persistent pool of worker processes fed through bounded handoff
+queues.  Each worker holds a *full* deployment replica built from the
+same spec, so control-plane decisions are identical everywhere; work is
+divided by query ownership (pipeline ``query_filter``) and per-packet
+accounting by flow-hash primacy (``simulator.shard``) — see
+:mod:`repro.fabric.partition`.
+
+The parent keeps one more replica of its own, the **control replica**:
+it never executes packets, but every control operation is applied to it
+first (static verification and the fleet gate run parent-side, and a
+failure there stops the fan-out), and worker results are absorbed into
+its collector/analyzer so read paths — ``controller.installed``,
+``collector.merged_results``, ``analyzer.detections`` — behave exactly
+as on a single-process :class:`Deployment`.  The facade duck-types
+``Deployment`` closely enough that :class:`~repro.service.service.
+NewtonService` can drive it unchanged (``serve --workers N``).
+
+Merge semantics (see :mod:`repro.fabric.merge`): stats sum field-wise,
+report streams interleave canonically, register dumps sum elementwise,
+metrics registries sum per label set — all bit-identical to
+single-process execution on fault-free runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.compiler import QueryParams
+from repro.core.query import QueryLike
+from repro.fabric.merge import (
+    ReportSig,
+    absorb_results,
+    canonical_reports,
+    merge_metrics,
+    merge_register_dumps,
+    merge_stats,
+)
+from repro.fabric.partition import QueryPartitioner
+from repro.fabric.worker import (
+    ShardRuntime,
+    WorkerSpec,
+    dispatch,
+    worker_main,
+)
+from repro.collector.metrics import MetricsRegistry
+from repro.network.deployment import build_deployment
+from repro.network.simulator import SimulationStats
+from repro.network.topology import Topology
+from repro.resilience import FaultPlan
+from repro.traffic.columnar import (
+    DEFAULT_CHUNK_SIZE,
+    ColumnarTrace,
+    iter_column_chunks,
+)
+
+__all__ = ["ShardedDeployment"]
+
+
+# --------------------------------------------------------------------- #
+# Backends                                                              #
+# --------------------------------------------------------------------- #
+
+
+class _InlineBackend:
+    """A shard executed in-process (same dispatch, no IPC)."""
+
+    def __init__(self, spec: WorkerSpec):
+        self.runtime = ShardRuntime(spec)
+        self._pending: List[ColumnarTrace] = []
+        self._detail = "full"
+
+    def request(self, kind: str, arg: Any = None) -> Any:
+        return dispatch(self.runtime, kind, arg)
+
+    def start_stream(self, detail: str) -> None:
+        self._pending = []
+        self._detail = detail
+
+    def feed(self, chunk: ColumnarTrace) -> None:
+        self._pending.append(chunk)
+
+    def finish_stream(self) -> Dict[str, Any]:
+        chunks, self._pending = self._pending, []
+        return dispatch(
+            self.runtime, "run_stream", self._detail, chunks=iter(chunks)
+        )
+
+    def shutdown(self) -> None:
+        self._pending = []
+
+
+class _ProcBackend:
+    """A shard executed in a worker process.
+
+    Commands ride a duplex pipe; trace chunks ride a bounded queue (the
+    handoff path), so a slow shard backpressures the distributor
+    instead of buffering the whole trace.
+    """
+
+    def __init__(self, spec: WorkerSpec, ctx, queue_chunks: int):
+        self.conn, child = ctx.Pipe()
+        self.chunks = ctx.Queue(maxsize=queue_chunks)
+        self.proc = ctx.Process(
+            target=worker_main,
+            args=(child, self.chunks, spec),
+            daemon=True,
+            name=f"newton-shard-{spec.index}",
+        )
+        self.proc.start()
+        child.close()
+        self._recv()  # replica-built handshake
+
+    def _recv(self) -> Any:
+        status, payload = self.conn.recv()
+        if status != "ok":
+            raise RuntimeError(f"fabric worker failed: {payload}")
+        return payload
+
+    def request(self, kind: str, arg: Any = None) -> Any:
+        self.conn.send((kind, arg))
+        return self._recv()
+
+    def start_stream(self, detail: str) -> None:
+        self.conn.send(("run_stream", detail))
+
+    def feed(self, chunk: ColumnarTrace) -> None:
+        self.chunks.put(chunk)
+
+    def finish_stream(self) -> Dict[str, Any]:
+        self.chunks.put(None)
+        return self._recv()
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(("shutdown", None))
+            self._recv()
+            self.conn.close()
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=10)
+        if self.proc.is_alive():  # pragma: no cover - hung worker
+            self.proc.terminate()
+
+
+# --------------------------------------------------------------------- #
+# Read-path proxies (Deployment duck typing for the service plane)      #
+# --------------------------------------------------------------------- #
+
+
+class _FanoutController:
+    """Controller proxy: mutations fan out, reads hit the control
+    replica."""
+
+    def __init__(self, sharded: "ShardedDeployment"):
+        self._sharded = sharded
+        self._local = sharded.local.controller
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._local, name)
+
+    def install_query(self, query, params: QueryParams = QueryParams(),
+                      **kwargs):
+        return self._sharded.install_query(query, params, **kwargs)
+
+    def update_query(self, query, params: QueryParams = QueryParams(),
+                     **kwargs):
+        return self._sharded.update_query(query, params, **kwargs)
+
+    def remove_query(self, qid: str):
+        return self._sharded.remove_query(qid)
+
+    def replace_query(self, *args, **kwargs):
+        raise NotImplementedError(
+            "replace_query is not fanned out by the fabric plane; "
+            "use remove_query + install_query"
+        )
+
+
+class _FanoutCollector:
+    """Collector proxy: ``prune_results`` fans out (workers prune their
+    collector *and* analyzer), everything else reads the control
+    replica — whose ``_results`` the absorbed worker answers live in."""
+
+    def __init__(self, sharded: "ShardedDeployment"):
+        self._sharded = sharded
+        self._local = sharded.local.collector
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._local, name)
+
+    def prune_results(self, before_epoch: int) -> int:
+        for backend in self._sharded._backends:
+            backend.request("prune", before_epoch)
+        return self._local.prune_results(before_epoch)
+
+
+class _ShardedSimulator:
+    """Simulator proxy: drives all shards, reports the fabric epoch."""
+
+    def __init__(self, sharded: "ShardedDeployment"):
+        self._sharded = sharded
+
+    @property
+    def epoch(self) -> int:
+        return self._sharded._epoch
+
+    @property
+    def window_s(self) -> float:
+        return self._sharded.local.simulator.window_s
+
+    @property
+    def engine(self):
+        return self._sharded.local.simulator.engine
+
+    def run(self, source) -> SimulationStats:
+        """Per-window drive (service ticks): merged stats only."""
+        return self._sharded._run_impl(source, detail="stats")
+
+    def roll_window(self) -> int:
+        return self._sharded.roll_window()
+
+    def at(self, ts: float, callback) -> None:
+        raise NotImplementedError(
+            "opaque callbacks cannot fan out to shard workers; use "
+            "ShardedDeployment.schedule_install/schedule_update/"
+            "schedule_remove"
+        )
+
+
+# --------------------------------------------------------------------- #
+# The facade                                                            #
+# --------------------------------------------------------------------- #
+
+
+class ShardedDeployment:
+    """A Newton deployment executed across a pool of shard workers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        workers: int = 2,
+        inline: bool = False,
+        flow_seed: int = 0xF1F0,
+        assign_seed: int = 0xA55,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        queue_chunks: int = 4,
+        start_method: Optional[str] = None,
+        record_reports: bool = True,
+        **deploy_kwargs: Any,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if "engine" in deploy_kwargs and not isinstance(
+            deploy_kwargs["engine"], str
+        ):
+            raise ValueError(
+                "sharded deployments need the engine by name (the spec "
+                "is shipped to worker processes)"
+            )
+        self.topology = topology
+        self.workers = workers
+        self.inline = inline
+        self.chunk_size = chunk_size
+        self.local = build_deployment(topology, **deploy_kwargs)
+        self.qpart = QueryPartitioner(workers, seed=assign_seed)
+        specs = [
+            WorkerSpec(
+                topology=topology,
+                index=i,
+                shards=workers,
+                flow_seed=flow_seed,
+                deploy=dict(deploy_kwargs),
+                record_reports=record_reports,
+            )
+            for i in range(workers)
+        ]
+        if inline:
+            self._backends: List[Any] = [_InlineBackend(s) for s in specs]
+        else:
+            method = start_method or (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+            ctx = mp.get_context(method)
+            self._backends = [
+                _ProcBackend(s, ctx, queue_chunks) for s in specs
+            ]
+        self._epoch = 0
+        self._closed = False
+        #: Per-worker engine-busy CPU seconds of the last batch run —
+        #: the parallel critical path is ``max(worker_busy_s)``.
+        self.worker_busy_s: List[float] = []
+        #: Canonically ordered merged report stream of the last batch run.
+        self.reports: Tuple[ReportSig, ...] = ()
+        self._last_dumps: Optional[Dict] = None
+        self._last_metrics: Optional[MetricsRegistry] = None
+        # Deployment duck typing for the service plane.
+        self.simulator = _ShardedSimulator(self)
+        self.controller = _FanoutController(self)
+        self.collector = _FanoutCollector(self)
+
+    # -- Deployment-compatible read surface ---------------------------- #
+
+    @property
+    def switches(self):
+        return self.local.switches
+
+    @property
+    def router(self):
+        return self.local.router
+
+    @property
+    def analyzer(self):
+        return self.local.analyzer
+
+    @property
+    def clock(self):
+        return self.local.clock
+
+    @property
+    def detector(self):
+        return self.local.detector
+
+    @property
+    def recovery(self):
+        return self.local.recovery
+
+    @property
+    def faults(self):
+        return self.local.faults
+
+    @property
+    def sanitizer(self):
+        return self.local.sanitizer
+
+    def switch(self, switch_id):
+        return self.local.switches[switch_id]
+
+    # ------------------------------------------------------------------ #
+    # Control fan-out                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _fanout_op(self, op: Tuple) -> None:
+        for backend in self._backends:
+            backend.request("op", op)
+
+    def install_query(self, query: QueryLike,
+                      params: QueryParams = QueryParams(),
+                      weight: Optional[float] = None,
+                      owner: Optional[int] = None,
+                      **kwargs: Any):
+        """Install everywhere: verify + install on the control replica,
+        then replay on every shard; the owner shard starts executing.
+
+        ``weight`` overrides the placement load unit (default: number of
+        sub-queries) with a caller-supplied cost estimate — installing in
+        descending weight order then approximates LPT balance.  ``owner``
+        pins the query to one shard, the hook for affinity-aware
+        placement (see :meth:`QueryPartitioner.assign`).
+        """
+        query_bytes = pickle.dumps(query)  # must be shippable up front
+        result = self.local.controller.install_query(
+            query, params, **kwargs
+        )
+        owner = self.qpart.assign(query, weight=weight, owner=owner)
+        self._fanout_op(("install", query_bytes, params, kwargs, owner))
+        return result
+
+    def update_query(self, query: QueryLike,
+                     params: QueryParams = QueryParams(),
+                     **kwargs: Any):
+        query_bytes = pickle.dumps(query)
+        result = self.local.controller.update_query(query, params, **kwargs)
+        owner = self.qpart.owner_of(query.qid)
+        self._fanout_op(("update", query_bytes, params, kwargs, owner))
+        return result
+
+    def remove_query(self, qid: str):
+        result = self.local.controller.remove_query(qid)
+        self.qpart.release(qid)
+        self._fanout_op(("remove", qid))
+        return result
+
+    def arm_faults(self, plan: FaultPlan) -> None:
+        """Arm a declarative fault plan on every shard replica.
+
+        Identity claims do not extend to faulted runs: a corruption or
+        loss event perturbs each replica's (shard-local) state, which is
+        the point of chaos runs — invariants must hold, not equality.
+        """
+        self._fanout_op(("arm_faults", plan.to_dict()))
+
+    # Scheduled (mid-trace) control ops: the parent applies the op to the
+    # control replica eagerly — it executes no packets, so only the
+    # converged final control state matters there — while every shard
+    # fires it at the trace timestamp, between packets, exactly as a
+    # single-process ``simulator.at`` would.
+
+    def schedule_install(self, ts: float, query: QueryLike,
+                         params: QueryParams = QueryParams(),
+                         **kwargs: Any) -> None:
+        query_bytes = pickle.dumps(query)
+        self.local.controller.install_query(query, params, **kwargs)
+        owner = self.qpart.assign(query)
+        self._fanout_op((
+            "schedule", ts,
+            ("install", query_bytes, params, kwargs, owner),
+        ))
+
+    def schedule_update(self, ts: float, query: QueryLike,
+                        params: QueryParams = QueryParams(),
+                        **kwargs: Any) -> None:
+        query_bytes = pickle.dumps(query)
+        self.local.controller.update_query(query, params, **kwargs)
+        owner = self.qpart.owner_of(query.qid)
+        self._fanout_op((
+            "schedule", ts,
+            ("update", query_bytes, params, kwargs, owner),
+        ))
+
+    def schedule_remove(self, ts: float, qid: str) -> None:
+        self.local.controller.remove_query(qid)
+        self.qpart.release(qid)
+        self._fanout_op(("schedule", ts, ("remove", qid)))
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run(self, source) -> SimulationStats:
+        """Run a whole trace across the pool; returns merged stats.
+
+        Afterwards :attr:`reports`, :meth:`register_dumps`,
+        :meth:`merged_metrics`, and the control replica's collector /
+        analyzer reads reflect the merged run.
+        """
+        return self._run_impl(source, detail="full")
+
+    def _run_impl(self, source, detail: str) -> SimulationStats:
+        for backend in self._backends:
+            backend.start_stream(detail)
+        for chunk in iter_column_chunks(source, self.chunk_size):
+            for backend in self._backends:
+                backend.feed(chunk)
+        payloads = [b.finish_stream() for b in self._backends]
+        stats = merge_stats([p["stats"] for p in payloads])
+        self.worker_busy_s = [float(p["busy_s"]) for p in payloads]
+        if detail == "full":
+            self._absorb(payloads)
+            self.reports = canonical_reports(
+                [p["recorded"] for p in payloads]
+            )
+            self._last_dumps = merge_register_dumps(
+                [p["dumps"] for p in payloads]
+            )
+            self._last_metrics = merge_metrics(
+                [self.local.collector.metrics]
+                + [p["metrics"] for p in payloads]
+            )
+        return stats
+
+    def roll_window(self) -> int:
+        """Force-close the current window on every shard and absorb the
+        window's answers into the control replica."""
+        payloads = [b.request("roll_window") for b in self._backends]
+        closed = {p["closed"] for p in payloads}
+        if len(closed) != 1:
+            raise AssertionError(
+                f"shards disagree on the closing epoch: {sorted(closed)}"
+            )
+        self._absorb(payloads)
+        epoch = closed.pop()
+        self._epoch = epoch + 1
+        return epoch
+
+    def _absorb(self, payloads: Iterable[Dict[str, Any]]) -> None:
+        payloads = list(payloads)
+        absorb_results(
+            self.local.collector._results,
+            [p["collector"] for p in payloads],
+        )
+        absorb_results(
+            self.local.analyzer._results,
+            [p["analyzer"] for p in payloads],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Merged read-outs                                                   #
+    # ------------------------------------------------------------------ #
+
+    def register_dumps(self) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
+        """Merged (elementwise-summed) register dumps across shards."""
+        dumps = [b.request("dumps") for b in self._backends]
+        return merge_register_dumps(dumps)
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Fresh registry: control-replica metrics + every shard's."""
+        registries = [b.request("metrics") for b in self._backends]
+        return merge_metrics([self.local.collector.metrics] + registries)
+
+    @property
+    def critical_path_s(self) -> float:
+        """Engine-busy CPU seconds of the slowest shard in the last run
+        — the wall-clock lower bound on a host with >= ``workers``
+        cores."""
+        return max(self.worker_busy_s) if self.worker_busy_s else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self._backends:
+            backend.shutdown()
+
+    def __enter__(self) -> "ShardedDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

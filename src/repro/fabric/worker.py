@@ -1,0 +1,326 @@
+"""One shard of the fabric plane.
+
+:class:`ShardRuntime` is the execution core: a full deployment replica
+(same topology, hash seed, and window clock as every other shard) plus
+this shard's identity — the flow-hash context the engines consult for
+primary-packet accounting and the owned-query filter the pipelines
+consult at ``newton_init`` dispatch.  It is driven through a small
+command vocabulary (:func:`dispatch`) that both backends share:
+
+* **inline** — the parent calls :func:`dispatch` directly (no IPC);
+  used by the differential property sweeps, where process startup would
+  dominate.
+* **multiprocess** — :func:`worker_main` runs the same dispatch loop in
+  a child process, commands arriving over a duplex pipe and trace
+  chunks over a bounded queue (the cross-shard handoff path: every
+  packet reaches the shard that owns its query state through that
+  queue and is re-executed there under the same window discipline).
+
+Control operations arrive as declarative specs — the pickled query
+object plus its params and install kwargs — and are replayed verbatim,
+so every replica's control-plane decisions (placement, rule epochs, CQE
+slicing, vector-fallback) are identical to the parent's by determinism
+of the controller.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.compiler import QueryParams
+from repro.core.query import QueryLike
+from repro.core.rules import Report
+from repro.network.deployment import Deployment, build_deployment
+from repro.network.simulator import SimulationStats
+from repro.network.topology import Topology
+from repro.resilience import FaultPlan
+from repro.fabric.partition import (
+    FlowHashPartitioner,
+    ShardContext,
+    owned_sub_qids,
+)
+from repro.traffic.columnar import ChunkStream, ColumnarTrace
+
+__all__ = ["ShardRuntime", "WorkerSpec", "dispatch", "worker_main"]
+
+#: One recorded report: (switch, qid, ts, epoch, sorted payload items).
+ReportSig = Tuple[str, str, float, int, Tuple]
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to stand up its replica (picklable)."""
+
+    topology: Topology
+    index: int
+    shards: int
+    flow_seed: int
+    #: Keyword arguments for :func:`build_deployment`.
+    deploy: Dict[str, Any] = field(default_factory=dict)
+    #: Record every emitted report (batch/verification runs); service
+    #: ticks leave it off so memory stays bounded by the window.
+    record_reports: bool = True
+
+
+class ShardRuntime:
+    """A full deployment replica executing one shard's slice of work."""
+
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.deployment: Deployment = build_deployment(
+            spec.topology, **spec.deploy
+        )
+        self.flow = FlowHashPartitioner(spec.flow_seed, spec.shards)
+        self.deployment.simulator.shard = ShardContext(self.flow, spec.index)
+        self._owned: Set[str] = set()
+        self._owned_tops: Dict[str, Tuple[str, ...]] = {}
+        self.recorded: List[ReportSig] = []
+        self.busy_s = 0.0
+        self._refresh_filter()
+        if spec.record_reports:
+            self._wrap_sinks()
+
+    # ------------------------------------------------------------------ #
+    # Ownership                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _refresh_filter(self) -> None:
+        owned = frozenset(self._owned)
+        for switch in self.deployment.switches.values():
+            switch.pipeline.query_filter = owned
+
+    def _own(self, query: QueryLike) -> None:
+        subs = owned_sub_qids(query)
+        self._owned_tops[query.qid] = subs
+        self._owned.update(subs)
+        self._refresh_filter()
+
+    def _disown(self, top_qid: str) -> None:
+        subs = self._owned_tops.pop(top_qid, ())
+        self._owned.difference_update(subs)
+        self._refresh_filter()
+
+    # ------------------------------------------------------------------ #
+    # Control operations (declarative replay)                            #
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Tuple) -> None:
+        """Replay one control op; specs are built by the parent."""
+        kind = op[0]
+        controller = self.deployment.controller
+        if kind == "install":
+            _, query_bytes, params, kwargs, owner = op
+            query = pickle.loads(query_bytes)
+            controller.install_query(
+                query, params or QueryParams(), **kwargs
+            )
+            if owner == self.spec.index:
+                self._own(query)
+        elif kind == "update":
+            _, query_bytes, params, kwargs, owner = op
+            query = pickle.loads(query_bytes)
+            controller.update_query(
+                query, params or QueryParams(), **kwargs
+            )
+            if owner == self.spec.index:
+                # The updated pipeline may have different sub-queries.
+                self._disown(query.qid)
+                self._own(query)
+        elif kind == "remove":
+            _, qid = op
+            controller.remove_query(qid)
+            self._disown(qid)
+        elif kind == "schedule":
+            _, ts, inner = op
+            self.deployment.simulator.at(ts, lambda: self.apply(inner))
+        elif kind == "arm_faults":
+            _, plan_dict = op
+            plan = FaultPlan.from_dict(plan_dict)
+            recovery = self.deployment.recovery
+            plan.schedule(
+                self.deployment.simulator,
+                self.deployment.switches,
+                on_corrupt=(
+                    recovery.note_corruption if recovery is not None
+                    else None
+                ),
+            )
+        else:
+            raise ValueError(f"unknown fabric op {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run_stream(
+        self, chunks: Iterable[ColumnarTrace]
+    ) -> SimulationStats:
+        """Run one packet stream; records engine-busy CPU seconds.
+
+        CPU time (``process_time``), not wall clock: shard processes on
+        an oversubscribed host time-slice one another, and the parallel
+        critical path must count each shard's own work, not the
+        scheduler's interleaving.  ``busy_s`` accumulates across calls
+        (the service drives one call per window); stream callers reset
+        it via :meth:`reset_run`.
+        """
+        started = time.process_time()
+        stats = self.deployment.simulator.run(
+            ChunkStream(chunks, name=f"shard{self.spec.index}")
+        )
+        self.busy_s += time.process_time() - started
+        return stats
+
+    def reset_run(self) -> None:
+        self.recorded.clear()
+        self.busy_s = 0.0
+
+    def roll_window(self) -> int:
+        return self.deployment.simulator.roll_window()
+
+    def prune(self, before_epoch: int) -> None:
+        self.deployment.collector.prune_results(before_epoch)
+        self.deployment.analyzer.prune(before_epoch)
+
+    # ------------------------------------------------------------------ #
+    # Results                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _wrap_sinks(self) -> None:
+        recorded = self.recorded
+
+        def wrap(sid, inner):
+            def sink(report: Report) -> None:
+                recorded.append((
+                    str(sid), report.qid, float(report.ts),
+                    int(report.epoch),
+                    tuple(sorted(report.payload.items())),
+                ))
+                if inner is not None:
+                    inner(report)
+            return sink
+
+        for sid, switch in self.deployment.switches.items():
+            switch.pipeline.report_sink = wrap(
+                sid, switch.pipeline.report_sink
+            )
+
+    def register_dumps(self) -> Dict[str, Tuple]:
+        """Raw per-bank register arrays (merged by elementwise sum)."""
+        return {
+            str(sid): tuple(
+                bank.array.dump()
+                for bank in switch.pipeline.layout.state_banks()
+            )
+            for sid, switch in self.deployment.switches.items()
+        }
+
+    def results_payload(self) -> Dict[str, Any]:
+        """Windowed answers owned by this shard (absorbed by the parent)."""
+        return {
+            "collector": {
+                key: dict(bucket)
+                for key, bucket in
+                self.deployment.collector._results.items()
+            },
+            "analyzer": {
+                key: dict(bucket)
+                for key, bucket in
+                self.deployment.analyzer._results.items()
+            },
+        }
+
+    def stream_payload(self, stats: SimulationStats) -> Dict[str, Any]:
+        """Everything the merge layer needs after a batch run."""
+        payload = self.results_payload()
+        payload.update({
+            "stats": stats,
+            "busy_s": self.busy_s,
+            "recorded": list(self.recorded),
+            "dumps": self.register_dumps(),
+            "metrics": self.deployment.collector.metrics,
+        })
+        return payload
+
+
+# --------------------------------------------------------------------- #
+# Command dispatch (shared by the inline and multiprocess backends)     #
+# --------------------------------------------------------------------- #
+
+
+def dispatch(
+    runtime: ShardRuntime,
+    kind: str,
+    arg: Any,
+    chunks: Optional[Iterable[ColumnarTrace]] = None,
+) -> Any:
+    """Execute one fabric command against a shard runtime.
+
+    ``chunks`` feeds ``run_stream`` — the backend supplies either an
+    in-process iterator (inline) or a generator draining the bounded
+    handoff queue (multiprocess).
+    """
+    if kind == "op":
+        runtime.apply(arg)
+        return None
+    if kind == "run_stream":
+        runtime.reset_run()
+        stats = runtime.run_stream(chunks if chunks is not None else ())
+        if arg == "stats":
+            return {"stats": stats, "busy_s": runtime.busy_s}
+        return runtime.stream_payload(stats)
+    if kind == "roll_window":
+        closed = runtime.roll_window()
+        payload = runtime.results_payload()
+        payload["closed"] = closed
+        return payload
+    if kind == "prune":
+        runtime.prune(arg)
+        return None
+    if kind == "dumps":
+        return runtime.register_dumps()
+    if kind == "metrics":
+        return runtime.deployment.collector.metrics
+    raise ValueError(f"unknown fabric command {kind!r}")
+
+
+def worker_main(conn, chunk_queue, spec: WorkerSpec) -> None:
+    """Entry point of one fabric worker process.
+
+    Replies ``("ok", payload)`` or ``("err", message)`` per command;
+    ``("shutdown", None)`` ends the loop.
+    """
+    runtime = ShardRuntime(spec)
+    conn.send(("ok", None))  # replica built, ops may flow
+    while True:
+        kind, arg = conn.recv()
+        if kind == "shutdown":
+            conn.send(("ok", None))
+            return
+        try:
+            if kind == "run_stream":
+                waited = [0.0]
+
+                def drain():
+                    while True:
+                        started = time.process_time()
+                        chunk = chunk_queue.get()
+                        waited[0] += time.process_time() - started
+                        if chunk is None:
+                            return
+                        yield chunk
+
+                payload = dispatch(runtime, kind, arg, chunks=drain())
+                # CPU spent receiving chunks (deserialisation) is the
+                # parent's distribution cost, not this shard's work;
+                # blocking on an empty queue costs ~no CPU either way.
+                runtime.busy_s -= waited[0]
+                payload["busy_s"] = runtime.busy_s
+            else:
+                payload = dispatch(runtime, kind, arg)
+            conn.send(("ok", payload))
+        except Exception as exc:  # pragma: no cover - forwarded to parent
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))

@@ -144,6 +144,13 @@ class NetworkSimulator:
         self.engine = get_engine(engine)
         #: Runtime invariant checker (observe-only; ``None`` = disabled).
         self.sanitizer = sanitizer
+        #: Fabric-plane shard context (``None`` outside sharded runs).
+        #: When set, both engines consult ``shard.owns_packet`` /
+        #: ``shard.owned_mask`` so each packet's per-packet statistics
+        #: (packets / delivered / dropped / payload bytes) are counted by
+        #: exactly one shard — the flow-hash primary — and the merged
+        #: :class:`SimulationStats` sums are exactly-once by construction.
+        self.shard: Optional[object] = None
         self._epoch = 0
         #: Current trace time: the timestamp of the last packet handed to
         #: the engine (``-inf`` before the first).  Guards :meth:`at`

@@ -5,6 +5,9 @@ Three families, matching the paper's evaluation:
 * ``linear`` — the 3-switch, 2-server testbed of Figure 8 (generalised to
   any chain length for the hop-count sweeps of Figure 13).
 * ``fat_tree`` — the k-ary fat-tree used by Figure 17 (``5k²/4`` switches).
+* ``leaf_spine`` — the two-tier Clos fabric of modern datacenters: every
+  leaf uplinks to every spine, hosts attach to leaves (the fabric plane's
+  scaling benchmarks run here and on fat-trees).
 * ``isp_backbone`` — an approximation of the top-tier North-America ISP
   backbone the paper cites (AT&T's published OC-768 IP/MPLS map): 25 cities
   and the long-haul links between them.
@@ -16,7 +19,7 @@ from typing import Dict, Hashable, List, Tuple
 
 import networkx as nx
 
-__all__ = ["Topology", "fat_tree", "isp_backbone", "linear",
+__all__ = ["Topology", "fat_tree", "isp_backbone", "leaf_spine", "linear",
            "CALIFORNIA_SITES"]
 
 SwitchId = Hashable
@@ -119,6 +122,35 @@ def fat_tree(k: int, hosts_per_edge: int = 1) -> Topology:
             for h in range(hosts_per_edge):
                 hosts[f"hp{pod}e{j}n{h}"] = edge
     return Topology(graph, hosts, name=f"fat-tree-{k}")
+
+
+def leaf_spine(spines: int, leaves: int,
+               hosts_per_leaf: int = 1) -> Topology:
+    """Two-tier Clos: every leaf links to every spine, hosts on leaves.
+
+    Spines are ``sp{i}``, leaves ``lf{j}``, hosts ``hlf{j}n{h}``.  Any
+    leaf-to-leaf route is exactly ``leaf -> spine -> leaf`` (3 switch
+    hops) with ``spines`` equal-cost choices — the ECMP fan-out the
+    router breaks deterministically by flow hash.  Same-leaf traffic
+    never leaves its leaf.
+    """
+    if spines < 1 or leaves < 1:
+        raise ValueError("need at least one spine and one leaf")
+    if hosts_per_leaf < 1:
+        raise ValueError("need at least one host per leaf")
+    graph = nx.Graph()
+    spine_names = [f"sp{i}" for i in range(spines)]
+    leaf_names = [f"lf{j}" for j in range(leaves)]
+    graph.add_nodes_from(spine_names)
+    graph.add_nodes_from(leaf_names)
+    for leaf in leaf_names:
+        for spine in spine_names:
+            graph.add_edge(leaf, spine)
+    hosts: Dict[HostId, SwitchId] = {}
+    for j, leaf in enumerate(leaf_names):
+        for h in range(hosts_per_leaf):
+            hosts[f"hlf{j}n{h}"] = leaf
+    return Topology(graph, hosts, name=f"leaf-spine-{spines}x{leaves}")
 
 
 #: Approximation of AT&T's published OC-768 IP/MPLS backbone map: 25 cities

@@ -21,7 +21,8 @@ from repro.core.fields import GLOBAL_FIELDS
 from repro.core.packet import Packet
 from repro.traffic.traces import Trace
 
-__all__ = ["ColumnarTrace", "iter_column_chunks", "DEFAULT_CHUNK_SIZE"]
+__all__ = ["ChunkStream", "ColumnarTrace", "iter_column_chunks",
+           "DEFAULT_CHUNK_SIZE"]
 
 #: Packets per chunk when batching a stream; large enough to amortise
 #: per-batch numpy overheads, small enough to stay cache- and RAM-friendly.
@@ -30,7 +31,40 @@ DEFAULT_CHUNK_SIZE = 1 << 16
 _FIELD_NAMES: Tuple[str, ...] = GLOBAL_FIELDS.names
 
 #: Packet sources accepted wherever a trace is expected.
-PacketSource = Union["ColumnarTrace", Trace, Iterable[Packet]]
+PacketSource = Union["ChunkStream", "ColumnarTrace", Trace, Iterable[Packet]]
+
+
+class ChunkStream:
+    """A lazy stream of :class:`ColumnarTrace` chunks, usable as a trace.
+
+    The fabric plane hands each shard worker its copy of the trace chunk
+    by chunk over a bounded queue; wrapping the incoming chunks in a
+    ``ChunkStream`` lets the worker call ``simulator.run(stream)`` exactly
+    once over the whole stream — scheduled control callbacks and window
+    closes fire at their trace timestamps, never at artificial chunk
+    boundaries.  The vectorized engine consumes the chunks directly
+    (:func:`iter_column_chunks` passes them through, re-slicing oversized
+    ones); the scalar engine iterates packets chunk by chunk.
+
+    Single-use when built from a generator: iterate it once.
+    """
+
+    __slots__ = ("_chunks", "name")
+
+    def __init__(self, chunks: Iterable["ColumnarTrace"],
+                 name: str = "chunk-stream"):
+        self._chunks = chunks
+        self.name = name
+
+    def chunks(self) -> Iterator["ColumnarTrace"]:
+        return iter(self._chunks)
+
+    def __iter__(self) -> Iterator[Packet]:
+        for chunk in self.chunks():
+            yield from chunk.iter_packets()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChunkStream {self.name}>"
 
 
 class ColumnarTrace:
@@ -197,6 +231,16 @@ def iter_column_chunks(
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if isinstance(source, ChunkStream):
+        for chunk in source.chunks():
+            if len(chunk) <= chunk_size:
+                yield chunk
+            else:
+                for start in range(0, len(chunk), chunk_size):
+                    yield chunk.slice(
+                        start, min(start + chunk_size, len(chunk))
+                    )
+        return
     if isinstance(source, ColumnarTrace):
         for start in range(0, len(source), chunk_size):
             yield source.slice(start, min(start + chunk_size, len(source)))

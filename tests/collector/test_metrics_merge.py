@@ -1,0 +1,139 @@
+"""``MetricsRegistry.merge`` — the fabric plane's per-shard aggregation.
+
+Counters sum per label set, histograms sum bins/count/sum (same bucket
+bounds required), gauges resolve collisions last-write-wins, and a name
+registered with different types on the two sides raises before anything
+is modified.
+"""
+
+import pytest
+
+from repro.collector.metrics import MetricsRegistry
+
+
+def test_counters_sum_per_label_set():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("pkts_total").inc(3, qid="Q1")
+    a.counter("pkts_total").inc(5, qid="Q2")
+    b.counter("pkts_total").inc(7, qid="Q1")
+    b.counter("pkts_total").inc(11, qid="Q3")
+    a.merge(b)
+    counter = a.counter("pkts_total")
+    assert counter.value(qid="Q1") == 10
+    assert counter.value(qid="Q2") == 5
+    assert counter.value(qid="Q3") == 11
+    assert counter.total == 26
+
+
+def test_label_order_is_canonical_across_registries():
+    # {"qid": ..., "switch": ...} and the reverse insertion order must
+    # land in one series after a merge, not two.
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("drops_total").inc(1, qid="Q1", switch="s0")
+    b.counter("drops_total").inc(2, switch="s0", qid="Q1")
+    a.merge(b)
+    assert a.counter("drops_total").value(qid="Q1", switch="s0") == 3
+    assert len(a.counter("drops_total").series()) == 1
+
+
+def test_metric_only_in_other_is_carried_over_with_help():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    b.counter("shard_only_total", "per-shard metric").inc(4)
+    a.merge(b)
+    assert a.counter("shard_only_total").value() == 4
+    assert a.counter("shard_only_total").help == "per-shard metric"
+
+
+def test_gauges_last_write_wins_on_collision():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.gauge("depth").set(3.0, switch="s0")
+    a.gauge("depth").set(9.0, switch="s1")
+    b.gauge("depth").set(5.0, switch="s0")
+    a.merge(b)
+    assert a.gauge("depth").value(switch="s0") == 5.0
+    # Non-colliding series are untouched.
+    assert a.gauge("depth").value(switch="s1") == 9.0
+
+
+def test_histograms_sum_bins_total_and_sum():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    bounds = (1.0, 10.0)
+    for value in (0.5, 5.0):
+        a.histogram("lat", bounds).observe(value)
+    for value in (0.5, 50.0):
+        b.histogram("lat", bounds).observe(value)
+    a.merge(b)
+    hist = a.histogram("lat", bounds)
+    assert hist.bucket_counts() == [2, 1, 1]
+    assert hist.count() == 4
+    assert hist.series()[()].sum == pytest.approx(56.0)
+
+
+def test_histogram_bucket_mismatch_raises_before_mutation():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.histogram("lat", (1.0, 10.0)).observe(0.5)
+    a.counter("ok_total").inc(1)
+    b.histogram("lat", (2.0, 20.0)).observe(0.5)
+    b.counter("ok_total").inc(1)
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        a.merge(b)
+    # The counter that would have merged fine was not touched either:
+    # a failed merge leaves the target registry exactly as it was.
+    assert a.counter("ok_total").value() == 1
+    assert a.histogram("lat", (1.0, 10.0)).bucket_counts() == [1, 0, 0]
+
+
+@pytest.mark.parametrize("declare_mine,declare_theirs", [
+    (lambda r: r.counter("x"), lambda r: r.gauge("x")),
+    (lambda r: r.counter("x"), lambda r: r.histogram("x", (1.0,))),
+    (lambda r: r.gauge("x"), lambda r: r.histogram("x", (1.0,))),
+    (lambda r: r.histogram("x", (1.0,)), lambda r: r.counter("x")),
+])
+def test_cross_type_name_collision_raises(declare_mine, declare_theirs):
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    declare_mine(a)
+    declare_theirs(b)
+    a.counter("untouched_total").inc(2)
+    with pytest.raises(ValueError):
+        a.merge(b)
+    assert a.counter("untouched_total").value() == 2
+
+
+def test_merge_chains_and_exposition_stays_stable():
+    shards = []
+    for i in range(3):
+        registry = MetricsRegistry()
+        registry.counter("pkts_total").inc(i + 1, shard=str(i))
+        registry.counter("pkts_total").inc(10)
+        shards.append(registry)
+    merged = MetricsRegistry()
+    for shard in shards:
+        merged.merge(shard)
+    # One unlabelled series summed across shards + one series per shard,
+    # rendered in a deterministic order.
+    assert merged.counter("pkts_total").value() == 30
+    text = merged.render_prometheus()
+    assert 'pkts_total{shard="0"} 1' in text
+    assert 'pkts_total{shard="2"} 3' in text
+    again = MetricsRegistry()
+    for shard in shards:
+        again.merge(shard)
+    assert again.render_prometheus() == text
+
+
+def test_merge_is_commutative_for_counters_and_histograms():
+    a1, a2 = MetricsRegistry(), MetricsRegistry()
+    b1, b2 = MetricsRegistry(), MetricsRegistry()
+    for registry, n in ((a1, 2), (b2, 2), (b1, 5), (a2, 5)):
+        registry.counter("c_total").inc(n, qid="Q1")
+        registry.histogram("h", (1.0, 2.0)).observe(float(n))
+    left = MetricsRegistry().merge(a1).merge(b1)
+    right = MetricsRegistry().merge(b2).merge(a2)
+    assert left.snapshot() == right.snapshot()

@@ -1,0 +1,89 @@
+"""Leaf-spine topology construction and routing."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.network.routing import Router
+from repro.network.topology import leaf_spine
+
+
+def _packet(src_host, dst_host, sport=1234, dport=80):
+    return Packet(
+        ts=0.0, sip=0x0A000001, dip=0x0A000002, sport=sport, dport=dport,
+        proto=6, src_host=src_host, dst_host=dst_host,
+    )
+
+
+class TestLeafSpineStructure:
+    def test_counts(self):
+        topo = leaf_spine(4, 6, hosts_per_leaf=2)
+        assert topo.num_switches == 10
+        # Full bipartite spine-leaf mesh.
+        assert topo.num_links == 4 * 6
+        assert len(topo.hosts) == 12
+        assert topo.name == "leaf-spine-4x6"
+
+    def test_hosts_attach_to_leaves_only(self):
+        topo = leaf_spine(2, 3, hosts_per_leaf=2)
+        assert set(topo.edge_switches) == {"lf0", "lf1", "lf2"}
+        assert topo.attachment("hlf1n0") == "lf1"
+        assert topo.hosts_at("lf2") == ["hlf2n0", "hlf2n1"]
+
+    def test_every_leaf_sees_every_spine(self):
+        topo = leaf_spine(3, 4)
+        for j in range(4):
+            assert set(topo.neighbors(f"lf{j}")) == {"sp0", "sp1", "sp2"}
+        for i in range(3):
+            assert set(topo.neighbors(f"sp{i}")) == {
+                "lf0", "lf1", "lf2", "lf3"
+            }
+
+    @pytest.mark.parametrize("spines,leaves,hosts", [
+        (0, 3, 1), (3, 0, 1), (2, 2, 0),
+    ])
+    def test_degenerate_shapes_rejected(self, spines, leaves, hosts):
+        with pytest.raises(ValueError):
+            leaf_spine(spines, leaves, hosts_per_leaf=hosts)
+
+
+class TestLeafSpineRouting:
+    def test_cross_leaf_path_is_three_hops_via_one_spine(self):
+        topo = leaf_spine(4, 4)
+        router = Router(topo)
+        path = router.path_for(_packet("hlf0n0", "hlf3n0"))
+        assert len(path) == 3
+        assert path[0] == "lf0" and path[2] == "lf3"
+        assert path[1].startswith("sp")
+
+    def test_same_leaf_traffic_stays_on_the_leaf(self):
+        topo = leaf_spine(4, 2, hosts_per_leaf=2)
+        router = Router(topo)
+        assert router.path_for(_packet("hlf1n0", "hlf1n1")) == ["lf1"]
+
+    def test_ecmp_offers_every_spine(self):
+        topo = leaf_spine(3, 2)
+        router = Router(topo)
+        paths = router.switch_paths("lf0", "lf1")
+        assert sorted(p[1] for p in paths) == ["sp0", "sp1", "sp2"]
+
+    def test_ecmp_choice_is_flow_stable(self):
+        topo = leaf_spine(4, 4)
+        router = Router(topo)
+        first = router.path_for(_packet("hlf0n0", "hlf2n0", sport=5555))
+        for _ in range(10):
+            assert router.path_for(
+                _packet("hlf0n0", "hlf2n0", sport=5555)
+            ) == first
+
+    def test_spine_failure_reroutes_and_restores(self):
+        topo = leaf_spine(2, 2)
+        router = Router(topo)
+        packet = _packet("hlf0n0", "hlf1n0")
+        original = router.path_for(packet)
+        spine = original[1]
+        router.fail_link("lf0", spine)
+        rerouted = router.path_for(packet)
+        assert rerouted[1] != spine
+        assert len(rerouted) == 3
+        router.restore_link("lf0", spine)
+        assert router.path_for(packet) == original

@@ -15,6 +15,8 @@ Everything the repository can do, reachable without writing Python::
     newton-repro chaos --fault-plan p.json # fault injection + recovery report
     newton-repro demo --engine vector      # quickstart end-to-end run
     newton-repro serve --port 8181         # long-running service + HTTP API
+    newton-repro plan                      # dynamic-planner refinement demo
+    newton-repro plan --url http://...     # inspect a live planner
     newton-repro metrics                   # Prometheus text exposition
 
 (Equivalently ``python -m repro.cli ...``.)
@@ -809,6 +811,125 @@ def cmd_serve(args) -> int:
     return 0 if clean else 1
 
 
+def cmd_plan(args) -> int:
+    """Dynamic planner: inspect a running service's plans (``--url``),
+    hand it a query (``--manage``), or run a seeded local demo in which
+    a traffic shift triggers refinement and sketch re-sizing."""
+    import json as json_module
+
+    if args.url:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.url)
+        if args.manage:
+            raw = args.manage
+            if os.path.exists(raw):
+                with open(raw) as handle:
+                    raw = handle.read()
+            payload = client.plan_manage(json_module.loads(raw))
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(json_module.dumps(client.plan(), indent=2, sort_keys=True))
+        return 0
+
+    from repro import build_deployment, linear
+    from repro.planner import DynamicPlanner, PlannerConfig, RefinementLadder
+    from repro.traffic.generators import (
+        assign_hosts,
+        caida_like,
+        syn_flood,
+        syn_scan_noise,
+    )
+    from repro.traffic.traces import merge_traces
+
+    window_s = args.window_ms / 1e3
+    sharded = None
+    if args.workers > 1:
+        from repro.fabric import ShardedDeployment
+
+        sharded = ShardedDeployment(
+            linear(args.switches), workers=args.workers,
+            array_size=1 << 13, window_ms=args.window_ms,
+        )
+        dep = sharded
+    else:
+        dep = build_deployment(
+            linear(args.switches), array_size=1 << 13,
+            window_ms=args.window_ms,
+        )
+    path = [f"s{i}" for i in range(args.switches)]
+    planner = DynamicPlanner(dep, PlannerConfig(
+        max_registers=args.max_registers,
+    ))
+    query = build_query(args.query, evaluation_thresholds())
+    ladder = RefinementLadder.ipv4("dip")
+    try:
+        step = planner.manage(
+            query, QueryParams(cm_depth=2, reduce_registers=args.registers),
+            ladder=ladder, path=path,
+        )
+        print(f"managing {args.query} at rung 0 "
+              f"(dip/8 coarse, {args.registers} registers): {step.reason}")
+        mixed = 0
+        journal_rows: List[list] = []
+        per_window = max(int(args.pps * window_s), 200)
+        for index in range(args.windows):
+            start_s = index * window_s
+            parts = [caida_like(per_window, duration_s=window_s,
+                                seed=args.seed + index, start_s=start_s)]
+            if index >= args.shift_at:
+                # The shift: a flood (hot dip -> refinement) riding on
+                # scan noise (dip fan-out -> sketch pressure -> grow).
+                parts.append(syn_flood(
+                    n_packets=per_window // 2, duration_s=window_s,
+                    seed=args.seed + 100 + index, start_s=start_s,
+                ))
+                parts.append(syn_scan_noise(
+                    n_packets=per_window, duration_s=window_s,
+                    seed=args.seed + 200 + index, start_s=start_s,
+                ))
+            trace = assign_hosts(
+                merge_traces(parts), [("h_src0", "h_dst0")]
+            )
+            stats = dep.simulator.run(trace)
+            mixed += stats.mixed_rule_epoch_packets
+            dep.simulator.roll_window()
+            execution = planner.step()
+            if execution is None:
+                continue
+            for s in execution.steps:
+                registers = ("" if s.params is None
+                             else s.params.reduce_registers)
+                journal_rows.append([
+                    execution.epoch, s.kind, s.qid, s.trigger,
+                    registers, s.status,
+                ])
+        print()
+        if journal_rows:
+            print(format_table(
+                ["window", "step", "qid", "trigger", "registers", "status"],
+                journal_rows,
+            ))
+        else:
+            print("(no re-plan steps triggered)")
+        state = planner.state()
+        print(f"\nfinal plans ({state['managed']} managed):")
+        for plan in state["queries"]:
+            scope = ("root" if plan["parent"] is None
+                     else f"child of {plan['parent']}")
+            print(f"  {plan['qid']}: rung {plan['rung']}, "
+                  f"{plan['reduce_registers']} registers, "
+                  f"{len(plan['children'])} children, "
+                  f"{plan['resizes']} resizes ({scope})")
+        print(f"mixed-epoch packets: {mixed} (must be 0)")
+        if args.json:
+            print(json_module.dumps(state, indent=2, sort_keys=True))
+        return 0 if mixed == 0 else 1
+    finally:
+        if sharded is not None:
+            sharded.close()
+
+
 def cmd_metrics(args) -> int:
     """Print the labelled metrics registry in Prometheus text format —
     scraped from a running service (``--url``) or rendered from a short
@@ -1077,6 +1198,43 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(0 = free-running)")
     serve_parser.add_argument("--seed", type=int, default=7)
     serve_parser.set_defaults(func=cmd_serve)
+
+    plan_parser = sub.add_parser(
+        "plan",
+        help="dynamic query planner: live state over HTTP (--url), hand "
+             "over a query (--manage), or a seeded refinement demo",
+    )
+    plan_parser.add_argument("--url", default="",
+                             help="base URL of a running service; prints "
+                                  "its planner state")
+    plan_parser.add_argument("--manage", default="", metavar="SPEC",
+                             help="with --url: JSON query spec (inline or "
+                                  "a file path) to hand to the planner")
+    plan_parser.add_argument("--query", default="Q1",
+                             choices=sorted(QUERY_DESCRIPTIONS),
+                             help="library query for the local demo")
+    plan_parser.add_argument("--windows", type=int, default=8,
+                             help="windows to simulate locally")
+    plan_parser.add_argument("--shift-at", type=int, default=2,
+                             help="window at which the traffic shift "
+                                  "(flood + scan noise) begins")
+    plan_parser.add_argument("--pps", type=int, default=20_000,
+                             help="background packets per second")
+    plan_parser.add_argument("--registers", type=int, default=128,
+                             help="initial reduce-register allocation")
+    plan_parser.add_argument("--max-registers", type=int, default=4096,
+                             help="planner growth ceiling")
+    plan_parser.add_argument("--switches", type=int, default=3,
+                             help="linear path length")
+    plan_parser.add_argument("--workers", type=int, default=1,
+                             help="shard the data plane across N worker "
+                                  "processes (default 1 = single-process)")
+    plan_parser.add_argument("--window-ms", type=int, default=100)
+    plan_parser.add_argument("--seed", type=int, default=7)
+    plan_parser.add_argument("--json", action="store_true",
+                             help="also dump the final planner state as "
+                                  "JSON")
+    plan_parser.set_defaults(func=cmd_plan)
 
     metrics_parser = sub.add_parser(
         "metrics",

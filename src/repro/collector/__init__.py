@@ -36,6 +36,11 @@ from repro.collector.queue import (
     QueueStats,
 )
 from repro.collector.records import QueryRegistration, ReportRecord
+from repro.collector.signals import (
+    QuerySignals,
+    WindowSignals,
+    merge_window_signals,
+)
 
 __all__ = [
     "BackpressurePolicy",
@@ -49,10 +54,13 @@ __all__ = [
     "MetricsRegistry",
     "PerReportExecutor",
     "QueryRegistration",
+    "QuerySignals",
     "QueueStats",
     "ReportCollector",
     "ReportRecord",
+    "WindowSignals",
     "apply_tail",
     "merge_records",
+    "merge_window_signals",
     "run_batch",
 ]

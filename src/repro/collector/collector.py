@@ -44,6 +44,11 @@ from repro.collector.metrics import (
 )
 from repro.collector.queue import BackpressurePolicy, BoundedReportQueue
 from repro.collector.records import QueryRegistration, ReportRecord
+from repro.collector.signals import (
+    HEAVY_KEYS_PER_QUERY,
+    QuerySignals,
+    WindowSignals,
+)
 from repro.core.analyzer import (
     first_incomplete_primitive,
     result_key_fields,
@@ -77,6 +82,9 @@ class CollectorConfig:
     reconcile_loss_threshold: float = 1.0
     #: Fault shim applied at ingest (identity by default).
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Closed windows whose :class:`WindowSignals` stay queryable (the
+    #: planner reads the most recent few; 0 disables signal capture).
+    signals_horizon: int = 16
 
     def __post_init__(self) -> None:
         BackpressurePolicy.validate(self.policy)
@@ -84,6 +92,8 @@ class CollectorConfig:
             raise ValueError("allowed_lateness must be >= 0")
         if not 0.0 <= self.reconcile_loss_threshold <= 1.0:
             raise ValueError("reconcile_loss_threshold outside [0, 1]")
+        if self.signals_horizon < 0:
+            raise ValueError("signals_horizon must be >= 0")
 
 
 @dataclass
@@ -111,6 +121,7 @@ class ReportCollector:
         self._registrations: Dict[str, QueryRegistration] = {}
         self._open: Dict[Tuple[str, int], _OpenWindow] = {}
         self._results: Dict[Tuple[str, int], Dict[Key, int]] = {}
+        self._signals: Dict[int, WindowSignals] = {}
         self._seq = 0
         self._closed_epoch = -1
         #: Per-window ingest accounting for the reconciliation trigger.
@@ -164,6 +175,16 @@ class ReportCollector:
         self._h_latency = m.histogram(
             "collector_window_close_seconds", LATENCY_BUCKETS_S,
             "wall-clock time spent closing one window",
+        )
+        self._g_occupancy = m.gauge(
+            "collector_sketch_occupancy",
+            "nonzero fraction of the final reduce's most-loaded "
+            "Count-Min row at the last window close, per sub-query",
+        )
+        self._g_heavy = m.gauge(
+            "collector_heavy_keys",
+            "keys at/above the report threshold in the last closed "
+            "window, per sub-query",
         )
 
     # ------------------------------------------------------------------ #
@@ -325,6 +346,7 @@ class ReportCollector:
             self._g_depth.set(queue.depth, switch=sid)
         self._process(released, epoch)
         self._reconcile(epoch)
+        self._capture_signals(released, epoch)
         self._expire(epoch)
         self._closed_epoch = max(self._closed_epoch, epoch)
         self._window_offered = 0
@@ -412,6 +434,89 @@ class ReportCollector:
                 if estimate is not None and estimate > results[key]:
                     results[key] = int(estimate)
                     self._c_reconciled.inc(qid=registration.top_qid)
+
+    def _capture_signals(self, released: List[ReportRecord],
+                         epoch: int) -> None:
+        """Distil the closed window into the planner's feedback record.
+
+        Runs inside :meth:`close_window`, i.e. while the closing window's
+        registers are still live on the switches — the only point where
+        the sketch-occupancy readout reflects this window's traffic.
+        """
+        if self.config.signals_horizon <= 0:
+            return
+        by_switch: Dict[str, int] = {}
+        for record in released:
+            if record.epoch == epoch:
+                sid = str(record.switch_id)
+                by_switch[sid] = by_switch.get(sid, 0) + 1
+        queries: List[QuerySignals] = []
+        for sub_qid in sorted(self._registrations):
+            registration = self._registrations[sub_qid]
+            bucket = self._results.get((sub_qid, epoch), {})
+            occupancy: Optional[float] = None
+            probe = getattr(self.controller, "sketch_occupancy", None)
+            if probe is not None:
+                try:
+                    occupancy = probe(sub_qid)
+                except KeyError:
+                    continue  # removed mid-flight; skip this window
+            if occupancy is None and not bucket:
+                # Nothing observable here: either the sub-query has no
+                # data-plane reduce and saw no reports, or (fabric) this
+                # replica does not own it.  Skipping keeps per-shard
+                # gauge label sets disjoint so the merge is exact.
+                continue
+            heavy = tuple(sorted(
+                bucket.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:HEAVY_KEYS_PER_QUERY])
+            signals = QuerySignals(
+                sub_qid=sub_qid,
+                top_qid=registration.top_qid,
+                key_fields=registration.key_fields,
+                occupancy=occupancy,
+                reported_keys=len(bucket),
+                heavy_keys=heavy,
+            )
+            queries.append(signals)
+            if occupancy is not None:
+                self._g_occupancy.set(
+                    occupancy, qid=registration.top_qid, sub=sub_qid
+                )
+            self._g_heavy.set(
+                len(bucket), qid=registration.top_qid, sub=sub_qid
+            )
+        self._signals[epoch] = WindowSignals(
+            epoch=epoch, queries=tuple(queries),
+            reports_by_switch=by_switch,
+        )
+        horizon = epoch - self.config.signals_horizon
+        for stale in [e for e in self._signals if e < horizon]:
+            del self._signals[stale]
+
+    def window_signals(self, epoch: int) -> Optional[WindowSignals]:
+        """Feedback signals of one closed window (None once expired)."""
+        return self._signals.get(epoch)
+
+    def latest_signals(self) -> Optional[WindowSignals]:
+        """The most recently captured window's signals."""
+        if not self._signals:
+            return None
+        return self._signals[max(self._signals)]
+
+    def absorb_signals(self, signals: WindowSignals) -> None:
+        """Install a merged fleet-wide signals record (fabric parent).
+
+        The sharded facade merges per-shard signals with
+        :func:`repro.collector.signals.merge_window_signals` and feeds
+        the result here so the planner reads one authoritative view.
+        """
+        if self.config.signals_horizon <= 0:
+            return
+        self._signals[signals.epoch] = signals
+        horizon = signals.epoch - self.config.signals_horizon
+        for stale in [e for e in self._signals if e < horizon]:
+            del self._signals[stale]
 
     def _expire(self, epoch: int) -> None:
         """Drop open-window state past the lateness watermark so memory

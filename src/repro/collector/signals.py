@@ -1,0 +1,153 @@
+"""Per-window feedback signals — the dynamic planner's sensor surface.
+
+Every window close distils the collector's view of that window into one
+:class:`WindowSignals` record: per-sub-query sketch occupancy (control
+channel register readout of the final reduce's Count-Min rows, taken
+while the closing window's registers are still live), the heavy keys
+that crossed the query's threshold, and the per-switch report
+distribution (skew).  The planner (:mod:`repro.planner`) consumes these
+to decide refinement zooms and runtime re-plans; the same numbers are
+exported as gauges with stable Prometheus names:
+
+* ``collector_sketch_occupancy{qid,sub}`` — nonzero fraction of the
+  final reduce's most-loaded Count-Min row, 0.0–1.0;
+* ``collector_heavy_keys{qid,sub}`` — keys at or above the query's
+  report threshold in the closed window.
+
+Fabric: each shard computes signals only for the sub-queries it owns
+(the occupancy probe returns ``None`` for filtered-out queries, and a
+non-owner shard never accumulates results for them), so per-shard gauge
+label sets are disjoint and :meth:`MetricsRegistry.merge`'s
+last-write-wins rule reassembles the fleet view exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["QuerySignals", "WindowSignals", "HEAVY_KEYS_PER_QUERY"]
+
+Key = Tuple[int, ...]
+
+#: Heavy keys retained per sub-query per window (the refinement ladder
+#: zooms into at most this many prefixes per step).
+HEAVY_KEYS_PER_QUERY = 8
+
+
+@dataclass(frozen=True)
+class QuerySignals:
+    """One sub-query's feedback for one closed window."""
+
+    sub_qid: str
+    top_qid: str
+    #: Field names of the result keys (positional, matches ``heavy_keys``).
+    key_fields: Tuple[str, ...]
+    #: Nonzero fraction of the final reduce's most-loaded CM row, or
+    #: ``None`` when the query has no data-plane reduce, the row is
+    #: deferred to the CPU, or this replica does not own the sub-query.
+    occupancy: Optional[float]
+    #: Result-bucket cardinality (keys that crossed the threshold).
+    reported_keys: int
+    #: Top keys by count, descending (at most HEAVY_KEYS_PER_QUERY).
+    heavy_keys: Tuple[Tuple[Key, int], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sub_qid": self.sub_qid,
+            "top_qid": self.top_qid,
+            "key_fields": list(self.key_fields),
+            "occupancy": self.occupancy,
+            "reported_keys": self.reported_keys,
+            "heavy_keys": [
+                [list(key), count] for key, count in self.heavy_keys
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class WindowSignals:
+    """Everything the planner may react to for one closed window."""
+
+    epoch: int
+    queries: Tuple[QuerySignals, ...] = ()
+    #: Reports drained for this window, per emitting switch (skew input).
+    reports_by_switch: Mapping[str, int] = field(default_factory=dict)
+
+    def query(self, sub_qid: str) -> Optional[QuerySignals]:
+        for signals in self.queries:
+            if signals.sub_qid == sub_qid:
+                return signals
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "queries": [q.to_dict() for q in self.queries],
+            "reports_by_switch": dict(self.reports_by_switch),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "WindowSignals":
+        queries = tuple(
+            QuerySignals(
+                sub_qid=str(q["sub_qid"]),
+                top_qid=str(q["top_qid"]),
+                key_fields=tuple(q["key_fields"]),  # type: ignore[arg-type]
+                occupancy=(
+                    None if q["occupancy"] is None
+                    else float(q["occupancy"])  # type: ignore[arg-type]
+                ),
+                reported_keys=int(q["reported_keys"]),  # type: ignore[call-overload]
+                heavy_keys=tuple(
+                    (tuple(key), int(count))
+                    for key, count in q["heavy_keys"]  # type: ignore[union-attr]
+                ),
+            )
+            for q in payload["queries"]  # type: ignore[union-attr]
+        )
+        return WindowSignals(
+            epoch=int(payload["epoch"]),  # type: ignore[call-overload]
+            queries=queries,
+            reports_by_switch={
+                str(k): int(v)
+                for k, v in payload["reports_by_switch"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+def merge_window_signals(
+    per_shard: Tuple[WindowSignals, ...],
+) -> WindowSignals:
+    """Reassemble one window's fleet-wide signals from per-shard views.
+
+    Sub-query signal ownership is disjoint (each shard computes signals
+    only for queries it owns), so queries concatenate; per-switch report
+    counts sum (each shard drained only its own queries' reports).
+    """
+    if not per_shard:
+        raise ValueError("nothing to merge")
+    epochs = {s.epoch for s in per_shard}
+    if len(epochs) != 1:
+        raise AssertionError(
+            f"shards disagree on the signalled window: {sorted(epochs)}"
+        )
+    queries: list = []
+    seen: set = set()
+    by_switch: Dict[str, int] = {}
+    for shard_signals in per_shard:
+        for signals in shard_signals.queries:
+            if signals.sub_qid in seen:
+                raise AssertionError(
+                    f"sub-query {signals.sub_qid!r} signalled by more "
+                    f"than one shard — ownership must be disjoint"
+                )
+            seen.add(signals.sub_qid)
+            queries.append(signals)
+        for sid, count in shard_signals.reports_by_switch.items():
+            by_switch[sid] = by_switch.get(sid, 0) + count
+    queries.sort(key=lambda s: s.sub_qid)
+    return WindowSignals(
+        epoch=epochs.pop(), queries=tuple(queries),
+        reports_by_switch=by_switch,
+    )

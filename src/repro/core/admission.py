@@ -221,6 +221,29 @@ class AdmissionPlanner:
             _charge(snapshot, demand)  # sub-queries stack on one switch
         return violations
 
+    def best_fit(self, query: QueryLike, params: QueryParams,
+                 ceiling: int) -> Optional[QueryParams]:
+        """Largest hitless grow of the query's reduce sketch on this switch.
+
+        Doubles ``reduce_registers`` from its current value toward
+        ``ceiling`` and returns the largest candidate whose *entire*
+        demand fits the switch's currently-free resources — the staged
+        copy must co-reside with the running version until the epoch
+        flip, so make-before-break headroom is exactly "the whole new
+        version fits in what is free right now".  Returns ``None`` when
+        not even one doubling fits (the planner then defers the grow).
+        """
+        sizes: List[int] = []
+        registers = params.reduce_registers * 2
+        while registers <= ceiling:
+            sizes.append(registers)
+            registers *= 2
+        for candidate_size in reversed(sizes):
+            candidate = replace(params, reduce_registers=candidate_size)
+            if not self.check(query, candidate):
+                return candidate
+        return None
+
     # -- batch planning ---------------------------------------------------- #
 
     def plan(self, requests: Sequence[Tuple[QueryLike, QueryParams]],

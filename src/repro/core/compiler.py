@@ -37,6 +37,7 @@ from repro.core.ast import (
     Distinct,
     FieldPredicate,
     Filter,
+    KeyExpr,
     Map,
     Primitive,
     Reduce,
@@ -67,6 +68,7 @@ __all__ = [
     "Optimizations",
     "CompiledQuery",
     "compile_query",
+    "refine_query",
     "slice_compiled",
     "CompilationError",
 ]
@@ -804,3 +806,75 @@ def slice_compiled(compiled: CompiledQuery,
             )
         )
     return slices
+
+
+def refine_query(
+    query: Query,
+    field: str,
+    mask: Optional[int],
+    *,
+    qid: Optional[str] = None,
+    scope: Optional[Tuple[int, int]] = None,
+) -> Query:
+    """Rebuild a query at a different key granularity (refinement ladder).
+
+    Every ``map``/``distinct``/``reduce`` key on ``field`` is re-masked to
+    ``mask`` (``None`` = the full field width), so the same intent can be
+    compiled coarse first and progressively sharpened.  ``scope``, a
+    ``(prefix, prefix_mask)`` pair, additionally restricts the query to
+    one coarse bucket — the planner's "zoom into a hot key" step: the
+    predicate ``field & prefix_mask == prefix`` joins the query's leading
+    filter (or becomes one), keeping it ``newton_init``-foldable where the
+    original filter was.
+
+    The input query is never mutated; the rebuilt query keeps its qid
+    unless ``qid`` overrides it (refinement children need fresh ids).
+    """
+    if not isinstance(query, Query):
+        raise CompilationError(
+            "refinement requires a single-pipeline query; flatten "
+            "composites and refine each pipeline separately"
+        )
+
+    def remask(keys: Tuple[KeyExpr, ...]) -> Tuple[KeyExpr, ...]:
+        return tuple(
+            KeyExpr(field=k.field, mask=mask) if k.field == field else k
+            for k in keys
+        )
+
+    primitives: List[Primitive] = []
+    touched = False
+    for prim in query.primitives:
+        if isinstance(prim, (Map, Distinct, Reduce)) and any(
+            k.field == field for k in prim.keys
+        ):
+            primitives.append(replace(prim, keys=remask(prim.keys)))
+            touched = True
+        else:
+            primitives.append(prim)
+    if not touched:
+        raise CompilationError(
+            f"query {query.qid!r} has no map/distinct/reduce key on "
+            f"{field!r} to refine"
+        )
+
+    if scope is not None:
+        prefix, prefix_mask = scope
+        predicate = FieldPredicate(
+            field, CmpOp.MASK_EQ, int(prefix), mask=int(prefix_mask)
+        )
+        if primitives and isinstance(primitives[0], Filter):
+            primitives[0] = replace(
+                primitives[0],
+                predicates=primitives[0].predicates + (predicate,),
+            )
+        else:
+            primitives.insert(0, Filter(predicates=(predicate,)))
+
+    refined = Query(
+        qid or query.qid,
+        description=query.description,
+        window_ms=query.window_ms,
+    )
+    refined.primitives = primitives
+    return refined

@@ -629,3 +629,66 @@ class NewtonController:
                 continue  # row deferred beyond the installed path
             estimate = total if estimate is None else min(estimate, total)
         return estimate
+
+    def sketch_occupancy(self, sub_qid: str) -> Optional[float]:
+        """Load of the final reduce's Count-Min rows (planner feedback).
+
+        Reads each row's full register slice over the control channel —
+        summed across the switches hosting it, exactly like
+        :meth:`estimate_count` — and returns the nonzero-cell fraction of
+        the *most loaded* row, in [0, 1].  Saturation here is the leading
+        indicator of collision-driven over-counting (the NV701 budget in
+        live form), so the dynamic planner reads it at every window close
+        while the closing window's registers are still live.
+
+        Returns ``None`` when the query has no data-plane reduce, every
+        row is deferred beyond the installed path, or — under the fabric
+        plane — this replica does not own the sub-query (its registers
+        are zeros by the dispatch filter, not by traffic).
+        """
+        from repro.core.readout import reduce_probe_rows
+        from repro.dataplane.module_types import ModuleType
+        from repro.dataplane.modules import StateBankModule
+
+        owner = self._sub_owner.get(sub_qid)
+        if owner is None:
+            raise KeyError(f"sub-query {sub_qid!r} is not installed")
+        record = self.installed[owner]
+        compiled = record.compiled[sub_qid]
+        slices = record.slices[sub_qid]
+        if not slices:
+            return None
+        stages_per_switch = slices[0].num_stages
+        rows = reduce_probe_rows(compiled)
+        if not rows:
+            return None
+
+        worst: Optional[float] = None
+        for row in rows:
+            slice_index = row.stage // stages_per_switch
+            local_stage = row.stage - slice_index * stages_per_switch
+            summed = None
+            for sid, entries in record.by_switch.items():
+                if (sub_qid, slice_index) not in entries:
+                    continue
+                switch = self.switches[sid]
+                query_filter = switch.pipeline.query_filter
+                if query_filter is not None and sub_qid not in query_filter:
+                    return None  # not owned by this replica
+                module = switch.pipeline.layout.module_at(
+                    local_stage, ModuleType.STATE_BANK
+                )
+                if not isinstance(module, StateBankModule):
+                    continue
+                storage_key = switch.pipeline.state_storage_key(
+                    sub_qid, slice_index, row.state_key
+                )
+                if storage_key is None:
+                    continue
+                cells = module.array.read_slice(storage_key)
+                summed = cells if summed is None else summed + cells
+            if summed is None or len(summed) == 0:
+                continue  # row deferred beyond the installed path
+            load = float((summed != 0).sum()) / float(len(summed))
+            worst = load if worst is None else max(worst, load)
+        return worst

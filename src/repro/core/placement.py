@@ -26,9 +26,25 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-__all__ = ["PlacementResult", "place_slices", "PlacementError"]
+__all__ = [
+    "PlacementResult",
+    "place_slices",
+    "PlacementError",
+    "report_skew",
+    "offload_path",
+]
 
 SwitchId = Hashable
 
@@ -196,3 +212,45 @@ def _place_layered(neighbors: Dict[SwitchId, Iterable[SwitchId]],
                     next_frontier.add(state)
         frontier = next_frontier
     return placement
+
+
+# --------------------------------------------------------------------- #
+# Runtime rebalancing (dynamic planner support)                         #
+# --------------------------------------------------------------------- #
+
+
+def report_skew(load_by_switch: Mapping[SwitchId, int]) -> float:
+    """Imbalance of a per-switch load distribution: ``max / mean``.
+
+    1.0 means perfectly balanced; the dynamic planner treats ratios above
+    its configured threshold as a re-placement trigger.  Empty or all-zero
+    distributions have no skew (0.0).
+    """
+    loads = [v for v in load_by_switch.values() if v > 0]
+    if not loads:
+        return 0.0
+    return max(loads) / (sum(loads) / len(loads))
+
+
+def offload_path(
+    path: Sequence[SwitchId],
+    load_by_switch: Mapping[SwitchId, int],
+    min_len: int,
+) -> Optional[Tuple[SwitchId, ...]]:
+    """Move slices off the busiest switch of a path deployment.
+
+    Returns ``path`` minus its most-loaded switch — still a subsequence
+    of the original forwarding path, so slice order along the wire is
+    preserved — or ``None`` when the path has no spare switch to give up
+    (``len(path) - 1 < min_len``, i.e. every remaining switch must host a
+    slice) or no listed switch carries load.  The caller re-deploys the
+    query on the pruned path as one hitless update; slice ``d`` shifts
+    from ``path[d]`` to the next surviving hop.
+    """
+    if len(path) - 1 < min_len:
+        return None
+    loaded = [s for s in path if load_by_switch.get(s, 0) > 0]
+    if not loaded:
+        return None
+    busiest = max(loaded, key=lambda s: load_by_switch[s])
+    return tuple(s for s in path if s != busiest)

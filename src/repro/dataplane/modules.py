@@ -178,13 +178,22 @@ class StateBankModule(ModuleInstance):
         self.array = RegisterArray(array_size)
 
     def install(self, spec: ModuleRuleSpec,
-                key: Optional[Tuple] = None) -> None:
+                key: Optional[Tuple] = None,
+                vacating: Tuple[Tuple, ...] = ()) -> None:
+        """Install the rule and lease its register slice.
+
+        ``vacating`` forwards the make-before-break hint to the register
+        allocator: storage keys of the outgoing bank that will free at
+        post-commit GC (see :meth:`RegisterArray.allocate`).
+        """
         config: SConfig = spec.config  # type: ignore[assignment]
         storage_key = key if key is not None else spec.key
         super().install(spec, key=storage_key)
         if not config.passthrough:
             try:
-                self.array.allocate(storage_key, config.slice_size)
+                self.array.allocate(
+                    storage_key, config.slice_size, vacating=vacating
+                )
             except Exception:
                 # Keep rule table and register allocations consistent.
                 self.rules.remove(storage_key)

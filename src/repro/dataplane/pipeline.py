@@ -167,6 +167,18 @@ class NewtonPipeline:
         """
         placed: List[Tuple[int, ModuleRuleSpec, StorageKey]] = []
         init_rules: List[TernaryRule] = []
+        # Make-before-break hint: when staging a future-epoch replacement
+        # over a currently-active version of the same slice, the active
+        # bank's register slices will free at post-commit GC — tell the
+        # allocator so repeated hitless updates do not fragment the array
+        # (see RegisterArray.allocate).
+        vacating: Tuple[StorageKey, ...] = ()
+        if epoch_from > self.rule_epoch:
+            outgoing = self._version_at(
+                query_slice.qid, query_slice.slice_index, self.rule_epoch
+            )
+            if outgoing is not None and outgoing.epoch_from != epoch_from:
+                vacating = tuple(sk for _, _, sk in outgoing.placed)
         try:
             for spec in sorted(query_slice.specs, key=lambda s: s.step):
                 local_stage = spec.stage - query_slice.stage_base
@@ -177,7 +189,10 @@ class NewtonPipeline:
                         f"stage {local_stage}"
                     )
                 storage_key: StorageKey = (spec.qid, spec.step, epoch_from)
-                module.install(spec, key=storage_key)
+                if vacating and isinstance(module, StateBankModule):
+                    module.install(spec, key=storage_key, vacating=vacating)
+                else:
+                    module.install(spec, key=storage_key)
                 placed.append((local_stage, spec, storage_key))
             for entry in query_slice.init_entries:
                 rule = TernaryRule(

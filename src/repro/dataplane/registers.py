@@ -11,7 +11,7 @@ every 100 ms, paper §6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,13 +63,31 @@ class RegisterArray:
     # Allocation management                                              #
     # ------------------------------------------------------------------ #
 
-    def allocate(self, owner: Tuple, size: int) -> Allocation:
-        """Lease ``size`` contiguous registers to ``owner`` (first fit)."""
+    def allocate(self, owner: Tuple, size: int,
+                 vacating: Iterable[Tuple] = ()) -> Allocation:
+        """Lease ``size`` contiguous registers to ``owner``.
+
+        Plain requests use first fit.  ``vacating`` names co-resident
+        owners whose slices are about to be released (the outgoing bank
+        of a make-before-break update, freed at post-commit GC): the new
+        slice still never overlaps them — they are physically live until
+        GC — but among the gaps that fit, the anchor is chosen to
+        maximise the *post-GC* largest contiguous free block.  Without
+        this, back-to-back hitless updates oscillate a query's slice
+        between the two ends of its free space and whether a later grow
+        fits becomes a function of the re-plan count's parity.
+        """
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         if owner in self._allocations:
             raise AllocationError(f"owner {owner!r} already holds an allocation")
-        offset = self._find_gap(size)
+        vacating_allocs = [
+            self._allocations[v] for v in vacating if v in self._allocations
+        ]
+        if vacating_allocs:
+            offset = self._find_anchor(size, vacating_allocs)
+        else:
+            offset = self._find_gap(size)
         if offset is None:
             raise AllocationError(
                 f"register array exhausted: need {size}, "
@@ -108,6 +126,50 @@ class RegisterArray:
         if self.size - cursor >= size:
             return cursor
         return None
+
+    def _find_anchor(self, size: int,
+                     vacating: List[Allocation]) -> Optional[int]:
+        """Pick the gap anchor maximising the post-GC largest free run.
+
+        Candidates are the two ends of every currently-free gap that can
+        hold ``size`` (never inside ``vacating`` slices — those registers
+        are still live).  Each candidate is scored by the largest
+        contiguous free block remaining once the vacating slices have
+        been released; ties break to the lowest offset, so the policy is
+        deterministic and degrades to first fit when scores are equal.
+        """
+        taken = sorted(
+            (a.offset, a.end) for a in self._allocations.values()
+        )
+        gaps: List[Tuple[int, int]] = []
+        cursor = 0
+        for start, end in taken:
+            if start - cursor >= size:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if self.size - cursor >= size:
+            gaps.append((cursor, self.size))
+        if not gaps:
+            return None
+        doomed = {(a.offset, a.end) for a in vacating}
+        surviving = [iv for iv in (
+            (a.offset, a.end) for a in self._allocations.values()
+        ) if iv not in doomed]
+        best: Optional[Tuple[Tuple[int, int], int]] = None
+        for gap_start, gap_end in gaps:
+            for cand in {gap_start, gap_end - size}:
+                occupied = sorted(surviving + [(cand, cand + size)])
+                largest = 0
+                edge = 0
+                for start, end in occupied:
+                    largest = max(largest, start - edge)
+                    edge = max(edge, end)
+                largest = max(largest, self.size - edge)
+                score = (largest, -cand)
+                if best is None or score > best[0]:
+                    best = (score, cand)
+        assert best is not None
+        return best[1]
 
     # ------------------------------------------------------------------ #
     # Stateful execution                                                 #

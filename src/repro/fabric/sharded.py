@@ -50,6 +50,7 @@ from repro.fabric.worker import (
     worker_main,
 )
 from repro.collector.metrics import MetricsRegistry
+from repro.collector.signals import WindowSignals, merge_window_signals
 from repro.network.deployment import build_deployment
 from repro.network.simulator import SimulationStats
 from repro.network.topology import Topology
@@ -490,6 +491,16 @@ class ShardedDeployment:
             self.local.analyzer._results,
             [p["analyzer"] for p in payloads],
         )
+        # Planner feedback: merge per-shard window signals (disjoint
+        # sub-query ownership) into one fleet view on the control replica.
+        per_epoch: Dict[int, List[WindowSignals]] = {}
+        for payload in payloads:
+            for epoch, signals in payload.get("signals", {}).items():
+                per_epoch.setdefault(epoch, []).append(signals)
+        for epoch in sorted(per_epoch):
+            self.local.collector.absorb_signals(
+                merge_window_signals(tuple(per_epoch[epoch]))
+            )
 
     # ------------------------------------------------------------------ #
     # Merged read-outs                                                   #

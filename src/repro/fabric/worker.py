@@ -231,6 +231,10 @@ class ShardRuntime:
                 for key, bucket in
                 self.deployment.analyzer._results.items()
             },
+            # Planner feedback: this shard's per-window signals for the
+            # queries it owns (disjoint across shards; the parent merges
+            # them into one fleet-wide view per epoch).
+            "signals": dict(self.deployment.collector._signals),
         }
 
     def stream_payload(self, stats: SimulationStats) -> Dict[str, Any]:

@@ -1,0 +1,99 @@
+"""Refinement ladder: coarse-to-fine key granularities for one field.
+
+Sonata's iterative refinement, adapted to Newton's compiler: a ladder is
+an ordered list of bit-masks (*rungs*) for one key field, coarsest
+first.  A managed query starts at rung 0 — its ``map``/``reduce`` keys
+masked to e.g. ``dip/8`` — so one coarse sketch summarises the whole key
+space.  When a coarse bucket turns hot (it shows up in the window's
+heavy keys), the planner *zooms*: it installs a child query one rung
+finer, scoped to that bucket by a ``MASK_EQ`` filter, and the ladder
+recurses until full key granularity.  Each zoom is an ordinary verified
+2PC install, so refinement children obey every invariant the fleet
+analyzer enforces on hand-written queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.ast import GLOBAL_FIELDS
+from repro.core.compiler import refine_query
+from repro.core.query import Query
+
+__all__ = ["RefinementLadder"]
+
+
+def _prefix_mask(bits: int, width_mask: int) -> int:
+    """Top-``bits`` prefix mask within a field of ``width_mask`` extent."""
+    width = width_mask.bit_length()
+    if not 0 < bits <= width:
+        raise ValueError(f"prefix length {bits} out of range for "
+                         f"{width}-bit field")
+    return ((1 << bits) - 1) << (width - bits)
+
+
+@dataclass(frozen=True)
+class RefinementLadder:
+    """Coarse-to-fine masks for one key field (``None`` = full width)."""
+
+    field: str
+    rungs: Tuple[Optional[int], ...]
+
+    def __post_init__(self) -> None:
+        width_mask = GLOBAL_FIELDS.get(self.field).max_value
+        if len(self.rungs) < 2:
+            raise ValueError("a ladder needs at least two rungs")
+        previous = -1
+        for rung, mask in enumerate(self.rungs):
+            effective = width_mask if mask is None else mask
+            bits = bin(effective & width_mask).count("1")
+            if bits <= previous:
+                raise ValueError(
+                    f"rung {rung} ({effective:#x}) is not finer than "
+                    f"the previous rung"
+                )
+            previous = bits
+
+    @staticmethod
+    def ipv4(field: str = "dip", start_bits: int = 8,
+             step: int = 8) -> "RefinementLadder":
+        """The classic /8 → /16 → /24 → /32 prefix ladder."""
+        rungs = tuple(
+            _prefix_mask(bits, 0xFFFFFFFF)
+            for bits in range(start_bits, 33, step)
+        )
+        return RefinementLadder(field=field, rungs=rungs)
+
+    @property
+    def max_rung(self) -> int:
+        return len(self.rungs) - 1
+
+    def mask_at(self, rung: int) -> int:
+        """Effective (fully-resolved) mask of one rung."""
+        mask = self.rungs[rung]
+        if mask is None:
+            return GLOBAL_FIELDS.get(self.field).max_value
+        return mask
+
+    def coarse(self, query: Query) -> Query:
+        """The rung-0 variant a managed query is first installed as."""
+        return refine_query(query, self.field, self.rungs[0])
+
+    def zoom(self, variant: Query, rung: int, prefix: int,
+             child_qid: str) -> Query:
+        """One rung finer, scoped to a hot prefix of the current rung.
+
+        ``variant`` is the currently-installed query at ``rung`` (which
+        already carries any outer zoom scopes), so recursive refinement
+        composes: each level adds one ``MASK_EQ`` predicate and sharpens
+        the key mask.
+        """
+        if rung >= self.max_rung:
+            raise ValueError(
+                f"query is already at full granularity (rung {rung})"
+            )
+        return refine_query(
+            variant, self.field, self.rungs[rung + 1],
+            qid=child_qid, scope=(prefix, self.mask_at(rung)),
+        )

@@ -99,6 +99,15 @@ class ServiceClient:
     def coverage(self) -> Dict[str, Any]:
         return self._request("GET", "/coverage")
 
+    def plan(self) -> Dict[str, Any]:
+        """Dynamic-planner state: managed plans + recent step history."""
+        return self._request("GET", "/plan")
+
+    def plan_manage(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Hand a query spec (optionally with a ``ladder``) to the
+        dynamic planner instead of installing it statically."""
+        return self._request("POST", "/plan", body=spec)
+
     def metrics(self) -> str:
         return self._request("GET", "/metrics")["text"]
 

@@ -16,6 +16,8 @@ Endpoints::
     GET    /reports            recent window reports (?qid=&limit=)
     GET    /stream             SSE feed of window events (?qid=)
     GET    /coverage           resilience-plane coverage/degradation
+    GET    /plan               dynamic-planner state (plans, history)
+    POST   /plan               hand a query to the dynamic planner
     GET    /metrics            Prometheus text exposition
 
 Admission errors (static verifier, fleet analyzer) come back as 4xx
@@ -65,7 +67,8 @@ _INDEX = {
     "endpoints": [
         "GET /healthz", "GET /queries", "POST /queries",
         "PUT /queries/<qid>", "DELETE /queries/<qid>", "GET /reports",
-        "GET /stream", "GET /coverage", "GET /metrics",
+        "GET /stream", "GET /coverage", "GET /plan", "POST /plan",
+        "GET /metrics",
     ],
 }
 
@@ -127,6 +130,13 @@ async def dispatch(service: NewtonService, method: str, path: str,
             ))
         if path == "/coverage" and method == "GET":
             return Response.json(200, service.coverage())
+        if path == "/plan":
+            if method == "GET":
+                return Response.json(200, service.plan_state())
+            if method == "POST":
+                payload = service.plan_manage(_parse_body(body))
+                return Response.json(201, payload)
+            return _method_not_allowed("GET, POST")
         if path == "/metrics" and method == "GET":
             return Response.text(200, service.metrics_text())
         return Response.json(404, {"error": f"no such endpoint {path!r}"})

@@ -41,6 +41,12 @@ from repro.ctrlplane import TransactionAborted
 from repro.experiments.common import evaluation_thresholds
 from repro.network.deployment import Deployment, build_deployment
 from repro.network.topology import linear
+from repro.planner import (
+    DynamicPlanner,
+    PlanError,
+    PlannerConfig,
+    RefinementLadder,
+)
 from repro.resilience import ResilienceConfig
 from repro.service.feed import SubscriptionManager
 from repro.service.sources import TraceSource
@@ -52,7 +58,7 @@ from repro.verify import (
 )
 
 __all__ = ["NewtonService", "ServiceConfig", "ServiceError",
-           "query_from_spec", "params_from_spec"]
+           "query_from_spec", "params_from_spec", "ladder_from_spec"]
 
 
 class ServiceError(Exception):
@@ -173,6 +179,40 @@ def params_from_spec(spec: Dict[str, Any],
         raise ServiceError(400, {"error": f"bad params: {exc}"}) from exc
 
 
+def ladder_from_spec(spec: Dict[str, Any]) -> Optional[RefinementLadder]:
+    """Refinement-ladder spec (``"ladder": {...}``), two forms::
+
+        {"ladder": {"field": "dip"}}                     # ipv4 /8 steps
+        {"ladder": {"field": "dip", "start_bits": 16, "step": 8}}
+        {"ladder": {"field": "sip",
+                    "rungs": [4278190080, 4294901760, null]}}
+    """
+    raw = spec.get("ladder")
+    if raw is None:
+        return None
+    if not isinstance(raw, dict) or not isinstance(raw.get("field"), str):
+        raise ServiceError(400, {
+            "error": "ladder spec needs an object with a string 'field'",
+        })
+    try:
+        if "rungs" in raw:
+            return RefinementLadder(
+                field=raw["field"],
+                rungs=tuple(
+                    None if r is None else int(r) for r in raw["rungs"]
+                ),
+            )
+        return RefinementLadder.ipv4(
+            raw["field"],
+            start_bits=int(raw.get("start_bits", 8)),
+            step=int(raw.get("step", 8)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(400, {
+            "error": f"invalid ladder spec: {exc}",
+        }) from exc
+
+
 # --------------------------------------------------------------------- #
 # The service                                                           #
 # --------------------------------------------------------------------- #
@@ -208,6 +248,8 @@ class ServiceConfig:
     params: QueryParams = field(default_factory=lambda: QueryParams(
         cm_depth=2, reduce_registers=2048, distinct_registers=2048,
     ))
+    #: Dynamic-planner triggers; queries opt in via ``POST /plan``.
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
 
 
 class NewtonService:
@@ -237,6 +279,9 @@ class NewtonService:
             registry=self.registry,
             max_queue=self.config.max_queue,
             history=self.config.history_windows,
+        )
+        self.planner = DynamicPlanner(
+            self.deployment, self.config.planner
         )
         self.started_at = time.time()
         self.stopping = False
@@ -341,8 +386,16 @@ class NewtonService:
                 "op": op,
                 "qid": qid,
             }) from exc
+        except PlanError as exc:
+            self._c_ops.inc(op=op, outcome="rejected-plan")
+            raise ServiceError(422, {
+                "error": str(exc), "op": op, "qid": qid,
+            }) from exc
         except ValueError as exc:
-            conflict = "already installed" in str(exc)
+            conflict = (
+                "already installed" in str(exc)
+                or "already managed" in str(exc)
+            )
             self._c_ops.inc(
                 op=op, outcome="conflict" if conflict else "invalid"
             )
@@ -410,6 +463,51 @@ class NewtonService:
             "epoch": self.deployment.simulator.epoch,
         })
         return payload
+
+    # ----------------------------------------------------------------- #
+    # Dynamic planning                                                    #
+    # ----------------------------------------------------------------- #
+
+    def plan_manage(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /plan``: install a query under dynamic-planner control.
+
+        Same spec as ``POST /queries`` plus an optional ``"ladder"``
+        object (see :func:`ladder_from_spec`); with one, the query is
+        installed coarse (rung 0) and refined into hot prefixes as the
+        planner observes them.
+        """
+        query = query_from_spec(spec)
+        params = params_from_spec(spec, self.config.params)
+        ladder = ladder_from_spec(spec)
+
+        def run() -> Dict[str, Any]:
+            step = self.planner.manage(
+                query, params, ladder=ladder, path=self.path
+            )
+            try:
+                fleet = self._fleet_gate(query.qid, "plan")
+            except ServiceError:
+                # The gate already removed the rules; forget the plan.
+                self.planner.release(query.qid)
+                raise
+            return {
+                "step": step.to_dict(),
+                "plan": self.planner.plans[query.qid].to_dict(),
+                "committed_epoch": self.deployment.controller.txn.epoch,
+                "fleet_diagnostics": fleet,
+            }
+
+        payload = self._run_op("plan", query.qid, run)
+        self.feed.publish({
+            "type": "plan_changed",
+            "epoch": self.deployment.simulator.epoch,
+            "steps": [payload["step"]],
+        })
+        return payload
+
+    def plan_state(self) -> Dict[str, Any]:
+        """``GET /plan``: current plans, refinement state, and journal."""
+        return self.planner.state()
 
     def _op_payload(self, result, fleet_diags) -> Dict[str, Any]:
         return {
@@ -495,9 +593,29 @@ class NewtonService:
         closed = sim.roll_window()
         event = self._window_event(closed, stats)
         self.feed.publish(event)
+        self._replan()
         self._prune(closed)
         self.ingest_seconds += time.perf_counter() - started
         return event
+
+    def _replan(self) -> None:
+        """One dynamic-planning round against the just-closed window.
+
+        Runs between windows on the event loop — the same serialization
+        point as CRUD handlers — so every plan step's 2PC transaction is
+        atomic with respect to both packets and concurrent operations.
+        """
+        if not self.planner.plans:
+            return
+        execution = self.planner.step()
+        if execution is None or not execution.steps:
+            return
+        self._g_queries.set(len(self.deployment.controller.installed))
+        self.feed.publish({
+            "type": "plan_changed",
+            "epoch": execution.epoch,
+            "steps": [s.to_dict() for s in execution.steps],
+        })
 
     def _window_event(self, closed: int, stats) -> Dict[str, Any]:
         collector = self.deployment.collector

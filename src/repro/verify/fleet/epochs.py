@@ -171,10 +171,18 @@ def check_staging_plan_view(
         for bank in view.banks_with_status(STAGED)
         if target_epoch is None or bank.epoch_from == target_epoch
     }
-    fresh = [
-        qs for qs in slices
-        if (qs.qid, qs.slice_index) not in staged_at_target
-    ]
+    # Dedup by (qid, slice_index): the data plane stages each slice at
+    # most once per epoch (``has_staged`` idempotency), so a plan that
+    # lists a slice twice — a retried or planner-composed operation —
+    # must not double-count its register/rule demand here and veto a
+    # staging window that in fact fits.
+    fresh: List[QuerySlice] = []
+    seen: Set[Tuple[str, int]] = set(staged_at_target)
+    for qs in slices:
+        if (qs.qid, qs.slice_index) in seen:
+            continue
+        seen.add((qs.qid, qs.slice_index))
+        fresh.append(qs)
     if not fresh:
         return out
 

@@ -1,0 +1,419 @@
+"""Fabric chaos benchmark: worker kills and service crash-resume.
+
+Two fault campaigns against the real processes (not the simulated
+switches — :mod:`benchmarks.bench_recovery` covers those):
+
+1. **Worker kill sweep** — a 4-worker :class:`~repro.fabric.
+   ShardedDeployment` runs a seeded multi-window trace while a thread
+   SIGKILLs one shard worker mid-stream.  The supervisor must detect the
+   death inside the in-flight window (all queue/pipe ops are bounded —
+   the kill surfaces as a typed ``WorkerDiedError``, never a hang),
+   respawn the worker, and replay the control-op log plus the retained
+   window stream; the merged end state (stats, canonical report stream,
+   register dumps) must be **bit-identical** to the same seed's no-fault
+   run.  The sweep repeats over many seeds and random-ish kill victims;
+   the acceptance bar is 0 identity violations, with detect + respawn
+   latency distributions recorded.
+
+2. **WAL crash-resume** — ``newton-repro serve --wal DIR`` is started as
+   a real subprocess, SIGKILLed mid-run (no drain, no atexit), then
+   restarted on the same WAL directory.  The restart must replay every
+   acknowledged query op (0 lost queries), fast-forward into the last
+   committed epoch, and finish its run cleanly: 0 staged/retired
+   residue, a single fleet-wide rule epoch, and 0 mixed-epoch packets.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_fabric_chaos.py``)
+or as a script::
+
+    python benchmarks/bench_fabric_chaos.py [--smoke] [--seeds N] [--json [PATH]]
+
+``--smoke`` shrinks the sweep for CI; ``--json`` writes the
+measurements to ``BENCH_fabric_chaos.json`` (or PATH).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compiler import QueryParams
+from repro.core.library import build_query
+from repro.experiments.common import evaluation_thresholds
+from repro.fabric import ShardedDeployment, SupervisorConfig
+from repro.network.topology import linear
+from repro.traffic.columnar import ColumnarTrace
+from repro.traffic.generators import assign_hosts, caida_like
+
+FULL_SEEDS = 50
+SMOKE_SEEDS = 3
+WORKERS = 4
+KILL_DELAY_S = 0.01
+TRACE_PACKETS = 4_000
+TRACE_DURATION_S = 0.5
+#: Small chunks keep the feed loop busy so mid-stream kills land in it.
+CHUNK_SIZE = 512
+
+PARAMS = QueryParams(cm_depth=2, reduce_registers=2048,
+                     distinct_registers=2048)
+QUERY_NAMES = ("Q1", "Q2", "Q6")
+
+_RE_RECOVERY = re.compile(
+    r"wal recovery: (\d+) ops replayed, committed epoch (\d+), "
+    r"window epoch (\d+), ([0-9.]+) ms"
+)
+_RE_SHUTDOWN = re.compile(
+    r"shutdown: committed epoch (\d+), rule epochs \[([0-9, ]+)\], "
+    r"staged residue (\d+), retired residue (\d+), "
+    r"(\d+) windows, (\d+) packets, (\d+) mixed-epoch packets"
+)
+
+
+def _deploy_kwargs() -> dict:
+    return dict(num_stages=12, table_capacity=512, array_size=1 << 16,
+                window_ms=100, engine="vector")
+
+
+def _queries():
+    th = replace(evaluation_thresholds(), new_tcp_conns=3, port_scan=4)
+    return [build_query(name, th) for name in QUERY_NAMES]
+
+
+def _make_trace(seed: int) -> ColumnarTrace:
+    pkts = list(assign_hosts(
+        caida_like(TRACE_PACKETS, duration_s=TRACE_DURATION_S, seed=seed),
+        [("h_src0", "h_dst0")],
+    ))
+    return ColumnarTrace.from_packets(pkts)
+
+
+def _sharded() -> ShardedDeployment:
+    return ShardedDeployment(
+        linear(3), workers=WORKERS, chunk_size=CHUNK_SIZE,
+        supervisor=SupervisorConfig(), **_deploy_kwargs(),
+    )
+
+
+def _end_state(sd: ShardedDeployment, stats) -> Tuple:
+    key = (stats.packets, stats.delivered, stats.dropped,
+           stats.payload_bytes)
+    return (key, sd.reports, sd.register_dumps())
+
+
+def _kill_after(sd: ShardedDeployment, victim: int, delay_s: float,
+                out: Dict[str, float]) -> threading.Thread:
+    """SIGKILL shard ``victim``'s process ``delay_s`` into the run."""
+
+    def job() -> None:
+        time.sleep(delay_s)
+        try:
+            backend = next(
+                b for b in list(sd._backends) if b.index == victim
+            )
+            out["killed_at"] = time.perf_counter()
+            os.kill(backend.proc.pid, signal.SIGKILL)
+        except (StopIteration, ProcessLookupError, AttributeError,
+                ValueError):  # pragma: no cover - run already over
+            out.pop("killed_at", None)
+
+    thread = threading.Thread(target=job, daemon=True)
+    thread.start()
+    return thread
+
+
+@dataclass
+class KillRun:
+    """One seed's kill-vs-baseline comparison."""
+
+    seed: int
+    victim: int
+    identical: bool
+    detect_s: float
+    respawn_s: float
+    #: Window epochs elapsed between the kill and its detection (the
+    #: supervisor recovers inside the in-flight window, so this is 0
+    #: whenever the kill landed mid-stream).
+    detect_windows: int
+
+
+@dataclass
+class ChaosResult:
+    runs: List[KillRun]
+    violations: int
+    wal: Dict[str, object]
+
+    def latency(self, attr: str) -> Dict[str, float]:
+        vals = [getattr(r, attr) for r in self.runs if r.detect_s >= 0]
+        if not vals:
+            return {"mean_ms": 0.0, "max_ms": 0.0}
+        return {
+            "mean_ms": round(sum(vals) / len(vals) * 1e3, 2),
+            "max_ms": round(max(vals) * 1e3, 2),
+        }
+
+
+def kill_sweep(seeds: int) -> Tuple[List[KillRun], int]:
+    """Kill one of 4 workers mid-stream, per seed; assert identity."""
+    queries = _queries()
+    runs: List[KillRun] = []
+    violations = 0
+    for seed in range(seeds):
+        trace = _make_trace(100 + seed)
+
+        with _sharded() as sd:
+            for query in queries:
+                sd.install_query(query, PARAMS,
+                                 path=["s0", "s1", "s2"])
+            baseline = _end_state(sd, sd.run(trace))
+
+        with _sharded() as sd:
+            for query in queries:
+                sd.install_query(query, PARAMS,
+                                 path=["s0", "s1", "s2"])
+            victim = seed % WORKERS
+            stamp: Dict[str, float] = {}
+            killer = _kill_after(sd, victim, KILL_DELAY_S, stamp)
+            stats = sd.run(trace)
+            killer.join()
+            epoch_at_kill = 0  # the kill lands in the first open window
+            chaos = _end_state(sd, stats)
+            events = [e for e in sd.supervisor.events
+                      if e["kind"] == "respawn" and e["shard"] == victim]
+
+        identical = chaos == baseline
+        if not identical:
+            violations += 1
+        if events and "killed_at" in stamp:
+            event = events[0]
+            detect_s = float(event["detected_at"]) - stamp["killed_at"]
+            respawn_s = float(event["respawn_s"])
+            detect_windows = 0 - epoch_at_kill
+        else:  # pragma: no cover - kill landed after the run finished
+            detect_s = respawn_s = -1.0
+            detect_windows = -1
+        runs.append(KillRun(
+            seed=seed, victim=victim, identical=identical,
+            detect_s=detect_s, respawn_s=respawn_s,
+            detect_windows=detect_windows,
+        ))
+    return runs, violations
+
+
+# --------------------------------------------------------------------- #
+# WAL crash-resume (real subprocess)                                     #
+# --------------------------------------------------------------------- #
+
+
+def _serve_cmd(wal_dir: str, max_windows: int) -> List[str]:
+    return [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--rate", "0", "--pps", "20000",
+        "--max-windows", str(max_windows),
+        "--queries", "Q1", "Q6",
+        "--wal", wal_dir, "--wal-snapshot-every", "8",
+    ]
+
+
+def _serve_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _read_until(proc: subprocess.Popen, needle: str,
+                timeout_s: float = 90.0) -> List[str]:
+    lines: List[str] = []
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        if needle in line:
+            return lines
+    raise RuntimeError(
+        f"serve never printed {needle!r}; output so far:\n"
+        + "".join(lines)
+    )
+
+
+def wal_restart(run_for_s: float = 0.6,
+                resume_windows: int = 40) -> Dict[str, object]:
+    """SIGKILL ``serve --wal`` mid-run; restart and verify resumption."""
+    workdir = tempfile.mkdtemp(prefix="newton-chaos-")
+    wal_dir = os.path.join(workdir, "wal")
+    try:
+        first = subprocess.Popen(
+            _serve_cmd(wal_dir, max_windows=0), env=_serve_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            _read_until(first, "serving on http://")
+            time.sleep(run_for_s)  # tick windows, commit WAL snapshots
+        finally:
+            first.kill()  # SIGKILL: no drain, no close, no atexit
+            first.wait(timeout=30)
+            first.stdout.close()
+
+        started = time.perf_counter()
+        second = subprocess.Popen(
+            _serve_cmd(wal_dir, max_windows=resume_windows),
+            env=_serve_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        out, _ = second.communicate(timeout=300)
+        restart_s = time.perf_counter() - started
+
+        recovery = _RE_RECOVERY.search(out)
+        shutdown = _RE_SHUTDOWN.search(out)
+        if recovery is None or shutdown is None:
+            raise RuntimeError(
+                f"restart output missing recovery/shutdown lines:\n{out}"
+            )
+        replayed = int(recovery.group(1))
+        rule_epochs = [int(x) for x in shutdown.group(2).split(",")]
+        result = {
+            "replayed_ops": replayed,
+            "lost_queries": 2 - replayed,
+            "recovered_committed_epoch": int(recovery.group(2)),
+            "resumed_window_epoch": int(recovery.group(3)),
+            "recovery_ms": float(recovery.group(4)),
+            "restart_total_s": round(restart_s, 3),
+            "final_committed_epoch": int(shutdown.group(1)),
+            "rule_epochs": rule_epochs,
+            "staged_residue": int(shutdown.group(3)),
+            "retired_residue": int(shutdown.group(4)),
+            "mixed_epoch_packets": int(shutdown.group(7)),
+            "clean_exit": second.returncode == 0,
+        }
+        result["ok"] = bool(
+            result["clean_exit"]
+            and result["lost_queries"] == 0
+            and result["mixed_epoch_packets"] == 0
+            and result["staged_residue"] == 0
+            and result["retired_residue"] == 0
+            and len(rule_epochs) == 1
+            and result["resumed_window_epoch"] > 0
+        )
+        return result
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def run(seeds: int) -> ChaosResult:
+    runs, violations = kill_sweep(seeds)
+    wal = wal_restart()
+    return ChaosResult(runs=runs, violations=violations, wal=wal)
+
+
+def to_json(result: ChaosResult) -> dict:
+    return {
+        "worker_kill": {
+            "workers": WORKERS,
+            "topology": "linear(3)",
+            "queries": list(QUERY_NAMES),
+            "packets": TRACE_PACKETS,
+            "seeds": len(result.runs),
+            "violations": result.violations,
+            "detect": result.latency("detect_s"),
+            "respawn": result.latency("respawn_s"),
+            "detect_windows_max": max(
+                (r.detect_windows for r in result.runs), default=0
+            ),
+        },
+        "wal_restart": result.wal,
+    }
+
+
+def render(result: ChaosResult) -> str:
+    detect = result.latency("detect_s")
+    respawn = result.latency("respawn_s")
+    wal = result.wal
+    lines = [
+        f"Fabric chaos ({WORKERS} workers, linear(3), "
+        f"{len(result.runs)} seeds):",
+        f"  worker kill: {result.violations} identity violations; "
+        f"detect {detect['mean_ms']:.1f} ms mean "
+        f"/ {detect['max_ms']:.1f} ms max, "
+        f"respawn {respawn['mean_ms']:.1f} ms mean "
+        f"/ {respawn['max_ms']:.1f} ms max "
+        f"(within-window detections: "
+        f"{sum(1 for r in result.runs if r.detect_windows == 0)}"
+        f"/{len(result.runs)})",
+        f"  wal restart: {wal['replayed_ops']} ops replayed "
+        f"({wal['lost_queries']} lost), resumed window epoch "
+        f"{wal['resumed_window_epoch']} / committed epoch "
+        f"{wal['recovered_committed_epoch']}, recovery "
+        f"{wal['recovery_ms']:.1f} ms, mixed-epoch packets "
+        f"{wal['mixed_epoch_packets']}, clean exit: {wal['clean_exit']}",
+    ]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# pytest entry point                                                     #
+# --------------------------------------------------------------------- #
+
+
+def test_fabric_chaos(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run(SMOKE_SEEDS), rounds=1, iterations=1,
+    )
+    show(render(result))
+    assert result.violations == 0, (
+        f"{result.violations} seeds broke respawn bit-identity"
+    )
+    assert result.wal["ok"], f"WAL restart failed: {result.wal}"
+
+
+# --------------------------------------------------------------------- #
+# script entry point (CI smoke job / BENCH_fabric_chaos.json producer)   #
+# --------------------------------------------------------------------- #
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep for CI time budgets")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="kill-sweep seed count")
+    parser.add_argument("--json", nargs="?",
+                        const="BENCH_fabric_chaos.json",
+                        default=None, metavar="PATH",
+                        help="also write measurements as JSON "
+                             "(default PATH: BENCH_fabric_chaos.json)")
+    args = parser.parse_args(argv)
+    seeds = args.seeds if args.seeds is not None else (
+        SMOKE_SEEDS if args.smoke else FULL_SEEDS)
+    result = run(seeds)
+    print(render(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(to_json(result), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if result.violations:
+        print(f"FAIL: {result.violations} seeds broke respawn "
+              f"bit-identity", file=sys.stderr)
+        return 1
+    if not result.wal["ok"]:
+        print(f"FAIL: WAL restart did not resume cleanly: {result.wal}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -743,6 +743,8 @@ def cmd_serve(args) -> int:
         engine=args.engine,
         array_size=args.array_size,
         rate=args.rate,
+        wal_dir=args.wal or None,
+        wal_snapshot_every=args.wal_snapshot_every,
     )
     sharded = None
     if args.workers > 1:
@@ -765,7 +767,16 @@ def cmd_serve(args) -> int:
         )
         print(f"fabric plane: {args.workers} shard workers", flush=True)
     service = NewtonService(source, config, deployment=sharded)
+    if service.wal_recovery is not None:
+        rec = service.wal_recovery
+        print(f"wal recovery: {rec['replayed_ops']} ops replayed, "
+              f"committed epoch {rec['committed_epoch']}, "
+              f"window epoch {rec['window_epoch']}, "
+              f"{rec['recovery_s'] * 1e3:.1f} ms", flush=True)
+    installed = set(service.deployment.controller.installed)
     for name in args.queries:
+        if name in installed:
+            continue  # WAL recovery already reinstalled it
         payload = service.install({"query": name})
         print(f"installed {name}: {payload['rules_staged']} rules in "
               f"{payload['delay_s'] * 1e3:.1f} ms", flush=True)
@@ -1197,6 +1208,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="real-time pacing factor "
                                    "(0 = free-running)")
     serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument("--wal", default="", metavar="DIR",
+                              help="durable write-ahead log directory: "
+                                   "committed transactions and query ops "
+                                   "are fsync'd, and a restart replays "
+                                   "them into the last committed epoch")
+    serve_parser.add_argument("--wal-snapshot-every", type=int, default=16,
+                              metavar="N",
+                              help="windows between WAL state snapshots "
+                                   "(the restart fast-forward target)")
     serve_parser.set_defaults(func=cmd_serve)
 
     plan_parser = sub.add_parser(

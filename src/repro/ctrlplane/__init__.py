@@ -29,6 +29,7 @@ from repro.ctrlplane.txn import (
     TxnPlan,
     TxnResult,
 )
+from repro.ctrlplane.wal import WriteAheadLog
 
 __all__ = [
     "ChannelFault",
@@ -46,4 +47,5 @@ __all__ = [
     "TxnConfig",
     "TxnPlan",
     "TxnResult",
+    "WriteAheadLog",
 ]

@@ -158,6 +158,11 @@ class TransactionManager:
         #: target switch before 2PC touches the data plane.  Disable to
         #: fall back to failing (and rolling back) at the allocator.
         self.epoch_gate = True
+        #: Optional durable write-ahead log (see
+        #: :class:`~repro.ctrlplane.wal.WriteAheadLog`): when attached,
+        #: every committed transaction appends a ``txn`` record before
+        #: the result is returned to the caller.
+        self.wal = None
         self._txn_counter = 0
         reg = self.registry
         self._m_txns = reg.counter(
@@ -299,6 +304,24 @@ class TransactionManager:
             overhead_s=FLIP_OVERHEAD_S, reliable=True,
         )
         return sent
+
+    def fast_forward(self, epoch: int) -> int:
+        """Adopt a WAL-recovered committed epoch after a process restart.
+
+        A freshly built fleet starts at epoch 0; replaying the WAL's op
+        stream re-runs each install/update/remove as a *new* transaction,
+        which may land on a lower epoch than the crashed incarnation
+        committed (aborted attempts burn epochs without committing).
+        Fast-forwarding to the logged committed epoch — and reliably
+        re-beaconing every lagging switch — guarantees no packet is ever
+        stamped with a pre-crash epoch again (no mixed-epoch windows
+        across the restart).  Returns the adopted epoch.
+        """
+        if epoch > self.epoch:
+            self.epoch = epoch
+        for sid in self.switches:
+            self.resync_epoch(sid)
+        return self.epoch
 
     # ------------------------------------------------------------------ #
     # The transaction                                                    #
@@ -472,3 +495,11 @@ class TransactionManager:
             retries=retries, rolled_back=rolled_back,
             participants=tuple(plan.ops), error=error,
         ))
+        if state == "committed" and self.wal is not None:
+            # Durability point: the commit is on disk before the caller
+            # sees the result — a restart replays into this epoch.
+            self.wal.append("txn", {
+                "txn_id": txn_id, "op": plan.op, "qid": plan.qid,
+                "epoch": target, "rules_staged": rules_staged,
+                "rules_removed": rules_removed,
+            })

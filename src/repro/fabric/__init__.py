@@ -21,6 +21,11 @@ from repro.fabric.partition import (
     owned_sub_qids,
 )
 from repro.fabric.sharded import ShardedDeployment
+from repro.fabric.supervisor import (
+    SupervisorConfig,
+    WorkerDiedError,
+    WorkerSupervisor,
+)
 from repro.fabric.worker import ShardRuntime, WorkerSpec
 
 __all__ = [
@@ -29,7 +34,10 @@ __all__ = [
     "ShardContext",
     "ShardRuntime",
     "ShardedDeployment",
+    "SupervisorConfig",
+    "WorkerDiedError",
     "WorkerSpec",
+    "WorkerSupervisor",
     "absorb_results",
     "canonical_reports",
     "merge_metrics",

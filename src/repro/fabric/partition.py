@@ -98,23 +98,52 @@ class FlowHashPartitioner:
 
 
 class ShardContext:
-    """One shard's identity, consulted by both engines via ``sim.shard``."""
+    """One shard's identity, consulted by both engines via ``sim.shard``.
 
-    __slots__ = ("partitioner", "index")
+    Normally a shard owns exactly one flow-hash index (its own).  When a
+    peer shard is degraded out of the fleet, a survivor :meth:`adopt`\\ s
+    the dead shard's index so that shard's primary-packet accounting has
+    exactly one new home — the per-packet stats sums stay exact from the
+    adoption point on.  The single-index case keeps the fast ``==``
+    comparison on both the scalar and columnar paths.
+    """
 
-    def __init__(self, partitioner: FlowHashPartitioner, index: int):
+    __slots__ = ("partitioner", "index", "indices")
+
+    def __init__(self, partitioner: FlowHashPartitioner, index: int,
+                 indices: Optional[Tuple[int, ...]] = None):
         if not 0 <= index < partitioner.shards:
             raise ValueError(
                 f"shard index {index} outside [0, {partitioner.shards})"
             )
         self.partitioner = partitioner
         self.index = index
+        self.indices: frozenset = (
+            frozenset(indices) if indices else frozenset((index,))
+        )
+
+    def adopt(self, other_index: int) -> None:
+        """Also claim primacy for ``other_index``'s flows (degrade path)."""
+        if not 0 <= other_index < self.partitioner.shards:
+            raise ValueError(
+                f"shard index {other_index} outside "
+                f"[0, {self.partitioner.shards})"
+            )
+        self.indices = self.indices | {other_index}
 
     def owns_packet(self, packet: Packet) -> bool:
-        return self.partitioner.shard_of_packet(packet) == self.index
+        shard = self.partitioner.shard_of_packet(packet)
+        if len(self.indices) == 1:
+            return shard == self.index
+        return shard in self.indices
 
     def owned_mask(self, batch: ColumnarTrace) -> np.ndarray:
-        return self.partitioner.shard_column(batch.columns) == self.index
+        column = self.partitioner.shard_column(batch.columns)
+        if len(self.indices) == 1:
+            return column == self.index
+        return np.isin(
+            column, np.fromiter(self.indices, dtype=np.int64)
+        )
 
 
 class QueryPartitioner:
@@ -181,6 +210,36 @@ class QueryPartitioner:
         """Forget a removed query; returns the shard that owned it."""
         owner = self._owners.pop(qid)
         self._loads[owner] -= self._weights.pop(qid)
+        return owner
+
+    def reassign(self, qid: str, owner: Optional[int] = None,
+                 candidates: Optional[Tuple[int, ...]] = None) -> int:
+        """Move an assigned query to a new shard (degrade repartition).
+
+        With ``owner=None`` the least-loaded shard among ``candidates``
+        (default: all shards) takes it — the facade passes the surviving
+        shard set so a degraded shard's queries spread by load rather
+        than piling onto one heir.  Load accounting follows the move.
+        """
+        old = self._owners[qid]
+        weight = self._weights[qid]
+        self._loads[old] -= weight
+        pool = tuple(candidates) if candidates is not None else tuple(
+            range(self.shards)
+        )
+        if owner is None:
+            if not pool:
+                raise ValueError("no candidate shards to reassign onto")
+            owner = min(
+                pool,
+                key=lambda s: (self._loads[s], self._tiebreak(qid, s)),
+            )
+        elif not 0 <= owner < self.shards:
+            raise ValueError(
+                f"new owner {owner} outside [0, {self.shards})"
+            )
+        self._owners[qid] = owner
+        self._loads[owner] += weight
         return owner
 
     def owner_of(self, qid: str) -> int:

@@ -24,12 +24,27 @@ Merge semantics (see :mod:`repro.fabric.merge`): stats sum field-wise,
 report streams interleave canonically, register dumps sum elementwise,
 metrics registries sum per label set — all bit-identical to
 single-process execution on fault-free runs.
+
+**Supervision** (see :mod:`repro.fabric.supervisor`): every RPC and
+chunk-feed to a worker process is bounded by the supervisor config's
+timeouts and raises :class:`WorkerDiedError` instead of hanging on a
+dead peer.  The facade then *respawns* the worker and replays the
+declarative control-op log plus the retained window stream — replicas
+are deterministic, so the replacement converges to bit-identical state
+— or, once the shard's respawn budget is spent, *degrades*: the dead
+shard's queries are repartitioned onto survivors (``adopt`` ops), its
+flow-hash primacy is adopted by an heir (``adopt_flows``), and the
+measurement gap is recorded through the resilience plane's
+:class:`~repro.resilience.coverage.CoverageTracker`.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import pickle
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.compiler import QueryParams
@@ -43,6 +58,11 @@ from repro.fabric.merge import (
     merge_stats,
 )
 from repro.fabric.partition import QueryPartitioner
+from repro.fabric.supervisor import (
+    SupervisorConfig,
+    WorkerDiedError,
+    WorkerSupervisor,
+)
 from repro.fabric.worker import (
     ShardRuntime,
     WorkerSpec,
@@ -55,13 +75,14 @@ from repro.network.deployment import build_deployment
 from repro.network.simulator import SimulationStats
 from repro.network.topology import Topology
 from repro.resilience import FaultPlan
+from repro.resilience.coverage import CoverageTracker
 from repro.traffic.columnar import (
     DEFAULT_CHUNK_SIZE,
     ColumnarTrace,
     iter_column_chunks,
 )
 
-__all__ = ["ShardedDeployment"]
+__all__ = ["ShardedDeployment", "WorkerDiedError"]
 
 
 # --------------------------------------------------------------------- #
@@ -73,9 +94,14 @@ class _InlineBackend:
     """A shard executed in-process (same dispatch, no IPC)."""
 
     def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.index = spec.index
         self.runtime = ShardRuntime(spec)
         self._pending: List[ColumnarTrace] = []
         self._detail = "full"
+
+    def alive(self) -> bool:
+        return True
 
     def request(self, kind: str, arg: Any = None) -> Any:
         return dispatch(self.runtime, kind, arg)
@@ -96,16 +122,26 @@ class _InlineBackend:
     def shutdown(self) -> None:
         self._pending = []
 
+    def destroy(self) -> None:
+        self._pending = []
+
 
 class _ProcBackend:
     """A shard executed in a worker process.
 
     Commands ride a duplex pipe; trace chunks ride a bounded queue (the
     handoff path), so a slow shard backpressures the distributor
-    instead of buffering the whole trace.
+    instead of buffering the whole trace.  Every queue and pipe
+    operation is bounded by the supervisor config's timeouts: a dead
+    peer raises :class:`WorkerDiedError` within one poll interval, a
+    wedged one at the op's deadline — this class never hangs forever.
     """
 
-    def __init__(self, spec: WorkerSpec, ctx, queue_chunks: int):
+    def __init__(self, spec: WorkerSpec, ctx, queue_chunks: int,
+                 config: SupervisorConfig):
+        self.spec = spec
+        self.index = spec.index
+        self.config = config
         self.conn, child = ctx.Pipe()
         self.chunks = ctx.Queue(maxsize=queue_chunks)
         self.proc = ctx.Process(
@@ -116,38 +152,184 @@ class _ProcBackend:
         )
         self.proc.start()
         child.close()
-        self._recv()  # replica-built handshake
+        try:
+            # Replica-built handshake; a worker that dies during its own
+            # construction is detected here, not at the first command.
+            self._recv(config.handshake_timeout_s, phase="handshake")
+        except WorkerDiedError:
+            self.destroy()
+            raise
 
-    def _recv(self) -> Any:
-        status, payload = self.conn.recv()
-        if status != "ok":
-            raise RuntimeError(f"fabric worker failed: {payload}")
-        return payload
+    def alive(self) -> bool:
+        try:
+            return self.proc.is_alive()
+        except ValueError:  # pragma: no cover - proc already closed
+            return False
+
+    # -- bounded primitives -------------------------------------------- #
+
+    def _died(self, phase: str, message: str) -> WorkerDiedError:
+        return WorkerDiedError(self.index, message, phase=phase)
+
+    def _recv(self, timeout_s: float, phase: str) -> Any:
+        deadline = time.perf_counter() + timeout_s
+        while True:
+            remaining = deadline - time.perf_counter()
+            interval = min(self.config.poll_interval_s, max(remaining, 0))
+            try:
+                ready = self.conn.poll(interval)
+            except (OSError, EOFError, BrokenPipeError) as exc:
+                raise self._died(phase, f"pipe failed: {exc}") from exc
+            if ready:
+                try:
+                    status, payload = self.conn.recv()
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    raise self._died(
+                        phase, f"pipe closed mid-reply: {exc}"
+                    ) from exc
+                if status != "ok":
+                    # The worker is alive and answered: a command-level
+                    # failure, not a death.
+                    raise RuntimeError(f"fabric worker failed: {payload}")
+                return payload
+            if not self.alive():
+                raise self._died(
+                    phase,
+                    f"worker process exited "
+                    f"(exitcode {self.proc.exitcode}) during {phase}",
+                )
+            if remaining <= 0:
+                raise self._died(
+                    phase,
+                    f"worker hung: no reply to {phase} within "
+                    f"{timeout_s:.1f}s",
+                )
+
+    def _put(self, obj: Any, timeout_s: float, phase: str) -> None:
+        deadline = time.perf_counter() + timeout_s
+        while True:
+            try:
+                self.chunks.put(obj, timeout=self.config.poll_interval_s)
+                return
+            except queue_mod.Full:
+                pass
+            except (OSError, ValueError) as exc:
+                raise self._died(
+                    phase, f"chunk queue failed: {exc}"
+                ) from exc
+            if not self.alive():
+                raise self._died(
+                    phase,
+                    f"worker process exited "
+                    f"(exitcode {self.proc.exitcode}) during {phase}",
+                )
+            if time.perf_counter() >= deadline:
+                raise self._died(
+                    phase,
+                    f"worker hung: chunk queue full for "
+                    f"{timeout_s:.1f}s",
+                )
+
+    # -- command surface ----------------------------------------------- #
 
     def request(self, kind: str, arg: Any = None) -> Any:
-        self.conn.send((kind, arg))
-        return self._recv()
+        try:
+            self.conn.send((kind, arg))
+        except (OSError, BrokenPipeError) as exc:
+            raise self._died(kind, f"pipe send failed: {exc}") from exc
+        return self._recv(self.config.request_timeout_s, phase=kind)
 
     def start_stream(self, detail: str) -> None:
-        self.conn.send(("run_stream", detail))
+        try:
+            self.conn.send(("run_stream", detail))
+        except (OSError, BrokenPipeError) as exc:
+            raise self._died(
+                "start_stream", f"pipe send failed: {exc}"
+            ) from exc
 
     def feed(self, chunk: ColumnarTrace) -> None:
-        self.chunks.put(chunk)
+        self._put(chunk, self.config.feed_timeout_s, phase="feed")
 
     def finish_stream(self) -> Dict[str, Any]:
-        self.chunks.put(None)
-        return self._recv()
+        self._put(None, self.config.feed_timeout_s, phase="finish_stream")
+        return self._recv(self.config.finish_timeout_s,
+                          phase="finish_stream")
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _drain_close_queue(self) -> None:
+        """Empty and close the chunk queue so its feeder thread exits
+        and no fd leaks — required on both clean and forced shutdown."""
+        try:
+            while True:
+                self.chunks.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+        try:
+            self.chunks.close()
+            self.chunks.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
 
     def shutdown(self) -> None:
+        """Clean stop; escalates to kill on a hung worker.  Always
+        drains/closes the queue and closes the process handle."""
         try:
             self.conn.send(("shutdown", None))
-            self._recv()
+            self._recv(self.config.request_timeout_s, phase="shutdown")
+        except (WorkerDiedError, RuntimeError, OSError, EOFError,
+                BrokenPipeError):
+            pass
+        try:
             self.conn.close()
-        except (OSError, EOFError, BrokenPipeError):
+        except OSError:  # pragma: no cover
             pass
         self.proc.join(timeout=10)
-        if self.proc.is_alive():  # pragma: no cover - hung worker
-            self.proc.terminate()
+        if self.alive():  # pragma: no cover - hung worker
+            self.proc.kill()
+            self.proc.join(timeout=5)
+        self._drain_close_queue()
+        try:
+            self.proc.close()
+        except ValueError:  # pragma: no cover - still running
+            pass
+
+    def destroy(self) -> None:
+        """Forced teardown of a dead/wedged worker: kill, reap, close."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            if self.alive():
+                self.proc.kill()
+            self.proc.join(timeout=10)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+        self._drain_close_queue()
+        try:
+            self.proc.close()
+        except ValueError:  # pragma: no cover - unreaped
+            pass
+
+
+@dataclass
+class _StreamState:
+    """One packet stream's replay buffer.
+
+    Chunks are zero-copy columnar slices of the source trace, so
+    retaining them costs views, not data.  ``epoch`` records the window
+    the stream belongs to: a respawned worker replays the stream only
+    while the fleet is still in that window.
+    """
+
+    detail: str
+    epoch: int
+    chunks: List[ColumnarTrace] = field(default_factory=list)
+    #: Control ops raised *during* the stream (degrade repartitions).
+    #: Workers are busy draining the chunk queue and would not answer a
+    #: pipe RPC until the stream ends, so these are flushed post-stream.
+    deferred_ops: List[Tuple] = field(default_factory=list)
 
 
 # --------------------------------------------------------------------- #
@@ -197,8 +379,7 @@ class _FanoutCollector:
         return getattr(self._local, name)
 
     def prune_results(self, before_epoch: int) -> int:
-        for backend in self._sharded._backends:
-            backend.request("prune", before_epoch)
+        self._sharded._fanout_request("prune", before_epoch)
         return self._local.prune_results(before_epoch)
 
 
@@ -255,6 +436,7 @@ class ShardedDeployment:
         queue_chunks: int = 4,
         start_method: Optional[str] = None,
         record_reports: bool = True,
+        supervisor: Optional[SupervisorConfig] = None,
         **deploy_kwargs: Any,
     ):
         if workers < 1:
@@ -272,7 +454,23 @@ class ShardedDeployment:
         self.chunk_size = chunk_size
         self.local = build_deployment(topology, **deploy_kwargs)
         self.qpart = QueryPartitioner(workers, seed=assign_seed)
-        specs = [
+        self.supervisor = WorkerSupervisor(
+            workers, supervisor, self.local.collector.metrics
+        )
+        #: Degrade gaps ride the resilience plane's tracker when one
+        #: exists, so ``/coverage`` and recovery summaries see them.
+        recovery = self.local.recovery
+        self.coverage: CoverageTracker = (
+            recovery.coverage if recovery is not None
+            else CoverageTracker(registry=self.local.collector.metrics)
+        )
+        #: The declarative control-op log, in fan-out order — replayed
+        #: verbatim into a respawned replica.  Ops are appended *before*
+        #: the fan-out so a death mid-fan-out is covered by replay.
+        self._oplog: List[Tuple] = []
+        #: shard index -> failure reason, for shards degraded away.
+        self._degraded: Dict[int, str] = {}
+        self._specs = [
             WorkerSpec(
                 topology=topology,
                 index=i,
@@ -283,18 +481,24 @@ class ShardedDeployment:
             )
             for i in range(workers)
         ]
+        self._queue_chunks = queue_chunks
         if inline:
-            self._backends: List[Any] = [_InlineBackend(s) for s in specs]
+            self._ctx = None
         else:
             method = start_method or (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
-            ctx = mp.get_context(method)
-            self._backends = [
-                _ProcBackend(s, ctx, queue_chunks) for s in specs
-            ]
+            self._ctx = mp.get_context(method)
+        self._backends: List[Any] = [
+            self._spawn_backend(s) for s in self._specs
+        ]
         self._epoch = 0
         self._closed = False
+        #: The in-flight stream (replayed into a respawned worker), and
+        #: the last finished one (still replayable until its window
+        #: closes — a death detected at roll time re-runs the window).
+        self._stream: Optional[_StreamState] = None
+        self._last_stream: Optional[_StreamState] = None
         #: Per-worker engine-busy CPU seconds of the last batch run —
         #: the parallel critical path is ``max(worker_busy_s)``.
         self.worker_busy_s: List[float] = []
@@ -306,6 +510,13 @@ class ShardedDeployment:
         self.simulator = _ShardedSimulator(self)
         self.controller = _FanoutController(self)
         self.collector = _FanoutCollector(self)
+
+    def _spawn_backend(self, spec: WorkerSpec):
+        if self.inline:
+            return _InlineBackend(spec)
+        return _ProcBackend(
+            spec, self._ctx, self._queue_chunks, self.supervisor.config
+        )
 
     # -- Deployment-compatible read surface ---------------------------- #
 
@@ -345,12 +556,168 @@ class ShardedDeployment:
         return self.local.switches[switch_id]
 
     # ------------------------------------------------------------------ #
+    # Supervision: detection, respawn-with-replay, degrade               #
+    # ------------------------------------------------------------------ #
+
+    def poll_workers(self) -> None:
+        """Exitcode watch: recover any worker that died *between* ops.
+
+        Called at every window roll, so a silent death (no pending RPC
+        to trip a timeout) is detected within one window.
+        """
+        for backend in list(self._backends):
+            if not backend.alive():
+                self._recover(backend, WorkerDiedError(
+                    backend.index,
+                    "worker process exited (exitcode watch)",
+                    phase="poll",
+                ))
+
+    def _recover(self, backend, exc: WorkerDiedError):
+        """Respawn-with-replay, or degrade once the budget is spent.
+
+        Returns the replacement backend, or ``None`` if the shard was
+        degraded onto the survivors.
+        """
+        index = backend.index
+        detected = getattr(exc, "detected_at", None) or time.perf_counter()
+        self.supervisor.note_down(index)
+        self._backends = [b for b in self._backends if b is not backend]
+        backend.destroy()
+        while self.supervisor.allow_respawn(index):
+            replacement = None
+            try:
+                replacement = self._spawn_backend(self._specs[index])
+                self._replay_into(replacement)
+            except WorkerDiedError:  # pragma: no cover - respawn died too
+                if replacement is not None:
+                    replacement.destroy()
+                continue
+            self._backends.append(replacement)
+            self._backends.sort(key=lambda b: b.index)
+            self.supervisor.note_respawn(index, detected, error=str(exc))
+            return replacement
+        self._degrade(index, str(exc), detected)
+        return None
+
+    def _replay_into(self, backend) -> None:
+        """Reconstruct a replica: replay the op log, fast-forward to the
+        fleet's open window, then re-feed the retained stream.
+
+        Replicas are deterministic and per-window register state resets
+        at every close, so op replay + window seek + stream replay
+        converge the replacement to bit-identical state for the current
+        window; earlier windows' results were already absorbed from the
+        dead worker's payloads and are pruned on the replacement so the
+        merge layer never sees empty stand-ins.
+        """
+        for op in self._oplog:
+            backend.request("op", op)
+        if self._epoch:
+            backend.request("seek_window", self._epoch)
+        stream = self._stream or self._last_stream
+        if stream is None or stream.epoch != self._epoch:
+            return
+        backend.start_stream(stream.detail)
+        for chunk in stream.chunks:
+            backend.feed(chunk)
+        if stream is not self._stream:
+            # The stream already finished fleet-wide: finish it on the
+            # replacement too, discarding the payload — the dead
+            # worker's own finish was already merged, and re-execution
+            # reproduces the identical window state for the coming roll.
+            backend.finish_stream()
+
+    def _degrade(self, index: int, reason: str, detected: float) -> None:
+        """Repartition a dead shard's work onto the survivors and record
+        the measurement gap.
+
+        The moved queries' in-flight window contribution is lost (that
+        is the recorded gap); from the next op on, survivors execute
+        them and one heir counts the dead shard's per-packet stats, so
+        the fleet keeps running at reduced fidelity instead of failing.
+        """
+        self._degraded[index] = reason
+        survivors = sorted(b.index for b in self._backends)
+        if not survivors:
+            raise RuntimeError(
+                f"fabric shard {index} died with no survivors left: "
+                f"{reason}"
+            )
+        moved = sorted(
+            qid for qid, owner in self.qpart.owners().items()
+            if owner == index
+        )
+        for qid in moved:
+            new_owner = self.qpart.reassign(
+                qid, candidates=tuple(survivors)
+            )
+            self._guarded_fanout(("adopt", qid, new_owner))
+        self._guarded_fanout(("adopt_flows", index, min(survivors)))
+        for qid in moved:
+            self.coverage.note_gap(
+                qid, self._epoch,
+                reason="fabric-shard-lost",
+                switch=f"shard{index}",
+            )
+        self.supervisor.note_degraded(
+            index, reason, detected, moved_qids=tuple(moved)
+        )
+
+    def _guarded_fanout(self, op: Tuple) -> None:
+        """Append to the op log and fan out, recovering any shard that
+        dies mid-fan-out (its replacement replays the log, which already
+        contains ``op`` — survivors still receive it directly).
+
+        While a stream is in flight the workers are draining the chunk
+        queue and will not answer a pipe RPC until it ends, so ops
+        raised mid-stream (degrade repartitions) are deferred and
+        flushed by :meth:`_run_impl` right after the stream finishes —
+        the recorded coverage gap spans the affected window either way.
+        """
+        self._oplog.append(op)
+        if self._stream is not None:
+            self._stream.deferred_ops.append(op)
+            return
+        for backend in list(self._backends):
+            try:
+                backend.request("op", op)
+            except WorkerDiedError as exc:
+                self._recover(backend, exc)
+
+    def _fanout_request(self, kind: str, arg: Any = None) -> List[Any]:
+        """Fan a command to every live shard; a shard that dies is
+        recovered and — if respawned — re-asked."""
+        out: List[Any] = []
+        for backend in list(self._backends):
+            try:
+                out.append(backend.request(kind, arg))
+            except WorkerDiedError as exc:
+                replacement = self._recover(backend, exc)
+                if replacement is not None:
+                    out.append(replacement.request(kind, arg))
+        return out
+
+    def fabric_status(self) -> Dict[str, Any]:
+        """JSON-safe per-shard status (surfaced by ``/healthz``)."""
+        status = self.supervisor.status()
+        status.update({
+            "workers": self.workers,
+            "backend": "inline" if self.inline else "process",
+            "live": sorted(b.index for b in self._backends),
+            "lost": {
+                str(i): reason
+                for i, reason in sorted(self._degraded.items())
+            },
+        })
+        return status
+
+    # ------------------------------------------------------------------ #
     # Control fan-out                                                    #
     # ------------------------------------------------------------------ #
 
     def _fanout_op(self, op: Tuple) -> None:
-        for backend in self._backends:
-            backend.request("op", op)
+        self._guarded_fanout(op)
 
     def install_query(self, query: QueryLike,
                       params: QueryParams = QueryParams(),
@@ -371,6 +738,12 @@ class ShardedDeployment:
             query, params, **kwargs
         )
         owner = self.qpart.assign(query, weight=weight, owner=owner)
+        if owner in self._degraded:
+            # The pinned shard is gone; place on a survivor instead.
+            owner = self.qpart.reassign(
+                query.qid,
+                candidates=tuple(sorted(b.index for b in self._backends)),
+            )
         self._fanout_op(("install", query_bytes, params, kwargs, owner))
         return result
 
@@ -445,12 +818,46 @@ class ShardedDeployment:
         return self._run_impl(source, detail="full")
 
     def _run_impl(self, source, detail: str) -> SimulationStats:
-        for backend in self._backends:
-            backend.start_stream(detail)
-        for chunk in iter_column_chunks(source, self.chunk_size):
-            for backend in self._backends:
-                backend.feed(chunk)
-        payloads = [b.finish_stream() for b in self._backends]
+        self.poll_workers()
+        stream = _StreamState(detail=detail, epoch=self._epoch)
+        self._stream = stream
+        try:
+            for backend in list(self._backends):
+                try:
+                    backend.start_stream(detail)
+                except WorkerDiedError as exc:
+                    self._recover(backend, exc)
+            for chunk in iter_column_chunks(source, self.chunk_size):
+                stream.chunks.append(chunk)
+                for backend in list(self._backends):
+                    try:
+                        backend.feed(chunk)
+                    except WorkerDiedError as exc:
+                        self._recover(backend, exc)
+            payloads = []
+            for backend in list(self._backends):
+                try:
+                    payloads.append(backend.finish_stream())
+                except WorkerDiedError as exc:
+                    replacement = self._recover(backend, exc)
+                    if replacement is not None:
+                        payloads.append(replacement.finish_stream())
+        finally:
+            # Keep the stream replayable until its window rolls: a death
+            # detected at roll/dump time re-runs the window's packets.
+            self._last_stream, self._stream = stream, None
+        # Flush ops deferred mid-stream (degrade repartitions) now that
+        # the workers are idle again.  Per-backend, whole list: a shard
+        # that dies here is replaced by a replica whose op-log replay
+        # already includes every deferred op, so it is skipped.
+        for backend in list(self._backends):
+            try:
+                for op in stream.deferred_ops:
+                    backend.request("op", op)
+            except WorkerDiedError as exc:
+                self._recover(backend, exc)
+        if not payloads:
+            raise RuntimeError("no live fabric shard finished the stream")
         stats = merge_stats([p["stats"] for p in payloads])
         self.worker_busy_s = [float(p["busy_s"]) for p in payloads]
         if detail == "full":
@@ -470,7 +877,10 @@ class ShardedDeployment:
     def roll_window(self) -> int:
         """Force-close the current window on every shard and absorb the
         window's answers into the control replica."""
-        payloads = [b.request("roll_window") for b in self._backends]
+        self.poll_workers()
+        payloads = self._fanout_request("roll_window")
+        if not payloads:
+            raise RuntimeError("no live fabric shard closed the window")
         closed = {p["closed"] for p in payloads}
         if len(closed) != 1:
             raise AssertionError(
@@ -479,6 +889,7 @@ class ShardedDeployment:
         self._absorb(payloads)
         epoch = closed.pop()
         self._epoch = epoch + 1
+        self._last_stream = None
         return epoch
 
     def _absorb(self, payloads: Iterable[Dict[str, Any]]) -> None:
@@ -508,12 +919,12 @@ class ShardedDeployment:
 
     def register_dumps(self) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
         """Merged (elementwise-summed) register dumps across shards."""
-        dumps = [b.request("dumps") for b in self._backends]
+        dumps = self._fanout_request("dumps")
         return merge_register_dumps(dumps)
 
     def merged_metrics(self) -> MetricsRegistry:
         """Fresh registry: control-replica metrics + every shard's."""
-        registries = [b.request("metrics") for b in self._backends]
+        registries = self._fanout_request("metrics")
         return merge_metrics([self.local.collector.metrics] + registries)
 
     @property

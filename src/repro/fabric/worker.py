@@ -136,6 +136,23 @@ class ShardRuntime:
         elif kind == "schedule":
             _, ts, inner = op
             self.deployment.simulator.at(ts, lambda: self.apply(inner))
+        elif kind == "adopt":
+            # Degrade repartition: the query moves to ``owner`` without a
+            # reinstall — every replica already holds its rules; only the
+            # execution filter changes hands.
+            _, qid, owner = op
+            if owner == self.spec.index:
+                record = controller.installed.get(qid)
+                if record is not None and qid not in self._owned_tops:
+                    self._own(record.query)
+            else:
+                self._disown(qid)
+        elif kind == "adopt_flows":
+            # Degrade flow-primacy handoff: ``heir`` also counts the
+            # per-packet statistics of the dead shard's primary flows.
+            _, dead_index, heir = op
+            if heir == self.spec.index:
+                self.deployment.simulator.shard.adopt(dead_index)
         elif kind == "arm_faults":
             _, plan_dict = op
             plan = FaultPlan.from_dict(plan_dict)
@@ -180,6 +197,26 @@ class ShardRuntime:
 
     def roll_window(self) -> int:
         return self.deployment.simulator.roll_window()
+
+    def seek_window(self, epoch: int) -> int:
+        """Fast-forward a freshly respawned replica to the fleet's open
+        window.
+
+        Rolling empty windows is cheap (no packets, per-window register
+        state resets at every close anyway) and fires any control ops the
+        replayed op stream scheduled mid-trace at their original window
+        boundaries.  Afterwards every pre-current-epoch result bucket and
+        window-signal record is dropped: the parent already absorbed the
+        dead worker's earlier payloads, and a respawned replica's empty
+        stand-ins must never reach the merge layer.
+        """
+        sim = self.deployment.simulator
+        while sim.epoch < epoch:
+            sim.roll_window()
+        self.prune(epoch)
+        self.deployment.collector._signals.clear()
+        self.recorded.clear()
+        return sim.epoch
 
     def prune(self, before_epoch: int) -> None:
         self.deployment.collector.prune_results(before_epoch)
@@ -284,6 +321,8 @@ def dispatch(
     if kind == "prune":
         runtime.prune(arg)
         return None
+    if kind == "seek_window":
+        return runtime.seek_window(arg)
     if kind == "dumps":
         return runtime.register_dumps()
     if kind == "metrics":

@@ -38,6 +38,7 @@ from repro.core.compiler import QueryParams
 from repro.core.library import QUERY_DESCRIPTIONS, build_query
 from repro.core.query import Query, QueryLike, flatten
 from repro.ctrlplane import TransactionAborted
+from repro.ctrlplane.wal import WriteAheadLog
 from repro.experiments.common import evaluation_thresholds
 from repro.network.deployment import Deployment, build_deployment
 from repro.network.topology import linear
@@ -250,6 +251,12 @@ class ServiceConfig:
     ))
     #: Dynamic-planner triggers; queries opt in via ``POST /plan``.
     planner: PlannerConfig = field(default_factory=PlannerConfig)
+    #: Durable write-ahead log directory (``serve --wal DIR``); ``None``
+    #: keeps the control plane in-memory only.
+    wal_dir: Optional[str] = None
+    #: Windows between WAL state snapshots (window epoch, cumulative
+    #: counters, register digest) — the restart fast-forward target.
+    wal_snapshot_every: int = 16
 
 
 class NewtonService:
@@ -311,6 +318,18 @@ class NewtonService:
         self.ingest_seconds = 0.0
         self.total_packets = 0
         self.total_mixed_epoch_packets = 0
+        #: Durable control plane (``--wal DIR``): committed transactions
+        #: and query ops are fsync'd before acknowledgement, and an
+        #: existing log is replayed before the first packet.
+        self.wal: Optional[WriteAheadLog] = None
+        self.wal_recovery: Optional[Dict[str, Any]] = None
+        self._recovering = False
+        if self.config.wal_dir:
+            self.wal = WriteAheadLog(
+                self.config.wal_dir, registry=self.registry
+            )
+            self.wal_recovery = self._recover_from_wal()
+            self.deployment.controller.txn.wal = self.wal
 
     # ----------------------------------------------------------------- #
     # Query CRUD (runs on the event loop; synchronous => serialized)     #
@@ -420,10 +439,12 @@ class NewtonService:
             return self._op_payload(result, fleet)
 
         payload = self._run_op("install", query.qid, run)
-        self.feed.publish({
-            "type": "query", "op": "install", "qid": query.qid,
-            "epoch": self.deployment.simulator.epoch,
-        })
+        self._wal_op({"op": "install", "spec": spec})
+        if not self._recovering:
+            self.feed.publish({
+                "type": "query", "op": "install", "qid": query.qid,
+                "epoch": self.deployment.simulator.epoch,
+            })
         return payload
 
     def update(self, qid: str, spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -446,10 +467,12 @@ class NewtonService:
             return self._op_payload(result, fleet)
 
         payload = self._run_op("update", qid, run)
-        self.feed.publish({
-            "type": "query", "op": "update", "qid": qid,
-            "epoch": self.deployment.simulator.epoch,
-        })
+        self._wal_op({"op": "update", "qid": qid, "spec": spec})
+        if not self._recovering:
+            self.feed.publish({
+                "type": "query", "op": "update", "qid": qid,
+                "epoch": self.deployment.simulator.epoch,
+            })
         return payload
 
     def remove(self, qid: str) -> Dict[str, Any]:
@@ -458,10 +481,12 @@ class NewtonService:
             return self._op_payload(result, [])
 
         payload = self._run_op("remove", qid, run)
-        self.feed.publish({
-            "type": "query", "op": "remove", "qid": qid,
-            "epoch": self.deployment.simulator.epoch,
-        })
+        self._wal_op({"op": "remove", "qid": qid})
+        if not self._recovering:
+            self.feed.publish({
+                "type": "query", "op": "remove", "qid": qid,
+                "epoch": self.deployment.simulator.epoch,
+            })
         return payload
 
     # ----------------------------------------------------------------- #
@@ -498,11 +523,15 @@ class NewtonService:
             }
 
         payload = self._run_op("plan", query.qid, run)
-        self.feed.publish({
-            "type": "plan_changed",
-            "epoch": self.deployment.simulator.epoch,
-            "steps": [payload["step"]],
-        })
+        # A restart re-manages the plan from rung 0; refinement state is
+        # rediscovered from live traffic rather than persisted.
+        self._wal_op({"op": "plan", "spec": spec})
+        if not self._recovering:
+            self.feed.publish({
+                "type": "plan_changed",
+                "epoch": self.deployment.simulator.epoch,
+                "steps": [payload["step"]],
+            })
         return payload
 
     def plan_state(self) -> Dict[str, Any]:
@@ -519,6 +548,121 @@ class NewtonService:
             "committed_epoch": self.deployment.controller.txn.epoch,
             "diagnostics": [d.as_dict() for d in result.diagnostics],
             "fleet_diagnostics": fleet_diags,
+        }
+
+    # ----------------------------------------------------------------- #
+    # Durability (write-ahead log + crash recovery)                      #
+    # ----------------------------------------------------------------- #
+
+    def _wal_op(self, payload: Dict[str, Any]) -> None:
+        """Durably record an acknowledged query operation (its JSON spec
+        — the declarative replay unit), except while replaying."""
+        if self.wal is not None and not self._recovering:
+            self.wal.append("op", payload)
+
+    def _register_digest(self) -> Dict[str, List[int]]:
+        """Compact per-switch register fingerprint for snapshots: the
+        sum of each state bank (cheap, and windows reset registers at
+        every close — full dumps would mostly snapshot zeros)."""
+        dumps = getattr(self.deployment, "register_dumps", None)
+        if callable(dumps):  # sharded: merged across workers
+            merged = dumps()
+        else:
+            merged = {
+                str(sid): tuple(
+                    bank.array.dump()
+                    for bank in switch.pipeline.layout.state_banks()
+                )
+                for sid, switch in self.deployment.switches.items()
+            }
+        return {
+            sid: [int(sum(bank)) for bank in banks]
+            for sid, banks in sorted(merged.items())
+        }
+
+    def _wal_snapshot(self, closed: int) -> None:
+        if self.wal is None:
+            return
+        every = max(1, int(self.config.wal_snapshot_every))
+        if (closed + 1) % every:
+            return
+        self.wal.append("snapshot", {
+            "window_epoch": self.deployment.simulator.epoch,
+            "committed_epoch": self.deployment.controller.txn.epoch,
+            "windows": int(self._c_windows.total),
+            "packets": self.total_packets,
+            "mixed_epoch_packets": self.total_mixed_epoch_packets,
+            "register_digest": self._register_digest(),
+        })
+
+    def _recover_from_wal(self) -> Dict[str, Any]:
+        """Replay the WAL into a freshly built fleet.
+
+        Three passes over one scan: query *ops* re-run through the
+        normal handlers (same verification, same 2PC — replicas are
+        deterministic, so the rule state converges to what the crashed
+        incarnation committed); the newest *snapshot* fast-forwards the
+        window clock and cumulative counters; the highest committed
+        *txn* epoch fast-forwards the rule-epoch counter and re-beacons
+        every switch, so no post-restart packet can observe a pre-crash
+        epoch (zero mixed-epoch windows across the crash).
+        """
+        started = time.perf_counter()
+        self._recovering = True
+        replayed_ops = 0
+        skipped: List[Dict[str, Any]] = []
+        snapshot: Optional[Dict[str, Any]] = None
+        max_epoch = 0
+        try:
+            for record in self.wal.records():
+                kind = record.get("kind")
+                payload = record.get("payload") or {}
+                if kind == "op":
+                    op = payload.get("op")
+                    try:
+                        if op == "install":
+                            self.install(payload["spec"])
+                        elif op == "update":
+                            self.update(payload["qid"], payload["spec"])
+                        elif op == "remove":
+                            self.remove(payload["qid"])
+                        elif op == "plan":
+                            self.plan_manage(payload["spec"])
+                        else:
+                            raise ServiceError(400, {
+                                "error": f"unknown WAL op {op!r}",
+                            })
+                        replayed_ops += 1
+                    except ServiceError as exc:
+                        skipped.append({
+                            "seq": record.get("seq"), "op": op,
+                            "error": exc.payload.get("error", ""),
+                        })
+                elif kind == "txn":
+                    max_epoch = max(max_epoch, int(payload.get("epoch", 0)))
+                elif kind == "snapshot":
+                    snapshot = payload
+        finally:
+            self._recovering = False
+        sim = self.deployment.simulator
+        if snapshot is not None:
+            target = int(snapshot.get("window_epoch", 0))
+            while sim.epoch < target:
+                sim.roll_window()
+            windows = int(snapshot.get("windows", 0))
+            if windows > int(self._c_windows.total):
+                self._c_windows.inc(windows - int(self._c_windows.total))
+            self.total_packets = int(snapshot.get("packets", 0))
+            self.total_mixed_epoch_packets = int(
+                snapshot.get("mixed_epoch_packets", 0)
+            )
+        committed = self.deployment.controller.txn.fast_forward(max_epoch)
+        return {
+            "replayed_ops": replayed_ops,
+            "skipped_ops": skipped,
+            "committed_epoch": committed,
+            "window_epoch": sim.epoch,
+            "recovery_s": time.perf_counter() - started,
         }
 
     # ----------------------------------------------------------------- #
@@ -560,7 +704,7 @@ class NewtonService:
         return self.registry.render_prometheus()
 
     def health(self) -> Dict[str, Any]:
-        return {
+        out = {
             "status": "stopping" if self.stopping else "ok",
             "window_epoch": self.deployment.simulator.epoch,
             "windows": int(self._c_windows.total),
@@ -571,6 +715,15 @@ class NewtonService:
             "window_ms": self.config.window_ms,
             "source_exhausted": self.exhausted,
         }
+        fabric = getattr(self.deployment, "fabric_status", None)
+        if callable(fabric):
+            out["fabric"] = fabric()
+        if self.wal is not None:
+            out["wal"] = {
+                "path": self.wal.path,
+                "recovery": self.wal_recovery,
+            }
+        return out
 
     # ----------------------------------------------------------------- #
     # Ingestion loop                                                     #
@@ -595,6 +748,7 @@ class NewtonService:
         self.feed.publish(event)
         self._replan()
         self._prune(closed)
+        self._wal_snapshot(closed)
         self.ingest_seconds += time.perf_counter() - started
         return event
 
@@ -729,6 +883,18 @@ class NewtonService:
         self.stopped = True
         self.source.close()
         summary = self._shutdown_summary()
+        if self.wal is not None:
+            # Final snapshot so a clean restart fast-forwards exactly to
+            # where this incarnation stopped.
+            self.wal.append("snapshot", {
+                "window_epoch": self.deployment.simulator.epoch,
+                "committed_epoch": summary["committed_epoch"],
+                "windows": summary["windows"],
+                "packets": summary["packets"],
+                "mixed_epoch_packets": summary["mixed_epoch_packets"],
+                "register_digest": self._register_digest(),
+            })
+            self.wal.close()
         self.feed.publish({"type": "shutdown", **summary})
         self.feed.close_all()
         return summary
